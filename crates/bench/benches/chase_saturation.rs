@@ -1,0 +1,44 @@
+//! E1-adjacent kernel: guarded chase saturation (condensed segments) and
+//! the explicit-forest unfolding that renders the Example 6 figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfdl_chase::{paper, ChaseBudget, ChaseSegment, ExplicitForest};
+use wfdl_core::Universe;
+use wfdl_gen::{chain_database, example4_sigma};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_saturation");
+    group.sample_size(10);
+
+    for depth in [8u32, 16, 32] {
+        let mut u = Universe::new();
+        let (db, sigma) = paper::example4(&mut u);
+        let _ = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(depth));
+        group.bench_with_input(BenchmarkId::new("example4_depth", depth), &depth, |b, &d| {
+            b.iter(|| ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(d)));
+        });
+    }
+
+    {
+        let mut u = Universe::new();
+        let sigma = example4_sigma(&mut u);
+        let db = chain_database(&mut u, 128);
+        let _ = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(6));
+        group.bench_with_input(BenchmarkId::new("chains", 128), &(), |b, _| {
+            b.iter(|| ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(6)));
+        });
+    }
+
+    {
+        let mut u = Universe::new();
+        let (db, sigma) = paper::example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(8));
+        group.bench_with_input(BenchmarkId::new("explicit_unfold", 8), &(), |b, _| {
+            b.iter(|| ExplicitForest::unfold(&seg, 8, 1_000_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

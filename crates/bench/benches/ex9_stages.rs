@@ -1,0 +1,25 @@
+//! E2 — Example 9: the `Ŵ_P` forward-proof engine on growing segments of
+//! the paper's running example (the finite shadow of the transfinite
+//! iteration `Ŵ_{P,ω+2}`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfdl_chase::{paper, ChaseBudget, ChaseSegment};
+use wfdl_core::Universe;
+use wfdl_wfs::ForwardEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ex9_stages");
+    group.sample_size(10);
+    for depth in [6u32, 12, 24] {
+        let mut u = Universe::new();
+        let (db, sigma) = paper::example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(depth));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| ForwardEngine::new(&seg).solve());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # `wfdl-bench` — benchmark harness for the paper's evaluation artifacts
+//!
+//! The paper is a theory paper: its "evaluation" is a set of complexity
+//! theorems, worked examples and one figure. This crate regenerates each of
+//! them (experiment index E1–E10 in `DESIGN.md`):
+//!
+//! * an `experiments` binary that prints the measured tables/series next to
+//!   the paper's expected shapes (`cargo run -p wfdl-bench --bin
+//!   experiments -- --all`), and
+//! * Criterion benches (`cargo bench`) timing the kernels behind each
+//!   experiment.
+
+pub mod experiments;
+pub mod timing;
+
+pub use timing::{fit_loglog_slope, median_time, Series};

@@ -1,0 +1,593 @@
+//! Condensed chase segments: a finite, depth-bounded materialization of the
+//! guarded chase forest `F⁺(P)` for `P = D ∪ Σf`.
+//!
+//! ## Why "condensed"
+//!
+//! The forest of Section 2.5 attaches a child for a ground rule `r` under
+//! *every* node labelled `guard(r)`, so identical subtrees repeat (in the
+//! paper's Example 6 figure, `S(0)` and `T(0)` appear under every `R`-node).
+//! For computation only two things matter, and both are per-*atom*, not
+//! per-node:
+//!
+//! 1. the set of ground rule instances discovered (they form the finite
+//!    ground normal program the WFS engines run on), and
+//! 2. each atom's minimal forest depth and minimal derivation level
+//!    (`level_P(a)`, Section 2.5), which the forward-proof machinery of
+//!    Section 3 consumes.
+//!
+//! A [`ChaseSegment`] therefore stores one record per distinct atom plus the
+//! deduplicated rule instances. The faithful node-per-occurrence forest is
+//! available separately in [`crate::explicit`] and is proven equivalent (in
+//! labels, edges, depths and levels) by integration tests.
+//!
+//! ## Saturation
+//!
+//! Guardedness makes saturation join-free: matching a rule's guard against a
+//! concrete atom binds *all* universal variables, so the remaining positive
+//! body atoms are ground "side conditions". Instances whose side conditions
+//! are not yet present wait in a pending list with Dowling–Gallier-style
+//! watch counters. Atom depths/levels are maintained as minima by a
+//! relaxation worklist, because a later-discovered derivation may be
+//! shallower than the first one.
+
+use crate::budget::ChaseBudget;
+use crate::instance::{InstanceId, RuleInstance};
+use std::collections::VecDeque;
+use wfdl_core::{
+    match_atom, subst::instantiate_atom, AtomId, Binding, FxHashMap, FxHashSet, PredId,
+    SkolemProgram, Universe,
+};
+use wfdl_storage::{Database, GroundProgram, GroundProgramBuilder, GroundRule};
+
+/// Per-atom metadata within a segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentAtom {
+    /// The interned atom.
+    pub atom: AtomId,
+    /// Minimal depth of a node labelled with this atom in `F⁺(P)`.
+    pub depth: u32,
+    /// Minimal derivation level `level_P(a)` (Section 2.5).
+    pub level: u32,
+}
+
+/// A finite segment of the condensed guarded chase forest.
+#[derive(Clone, Debug)]
+pub struct ChaseSegment {
+    atoms: Vec<SegmentAtom>,
+    atom_pos: FxHashMap<AtomId, u32>,
+    instances: Vec<RuleInstance>,
+    by_guard: FxHashMap<AtomId, Vec<InstanceId>>,
+    by_head: FxHashMap<AtomId, Vec<InstanceId>>,
+    num_facts: usize,
+    /// True iff saturation quiesced with no budget limit hit: the segment
+    /// *is* the full chase (always the case for non-existential programs).
+    pub complete: bool,
+    /// Number of instances still waiting for side atoms when saturation
+    /// stopped (diagnostic; nonzero is normal for truncated segments).
+    pub pending_at_end: usize,
+    budget: ChaseBudget,
+}
+
+impl ChaseSegment {
+    /// Saturates the chase of `D ∪ Σf` within `budget`.
+    pub fn build(
+        universe: &mut Universe,
+        db: &Database,
+        program: &SkolemProgram,
+        budget: ChaseBudget,
+    ) -> ChaseSegment {
+        Builder::new(universe, program, budget).run(db)
+    }
+
+    /// All segment atoms with metadata, in discovery order; the first
+    /// [`ChaseSegment::num_facts`] entries are the database facts.
+    #[inline]
+    pub fn atoms(&self) -> &[SegmentAtom] {
+        &self.atoms
+    }
+
+    /// Number of database facts at the start of [`ChaseSegment::atoms`].
+    #[inline]
+    pub fn num_facts(&self) -> usize {
+        self.num_facts
+    }
+
+    /// All discovered rule instances.
+    #[inline]
+    pub fn instances(&self) -> &[RuleInstance] {
+        &self.instances
+    }
+
+    /// An instance by id.
+    #[inline]
+    pub fn instance(&self, id: InstanceId) -> &RuleInstance {
+        &self.instances[id.index()]
+    }
+
+    /// Metadata for `atom`, if it occurs in the segment.
+    pub fn meta(&self, atom: AtomId) -> Option<SegmentAtom> {
+        self.atom_pos.get(&atom).map(|&i| self.atoms[i as usize])
+    }
+
+    /// True iff `atom` occurs in the segment (i.e. in `label(F⁺(P))`, up to
+    /// truncation).
+    #[inline]
+    pub fn contains(&self, atom: AtomId) -> bool {
+        self.atom_pos.contains_key(&atom)
+    }
+
+    /// Instances whose guard matched `atom`.
+    pub fn instances_with_guard(&self, atom: AtomId) -> &[InstanceId] {
+        self.by_guard.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Instances deriving `atom`.
+    pub fn instances_with_head(&self, atom: AtomId) -> &[InstanceId] {
+        self.by_head.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The budget the segment was built with.
+    pub fn budget(&self) -> ChaseBudget {
+        self.budget
+    }
+
+    /// Largest atom depth materialized.
+    pub fn max_depth_reached(&self) -> u32 {
+        self.atoms.iter().map(|a| a.depth).max().unwrap_or(0)
+    }
+
+    /// Largest derivation level materialized.
+    pub fn max_level_reached(&self) -> u32 {
+        self.atoms.iter().map(|a| a.level).max().unwrap_or(0)
+    }
+
+    /// Extracts the finite ground normal program (facts + instances) that
+    /// the WFS fixpoint engines evaluate.
+    pub fn to_ground_program(&self) -> GroundProgram {
+        let mut b = GroundProgramBuilder::new();
+        for sa in &self.atoms[..self.num_facts] {
+            b.add_fact(sa.atom);
+        }
+        for inst in &self.instances {
+            b.add_rule(GroundRule::new(
+                inst.head,
+                inst.pos.to_vec(),
+                inst.neg.to_vec(),
+            ));
+        }
+        b.finish()
+    }
+}
+
+struct Pending {
+    inst: RuleInstance,
+    missing: u32,
+}
+
+struct Builder<'a> {
+    universe: &'a mut Universe,
+    program: &'a SkolemProgram,
+    budget: ChaseBudget,
+    rules_by_guard_pred: FxHashMap<PredId, Vec<u32>>,
+    atoms: Vec<SegmentAtom>,
+    atom_pos: FxHashMap<AtomId, u32>,
+    instances: Vec<RuleInstance>,
+    by_guard: FxHashMap<AtomId, Vec<InstanceId>>,
+    by_head: FxHashMap<AtomId, Vec<InstanceId>>,
+    /// Instances in whose positive body (guard included) an atom occurs —
+    /// consulted when that atom's depth/level improves.
+    by_body: FxHashMap<AtomId, Vec<InstanceId>>,
+    pending: Vec<Pending>,
+    watchers: FxHashMap<AtomId, Vec<u32>>,
+    expand_queue: VecDeque<u32>,
+    relax_queue: VecDeque<u32>,
+    seen_pairs: FxHashSet<(u32, AtomId)>,
+    expansion_blocked: bool,
+    caps_hit: bool,
+}
+
+impl<'a> Builder<'a> {
+    fn new(universe: &'a mut Universe, program: &'a SkolemProgram, budget: ChaseBudget) -> Self {
+        let mut rules_by_guard_pred: FxHashMap<PredId, Vec<u32>> = FxHashMap::default();
+        for (i, rule) in program.rules.iter().enumerate() {
+            rules_by_guard_pred
+                .entry(rule.guard_atom().pred)
+                .or_default()
+                .push(i as u32);
+        }
+        Builder {
+            universe,
+            program,
+            budget,
+            rules_by_guard_pred,
+            atoms: Vec::new(),
+            atom_pos: FxHashMap::default(),
+            instances: Vec::new(),
+            by_guard: FxHashMap::default(),
+            by_head: FxHashMap::default(),
+            by_body: FxHashMap::default(),
+            pending: Vec::new(),
+            watchers: FxHashMap::default(),
+            expand_queue: VecDeque::new(),
+            relax_queue: VecDeque::new(),
+            seen_pairs: FxHashSet::default(),
+            expansion_blocked: false,
+            caps_hit: false,
+        }
+    }
+
+    fn run(mut self, db: &Database) -> ChaseSegment {
+        for &fact in db.facts() {
+            self.add_atom(fact, 0, 0);
+        }
+        let num_facts = self.atoms.len();
+
+        while !self.expand_queue.is_empty() || !self.relax_queue.is_empty() {
+            if let Some(ai) = self.relax_queue.pop_front() {
+                self.relax(ai);
+                continue;
+            }
+            if let Some(ai) = self.expand_queue.pop_front() {
+                self.expand(ai);
+            }
+        }
+
+        let pending_at_end = self.pending.iter().filter(|p| p.missing > 0).count();
+        let complete = !self.expansion_blocked && !self.caps_hit;
+        ChaseSegment {
+            atoms: self.atoms,
+            atom_pos: self.atom_pos,
+            instances: self.instances,
+            by_guard: self.by_guard,
+            by_head: self.by_head,
+            num_facts,
+            complete,
+            pending_at_end,
+            budget: self.budget,
+        }
+    }
+
+    /// Registers a new atom, queuing it for expansion. Assumes not present.
+    fn add_atom(&mut self, atom: AtomId, depth: u32, level: u32) {
+        debug_assert!(!self.atom_pos.contains_key(&atom));
+        let idx = self.atoms.len() as u32;
+        self.atoms.push(SegmentAtom { atom, depth, level });
+        self.atom_pos.insert(atom, idx);
+        self.expand_queue.push_back(idx);
+        // Wake pending instances waiting for this atom.
+        if let Some(watchers) = self.watchers.remove(&atom) {
+            for p in watchers {
+                let pend = &mut self.pending[p as usize];
+                pend.missing -= 1;
+                if pend.missing == 0 {
+                    let inst = pend.inst.clone();
+                    self.fire(inst);
+                }
+            }
+        }
+    }
+
+    /// Tries every rule whose guard predicate matches this atom.
+    fn expand(&mut self, ai: u32) {
+        let SegmentAtom { atom, depth, .. } = self.atoms[ai as usize];
+        let pred = self.universe.atoms.pred(atom);
+        let Some(rule_ids) = self.rules_by_guard_pred.get(&pred) else {
+            return;
+        };
+        if depth >= self.budget.max_depth {
+            // This atom could have children beyond the budgeted depth.
+            self.expansion_blocked = true;
+            return;
+        }
+        for &ri in rule_ids.clone().iter() {
+            if !self.seen_pairs.insert((ri, atom)) {
+                continue;
+            }
+            let rule = &self.program.rules[ri as usize];
+            let mut binding = Binding::new(rule.num_vars());
+            if !match_atom(self.universe, rule.guard_atom(), atom, &mut binding) {
+                continue;
+            }
+            let total = binding.to_total(rule.num_vars());
+            let pos: Box<[AtomId]> = rule
+                .body_pos
+                .iter()
+                .map(|a| instantiate_atom(self.universe, a, &total))
+                .collect();
+            let neg: Box<[AtomId]> = rule
+                .body_neg
+                .iter()
+                .map(|a| instantiate_atom(self.universe, a, &total))
+                .collect();
+            let head = rule.instantiate_head(self.universe, &total);
+            let inst = RuleInstance {
+                src_rule: ri,
+                guard_atom: atom,
+                pos,
+                neg,
+                head,
+            };
+            let mut missing: Vec<AtomId> = inst
+                .pos
+                .iter()
+                .copied()
+                .filter(|a| !self.atom_pos.contains_key(a))
+                .collect();
+            missing.sort_unstable();
+            missing.dedup();
+            if missing.is_empty() {
+                self.fire(inst);
+            } else {
+                let pidx = self.pending.len() as u32;
+                self.pending.push(Pending {
+                    missing: missing.len() as u32,
+                    inst,
+                });
+                for m in missing {
+                    self.watchers.entry(m).or_default().push(pidx);
+                }
+            }
+        }
+    }
+
+    /// Records a fired instance (all positive body atoms present) and
+    /// derives its head.
+    fn fire(&mut self, inst: RuleInstance) {
+        if self.instances.len() >= self.budget.max_instances {
+            self.caps_hit = true;
+            return;
+        }
+        let guard_meta = self.atoms[self.atom_pos[&inst.guard_atom] as usize];
+        let child_depth = guard_meta.depth + 1;
+        let child_level = 1 + inst
+            .pos
+            .iter()
+            .map(|a| self.atoms[self.atom_pos[a] as usize].level)
+            .max()
+            .unwrap_or(0);
+
+        let iid = InstanceId::from_index(self.instances.len());
+        self.by_guard.entry(inst.guard_atom).or_default().push(iid);
+        self.by_head.entry(inst.head).or_default().push(iid);
+        for &b in inst.pos.iter() {
+            self.by_body.entry(b).or_default().push(iid);
+        }
+        let head = inst.head;
+        self.instances.push(inst);
+
+        match self.atom_pos.get(&head) {
+            None => {
+                if self.atoms.len() >= self.budget.max_atoms {
+                    self.caps_hit = true;
+                    return;
+                }
+                self.add_atom(head, child_depth, child_level);
+            }
+            Some(&hi) => {
+                let meta = &mut self.atoms[hi as usize];
+                let improved =
+                    child_depth < meta.depth || child_level < meta.level;
+                if improved {
+                    meta.depth = meta.depth.min(child_depth);
+                    meta.level = meta.level.min(child_level);
+                    self.relax_queue.push_back(hi);
+                }
+            }
+        }
+    }
+
+    /// Propagates a depth/level improvement of `atoms[ai]` to the heads of
+    /// every instance whose body mentions it, and re-checks the depth gate.
+    fn relax(&mut self, ai: u32) {
+        let SegmentAtom { atom, depth, .. } = self.atoms[ai as usize];
+        // The atom may now be allowed to expand where it previously hit the
+        // depth gate.
+        if depth < self.budget.max_depth {
+            self.expand_queue.push_back(ai);
+        }
+        let Some(insts) = self.by_body.get(&atom) else {
+            return;
+        };
+        for &iid in insts.clone().iter() {
+            let inst = &self.instances[iid.index()];
+            let guard_meta = self.atoms[self.atom_pos[&inst.guard_atom] as usize];
+            let child_depth = guard_meta.depth + 1;
+            let child_level = 1 + inst
+                .pos
+                .iter()
+                .map(|a| self.atoms[self.atom_pos[a] as usize].level)
+                .max()
+                .unwrap_or(0);
+            let head = inst.head;
+            let hi = self.atom_pos[&head];
+            let meta = &mut self.atoms[hi as usize];
+            if child_depth < meta.depth || child_level < meta.level {
+                meta.depth = meta.depth.min(child_depth);
+                meta.level = meta.level.min(child_level);
+                self.relax_queue.push_back(hi);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example4;
+    use wfdl_core::{Program, RTerm, RuleAtom, Tgd, Var};
+
+    fn v(i: u32) -> RTerm {
+        RTerm::Var(Var::new(i))
+    }
+
+    #[test]
+    fn example4_segment_depth3_matches_figure() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(3));
+        // The figure shows, up to depth 3: R-chain R(0,0,1), R(0,1,a),
+        // R(0,a,b), R(0,b,c); P(0,0), P(0,1), P(0,a), P(0,b);
+        // Q(1), Q(a), Q(b); S(0); T(0).
+        let labels: Vec<String> = seg
+            .atoms()
+            .iter()
+            .map(|sa| u.display_atom(sa.atom).to_string())
+            .collect();
+        for expected in [
+            "R(0,0,1)", "P(0,0)", "P(0,1)", "Q(1)", "S(0)", "T(0)",
+        ] {
+            assert!(
+                labels.iter().any(|l| l == expected),
+                "missing {expected}; got {labels:?}"
+            );
+        }
+        // The R-chain reaches depth 3.
+        assert_eq!(seg.max_depth_reached(), 3);
+        // Depth was capped, so the segment must report truncation.
+        assert!(!seg.complete);
+        // Counts: R: 4 atoms (depths 0..3); P: 4 (0 and children of R-chain
+        // at depths 1..3); Q: 3 (depths 1..3); S: 1; T: 1.
+        assert_eq!(seg.atoms().len(), 13, "{labels:?}");
+    }
+
+    #[test]
+    fn example4_levels_and_depths() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(2));
+        let r = u.lookup_pred("R").unwrap();
+        let p = u.lookup_pred("P").unwrap();
+        let zero = u.constant("0");
+        let one = u.constant("1");
+        let r001 = u.atom(r, vec![zero, zero, one]).unwrap();
+        let m = seg.meta(r001).unwrap();
+        assert_eq!((m.depth, m.level), (0, 0));
+        // P(0,1) is derived from R(0,0,1) and P(0,0): depth 1, level 1.
+        let p01 = u.atom(p, vec![zero, one]).unwrap();
+        let m = seg.meta(p01).unwrap();
+        assert_eq!((m.depth, m.level), (1, 1));
+        // a = f(0,0,1); P(0,a) needs P(0,1) (level 1) and R(0,1,a) (level 1)
+        // so its level is 2, depth 2.
+        let f = u.lookup_skolem("sk_r1_0").expect("skolem fn named after rule label");
+        let a_term = u.skolem_term(f, vec![zero, zero, one]).unwrap();
+        let p0a = u.atom(p, vec![zero, a_term]).unwrap();
+        let m = seg.meta(p0a).unwrap();
+        assert_eq!((m.depth, m.level), (2, 2));
+    }
+
+    #[test]
+    fn nonexistential_program_completes_unbounded() {
+        let mut u = Universe::new();
+        let e = u.pred("edge", 2).unwrap();
+        let rch = u.pred("reach", 2).unwrap();
+        // edge(X,Y) -> reach(X,Y)
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(e, vec![v(0), v(1)])],
+                vec![],
+                vec![RuleAtom::new(rch, vec![v(0), v(1)])],
+            )
+            .unwrap(),
+        );
+        let sk = prog.skolemize(&mut u).unwrap();
+        let mut db = Database::new();
+        let a = u.constant("a");
+        let b = u.constant("b");
+        let eab = u.atom(e, vec![a, b]).unwrap();
+        db.insert(&u, eab).unwrap();
+        let seg = ChaseSegment::build(&mut u, &db, &sk, ChaseBudget::unbounded());
+        assert!(seg.complete);
+        assert_eq!(seg.atoms().len(), 2);
+        assert_eq!(seg.instances().len(), 1);
+        let gp = seg.to_ground_program();
+        assert_eq!(gp.num_rules(), 1);
+        assert_eq!(gp.facts().len(), 1);
+    }
+
+    #[test]
+    fn side_conditions_fire_late() {
+        // p(X) -> q(X); q(X), r(X) ... r arrives only via another rule.
+        // s(X) -> r(X); q(X) with side condition r(X): use a rule
+        // q2(X) guard q(X) with side r(X).
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let rr = u.pred("r", 1).unwrap();
+        let s = u.pred("s", 1).unwrap();
+        let done = u.pred("done", 1).unwrap();
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(&u, vec![RuleAtom::new(p, vec![v(0)])], vec![], vec![RuleAtom::new(q, vec![v(0)])]).unwrap(),
+        );
+        prog.push(
+            Tgd::new(&u, vec![RuleAtom::new(s, vec![v(0)])], vec![], vec![RuleAtom::new(rr, vec![v(0)])]).unwrap(),
+        );
+        // guard q(X), side r(X) -> done(X)
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(q, vec![v(0)]), RuleAtom::new(rr, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(done, vec![v(0)])],
+            )
+            .unwrap(),
+        );
+        let sk = prog.skolemize(&mut u).unwrap();
+        let mut db = Database::new();
+        let c = u.constant("c");
+        let pc = u.atom(p, vec![c]).unwrap();
+        let sc = u.atom(s, vec![c]).unwrap();
+        db.insert(&u, pc).unwrap();
+        db.insert(&u, sc).unwrap();
+        let seg = ChaseSegment::build(&mut u, &db, &sk, ChaseBudget::unbounded());
+        let donec = u.atom(done, vec![c]).unwrap();
+        assert!(seg.contains(donec), "pending side condition must fire");
+        assert!(seg.complete);
+        assert_eq!(seg.pending_at_end, 0);
+    }
+
+    #[test]
+    fn pending_that_never_fires_keeps_segment_complete() {
+        let mut u = Universe::new();
+        let q = u.pred("q", 1).unwrap();
+        let rr = u.pred("r", 1).unwrap();
+        let done = u.pred("done", 1).unwrap();
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(q, vec![v(0)]), RuleAtom::new(rr, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(done, vec![v(0)])],
+            )
+            .unwrap(),
+        );
+        let sk = prog.skolemize(&mut u).unwrap();
+        let mut db = Database::new();
+        let c = u.constant("c");
+        let qc = u.atom(q, vec![c]).unwrap();
+        db.insert(&u, qc).unwrap();
+        let seg = ChaseSegment::build(&mut u, &db, &sk, ChaseBudget::unbounded());
+        // r(c) never exists, so the instance never fires — but the chase is
+        // still complete (nothing was cut off by a budget).
+        assert!(seg.complete);
+        assert_eq!(seg.pending_at_end, 1);
+        assert_eq!(seg.instances().len(), 0);
+    }
+
+    #[test]
+    fn atom_cap_marks_incomplete() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(
+            &mut u,
+            &db,
+            &prog,
+            ChaseBudget::depth(64).with_max_atoms(10),
+        );
+        assert!(!seg.complete);
+        assert!(seg.atoms().len() <= 10);
+    }
+}

@@ -1,0 +1,277 @@
+//! The explicit guarded chase forest of Section 2.5, node-per-occurrence.
+//!
+//! This is the *definitional* forest `F⁺(P)` in which a ground rule `r`
+//! contributes a child under **every** node labelled `guard(r)` once
+//! `B(r) ⊆ A`. It reproduces the paper's Example 6 figure exactly and
+//! serves as the reference implementation the condensed segment is tested
+//! against. Node counts grow like `b^depth`, so this representation is for
+//! display and validation at small depth — all reasoning runs on
+//! [`crate::condensed::ChaseSegment`].
+
+use crate::condensed::ChaseSegment;
+use crate::instance::InstanceId;
+use wfdl_core::{AtomId, FxHashSet, Universe};
+
+/// A node of the explicit forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForestNode {
+    /// The node's label.
+    pub atom: AtomId,
+    /// Parent node index (`None` for roots, i.e. database facts).
+    pub parent: Option<u32>,
+    /// The rule instance labelling the edge from the parent (`None` for
+    /// roots).
+    pub via: Option<InstanceId>,
+    /// Distance from the root (`levelP(v)` can differ; see `level`).
+    pub depth: u32,
+    /// Derivation level: the first stage `i` with `v ∈ F_i(P)`.
+    pub level: u32,
+}
+
+/// A depth-bounded prefix of the explicit guarded chase forest.
+#[derive(Clone, Debug)]
+pub struct ExplicitForest {
+    nodes: Vec<ForestNode>,
+    /// True iff construction stopped because of the node cap rather than
+    /// quiescence at the requested depth.
+    pub hit_node_cap: bool,
+}
+
+impl ExplicitForest {
+    /// Unfolds the condensed `segment` into the node-per-occurrence forest,
+    /// keeping nodes of depth at most `max_depth` (capped at `max_nodes`).
+    ///
+    /// `max_depth` must not exceed the segment's build depth, otherwise the
+    /// unfolding would silently miss instances.
+    pub fn unfold(segment: &ChaseSegment, max_depth: u32, max_nodes: usize) -> ExplicitForest {
+        assert!(
+            max_depth <= segment.budget().max_depth,
+            "cannot unfold deeper than the segment was chased"
+        );
+        let mut nodes: Vec<ForestNode> = Vec::new();
+        // Roots: database facts, level 0, in segment order.
+        for sa in &segment.atoms()[..segment.num_facts()] {
+            nodes.push(ForestNode {
+                atom: sa.atom,
+                parent: None,
+                via: None,
+                depth: 0,
+                level: 0,
+            });
+        }
+        let mut present: FxHashSet<AtomId> =
+            nodes.iter().map(|n| n.atom).collect();
+        let mut done: FxHashSet<(u32, InstanceId)> = FxHashSet::default();
+        let mut hit_node_cap = false;
+
+        // Level-synchronous closure: children for level i+1 are computed
+        // with the label set A of level ≤ i.
+        let mut level = 0u32;
+        loop {
+            level += 1;
+            let snapshot_len = nodes.len();
+            let mut additions: Vec<ForestNode> = Vec::new();
+            'outer: for v in 0..snapshot_len as u32 {
+                let vnode = nodes[v as usize];
+                if vnode.depth >= max_depth {
+                    continue;
+                }
+                for &iid in segment.instances_with_guard(vnode.atom) {
+                    if done.contains(&(v, iid)) {
+                        continue;
+                    }
+                    let inst = segment.instance(iid);
+                    if !inst.pos.iter().all(|a| present.contains(a)) {
+                        continue;
+                    }
+                    done.insert((v, iid));
+                    additions.push(ForestNode {
+                        atom: inst.head,
+                        parent: Some(v),
+                        via: Some(iid),
+                        depth: vnode.depth + 1,
+                        level,
+                    });
+                    if snapshot_len + additions.len() >= max_nodes {
+                        hit_node_cap = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if additions.is_empty() || hit_node_cap {
+                nodes.extend(additions);
+                break;
+            }
+            for n in &additions {
+                present.insert(n.atom);
+            }
+            nodes.extend(additions);
+        }
+        ExplicitForest {
+            nodes,
+            hit_node_cap,
+        }
+    }
+
+    /// All nodes, roots first, then by creation level.
+    #[inline]
+    pub fn nodes(&self) -> &[ForestNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the forest has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Indices of the children of node `v`, in creation order.
+    pub fn children(&self, v: u32) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent == Some(v))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Number of nodes labelled `atom`.
+    pub fn multiplicity(&self, atom: AtomId) -> usize {
+        self.nodes.iter().filter(|n| n.atom == atom).count()
+    }
+
+    /// Renders the forest as an ASCII tree (the paper's Example 6 figure).
+    pub fn render(&self, universe: &Universe) -> String {
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.parent.is_none() {
+                self.render_node(universe, i as u32, "", true, &mut out);
+            }
+        }
+        out
+    }
+
+    fn render_node(
+        &self,
+        universe: &Universe,
+        v: u32,
+        prefix: &str,
+        is_root: bool,
+        out: &mut String,
+    ) {
+        let n = &self.nodes[v as usize];
+        if is_root {
+            out.push_str(&format!("{}\n", universe.display_atom(n.atom)));
+        }
+        let children = self.children(v);
+        for (k, &c) in children.iter().enumerate() {
+            let last = k + 1 == children.len();
+            let branch = if last { "└─ " } else { "├─ " };
+            let cont = if last { "   " } else { "│  " };
+            out.push_str(prefix);
+            out.push_str(branch);
+            out.push_str(&format!(
+                "{}\n",
+                universe.display_atom(self.nodes[c as usize].atom)
+            ));
+            self.render_node(universe, c, &format!("{prefix}{cont}"), false, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ChaseBudget;
+    use crate::paper::example4;
+    use wfdl_core::Universe;
+
+    fn example6_forest(depth: u32) -> (Universe, ChaseSegment, ExplicitForest) {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(depth));
+        let forest = ExplicitForest::unfold(&seg, depth, 100_000);
+        (u, seg, forest)
+    }
+
+    #[test]
+    fn example6_figure_node_counts() {
+        let (u, _seg, forest) = example6_forest(3);
+        // Two roots (D = {R(0,0,1), P(0,0)}), then each of the three
+        // expandable R-nodes contributes 4 children and each of the three
+        // expandable P-nodes contributes a T(0) child: 2 + 12 + 3 = 17.
+        assert_eq!(forest.len(), 17, "\n{}", forest.render(&u));
+        assert!(!forest.hit_node_cap);
+        // Node multiplicities from the figure (depth ≤ 3).
+        let s = u.lookup_pred("S").unwrap();
+        let t = u.lookup_pred("T").unwrap();
+        let zero = u.lookup_constant("0").unwrap();
+        let s0 = u.atoms.lookup(s, &[zero]).unwrap();
+        let t0 = u.atoms.lookup(t, &[zero]).unwrap();
+        assert_eq!(forest.multiplicity(s0), 3);
+        assert_eq!(forest.multiplicity(t0), 3);
+    }
+
+    #[test]
+    fn explicit_labels_match_condensed_atoms() {
+        let (_u, seg, forest) = example6_forest(3);
+        let mut explicit_labels: Vec<_> = forest.nodes().iter().map(|n| n.atom).collect();
+        explicit_labels.sort_unstable();
+        explicit_labels.dedup();
+        let mut condensed: Vec<_> = seg.atoms().iter().map(|a| a.atom).collect();
+        condensed.sort_unstable();
+        assert_eq!(explicit_labels, condensed);
+    }
+
+    #[test]
+    fn explicit_min_depth_matches_condensed_depth() {
+        let (_u, seg, forest) = example6_forest(3);
+        for sa in seg.atoms() {
+            let min_depth = forest
+                .nodes()
+                .iter()
+                .filter(|n| n.atom == sa.atom)
+                .map(|n| n.depth)
+                .min()
+                .unwrap();
+            assert_eq!(min_depth, sa.depth, "atom {:?}", sa.atom);
+        }
+    }
+
+    #[test]
+    fn explicit_min_level_matches_condensed_level() {
+        let (_u, seg, forest) = example6_forest(3);
+        for sa in seg.atoms() {
+            let min_level = forest
+                .nodes()
+                .iter()
+                .filter(|n| n.atom == sa.atom)
+                .map(|n| n.level)
+                .min()
+                .unwrap();
+            assert_eq!(min_level, sa.level, "atom {:?}", sa.atom);
+        }
+    }
+
+    #[test]
+    fn render_contains_figure_chain() {
+        let (u, _seg, forest) = example6_forest(3);
+        let txt = forest.render(&u);
+        assert!(txt.contains("R(0,0,1)"), "{txt}");
+        // a = sk_r1_0(0,0,1); the chain R(0,1,a) must be a child line.
+        assert!(txt.contains("R(0,1,sk_r1_0(0,0,1))"), "{txt}");
+        assert!(txt.contains("T(0)"), "{txt}");
+    }
+
+    #[test]
+    fn node_cap_is_respected() {
+        let (_u, seg, _forest) = example6_forest(3);
+        let capped = ExplicitForest::unfold(&seg, 3, 5);
+        assert!(capped.hit_node_cap);
+        assert!(capped.len() <= 6);
+    }
+}

@@ -1,0 +1,40 @@
+//! Fully instantiated ground rules discovered during chase saturation.
+
+use wfdl_core::AtomId;
+
+/// Index of a rule instance within a [`crate::condensed::ChaseSegment`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(u32);
+
+impl InstanceId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        InstanceId(u32::try_from(i).expect("instance id overflow"))
+    }
+}
+
+/// A ground instance of a skolemized rule, produced by matching the rule's
+/// guard against a chase atom.
+///
+/// Because the guard contains every universal variable, the instance is
+/// fully determined by `(src_rule, guard_atom)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleInstance {
+    /// Index of the originating rule in the skolemized program.
+    pub src_rule: u32,
+    /// The ground atom the guard was matched against.
+    pub guard_atom: AtomId,
+    /// Full positive body (guard included), in rule order.
+    pub pos: Box<[AtomId]>,
+    /// Negative body (stored un-negated), in rule order.
+    pub neg: Box<[AtomId]>,
+    /// Instantiated head.
+    pub head: AtomId,
+}

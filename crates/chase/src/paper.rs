@@ -1,0 +1,146 @@
+//! The paper's running example (Examples 4, 6 and 9), packaged for reuse by
+//! tests, examples and benchmarks across the workspace.
+
+use wfdl_core::{Program, RTerm, RuleAtom, SkolemProgram, Tgd, Universe, Var};
+use wfdl_storage::Database;
+
+fn v(i: u32) -> RTerm {
+    RTerm::Var(Var::new(i))
+}
+
+/// Builds the paper's Example 4: the guarded normal Datalog± program whose
+/// functional transformation `Σf` is
+///
+/// ```text
+/// R(X,Y,Z)                    -> R(X,Z,f(X,Y,Z))
+/// R(X,Y,Z), P(X,Y), not Q(Z)  -> P(X,Z)
+/// R(X,Y,Z), not P(X,Y)        -> Q(Z)
+/// R(X,Y,Z), not P(X,Z)        -> S(X)
+/// P(X,Y),   not S(X)          -> T(X)
+/// ```
+///
+/// with database `D = {R(0,0,1), P(0,0)}`. The Skolem function is named
+/// `sk_r1_0` (generated from the rule label `r1`).
+///
+/// Returns `(D, Σf)`; predicates `R/3, P/2, Q/1, S/1, T/1` are registered
+/// in `universe`.
+pub fn example4(universe: &mut Universe) -> (Database, SkolemProgram) {
+    let r = universe.pred("R", 3).unwrap();
+    let p = universe.pred("P", 2).unwrap();
+    let q = universe.pred("Q", 1).unwrap();
+    let s = universe.pred("S", 1).unwrap();
+    let t = universe.pred("T", 1).unwrap();
+
+    let mut prog = Program::new();
+    // R(X,Y,Z) -> ∃W R(X,Z,W)
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(r, vec![v(0), v(1), v(2)])],
+            vec![],
+            vec![RuleAtom::new(r, vec![v(0), v(2), v(3)])],
+        )
+        .expect("guarded")
+        .with_label("r1"),
+    );
+    // R(X,Y,Z), P(X,Y), not Q(Z) -> P(X,Z)
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![
+                RuleAtom::new(r, vec![v(0), v(1), v(2)]),
+                RuleAtom::new(p, vec![v(0), v(1)]),
+            ],
+            vec![RuleAtom::new(q, vec![v(2)])],
+            vec![RuleAtom::new(p, vec![v(0), v(2)])],
+        )
+        .expect("guarded")
+        .with_label("r2"),
+    );
+    // R(X,Y,Z), not P(X,Y) -> Q(Z)
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(r, vec![v(0), v(1), v(2)])],
+            vec![RuleAtom::new(p, vec![v(0), v(1)])],
+            vec![RuleAtom::new(q, vec![v(2)])],
+        )
+        .expect("guarded")
+        .with_label("r3"),
+    );
+    // R(X,Y,Z), not P(X,Z) -> S(X)
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(r, vec![v(0), v(1), v(2)])],
+            vec![RuleAtom::new(p, vec![v(0), v(2)])],
+            vec![RuleAtom::new(s, vec![v(0)])],
+        )
+        .expect("guarded")
+        .with_label("r4"),
+    );
+    // P(X,Y), not S(X) -> T(X)
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(p, vec![v(0), v(1)])],
+            vec![RuleAtom::new(s, vec![v(0)])],
+            vec![RuleAtom::new(t, vec![v(0)])],
+        )
+        .expect("guarded")
+        .with_label("r5"),
+    );
+    let skolemized = prog.skolemize(universe).expect("skolemizable");
+
+    let zero = universe.constant("0");
+    let one = universe.constant("1");
+    let r001 = universe.atom(r, vec![zero, zero, one]).expect("arity");
+    let p00 = universe.atom(p, vec![zero, zero]).expect("arity");
+    let mut db = Database::new();
+    db.insert(universe, r001).expect("ground fact");
+    db.insert(universe, p00).expect("ground fact");
+    (db, skolemized)
+}
+
+/// The chain terms of Example 9: `t0 = 0`, `t1 = 1`,
+/// `t(i+2) = f(0, t_i, t_(i+1))`. Returns `t_0 .. t_n` (inclusive),
+/// interning terms as needed. Must be called after [`example4`] on the same
+/// universe (it looks up the Skolem function by name).
+pub fn example9_terms(universe: &mut Universe, n: usize) -> Vec<wfdl_core::TermId> {
+    let f = universe
+        .lookup_skolem("sk_r1_0")
+        .expect("example4 must have been built on this universe");
+    let zero = universe.constant("0");
+    let one = universe.constant("1");
+    let mut ts = vec![zero, one];
+    while ts.len() <= n {
+        let a = ts[ts.len() - 2];
+        let b = ts[ts.len() - 1];
+        let next = universe.skolem_term(f, vec![zero, a, b]).expect("arity 3");
+        ts.push(next);
+    }
+    ts.truncate(n + 1);
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example9_terms_follow_recurrence() {
+        let mut u = Universe::new();
+        let _ = example4(&mut u);
+        let ts = example9_terms(&mut u, 4);
+        assert_eq!(ts.len(), 5);
+        assert_eq!(u.display_term(ts[0]).to_string(), "0");
+        assert_eq!(u.display_term(ts[1]).to_string(), "1");
+        assert_eq!(u.display_term(ts[2]).to_string(), "sk_r1_0(0,0,1)");
+        assert_eq!(
+            u.display_term(ts[3]).to_string(),
+            "sk_r1_0(0,1,sk_r1_0(0,0,1))"
+        );
+        // t4 = f(0, t2, t3) nests one deeper than t3.
+        assert_eq!(u.terms.depth(ts[4]), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Ground atoms, hash-consed to dense [`AtomId`]s.
+//!
+//! Everything downstream — chase segments, interpretations, ground programs —
+//! identifies a ground atom by its `AtomId`, so set membership, truth values
+//! and indexes are all flat arrays.
+
+use crate::fxhash::FxHashMap;
+use crate::schema::PredId;
+use crate::term::TermId;
+use std::fmt;
+
+/// An interned ground atom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(u32);
+
+impl AtomId {
+    /// Dense index usable for direct-indexed side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an `AtomId` from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        AtomId(u32::try_from(i).expect("atom id overflow"))
+    }
+}
+
+impl fmt::Debug for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Structure of a ground atom: a predicate applied to ground terms.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AtomNode {
+    /// The predicate symbol.
+    pub pred: PredId,
+    /// Ground arguments, of length equal to the predicate's arity.
+    pub args: Box<[TermId]>,
+}
+
+/// Hash-consing store for ground atoms.
+#[derive(Clone, Debug, Default)]
+pub struct AtomStore {
+    nodes: Vec<AtomNode>,
+    map: FxHashMap<AtomNode, AtomId>,
+}
+
+impl AtomStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the atom `pred(args…)`.
+    ///
+    /// Arity agreement with the predicate declaration is the caller's
+    /// responsibility; [`crate::universe::Universe::atom`] performs the check.
+    pub fn intern(&mut self, pred: PredId, args: impl Into<Box<[TermId]>>) -> AtomId {
+        let node = AtomNode { pred, args: args.into() };
+        if let Some(&id) = self.map.get(&node) {
+            return id;
+        }
+        let id = AtomId(u32::try_from(self.nodes.len()).expect("atom store overflow"));
+        self.nodes.push(node.clone());
+        self.map.insert(node, id);
+        id
+    }
+
+    /// Looks up an atom without interning it.
+    pub fn lookup(&self, pred: PredId, args: &[TermId]) -> Option<AtomId> {
+        // Cheap probe without allocating: build a key on the stack only if
+        // needed. `HashMap` requires an owned key type for `get`, so we pay
+        // one allocation per miss-or-hit here; lookups are not on the hot
+        // path (interning is).
+        let node = AtomNode { pred, args: args.into() };
+        self.map.get(&node).copied()
+    }
+
+    /// The structure of an interned atom.
+    #[inline]
+    pub fn node(&self, id: AtomId) -> &AtomNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The predicate of an interned atom.
+    #[inline]
+    pub fn pred(&self, id: AtomId) -> PredId {
+        self.nodes[id.index()].pred
+    }
+
+    /// The arguments of an interned atom.
+    #[inline]
+    pub fn args(&self, id: AtomId) -> &[TermId] {
+        &self.nodes[id.index()].args
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all interned atom ids in allocation order.
+    pub fn ids(&self) -> impl Iterator<Item = AtomId> {
+        (0..self.nodes.len() as u32).map(AtomId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::PredId;
+
+    #[test]
+    fn atoms_are_hash_consed() {
+        let mut store = AtomStore::new();
+        let p = PredId::from_index(0);
+        let q = PredId::from_index(1);
+        let t0 = TermId::from_index(0);
+        let t1 = TermId::from_index(1);
+        let a1 = store.intern(p, vec![t0, t1]);
+        let a2 = store.intern(p, vec![t0, t1]);
+        let a3 = store.intern(p, vec![t1, t0]);
+        let a4 = store.intern(q, vec![t0, t1]);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3);
+        assert_ne!(a1, a4);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut store = AtomStore::new();
+        let p = PredId::from_index(0);
+        let t0 = TermId::from_index(0);
+        assert_eq!(store.lookup(p, &[t0]), None);
+        let id = store.intern(p, vec![t0]);
+        assert_eq!(store.lookup(p, &[t0]), Some(id));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let mut store = AtomStore::new();
+        let p = PredId::from_index(3);
+        let t0 = TermId::from_index(7);
+        let id = store.intern(p, vec![t0]);
+        assert_eq!(store.pred(id), p);
+        assert_eq!(store.args(id), &[t0]);
+    }
+}

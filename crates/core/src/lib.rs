@@ -1,0 +1,53 @@
+//! # `wfdl-core` — data model for well-founded guarded Datalog±
+//!
+//! Core types for the `wfdatalog` reproduction of *"Well-Founded Semantics
+//! for Extended Datalog and Ontological Reasoning"* (Hernich, Kupke,
+//! Lukasiewicz, Gottlob; PODS 2013):
+//!
+//! * interned **symbols**, hash-consed **ground terms** (constants and
+//!   Skolem terms, i.e. labelled nulls under the unique name assumption) and
+//!   **ground atoms** ([`universe::Universe`]);
+//! * **rules**: guarded normal TGDs with validation of safety and
+//!   guardedness ([`rule::Tgd`]), negative constraints, head-atom
+//!   normalization ([`normalize`]) and the functional transformation
+//!   `Σ ↦ Σf` ([`skolem`]);
+//! * **three-valued interpretations** ([`interp::Interp`]) with Kleene truth
+//!   values ([`truth::Truth`]);
+//! * substitution/matching machinery exploiting guardedness
+//!   ([`subst`]).
+//!
+//! Everything downstream (`wfdl-chase`, `wfdl-wfs`, `wfdl-query`, …) works
+//! with the dense ids defined here.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod bitset;
+pub mod error;
+pub mod fxhash;
+pub mod interp;
+pub mod normalize;
+pub mod program;
+pub mod rule;
+pub mod schema;
+pub mod skolem;
+pub mod subst;
+pub mod symbol;
+pub mod term;
+pub mod truth;
+pub mod universe;
+
+pub use atom::{AtomId, AtomNode, AtomStore};
+pub use bitset::BitSet;
+pub use error::{CoreError, Result};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use interp::Interp;
+pub use program::Program;
+pub use rule::{Constraint, RTerm, RuleAtom, Tgd, Var};
+pub use schema::{PredId, PredInfo, SchemaStats};
+pub use skolem::{HeadTerm, SkolemProgram, SkolemRule};
+pub use subst::{match_atom, Binding};
+pub use symbol::{Symbol, SymbolTable};
+pub use term::{SkolemId, TermId, TermNode, TermStore};
+pub use truth::Truth;
+pub use universe::Universe;

@@ -1,0 +1,152 @@
+//! Head-atom normalization: TGDs with conjunctive heads become sets of
+//! single-atom-head TGDs.
+//!
+//! The paper notes (Section 2.4) that TGDs can w.l.o.g. be reduced to TGDs
+//! with only single atoms in their heads. The standard construction replaces
+//! `Φ(X,Y) → ∃Z (ψ1 ∧ … ∧ ψk)` by
+//!
+//! * `Φ(X,Y) → ∃Z Auxσ(V)` — where `V` lists every variable of the head, and
+//! * `Auxσ(V) → ψi` for each `i` — guarded because the auxiliary atom
+//!   contains all of the rule's variables.
+//!
+//! Auxiliary predicates are registered as such in the universe so that model
+//! printing and query answering can ignore them.
+
+use crate::error::Result;
+use crate::rule::{RTerm, RuleAtom, Tgd};
+use crate::universe::Universe;
+
+/// Rewrites every multi-atom-head TGD into single-atom-head form.
+///
+/// Single-headed TGDs pass through unchanged. The result preserves the
+/// well-founded semantics over the original schema's predicates.
+pub fn normalize_heads(universe: &mut Universe, tgds: Vec<Tgd>) -> Result<Vec<Tgd>> {
+    let mut out = Vec::with_capacity(tgds.len());
+    for (i, tgd) in tgds.into_iter().enumerate() {
+        if tgd.head.len() == 1 {
+            out.push(tgd);
+            continue;
+        }
+        // Collect the head variables in ascending order.
+        let mut head_vars: Vec<_> = {
+            let mut set = crate::bitset::BitSet::new();
+            for a in &tgd.head {
+                a.collect_vars(&mut set);
+            }
+            set.iter().collect()
+        };
+        head_vars.sort_unstable();
+
+        let base = match &tgd.label {
+            Some(l) => format!("head_{l}"),
+            None => format!("head_{i}"),
+        };
+        let aux = universe.aux_pred(&base, head_vars.len());
+        let aux_args: Vec<RTerm> = head_vars
+            .iter()
+            .map(|&v| RTerm::Var(crate::rule::Var::new(v as u32)))
+            .collect();
+        let aux_atom = RuleAtom::new(aux, aux_args);
+
+        // Φ → ∃Z Aux(V).
+        let mut first = Tgd::new(
+            universe,
+            tgd.body_pos.clone(),
+            tgd.body_neg.clone(),
+            vec![aux_atom.clone()],
+        )?;
+        first.label = tgd.label.clone();
+        out.push(first);
+
+        // Aux(V) → ψi, one per original head atom.
+        for head_atom in &tgd.head {
+            let mut expand = Tgd::new(
+                universe,
+                vec![aux_atom.clone()],
+                vec![],
+                vec![head_atom.clone()],
+            )?;
+            expand.label = tgd
+                .label
+                .as_ref()
+                .map(|l| format!("{l}_expand").into_boxed_str());
+            out.push(expand);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Var;
+
+    fn v(i: u32) -> RTerm {
+        RTerm::Var(Var::new(i))
+    }
+
+    #[test]
+    fn single_head_untouched() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let tgd = Tgd::new(
+            &u,
+            vec![RuleAtom::new(p, vec![v(0)])],
+            vec![],
+            vec![RuleAtom::new(q, vec![v(0)])],
+        )
+        .unwrap();
+        let out = normalize_heads(&mut u, vec![tgd.clone()]).unwrap();
+        assert_eq!(out, vec![tgd]);
+    }
+
+    #[test]
+    fn conjunctive_head_split() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 2).unwrap();
+        let r = u.pred("r", 1).unwrap();
+        // p(X) -> ∃Y q(X,Y), r(Y)
+        let tgd = Tgd::new(
+            &u,
+            vec![RuleAtom::new(p, vec![v(0)])],
+            vec![],
+            vec![RuleAtom::new(q, vec![v(0), v(1)]), RuleAtom::new(r, vec![v(1)])],
+        )
+        .unwrap();
+        let out = normalize_heads(&mut u, vec![tgd]).unwrap();
+        assert_eq!(out.len(), 3);
+        // First rule keeps the existential; expansions are guarded by aux.
+        assert_eq!(out[0].head.len(), 1);
+        assert_eq!(out[0].existential_vars().len(), 1);
+        let aux_pred = out[0].head[0].pred;
+        assert!(u.pred_info(aux_pred).auxiliary);
+        assert_eq!(u.pred_arity(aux_pred), 2);
+        for expand in &out[1..] {
+            assert_eq!(expand.body_pos.len(), 1);
+            assert_eq!(expand.body_pos[0].pred, aux_pred);
+            assert!(expand.existential_vars().is_empty());
+        }
+    }
+
+    #[test]
+    fn negation_stays_on_generator_rule() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let s = u.pred("s", 1).unwrap();
+        let q = u.pred("q", 2).unwrap();
+        let r = u.pred("r", 1).unwrap();
+        let tgd = Tgd::new(
+            &u,
+            vec![RuleAtom::new(p, vec![v(0)])],
+            vec![RuleAtom::new(s, vec![v(0)])],
+            vec![RuleAtom::new(q, vec![v(0), v(1)]), RuleAtom::new(r, vec![v(1)])],
+        )
+        .unwrap();
+        let out = normalize_heads(&mut u, vec![tgd]).unwrap();
+        assert_eq!(out[0].body_neg.len(), 1);
+        assert!(out[1].body_neg.is_empty());
+        assert!(out[2].body_neg.is_empty());
+    }
+}

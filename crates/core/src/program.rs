@@ -1,0 +1,133 @@
+//! Guarded normal Datalog± programs.
+
+use crate::error::Result;
+use crate::normalize::normalize_heads;
+use crate::rule::{Constraint, Tgd};
+use crate::skolem::{skolemize_tgd, SkolemProgram};
+use crate::universe::Universe;
+
+/// A guarded normal Datalog± program `Σ`: a finite set of guarded NTGDs,
+/// plus (as the extension named in the paper's conclusion) optional negative
+/// constraints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The normal TGDs.
+    pub tgds: Vec<Tgd>,
+    /// Negative constraints `Φ → ⊥`.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a TGD.
+    pub fn push(&mut self, tgd: Tgd) {
+        self.tgds.push(tgd);
+    }
+
+    /// Adds a negative constraint.
+    pub fn push_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// True iff no TGD uses negation.
+    pub fn is_positive(&self) -> bool {
+        self.tgds.iter().all(|t| t.is_positive())
+    }
+
+    /// True iff some TGD introduces existential variables.
+    pub fn has_existentials(&self) -> bool {
+        self.tgds.iter().any(|t| t.has_existentials())
+    }
+
+    /// Number of TGDs.
+    pub fn len(&self) -> usize {
+        self.tgds.len()
+    }
+
+    /// True iff the program has no TGDs.
+    pub fn is_empty(&self) -> bool {
+        self.tgds.is_empty()
+    }
+
+    /// Rewrites conjunctive heads into single-atom heads (see
+    /// [`crate::normalize`]).
+    pub fn normalize(self, universe: &mut Universe) -> Result<Program> {
+        Ok(Program {
+            tgds: normalize_heads(universe, self.tgds)?,
+            constraints: self.constraints,
+        })
+    }
+
+    /// The functional transformation `Σf`: normalizes heads, then skolemizes
+    /// every TGD (Section 2.4). Constraints are carried along unchanged by
+    /// the caller (they have no heads to skolemize).
+    pub fn skolemize(self, universe: &mut Universe) -> Result<SkolemProgram> {
+        let normalized = self.normalize(universe)?;
+        let mut rules = Vec::with_capacity(normalized.tgds.len());
+        for tgd in &normalized.tgds {
+            rules.push(skolemize_tgd(universe, tgd)?);
+        }
+        Ok(SkolemProgram { rules })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{RTerm, RuleAtom, Var};
+
+    fn v(i: u32) -> RTerm {
+        RTerm::Var(Var::new(i))
+    }
+
+    #[test]
+    fn skolemize_whole_program() {
+        let mut u = Universe::new();
+        let person = u.pred("person", 1).unwrap();
+        let author = u.pred("isAuthorOf", 2).unwrap();
+        // Example 1: scientist(X) -> ∃Y isAuthorOf(X,Y), written with
+        // `person` standing in for `scientist`.
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(person, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(author, vec![v(0), v(1)])],
+            )
+            .unwrap(),
+        );
+        assert!(prog.is_positive());
+        assert!(prog.has_existentials());
+        let skolemized = prog.skolemize(&mut u).unwrap();
+        assert_eq!(skolemized.rules.len(), 1);
+        assert_eq!(u.num_skolems(), 1);
+    }
+
+    #[test]
+    fn skolemize_conjunctive_head_program() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 2).unwrap();
+        let r = u.pred("r", 1).unwrap();
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(p, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(q, vec![v(0), v(1)]), RuleAtom::new(r, vec![v(1)])],
+            )
+            .unwrap(),
+        );
+        let skolemized = prog.skolemize(&mut u).unwrap();
+        // 1 generator + 2 expansions.
+        assert_eq!(skolemized.rules.len(), 3);
+        // Only the generator needed a Skolem function.
+        assert_eq!(u.num_skolems(), 1);
+    }
+}

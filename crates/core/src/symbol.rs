@@ -1,0 +1,118 @@
+//! String interning.
+//!
+//! Predicate, constant, function and variable *names* are interned once into
+//! a [`SymbolTable`] and from then on handled as copyable 4-byte [`Symbol`]
+//! ids. All hot-path structures (terms, atoms, rules) store symbols, never
+//! strings.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned string.
+///
+/// Symbols are only meaningful relative to the [`SymbolTable`] that produced
+/// them; resolving a symbol from a different table is a logic error (caught
+/// by the table's bounds check in debug builds).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// Bidirectional string ↔ [`Symbol`] map.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    map: FxHashMap<Box<str>, Symbol>,
+    names: Vec<Box<str>>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (stable across repeated calls).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.into());
+        self.map.insert(name.into(), sym);
+        sym
+    }
+
+    /// Looks up an already-interned name without inserting.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("edge");
+        let b = t.intern("edge");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let names = ["p", "q", "isAuthorOf", "f#0_Y"];
+        let syms: Vec<Symbol> = names.iter().map(|n| t.intern(n)).collect();
+        for (name, sym) in names.iter().zip(&syms) {
+            assert_eq!(t.resolve(*sym), *name);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("missing"), None);
+        let s = t.intern("present");
+        assert_eq!(t.lookup("present"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,243 @@
+//! Ground terms: constants and Skolem terms (labelled nulls under UNA).
+//!
+//! Following the paper's Section 2, the universe consists of data constants
+//! `∆` and labelled nulls `∆_N`. Under the unique name assumption the nulls
+//! produced by the functional transformation are Skolem terms
+//! `f_{σ,Z}(t̄)`, and **syntactically distinct ground terms denote distinct
+//! values** (Example 4 relies on `f(t1,t2,t3) ≠ 1` by construction). We
+//! therefore hash-cons ground terms: equality of values is equality of
+//! [`TermId`]s.
+
+use crate::fxhash::FxHashMap;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// An interned ground term (constant or Skolem term).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Dense index of the term, usable for direct-indexed side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a `TermId` from a dense index (inverse of [`TermId::index`]).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        TermId(u32::try_from(i).expect("term id overflow"))
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An interned Skolem function symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SkolemId(u32);
+
+impl SkolemId {
+    /// Dense index of the function symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> Self {
+        SkolemId(u32::try_from(i).expect("skolem id overflow"))
+    }
+}
+
+impl fmt::Debug for SkolemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Structure of a ground term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TermNode {
+    /// A data constant from `∆`, identified by its interned name.
+    Const(Symbol),
+    /// A labelled null from `∆_N`: a Skolem function applied to ground terms.
+    Skolem {
+        /// The Skolem function symbol.
+        f: SkolemId,
+        /// Its ground arguments.
+        args: Box<[TermId]>,
+    },
+}
+
+/// Hash-consing store for ground terms.
+///
+/// Guarantees: one `TermId` per structurally distinct term; term ids are
+/// dense and allocation-ordered, so sub-terms always have smaller ids than
+/// the terms containing them.
+#[derive(Clone, Debug, Default)]
+pub struct TermStore {
+    nodes: Vec<TermNode>,
+    depth: Vec<u32>,
+    map: FxHashMap<TermNode, TermId>,
+}
+
+impl TermStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, name: Symbol) -> TermId {
+        self.intern(TermNode::Const(name))
+    }
+
+    /// Interns a Skolem term. All `args` must already belong to this store.
+    pub fn skolem(&mut self, f: SkolemId, args: impl Into<Box<[TermId]>>) -> TermId {
+        self.intern(TermNode::Skolem { f, args: args.into() })
+    }
+
+    fn intern(&mut self, node: TermNode) -> TermId {
+        if let Some(&id) = self.map.get(&node) {
+            return id;
+        }
+        let depth = match &node {
+            TermNode::Const(_) => 0,
+            TermNode::Skolem { args, .. } => {
+                1 + args
+                    .iter()
+                    .map(|a| self.depth[a.index()])
+                    .max()
+                    .unwrap_or(0)
+            }
+        };
+        let id = TermId(u32::try_from(self.nodes.len()).expect("term store overflow"));
+        self.nodes.push(node.clone());
+        self.depth.push(depth);
+        self.map.insert(node, id);
+        id
+    }
+
+    /// Looks up the constant with the given name without interning it.
+    pub fn lookup_const(&self, name: Symbol) -> Option<TermId> {
+        self.map.get(&TermNode::Const(name)).copied()
+    }
+
+    /// Looks up a Skolem term without interning it.
+    pub fn lookup_skolem(&self, f: SkolemId, args: &[TermId]) -> Option<TermId> {
+        self.map
+            .get(&TermNode::Skolem {
+                f,
+                args: args.into(),
+            })
+            .copied()
+    }
+
+    /// The structure of a term.
+    #[inline]
+    pub fn node(&self, id: TermId) -> &TermNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Nesting depth of Skolem applications (constants have depth 0).
+    #[inline]
+    pub fn depth(&self, id: TermId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// True iff the term is a data constant (an element of `∆`).
+    #[inline]
+    pub fn is_constant(&self, id: TermId) -> bool {
+        matches!(self.nodes[id.index()], TermNode::Const(_))
+    }
+
+    /// True iff the term is a labelled null (an element of `∆_N`).
+    #[inline]
+    pub fn is_null(&self, id: TermId) -> bool {
+        !self.is_constant(id)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all interned term ids in allocation order.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> {
+        (0..self.nodes.len() as u32).map(TermId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn syms() -> (SymbolTable, Symbol, Symbol) {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        (t, a, b)
+    }
+
+    #[test]
+    fn constants_are_hash_consed() {
+        let (_t, a, b) = syms();
+        let mut store = TermStore::new();
+        let t1 = store.constant(a);
+        let t2 = store.constant(a);
+        let t3 = store.constant(b);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn skolem_terms_are_hash_consed_and_una_distinct() {
+        let (_t, a, _b) = syms();
+        let mut store = TermStore::new();
+        let f = SkolemId::from_index(0);
+        let g = SkolemId::from_index(1);
+        let ca = store.constant(a);
+        let fa1 = store.skolem(f, vec![ca]);
+        let fa2 = store.skolem(f, vec![ca]);
+        let ga = store.skolem(g, vec![ca]);
+        assert_eq!(fa1, fa2);
+        // UNA: f(a) and g(a) are distinct values.
+        assert_ne!(fa1, ga);
+        assert_ne!(fa1, ca);
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let (_t, a, _b) = syms();
+        let mut store = TermStore::new();
+        let f = SkolemId::from_index(0);
+        let ca = store.constant(a);
+        let fa = store.skolem(f, vec![ca]);
+        let ffa = store.skolem(f, vec![fa]);
+        assert_eq!(store.depth(ca), 0);
+        assert_eq!(store.depth(fa), 1);
+        assert_eq!(store.depth(ffa), 2);
+        assert!(store.is_constant(ca));
+        assert!(store.is_null(ffa));
+    }
+
+    #[test]
+    fn subterms_have_smaller_ids() {
+        let (_t, a, _b) = syms();
+        let mut store = TermStore::new();
+        let f = SkolemId::from_index(0);
+        let ca = store.constant(a);
+        let fa = store.skolem(f, vec![ca]);
+        assert!(ca.index() < fa.index());
+    }
+}

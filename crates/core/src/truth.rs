@@ -1,0 +1,105 @@
+//! Three-valued (Kleene) truth values.
+
+use std::fmt;
+
+/// A truth value in the well-founded model: every ground atom is `True`,
+/// `False`, or `Unknown` (undefined).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Truth {
+    /// Certainly false (the atom is in the greatest unfounded set at some
+    /// stage, or never occurs in the chase forest).
+    False,
+    /// Undefined: neither derivable nor refutable.
+    #[default]
+    Unknown,
+    /// Certainly true.
+    True,
+}
+
+impl Truth {
+    /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // deliberate: `t.not()` reads as ¬t
+    #[inline]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Kleene conjunction (minimum in the truth order False < Unknown < True).
+    #[inline]
+    pub fn and(self, other: Truth) -> Truth {
+        self.min(other)
+    }
+
+    /// Kleene disjunction (maximum in the truth order).
+    #[inline]
+    pub fn or(self, other: Truth) -> Truth {
+        self.max(other)
+    }
+
+    /// True iff the value is [`Truth::True`].
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// True iff the value is [`Truth::False`].
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Truth::False
+    }
+
+    /// True iff the value is [`Truth::Unknown`].
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == Truth::Unknown
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Truth::True => "true",
+            Truth::False => "false",
+            Truth::Unknown => "unknown",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_involutive_on_classical() {
+        for t in [Truth::True, Truth::False, Truth::Unknown] {
+            assert_eq!(t.not().not(), t);
+        }
+        assert_eq!(Truth::True.not(), Truth::False);
+        assert_eq!(Truth::Unknown.not(), Truth::Unknown);
+    }
+
+    #[test]
+    fn kleene_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn de_morgan() {
+        use Truth::*;
+        for a in [True, False, Unknown] {
+            for b in [True, False, Unknown] {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Scaled variants of the paper's Example 4 chain workload.
+//!
+//! Example 4's program generates, per seed fact `R(c,c,d)`, an infinite
+//! `R`-chain with the `P/Q/S/T` negation cascade on top. Scaling the number
+//! of independent seeds scales the database while keeping `Σ` fixed —
+//! exactly the data-complexity regime of Theorem 13 (experiment E3).
+
+use wfdl_core::{Program, RTerm, RuleAtom, SkolemProgram, Tgd, Universe, Var};
+use wfdl_storage::Database;
+
+fn v(i: u32) -> RTerm {
+    RTerm::Var(Var::new(i))
+}
+
+/// Builds Example 4's `Σ` (shared across all chain workloads) on
+/// `universe`, returning its functional transformation.
+pub fn example4_sigma(universe: &mut Universe) -> SkolemProgram {
+    let r = universe.pred("R", 3).expect("arity");
+    let p = universe.pred("P", 2).expect("arity");
+    let q = universe.pred("Q", 1).expect("arity");
+    let s = universe.pred("S", 1).expect("arity");
+    let t = universe.pred("T", 1).expect("arity");
+    let mut prog = Program::new();
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(r, vec![v(0), v(1), v(2)])],
+            vec![],
+            vec![RuleAtom::new(r, vec![v(0), v(2), v(3)])],
+        )
+        .expect("guarded")
+        .with_label("r1"),
+    );
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![
+                RuleAtom::new(r, vec![v(0), v(1), v(2)]),
+                RuleAtom::new(p, vec![v(0), v(1)]),
+            ],
+            vec![RuleAtom::new(q, vec![v(2)])],
+            vec![RuleAtom::new(p, vec![v(0), v(2)])],
+        )
+        .expect("guarded")
+        .with_label("r2"),
+    );
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(r, vec![v(0), v(1), v(2)])],
+            vec![RuleAtom::new(p, vec![v(0), v(1)])],
+            vec![RuleAtom::new(q, vec![v(2)])],
+        )
+        .expect("guarded")
+        .with_label("r3"),
+    );
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(r, vec![v(0), v(1), v(2)])],
+            vec![RuleAtom::new(p, vec![v(0), v(2)])],
+            vec![RuleAtom::new(s, vec![v(0)])],
+        )
+        .expect("guarded")
+        .with_label("r4"),
+    );
+    prog.push(
+        Tgd::new(
+            universe,
+            vec![RuleAtom::new(p, vec![v(0), v(1)])],
+            vec![RuleAtom::new(s, vec![v(0)])],
+            vec![RuleAtom::new(t, vec![v(0)])],
+        )
+        .expect("guarded")
+        .with_label("r5"),
+    );
+    prog.skolemize(universe).expect("skolemizable")
+}
+
+/// A database with `num_seeds` independent chain seeds
+/// `{R(cᵢ,cᵢ,dᵢ), P(cᵢ,cᵢ)}`. Must be used with [`example4_sigma`] built on
+/// the same universe.
+pub fn chain_database(universe: &mut Universe, num_seeds: usize) -> Database {
+    let r = universe.pred("R", 3).expect("arity");
+    let p = universe.pred("P", 2).expect("arity");
+    let mut db = Database::new();
+    for i in 0..num_seeds {
+        let c = universe.constant(&format!("c{i}"));
+        let d = universe.constant(&format!("d{i}"));
+        let rf = universe.atom(r, vec![c, c, d]).expect("arity");
+        let pf = universe.atom(p, vec![c, c]).expect("arity");
+        db.insert(universe, rf).expect("ground");
+        db.insert(universe, pf).expect("ground");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdl_chase::{ChaseBudget, ChaseSegment};
+
+    #[test]
+    fn chains_are_independent() {
+        let mut u = Universe::new();
+        let sigma = example4_sigma(&mut u);
+        let db = chain_database(&mut u, 3);
+        assert_eq!(db.len(), 6);
+        let seg = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(3));
+        // Each seed contributes the same 13-atom depth-3 cone.
+        assert_eq!(seg.atoms().len(), 3 * 13);
+    }
+
+    #[test]
+    fn segment_scales_linearly_in_seeds() {
+        let mut u = Universe::new();
+        let sigma = example4_sigma(&mut u);
+        let db1 = chain_database(&mut u, 1);
+        let seg1 = ChaseSegment::build(&mut u, &db1, &sigma, ChaseBudget::depth(4));
+        let mut u2 = Universe::new();
+        let sigma2 = example4_sigma(&mut u2);
+        let db8 = chain_database(&mut u2, 8);
+        let seg8 = ChaseSegment::build(&mut u2, &db8, &sigma2, ChaseBudget::depth(4));
+        assert_eq!(seg8.atoms().len(), 8 * seg1.atoms().len());
+        assert_eq!(seg8.instances().len(), 8 * seg1.instances().len());
+    }
+}

@@ -1,0 +1,82 @@
+//! Scaled version of the paper's Example 2 employment ontology.
+
+use crate::random::shuffle_indices;
+use wfdl_ontology::{example2_tbox, Abox, Ontology};
+
+/// Parameters for the employment workload.
+#[derive(Clone, Copy, Debug)]
+pub struct EmploymentConfig {
+    /// Number of persons.
+    pub num_persons: usize,
+    /// Fraction of persons that are employed.
+    pub employed_fraction: f64,
+    /// RNG seed (drives which persons are employed).
+    pub seed: u64,
+}
+
+impl Default for EmploymentConfig {
+    fn default() -> Self {
+        EmploymentConfig {
+            num_persons: 16,
+            employed_fraction: 0.5,
+            seed: 2013,
+        }
+    }
+}
+
+/// Builds an ontology with the Example 2 TBox and `num_persons` persons, a
+/// seeded random subset of which are employed.
+pub fn employment_ontology(cfg: &EmploymentConfig) -> Ontology {
+    let mut abox = Abox::default();
+    let order = shuffle_indices(cfg.num_persons, cfg.seed);
+    let num_employed =
+        ((cfg.num_persons as f64) * cfg.employed_fraction.clamp(0.0, 1.0)).round() as usize;
+    for i in 0..cfg.num_persons {
+        abox.concept("Person", &format!("per{i}"));
+    }
+    for &i in order.iter().take(num_employed) {
+        abox.concept("Employed", &format!("per{i}"));
+    }
+    Ontology {
+        tbox: example2_tbox(),
+        abox,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = EmploymentConfig {
+            num_persons: 10,
+            employed_fraction: 0.3,
+            seed: 1,
+        };
+        let onto = employment_ontology(&cfg);
+        let persons = onto
+            .abox
+            .concept_assertions
+            .iter()
+            .filter(|(c, _)| c == "Person")
+            .count();
+        let employed = onto
+            .abox
+            .concept_assertions
+            .iter()
+            .filter(|(c, _)| c == "Employed")
+            .count();
+        assert_eq!(persons, 10);
+        assert_eq!(employed, 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = EmploymentConfig::default();
+        assert_eq!(
+            employment_ontology(&cfg).abox,
+            employment_ontology(&cfg).abox
+        );
+    }
+}

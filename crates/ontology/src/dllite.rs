@@ -1,0 +1,259 @@
+//! The DL-Lite_{R,⊓,not} ontology model (Example 2 and \[4\]).
+//!
+//! * Roles: atomic (`P`) or inverse (`P⁻`).
+//! * Basic concepts: atomic (`A`) or unqualified existential (`∃R`).
+//! * Concept inclusions: `L1 ⊓ … ⊓ Lk ⊑ C` where each `Lᵢ` is a possibly
+//!   default-negated basic concept and `C` is a basic concept or `⊥`.
+//! * Role inclusions: `R1 ⊑ R2`.
+//! * ABox: concept and role assertions over individuals.
+
+use std::fmt;
+
+/// A role: an atomic role name or its inverse.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// `P`.
+    Direct(String),
+    /// `P⁻`.
+    Inverse(String),
+}
+
+impl Role {
+    /// The underlying role name.
+    pub fn name(&self) -> &str {
+        match self {
+            Role::Direct(n) | Role::Inverse(n) => n,
+        }
+    }
+
+    /// The inverse of this role.
+    pub fn inverse(&self) -> Role {
+        match self {
+            Role::Direct(n) => Role::Inverse(n.clone()),
+            Role::Inverse(n) => Role::Direct(n.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Direct(n) => write!(f, "{n}"),
+            Role::Inverse(n) => write!(f, "{n}-"),
+        }
+    }
+}
+
+/// A basic concept.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Basic {
+    /// Atomic concept `A`.
+    Atomic(String),
+    /// Unqualified existential `∃R`.
+    Exists(Role),
+}
+
+impl fmt::Display for Basic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Basic::Atomic(n) => write!(f, "{n}"),
+            Basic::Exists(r) => write!(f, "∃{r}"),
+        }
+    }
+}
+
+/// A possibly default-negated basic concept on an inclusion's left side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConceptLiteral {
+    /// The basic concept.
+    pub basic: Basic,
+    /// True for `not B`.
+    pub negated: bool,
+}
+
+impl ConceptLiteral {
+    /// A positive literal.
+    pub fn pos(basic: Basic) -> Self {
+        ConceptLiteral {
+            basic,
+            negated: false,
+        }
+    }
+
+    /// A default-negated literal.
+    pub fn not(basic: Basic) -> Self {
+        ConceptLiteral {
+            basic,
+            negated: true,
+        }
+    }
+}
+
+/// The right-hand side of a concept inclusion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rhs {
+    /// A basic concept.
+    Basic(Basic),
+    /// `⊥` (disjointness / denial).
+    Bottom,
+}
+
+/// A concept inclusion `L1 ⊓ … ⊓ Lk ⊑ C`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConceptInclusion {
+    /// Left-hand side conjuncts (at least one must be positive).
+    pub lhs: Vec<ConceptLiteral>,
+    /// Right-hand side.
+    pub rhs: Rhs,
+}
+
+/// A role inclusion `R1 ⊑ R2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoleInclusion {
+    /// Sub-role.
+    pub sub: Role,
+    /// Super-role.
+    pub sup: Role,
+}
+
+/// A TBox.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tbox {
+    /// Concept inclusions.
+    pub concepts: Vec<ConceptInclusion>,
+    /// Role inclusions.
+    pub roles: Vec<RoleInclusion>,
+}
+
+/// An ABox: ground assertions over individual names.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Abox {
+    /// `A(a)` assertions.
+    pub concept_assertions: Vec<(String, String)>,
+    /// `P(a, b)` assertions.
+    pub role_assertions: Vec<(String, String, String)>,
+}
+
+impl Abox {
+    /// Adds `concept(individual)`.
+    pub fn concept(&mut self, concept: &str, individual: &str) {
+        self.concept_assertions
+            .push((concept.to_owned(), individual.to_owned()));
+    }
+
+    /// Adds `role(a, b)`.
+    pub fn role(&mut self, role: &str, a: &str, b: &str) {
+        self.role_assertions
+            .push((role.to_owned(), a.to_owned(), b.to_owned()));
+    }
+}
+
+/// A DL-Lite_{R,⊓,not} ontology.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ontology {
+    /// Terminological axioms.
+    pub tbox: Tbox,
+    /// Assertions.
+    pub abox: Abox,
+}
+
+/// Builds the paper's Example 2 TBox:
+///
+/// ```text
+/// Person ⊓ Employed ⊓ not ∃JobSeekerID ⊑ ∃EmployeeID
+/// Person ⊓ not Employed ⊓ not ∃EmployeeID ⊑ ∃JobSeekerID
+/// ∃EmployeeID⁻ ⊓ not ∃JobSeekerID⁻ ⊑ ValidID
+/// ```
+pub fn example2_tbox() -> Tbox {
+    use Basic::*;
+    use Role::*;
+    Tbox {
+        concepts: vec![
+            ConceptInclusion {
+                lhs: vec![
+                    ConceptLiteral::pos(Atomic("Person".into())),
+                    ConceptLiteral::pos(Atomic("Employed".into())),
+                    ConceptLiteral::not(Exists(Direct("JobSeekerID".into()))),
+                ],
+                rhs: Rhs::Basic(Exists(Direct("EmployeeID".into()))),
+            },
+            ConceptInclusion {
+                lhs: vec![
+                    ConceptLiteral::pos(Atomic("Person".into())),
+                    ConceptLiteral::not(Atomic("Employed".into())),
+                    ConceptLiteral::not(Exists(Direct("EmployeeID".into()))),
+                ],
+                rhs: Rhs::Basic(Exists(Direct("JobSeekerID".into()))),
+            },
+            ConceptInclusion {
+                lhs: vec![
+                    ConceptLiteral::pos(Exists(Inverse("EmployeeID".into()))),
+                    ConceptLiteral::not(Exists(Inverse("JobSeekerID".into()))),
+                ],
+                rhs: Rhs::Basic(Atomic("ValidID".into())),
+            },
+        ],
+        roles: Vec::new(),
+    }
+}
+
+/// The paper's Example 2 ABox: `{Person(a), Person(b), Employed(a)}`.
+pub fn example2_abox() -> Abox {
+    let mut abox = Abox::default();
+    abox.concept("Person", "a");
+    abox.concept("Person", "b");
+    abox.concept("Employed", "a");
+    abox
+}
+
+/// Example 1's literature ontology: `ConferencePaper ⊑ Article`,
+/// `Scientist ⊑ ∃isAuthorOf`, ABox `{Scientist(john)}`.
+pub fn example1() -> Ontology {
+    use Basic::*;
+    let tbox = Tbox {
+        concepts: vec![
+            ConceptInclusion {
+                lhs: vec![ConceptLiteral::pos(Atomic("ConferencePaper".into()))],
+                rhs: Rhs::Basic(Atomic("Article".into())),
+            },
+            ConceptInclusion {
+                lhs: vec![ConceptLiteral::pos(Atomic("Scientist".into()))],
+                rhs: Rhs::Basic(Exists(Role::Direct("isAuthorOf".into()))),
+            },
+        ],
+        roles: Vec::new(),
+    };
+    let mut abox = Abox::default();
+    abox.concept("Scientist", "john");
+    Ontology { tbox, abox }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_inverse_involution() {
+        let r = Role::Direct("worksFor".into());
+        assert_eq!(r.inverse().inverse(), r);
+        assert_eq!(r.inverse().to_string(), "worksFor-");
+        assert_eq!(r.name(), "worksFor");
+        assert_eq!(r.inverse().name(), "worksFor");
+    }
+
+    #[test]
+    fn example_builders() {
+        let t = example2_tbox();
+        assert_eq!(t.concepts.len(), 3);
+        let o = example1();
+        assert_eq!(o.tbox.concepts.len(), 2);
+        assert_eq!(o.abox.concept_assertions.len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let b = Basic::Exists(Role::Inverse("EmployeeID".into()));
+        assert_eq!(b.to_string(), "∃EmployeeID-");
+        assert_eq!(Basic::Atomic("Person".into()).to_string(), "Person");
+    }
+}

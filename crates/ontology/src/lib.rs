@@ -1,0 +1,20 @@
+//! # `wfdl-ontology` — DL-Lite_{R,⊓,not} on top of guarded Datalog±
+//!
+//! The "ontological reasoning" half of the paper's title: a small
+//! description-logic layer (TBox/ABox model in [`dllite`]) and its
+//! translation into guarded normal Datalog± ([`translate()`]), reproducing
+//! Examples 1 (literature) and 2 (employee/job-seeker IDs). Disjointness
+//! (`⊑ ⊥`) lowers to negative constraints.
+
+#![warn(missing_docs)]
+
+pub mod dllite;
+pub mod parser;
+pub mod translate;
+
+pub use dllite::{
+    example1, example2_abox, example2_tbox, Abox, Basic, ConceptInclusion, ConceptLiteral,
+    Ontology, Rhs, Role, RoleInclusion, Tbox,
+};
+pub use parser::{parse_ontology, OntologyParseError};
+pub use translate::{translate, Translated, Translator};

@@ -1,0 +1,392 @@
+//! NBCQ evaluation: homomorphism search with certain-answer semantics.
+//!
+//! An NBCQ `Q` is satisfied in an interpretation `I` if a homomorphism `µ`
+//! maps every positive atom to a **true** atom and every negated atom to an
+//! atom whose negation is in `I` — i.e. a **false** atom, not merely a
+//! non-true one (Section 2.3). Answers to non-Boolean queries are tuples
+//! over the constants `∆` (never nulls), per Section 2.1.
+
+use crate::nbcq::{Nbcq, QTerm, QueryAtom};
+use crate::source::TruthSource;
+use wfdl_core::{AtomId, TermId, Truth, Universe};
+use wfdl_storage::AtomIndex;
+
+/// The set of answers to a query: deduplicated, sorted tuples of constants
+/// (one entry, the empty tuple, for a satisfied Boolean query).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnswerSet {
+    tuples: Vec<Box<[TermId]>>,
+}
+
+impl AnswerSet {
+    /// The answer tuples.
+    pub fn tuples(&self) -> &[Box<[TermId]>] {
+        &self.tuples
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[TermId]) -> bool {
+        self.tuples.iter().any(|t| t.as_ref() == tuple)
+    }
+
+    fn insert(&mut self, tuple: Box<[TermId]>) {
+        self.tuples.push(tuple);
+    }
+
+    fn normalize(&mut self) {
+        self.tuples.sort();
+        self.tuples.dedup();
+    }
+}
+
+/// Evaluates the query over a model under certain-answer semantics.
+pub fn answers<S: TruthSource>(universe: &Universe, model: &S, query: &Nbcq) -> AnswerSet {
+    let index = AtomIndex::build(universe, model.certain_atoms());
+    let mut out = AnswerSet::default();
+    let mut binding: Vec<Option<TermId>> = vec![None; query.num_vars() as usize];
+    search(
+        universe,
+        model,
+        &index,
+        query,
+        &mut binding,
+        &mut vec![false; query.pos.len()],
+        &mut out,
+        Mode::Certain,
+    );
+    out.normalize();
+    out
+}
+
+/// Boolean satisfaction: `WFS(D,Σ) |= Q`.
+pub fn holds<S: TruthSource>(universe: &Universe, model: &S, query: &Nbcq) -> bool {
+    !answers(universe, model, query).is_empty()
+}
+
+/// Three-valued satisfaction: `True` if certainly satisfied, `Unknown` if a
+/// homomorphism exists using undefined atoms (positives not false,
+/// negatives not true) but no certain one, `False` otherwise.
+pub fn holds3<S: TruthSource>(universe: &Universe, model: &S, query: &Nbcq) -> Truth {
+    if holds(universe, model, query) {
+        return Truth::True;
+    }
+    let index = AtomIndex::build(universe, model.possible_atoms());
+    let mut out = AnswerSet::default();
+    let mut binding: Vec<Option<TermId>> = vec![None; query.num_vars() as usize];
+    search(
+        universe,
+        model,
+        &index,
+        query,
+        &mut binding,
+        &mut vec![false; query.pos.len()],
+        &mut out,
+        Mode::Possible,
+    );
+    if out.is_empty() {
+        Truth::False
+    } else {
+        Truth::Unknown
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Positives true, negatives false.
+    Certain,
+    /// Positives not false, negatives not true.
+    Possible,
+}
+
+/// Chooses the next unmatched positive atom with the smallest candidate
+/// list under the current binding; returns `(atom index, candidates)`.
+fn pick_next<'a>(
+    index: &'a AtomIndex,
+    query: &Nbcq,
+    binding: &[Option<TermId>],
+    used: &[bool],
+) -> Option<(usize, &'a [AtomId])> {
+    let mut best: Option<(usize, &[AtomId])> = None;
+    for (i, atom) in query.pos.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let known = atom.args.iter().enumerate().filter_map(|(pos, t)| match t {
+            QTerm::Const(c) => Some((pos as u32, *c)),
+            QTerm::Var(v) => binding[v.index()].map(|b| (pos as u32, b)),
+        });
+        let cands = index.candidates(atom.pred, known);
+        match &best {
+            Some((_, b)) if b.len() <= cands.len() => {}
+            _ => best = Some((i, cands)),
+        }
+    }
+    best
+}
+
+fn match_query_atom(
+    universe: &Universe,
+    atom: &QueryAtom,
+    ground: AtomId,
+    binding: &mut [Option<TermId>],
+    trail: &mut Vec<usize>,
+) -> bool {
+    let node = universe.atoms.node(ground);
+    if node.pred != atom.pred {
+        return false;
+    }
+    for (t, &val) in atom.args.iter().zip(node.args.iter()) {
+        match t {
+            QTerm::Const(c) => {
+                if *c != val {
+                    return false;
+                }
+            }
+            QTerm::Var(v) => match binding[v.index()] {
+                None => {
+                    binding[v.index()] = Some(val);
+                    trail.push(v.index());
+                }
+                Some(b) => {
+                    if b != val {
+                        return false;
+                    }
+                }
+            },
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<S: TruthSource>(
+    universe: &Universe,
+    model: &S,
+    index: &AtomIndex,
+    query: &Nbcq,
+    binding: &mut Vec<Option<TermId>>,
+    used: &mut Vec<bool>,
+    out: &mut AnswerSet,
+    mode: Mode,
+) {
+    let Some((qi, cands)) = pick_next(index, query, binding, used) else {
+        // All positive atoms matched; check the negated atoms.
+        for n in &query.neg {
+            let args: Vec<TermId> = n
+                .args
+                .iter()
+                .map(|t| match t {
+                    QTerm::Const(c) => *c,
+                    QTerm::Var(v) => binding[v.index()].expect("safe query binds all vars"),
+                })
+                .collect();
+            let value = match universe.atoms.lookup(n.pred, &args) {
+                Some(a) => model.value(a),
+                None => Truth::False, // atom never materialized: no proof
+            };
+            let ok = match mode {
+                Mode::Certain => value.is_false(),
+                Mode::Possible => !value.is_true(),
+            };
+            if !ok {
+                return;
+            }
+        }
+        // Record the answer tuple; answers range over constants only.
+        let tuple: Option<Box<[TermId]>> = query
+            .answer_vars
+            .iter()
+            .map(|v| {
+                let t = binding[v.index()].expect("answer vars bound by positive atoms");
+                universe.terms.is_constant(t).then_some(t)
+            })
+            .collect();
+        if let Some(tuple) = tuple {
+            out.insert(tuple);
+        }
+        return;
+    };
+
+    used[qi] = true;
+    // `cands` borrows the index; materialize to keep borrows simple.
+    let cands: Vec<AtomId> = cands.to_vec();
+    for ground in cands {
+        let mut trail = Vec::new();
+        if match_query_atom(universe, &query.pos[qi], ground, binding, &mut trail) {
+            search(universe, model, index, query, binding, used, out, mode);
+        }
+        for v in trail {
+            binding[v] = None;
+        }
+    }
+    used[qi] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nbcq::QVar;
+    use crate::source::InterpSource;
+    use wfdl_core::Interp;
+
+    fn v(i: u32) -> QTerm {
+        QTerm::Var(QVar::new(i))
+    }
+
+    /// Small handcrafted model:
+    /// edge(a,b) true, edge(b,c) true, edge(c,a) unknown,
+    /// mark(a) true, mark(b) false, mark(c) false.
+    fn setup() -> (Universe, Interp, Vec<AtomId>) {
+        let mut u = Universe::new();
+        let e = u.pred("edge", 2).unwrap();
+        let m = u.pred("mark", 1).unwrap();
+        let a = u.constant("a");
+        let b = u.constant("b");
+        let c = u.constant("c");
+        let eab = u.atom(e, vec![a, b]).unwrap();
+        let ebc = u.atom(e, vec![b, c]).unwrap();
+        let eca = u.atom(e, vec![c, a]).unwrap();
+        let ma = u.atom(m, vec![a]).unwrap();
+        let mb = u.atom(m, vec![b]).unwrap();
+        let mc = u.atom(m, vec![c]).unwrap();
+        let mut i = Interp::new();
+        i.set_true(eab);
+        i.set_true(ebc);
+        // eca stays unknown.
+        i.set_true(ma);
+        i.set_false(mb);
+        i.set_false(mc);
+        (u, i, vec![eab, ebc, eca, ma, mb, mc])
+    }
+
+    #[test]
+    fn positive_query_over_true_atoms() {
+        let (u, i, atoms) = setup();
+        let src = InterpSource::new(&i, &atoms);
+        let e = u.lookup_pred("edge").unwrap();
+        let q = Nbcq::boolean(&u, vec![QueryAtom::new(e, vec![v(0), v(1)])], vec![]).unwrap();
+        assert!(holds(&u, &src, &q));
+    }
+
+    #[test]
+    fn join_respects_bindings() {
+        let (u, i, atoms) = setup();
+        let src = InterpSource::new(&i, &atoms);
+        let e = u.lookup_pred("edge").unwrap();
+        // ∃X,Y,Z edge(X,Y) ∧ edge(Y,Z): a→b→c. True.
+        let q = Nbcq::boolean(
+            &u,
+            vec![
+                QueryAtom::new(e, vec![v(0), v(1)]),
+                QueryAtom::new(e, vec![v(1), v(2)]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert!(holds(&u, &src, &q));
+        // Cycle edge(X,Y) ∧ edge(Y,X): none among certainly-true. False…
+        let q2 = Nbcq::boolean(
+            &u,
+            vec![
+                QueryAtom::new(e, vec![v(0), v(1)]),
+                QueryAtom::new(e, vec![v(1), v(0)]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert!(!holds(&u, &src, &q2));
+    }
+
+    #[test]
+    fn negation_requires_false_not_unknown() {
+        let (u, i, atoms) = setup();
+        let src = InterpSource::new(&i, &atoms);
+        let e = u.lookup_pred("edge").unwrap();
+        let m = u.lookup_pred("mark").unwrap();
+        // ∃X,Y edge(X,Y) ∧ ¬mark(Y): Y=b has mark(b) false → true.
+        let q = Nbcq::boolean(
+            &u,
+            vec![QueryAtom::new(e, vec![v(0), v(1)])],
+            vec![QueryAtom::new(m, vec![v(1)])],
+        )
+        .unwrap();
+        assert!(holds(&u, &src, &q));
+        // ∃X,Y edge(X,Y) ∧ ¬edge(Y,X): for (a,b): edge(b,a) unmaterialized
+        // → false → satisfied.
+        let q2 = Nbcq::boolean(
+            &u,
+            vec![QueryAtom::new(e, vec![v(0), v(1)])],
+            vec![QueryAtom::new(e, vec![v(1), v(0)])],
+        )
+        .unwrap();
+        assert!(holds(&u, &src, &q2));
+        // But for the pair (b,c) with ¬edge(c, ·)… check unknown blocking:
+        // ∃X edge(b,X) ∧ ¬edge(X,a): X=c, edge(c,a) unknown → not certain.
+        let b = u.lookup_constant("b").unwrap();
+        let a = u.lookup_constant("a").unwrap();
+        let q3 = Nbcq::boolean(
+            &u,
+            vec![QueryAtom::new(e, vec![QTerm::Const(b), v(0)])],
+            vec![QueryAtom::new(e, vec![v(0), QTerm::Const(a)])],
+        )
+        .unwrap();
+        assert!(!holds(&u, &src, &q3));
+        // …though it is *possibly* satisfied.
+        assert_eq!(holds3(&u, &src, &q3), Truth::Unknown);
+    }
+
+    #[test]
+    fn answer_tuples() {
+        let (u, i, atoms) = setup();
+        let src = InterpSource::new(&i, &atoms);
+        let e = u.lookup_pred("edge").unwrap();
+        let m = u.lookup_pred("mark").unwrap();
+        // ?(X) edge(X,Y), not mark(X): a is marked-true, b is the only
+        // certain edge source that is false-marked.
+        let q = Nbcq::new(
+            &u,
+            vec![QueryAtom::new(e, vec![v(0), v(1)])],
+            vec![QueryAtom::new(m, vec![v(0)])],
+            vec![QVar::new(0)],
+        )
+        .unwrap();
+        let ans = answers(&u, &src, &q);
+        let b = u.lookup_constant("b").unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&[b]));
+    }
+
+    #[test]
+    fn constants_in_query() {
+        let (u, i, atoms) = setup();
+        let src = InterpSource::new(&i, &atoms);
+        let e = u.lookup_pred("edge").unwrap();
+        let a = u.lookup_constant("a").unwrap();
+        let q = Nbcq::boolean(
+            &u,
+            vec![QueryAtom::new(e, vec![QTerm::Const(a), v(0)])],
+            vec![],
+        )
+        .unwrap();
+        assert!(holds(&u, &src, &q));
+        let c = u.lookup_constant("c").unwrap();
+        let q2 = Nbcq::boolean(
+            &u,
+            vec![QueryAtom::new(e, vec![QTerm::Const(c), v(0)])],
+            vec![],
+        )
+        .unwrap();
+        assert!(!holds(&u, &src, &q2), "edge(c,a) is only unknown");
+        assert_eq!(holds3(&u, &src, &q2), Truth::Unknown);
+    }
+}

@@ -1,0 +1,264 @@
+//! Normal Boolean conjunctive queries (Section 2.3) and their non-Boolean
+//! variants.
+
+use std::fmt;
+use wfdl_core::{BitSet, PredId, TermId, Universe};
+
+/// A query-local variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QVar(u32);
+
+impl QVar {
+    /// Creates a query variable with the given index.
+    pub fn new(i: u32) -> Self {
+        QVar(i)
+    }
+
+    /// Dense query-local index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// A term position in a query atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QTerm {
+    /// A ground constant.
+    Const(TermId),
+    /// A query variable.
+    Var(QVar),
+}
+
+/// An atom occurring in a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// Predicate.
+    pub pred: PredId,
+    /// Arguments.
+    pub args: Box<[QTerm]>,
+}
+
+impl QueryAtom {
+    /// Creates a query atom.
+    pub fn new(pred: PredId, args: impl Into<Box<[QTerm]>>) -> Self {
+        QueryAtom {
+            pred,
+            args: args.into(),
+        }
+    }
+
+    fn collect_vars(&self, set: &mut BitSet) {
+        for t in self.args.iter() {
+            if let QTerm::Var(v) = t {
+                set.insert(v.index());
+            }
+        }
+    }
+}
+
+/// Errors in query construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query has no positive atom (`m ≥ 1` in the paper's definition).
+    NoPositiveAtom,
+    /// A variable occurs only in negated atoms; such queries are not
+    /// range-restricted and are rejected (see the crate docs).
+    UnsafeVariable(QVar),
+    /// An answer variable does not occur in any positive atom.
+    UnboundAnswerVariable(QVar),
+    /// An atom's argument count does not match its predicate arity.
+    ArityMismatch {
+        /// The offending predicate's name.
+        predicate: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoPositiveAtom => {
+                write!(f, "a normal conjunctive query needs at least one positive atom")
+            }
+            QueryError::UnsafeVariable(v) => write!(
+                f,
+                "variable {v:?} occurs only in negated atoms (query not range-restricted)"
+            ),
+            QueryError::UnboundAnswerVariable(v) => {
+                write!(f, "answer variable {v:?} occurs in no positive atom")
+            }
+            QueryError::ArityMismatch { predicate } => {
+                write!(f, "atom arity mismatch for predicate `{predicate}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A normal conjunctive query
+/// `Q(X̄) = ∃Ȳ p1 ∧ … ∧ pm ∧ ¬pm+1 ∧ … ∧ ¬pm+n`.
+///
+/// With empty `answer_vars` this is an NBCQ. Every variable (in particular
+/// every variable of a negated atom and every answer variable) must occur
+/// in a positive atom — the range-restricted fragment; the paper's examples
+/// all fall in it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Nbcq {
+    /// Positive atoms `Q⁺`.
+    pub pos: Vec<QueryAtom>,
+    /// Negated atoms `Q⁻` (stored un-negated).
+    pub neg: Vec<QueryAtom>,
+    /// Free (answer) variables; empty for Boolean queries.
+    pub answer_vars: Vec<QVar>,
+    num_vars: u32,
+}
+
+impl Nbcq {
+    /// Validates and constructs a query.
+    pub fn new(
+        universe: &Universe,
+        pos: Vec<QueryAtom>,
+        neg: Vec<QueryAtom>,
+        answer_vars: Vec<QVar>,
+    ) -> Result<Nbcq, QueryError> {
+        if pos.is_empty() {
+            return Err(QueryError::NoPositiveAtom);
+        }
+        for a in pos.iter().chain(neg.iter()) {
+            if universe.pred_arity(a.pred) != a.args.len() {
+                return Err(QueryError::ArityMismatch {
+                    predicate: universe.pred_name(a.pred).to_owned(),
+                });
+            }
+        }
+        let mut pos_vars = BitSet::new();
+        for a in &pos {
+            a.collect_vars(&mut pos_vars);
+        }
+        let mut neg_vars = BitSet::new();
+        for a in &neg {
+            a.collect_vars(&mut neg_vars);
+        }
+        if let Some(v) = neg_vars.iter().find(|&v| !pos_vars.contains(v)) {
+            return Err(QueryError::UnsafeVariable(QVar(v as u32)));
+        }
+        for &v in &answer_vars {
+            if !pos_vars.contains(v.index()) {
+                return Err(QueryError::UnboundAnswerVariable(v));
+            }
+        }
+        let num_vars = pos_vars
+            .iter()
+            .chain(neg_vars.iter())
+            .max()
+            .map(|m| m as u32 + 1)
+            .unwrap_or(0);
+        Ok(Nbcq {
+            pos,
+            neg,
+            answer_vars,
+            num_vars,
+        })
+    }
+
+    /// Boolean query constructor (no answer variables).
+    pub fn boolean(
+        universe: &Universe,
+        pos: Vec<QueryAtom>,
+        neg: Vec<QueryAtom>,
+    ) -> Result<Nbcq, QueryError> {
+        Nbcq::new(universe, pos, neg, Vec::new())
+    }
+
+    /// True iff the query has no answer variables.
+    pub fn is_boolean(&self) -> bool {
+        self.answer_vars.is_empty()
+    }
+
+    /// Total number of literals `n` (used with the paper's `n·δ` bound).
+    pub fn num_literals(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    /// One past the largest variable index.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> QTerm {
+        QTerm::Var(QVar::new(i))
+    }
+
+    #[test]
+    fn valid_query() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 2).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let nb = Nbcq::new(
+            &u,
+            vec![QueryAtom::new(p, vec![v(0), v(1)])],
+            vec![QueryAtom::new(q, vec![v(1)])],
+            vec![QVar::new(0)],
+        )
+        .unwrap();
+        assert_eq!(nb.num_literals(), 2);
+        assert!(!nb.is_boolean());
+        assert_eq!(nb.num_vars(), 2);
+    }
+
+    #[test]
+    fn rejects_no_positive() {
+        let mut u = Universe::new();
+        let q = u.pred("q", 1).unwrap();
+        let err = Nbcq::boolean(&u, vec![], vec![QueryAtom::new(q, vec![v(0)])]).unwrap_err();
+        assert_eq!(err, QueryError::NoPositiveAtom);
+    }
+
+    #[test]
+    fn rejects_unsafe_negation() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let err = Nbcq::boolean(
+            &u,
+            vec![QueryAtom::new(p, vec![v(0)])],
+            vec![QueryAtom::new(q, vec![v(1)])],
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::UnsafeVariable(QVar::new(1)));
+    }
+
+    #[test]
+    fn rejects_unbound_answer_var() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let err = Nbcq::new(
+            &u,
+            vec![QueryAtom::new(p, vec![v(0)])],
+            vec![],
+            vec![QVar::new(3)],
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::UnboundAnswerVariable(QVar::new(3)));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 2).unwrap();
+        let err = Nbcq::boolean(&u, vec![QueryAtom::new(p, vec![v(0)])], vec![]).unwrap_err();
+        assert!(matches!(err, QueryError::ArityMismatch { .. }));
+    }
+}

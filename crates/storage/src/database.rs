@@ -1,0 +1,125 @@
+//! Database instances: finite sets of ground, null-free atoms over `∆`.
+
+use wfdl_core::{AtomId, CoreError, FxHashMap, FxHashSet, PredId, Result, Universe};
+
+/// A database `D` for a relational schema: ground atoms whose arguments are
+/// data constants (no nulls, no variables), per Section 2.1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Database {
+    facts: Vec<AtomId>,
+    set: FxHashSet<AtomId>,
+    by_pred: FxHashMap<PredId, Vec<AtomId>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact, validating that it is constant-only.
+    ///
+    /// Returns `Ok(true)` if the fact is new, `Ok(false)` if it was already
+    /// present, and an error if any argument is a labelled null.
+    pub fn insert(&mut self, universe: &Universe, atom: AtomId) -> Result<bool> {
+        if !universe.atom_is_constant_free_of_nulls(atom) {
+            return Err(CoreError::NonGroundFact {
+                atom: universe.display_atom(atom).to_string(),
+            });
+        }
+        Ok(self.insert_unchecked(universe, atom))
+    }
+
+    /// Inserts a fact without the null-freeness check (used by generators
+    /// that construct constants directly).
+    pub fn insert_unchecked(&mut self, universe: &Universe, atom: AtomId) -> bool {
+        if !self.set.insert(atom) {
+            return false;
+        }
+        self.facts.push(atom);
+        self.by_pred
+            .entry(universe.atoms.pred(atom))
+            .or_default()
+            .push(atom);
+        true
+    }
+
+    /// True iff the database contains `atom`.
+    #[inline]
+    pub fn contains(&self, atom: AtomId) -> bool {
+        self.set.contains(&atom)
+    }
+
+    /// All facts, in insertion order.
+    #[inline]
+    pub fn facts(&self) -> &[AtomId] {
+        &self.facts
+    }
+
+    /// Facts with the given predicate.
+    pub fn facts_with_pred(&self, pred: PredId) -> &[AtomId] {
+        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True iff the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let c = u.constant("c");
+        let a = u.atom(p, vec![c]).unwrap();
+        let mut db = Database::new();
+        assert!(db.insert(&u, a).unwrap());
+        assert!(!db.insert(&u, a).unwrap());
+        assert_eq!(db.len(), 1);
+        assert!(db.contains(a));
+    }
+
+    #[test]
+    fn rejects_nulls() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let f = u.skolem_fn("f", 0).unwrap();
+        let null = u.skolem_term(f, vec![]).unwrap();
+        let a = u.atom(p, vec![null]).unwrap();
+        let mut db = Database::new();
+        assert!(matches!(
+            db.insert(&u, a),
+            Err(CoreError::NonGroundFact { .. })
+        ));
+    }
+
+    #[test]
+    fn per_predicate_listing() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let c = u.constant("c");
+        let d = u.constant("d");
+        let pa = u.atom(p, vec![c]).unwrap();
+        let pb = u.atom(p, vec![d]).unwrap();
+        let qa = u.atom(q, vec![c]).unwrap();
+        let mut db = Database::new();
+        db.insert(&u, pa).unwrap();
+        db.insert(&u, pb).unwrap();
+        db.insert(&u, qa).unwrap();
+        assert_eq!(db.facts_with_pred(p), &[pa, pb]);
+        assert_eq!(db.facts_with_pred(q), &[qa]);
+        let r = u.pred("r", 1).unwrap();
+        assert!(db.facts_with_pred(r).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Finite ground normal programs — the input to the WFS fixpoint engines.
+//!
+//! A [`GroundProgram`] is a deduplicated set of ground rule instances plus
+//! facts, with occurrence indexes (which rules have a given atom in their
+//! head / positive body / negative body). The chase extracts exactly this
+//! structure from a depth-bounded segment of the guarded chase forest; the
+//! fixpoint engines in `wfdl-wfs` never look at anything else.
+
+use wfdl_core::{AtomId, BitSet, FxHashMap};
+
+/// Index of a rule within a [`GroundProgram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundRuleId(u32);
+
+impl GroundRuleId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        GroundRuleId(u32::try_from(i).expect("ground rule id overflow"))
+    }
+}
+
+/// A ground normal rule `β1,…,βn, ¬βn+1,…,¬βn+m → α`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GroundRule {
+    /// Head atom `α = H(r)`.
+    pub head: AtomId,
+    /// Positive body `B⁺(r)`, deduplicated and sorted.
+    pub pos: Box<[AtomId]>,
+    /// Negative body `B⁻(r)` (stored un-negated), deduplicated and sorted.
+    pub neg: Box<[AtomId]>,
+}
+
+impl GroundRule {
+    /// Creates a rule, normalizing the body atom order for deduplication.
+    pub fn new(head: AtomId, mut pos: Vec<AtomId>, mut neg: Vec<AtomId>) -> Self {
+        pos.sort_unstable();
+        pos.dedup();
+        neg.sort_unstable();
+        neg.dedup();
+        GroundRule {
+            head,
+            pos: pos.into_boxed_slice(),
+            neg: neg.into_boxed_slice(),
+        }
+    }
+}
+
+/// Builder that deduplicates rules and facts.
+#[derive(Clone, Debug, Default)]
+pub struct GroundProgramBuilder {
+    rules: Vec<GroundRule>,
+    seen: FxHashMap<GroundRule, GroundRuleId>,
+    facts: Vec<AtomId>,
+    fact_set: BitSet,
+}
+
+impl GroundProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fact (a rule with empty body, kept separately).
+    pub fn add_fact(&mut self, atom: AtomId) {
+        if self.fact_set.insert(atom.index()) {
+            self.facts.push(atom);
+        }
+    }
+
+    /// Adds a rule instance; duplicates are ignored. Returns its id.
+    pub fn add_rule(&mut self, rule: GroundRule) -> GroundRuleId {
+        if let Some(&id) = self.seen.get(&rule) {
+            return id;
+        }
+        let id = GroundRuleId::from_index(self.rules.len());
+        self.seen.insert(rule.clone(), id);
+        self.rules.push(rule);
+        id
+    }
+
+    /// Number of distinct rules so far.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Finalizes into an indexed program.
+    pub fn finish(self) -> GroundProgram {
+        GroundProgram::build(self.rules, self.facts)
+    }
+}
+
+/// An indexed, deduplicated finite ground normal program.
+#[derive(Clone, Debug, Default)]
+pub struct GroundProgram {
+    rules: Vec<GroundRule>,
+    facts: Vec<AtomId>,
+    /// All atoms appearing anywhere (facts, heads, bodies), sorted.
+    atoms: Vec<AtomId>,
+    atom_set: BitSet,
+    /// `head_occ[a]` = rules with head `a` (keyed by atom index).
+    head_occ: FxHashMap<AtomId, Vec<GroundRuleId>>,
+    /// `pos_occ[a]` = rules with `a` in the positive body.
+    pos_occ: FxHashMap<AtomId, Vec<GroundRuleId>>,
+    /// `neg_occ[a]` = rules with `a` in the negative body.
+    neg_occ: FxHashMap<AtomId, Vec<GroundRuleId>>,
+}
+
+impl GroundProgram {
+    /// Builds the indexes for a set of rules and facts.
+    pub fn build(rules: Vec<GroundRule>, facts: Vec<AtomId>) -> Self {
+        let mut prog = GroundProgram {
+            rules,
+            facts,
+            ..Default::default()
+        };
+        for &f in &prog.facts {
+            if prog.atom_set.insert(f.index()) {
+                prog.atoms.push(f);
+            }
+        }
+        for (i, rule) in prog.rules.iter().enumerate() {
+            let id = GroundRuleId::from_index(i);
+            prog.head_occ.entry(rule.head).or_default().push(id);
+            if prog.atom_set.insert(rule.head.index()) {
+                prog.atoms.push(rule.head);
+            }
+            for &b in rule.pos.iter() {
+                prog.pos_occ.entry(b).or_default().push(id);
+                if prog.atom_set.insert(b.index()) {
+                    prog.atoms.push(b);
+                }
+            }
+            for &b in rule.neg.iter() {
+                prog.neg_occ.entry(b).or_default().push(id);
+                if prog.atom_set.insert(b.index()) {
+                    prog.atoms.push(b);
+                }
+            }
+        }
+        prog.atoms.sort_unstable();
+        prog
+    }
+
+    /// The rules.
+    #[inline]
+    pub fn rules(&self) -> &[GroundRule] {
+        &self.rules
+    }
+
+    /// A rule by id.
+    #[inline]
+    pub fn rule(&self, id: GroundRuleId) -> &GroundRule {
+        &self.rules[id.index()]
+    }
+
+    /// The facts.
+    #[inline]
+    pub fn facts(&self) -> &[AtomId] {
+        &self.facts
+    }
+
+    /// Every atom mentioned by the program, sorted by id.
+    #[inline]
+    pub fn atoms(&self) -> &[AtomId] {
+        &self.atoms
+    }
+
+    /// True iff `atom` is mentioned by the program.
+    #[inline]
+    pub fn mentions(&self, atom: AtomId) -> bool {
+        self.atom_set.contains(atom.index())
+    }
+
+    /// Rules whose head is `atom`.
+    pub fn rules_with_head(&self, atom: AtomId) -> &[GroundRuleId] {
+        self.head_occ.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rules with `atom` in their positive body.
+    pub fn rules_with_pos(&self, atom: AtomId) -> &[GroundRuleId] {
+        self.pos_occ.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rules with `atom` in their negative body.
+    pub fn rules_with_neg(&self, atom: AtomId) -> &[GroundRuleId] {
+        self.neg_occ.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of distinct atoms mentioned.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Total number of body literals across all rules (a size measure used
+    /// in complexity reporting).
+    pub fn num_body_literals(&self) -> usize {
+        self.rules.iter().map(|r| r.pos.len() + r.neg.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AtomId {
+        AtomId::from_index(i)
+    }
+
+    #[test]
+    fn builder_dedups_rules_and_facts() {
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        b.add_fact(a(0));
+        let r1 = b.add_rule(GroundRule::new(a(1), vec![a(0)], vec![a(2)]));
+        let r2 = b.add_rule(GroundRule::new(a(1), vec![a(0)], vec![a(2)]));
+        assert_eq!(r1, r2);
+        assert_eq!(b.num_rules(), 1);
+        let p = b.finish();
+        assert_eq!(p.facts(), &[a(0)]);
+        assert_eq!(p.num_rules(), 1);
+    }
+
+    #[test]
+    fn body_order_is_canonical() {
+        let r1 = GroundRule::new(a(9), vec![a(2), a(1), a(2)], vec![]);
+        let r2 = GroundRule::new(a(9), vec![a(1), a(2)], vec![]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn occurrence_indexes() {
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        let r0 = b.add_rule(GroundRule::new(a(1), vec![a(0)], vec![a(3)]));
+        let r1 = b.add_rule(GroundRule::new(a(2), vec![a(0), a(1)], vec![]));
+        let p = b.finish();
+        assert_eq!(p.rules_with_head(a(1)), &[r0]);
+        assert_eq!(p.rules_with_pos(a(0)), &[r0, r1]);
+        assert_eq!(p.rules_with_neg(a(3)), &[r0]);
+        assert!(p.rules_with_head(a(0)).is_empty());
+        assert_eq!(p.num_atoms(), 4);
+        assert!(p.mentions(a(3)));
+        assert!(!p.mentions(a(7)));
+        assert_eq!(p.num_body_literals(), 4);
+    }
+}

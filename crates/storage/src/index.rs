@@ -1,0 +1,118 @@
+//! Secondary indexes over sets of ground atoms, used by the query engine's
+//! homomorphism search.
+
+use wfdl_core::{AtomId, FxHashMap, PredId, TermId, Universe};
+
+/// An index over a collection of ground atoms supporting
+/// lookup-by-predicate and lookup-by-(predicate, argument position, term).
+#[derive(Clone, Debug, Default)]
+pub struct AtomIndex {
+    by_pred: FxHashMap<PredId, Vec<AtomId>>,
+    by_pred_pos_term: FxHashMap<(PredId, u32, TermId), Vec<AtomId>>,
+    len: usize,
+}
+
+impl AtomIndex {
+    /// Builds an index over `atoms`.
+    pub fn build(universe: &Universe, atoms: impl IntoIterator<Item = AtomId>) -> Self {
+        let mut idx = AtomIndex::default();
+        for atom in atoms {
+            idx.insert(universe, atom);
+        }
+        idx
+    }
+
+    /// Adds an atom to the index.
+    pub fn insert(&mut self, universe: &Universe, atom: AtomId) {
+        let node = universe.atoms.node(atom);
+        self.by_pred.entry(node.pred).or_default().push(atom);
+        for (i, &t) in node.args.iter().enumerate() {
+            self.by_pred_pos_term
+                .entry((node.pred, i as u32, t))
+                .or_default()
+                .push(atom);
+        }
+        self.len += 1;
+    }
+
+    /// Atoms with the given predicate.
+    pub fn with_pred(&self, pred: PredId) -> &[AtomId] {
+        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Atoms with the given predicate whose `pos`-th argument is `term`.
+    pub fn with_pred_pos_term(&self, pred: PredId, pos: u32, term: TermId) -> &[AtomId] {
+        self.by_pred_pos_term
+            .get(&(pred, pos, term))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The most selective candidate list for a predicate given optional
+    /// known argument values: picks the shortest among the per-position
+    /// lists and the full predicate list.
+    pub fn candidates(
+        &self,
+        pred: PredId,
+        known: impl Iterator<Item = (u32, TermId)>,
+    ) -> &[AtomId] {
+        let mut best = self.with_pred(pred);
+        for (pos, term) in known {
+            let list = self.with_pred_pos_term(pred, pos, term);
+            if list.len() < best.len() {
+                best = list;
+            }
+        }
+        best
+    }
+
+    /// Number of indexed atoms.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no atoms are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_pred_and_position() {
+        let mut u = Universe::new();
+        let e = u.pred("edge", 2).unwrap();
+        let n1 = u.constant("n1");
+        let n2 = u.constant("n2");
+        let n3 = u.constant("n3");
+        let e12 = u.atom(e, vec![n1, n2]).unwrap();
+        let e13 = u.atom(e, vec![n1, n3]).unwrap();
+        let e23 = u.atom(e, vec![n2, n3]).unwrap();
+        let idx = AtomIndex::build(&u, [e12, e13, e23]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.with_pred(e), &[e12, e13, e23]);
+        assert_eq!(idx.with_pred_pos_term(e, 0, n1), &[e12, e13]);
+        assert_eq!(idx.with_pred_pos_term(e, 1, n3), &[e13, e23]);
+        assert!(idx.with_pred_pos_term(e, 1, n1).is_empty());
+    }
+
+    #[test]
+    fn candidates_picks_most_selective() {
+        let mut u = Universe::new();
+        let e = u.pred("edge", 2).unwrap();
+        let hub = u.constant("hub");
+        let mut atoms = Vec::new();
+        for i in 0..10 {
+            let c = u.constant(&format!("n{i}"));
+            atoms.push(u.atom(e, vec![hub, c]).unwrap());
+        }
+        let spoke = u.constant("n3");
+        let idx = AtomIndex::build(&u, atoms.iter().copied());
+        // Position 0 = hub matches all 10; position 1 = n3 matches 1.
+        let c = idx.candidates(e, [(0, hub), (1, spoke)].into_iter());
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Surface-syntax AST, independent of any universe.
+
+use crate::error::Pos;
+
+/// A parsed term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstTerm {
+    /// Variable (uppercase identifier).
+    Var(String),
+    /// Constant (lowercase identifier, number, or string).
+    Const(String),
+    /// Function application (Skolem term; heads only).
+    Fn(String, Vec<AstTerm>),
+}
+
+/// A parsed atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstAtom {
+    /// Predicate name.
+    pub pred: String,
+    /// Arguments.
+    pub args: Vec<AstTerm>,
+    /// Source position of the predicate name.
+    pub pos: Pos,
+}
+
+/// A body literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstLiteral {
+    /// The atom.
+    pub atom: AstAtom,
+    /// True for `not …`.
+    pub negated: bool,
+}
+
+/// A parsed rule `body -> head.` — `head` empty means a constraint
+/// (`-> false`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstRule {
+    /// Body literals.
+    pub body: Vec<AstLiteral>,
+    /// Head atoms (empty = negative constraint).
+    pub head: Vec<AstAtom>,
+    /// Source position of the rule start.
+    pub pos: Pos,
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstQuery {
+    /// Answer variables (empty = Boolean query).
+    pub answer_vars: Vec<String>,
+    /// Body literals.
+    pub body: Vec<AstLiteral>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A top-level statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Statement {
+    /// A ground fact.
+    Fact(AstAtom),
+    /// A rule or constraint.
+    Rule(AstRule),
+    /// A query.
+    Query(AstQuery),
+}
+
+/// A parsed source file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AstProgram {
+    /// Statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+impl AstProgram {
+    /// Iterates over the facts.
+    pub fn facts(&self) -> impl Iterator<Item = &AstAtom> {
+        self.statements.iter().filter_map(|s| match s {
+            Statement::Fact(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the rules (and constraints).
+    pub fn rules(&self) -> impl Iterator<Item = &AstRule> {
+        self.statements.iter().filter_map(|s| match s {
+            Statement::Rule(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the queries.
+    pub fn queries(&self) -> impl Iterator<Item = &AstQuery> {
+        self.statements.iter().filter_map(|s| match s {
+            Statement::Query(q) => Some(q),
+            _ => None,
+        })
+    }
+}

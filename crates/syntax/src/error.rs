@@ -1,0 +1,48 @@
+//! Parse and lowering errors with source positions.
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced by the lexer, parser, or lowering pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where it happened.
+    pub pos: Pos,
+}
+
+impl SyntaxError {
+    /// Creates an error at a position.
+    pub fn new(message: impl Into<String>, pos: Pos) -> Self {
+        SyntaxError {
+            message: message.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Result alias for syntax operations.
+pub type Result<T, E = SyntaxError> = std::result::Result<T, E>;

@@ -1,0 +1,35 @@
+//! # `wfdl-syntax` — surface syntax for guarded normal Datalog±
+//!
+//! A Prolog-flavoured text format covering everything the paper writes:
+//! facts, guarded NTGDs (head-only variables are existential), rules of
+//! `Σf` with explicit Skolem terms (as in Example 4), negative constraints
+//! (`-> false`), and NBCQs (`?- …` Boolean, `?(X) …` with answers).
+//!
+//! ```
+//! use wfdl_core::Universe;
+//! let mut universe = Universe::new();
+//! let lowered = wfdl_syntax::load(&mut universe, r#"
+//!     scientist(john).
+//!     scientist(X) -> isAuthorOf(X, Y).   % Y is existential
+//!     ?- isAuthorOf(john, X).
+//! "#).unwrap();
+//! assert_eq!(lowered.program.tgds.len(), 1);
+//! assert_eq!(lowered.queries.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+
+pub use error::{Pos, SyntaxError};
+pub use lower::{load, lower, Lowered};
+pub use parser::parse;
+pub use printer::{
+    print_database, print_program, print_query, print_skolem_program, print_skolem_rule,
+    print_tgd,
+};

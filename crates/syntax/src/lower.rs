@@ -1,0 +1,402 @@
+//! Lowering: surface AST → interned core structures.
+//!
+//! Predicates, constants and Skolem functions are auto-declared on first
+//! use (arity mismatches are errors). A rule whose head contains function
+//! terms is lowered directly to a [`SkolemRule`] (the user wrote a rule of
+//! `Σf`, as the paper does in Example 4); all other rules become guarded
+//! NTGDs, with head-only variables read as existentials.
+
+use crate::ast::*;
+use crate::error::{Result, SyntaxError};
+use wfdl_core::{
+    Constraint, HeadTerm, Program, RTerm, RuleAtom, SkolemProgram, SkolemRule, Tgd, Universe, Var,
+};
+use wfdl_query::{Nbcq, QTerm, QVar, QueryAtom};
+use wfdl_storage::Database;
+
+/// The result of lowering a source file.
+#[derive(Debug, Default)]
+pub struct Lowered {
+    /// TGDs and negative constraints.
+    pub program: Program,
+    /// Rules written directly in functional (skolemized) form.
+    pub functional: Vec<SkolemRule>,
+    /// The database facts.
+    pub database: Database,
+    /// Queries, in source order.
+    pub queries: Vec<Nbcq>,
+}
+
+impl Lowered {
+    /// Produces the complete `Σf`: skolemizes the TGD part and appends the
+    /// directly-functional rules. Constraints are **not** included (see
+    /// `wfdl-wfs::lower_with_constraints` for constraint handling).
+    pub fn skolem_program(&self, universe: &mut Universe) -> wfdl_core::Result<SkolemProgram> {
+        let mut sk = self.program.clone().skolemize(universe)?;
+        sk.rules.extend(self.functional.iter().cloned());
+        Ok(sk)
+    }
+}
+
+/// Parses and lowers a source file in one step.
+pub fn load(universe: &mut Universe, src: &str) -> Result<Lowered> {
+    let ast = crate::parser::parse(src)?;
+    lower(universe, &ast)
+}
+
+/// Lowers a parsed program.
+pub fn lower(universe: &mut Universe, ast: &AstProgram) -> Result<Lowered> {
+    let mut out = Lowered::default();
+    for stmt in &ast.statements {
+        match stmt {
+            Statement::Fact(atom) => {
+                let ground = lower_fact(universe, atom)?;
+                out.database
+                    .insert(universe, ground)
+                    .map_err(|e| SyntaxError::new(e.to_string(), atom.pos))?;
+            }
+            Statement::Rule(rule) => lower_rule(universe, rule, &mut out)?,
+            Statement::Query(q) => out.queries.push(lower_query(universe, q)?),
+        }
+    }
+    Ok(out)
+}
+
+fn lower_fact(universe: &mut Universe, atom: &AstAtom) -> Result<wfdl_core::AtomId> {
+    let pred = universe
+        .pred(&atom.pred, atom.args.len())
+        .map_err(|e| SyntaxError::new(e.to_string(), atom.pos))?;
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        match t {
+            AstTerm::Const(c) => args.push(universe.constant(c)),
+            AstTerm::Var(v) => {
+                return Err(SyntaxError::new(
+                    format!("facts must be ground, found variable `{v}`"),
+                    atom.pos,
+                ))
+            }
+            AstTerm::Fn(f, _) => {
+                return Err(SyntaxError::new(
+                    format!("facts must be null-free, found function term `{f}(…)`"),
+                    atom.pos,
+                ))
+            }
+        }
+    }
+    universe
+        .atom(pred, args)
+        .map_err(|e| SyntaxError::new(e.to_string(), atom.pos))
+}
+
+/// Per-rule variable table.
+#[derive(Default)]
+struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    fn var(&mut self, name: &str) -> Var {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Var::new(i as u32);
+        }
+        self.names.push(name.to_owned());
+        Var::new((self.names.len() - 1) as u32)
+    }
+}
+
+fn lower_body_atom(
+    universe: &mut Universe,
+    vt: &mut VarTable,
+    atom: &AstAtom,
+) -> Result<RuleAtom> {
+    let pred = universe
+        .pred(&atom.pred, atom.args.len())
+        .map_err(|e| SyntaxError::new(e.to_string(), atom.pos))?;
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        match t {
+            AstTerm::Var(v) => args.push(RTerm::Var(vt.var(v))),
+            AstTerm::Const(c) => args.push(RTerm::Const(universe.constant(c))),
+            AstTerm::Fn(f, _) => {
+                return Err(SyntaxError::new(
+                    format!("function terms may only appear in rule heads, found `{f}(…)`"),
+                    atom.pos,
+                ))
+            }
+        }
+    }
+    Ok(RuleAtom::new(pred, args))
+}
+
+fn head_has_functions(head: &[AstAtom]) -> bool {
+    head.iter()
+        .any(|a| a.args.iter().any(|t| matches!(t, AstTerm::Fn(..))))
+}
+
+fn lower_rule(universe: &mut Universe, rule: &AstRule, out: &mut Lowered) -> Result<()> {
+    let mut vt = VarTable::default();
+    let mut body_pos = Vec::new();
+    let mut body_neg = Vec::new();
+    for lit in &rule.body {
+        let atom = lower_body_atom(universe, &mut vt, &lit.atom)?;
+        if lit.negated {
+            body_neg.push(atom);
+        } else {
+            body_pos.push(atom);
+        }
+    }
+
+    if rule.head.is_empty() {
+        let c = Constraint::new(universe, body_pos, body_neg)
+            .map_err(|e| SyntaxError::new(e.to_string(), rule.pos))?;
+        out.program.push_constraint(c);
+        return Ok(());
+    }
+
+    if head_has_functions(&rule.head) {
+        if rule.head.len() != 1 {
+            return Err(SyntaxError::new(
+                "rules with function terms in the head must have a single head atom",
+                rule.pos,
+            ));
+        }
+        let rule_lowered =
+            lower_functional_head(universe, &mut vt, rule, body_pos, body_neg)?;
+        out.functional.push(rule_lowered);
+        return Ok(());
+    }
+
+    let mut head = Vec::with_capacity(rule.head.len());
+    for a in &rule.head {
+        head.push(lower_body_atom(universe, &mut vt, a)?);
+    }
+    let tgd = Tgd::new(universe, body_pos, body_neg, head)
+        .map_err(|e| SyntaxError::new(e.to_string(), rule.pos))?;
+    out.program.push(tgd);
+    Ok(())
+}
+
+fn lower_functional_head(
+    universe: &mut Universe,
+    vt: &mut VarTable,
+    rule: &AstRule,
+    body_pos: Vec<RuleAtom>,
+    body_neg: Vec<RuleAtom>,
+) -> Result<SkolemRule> {
+    let head_ast = &rule.head[0];
+    let head_pred = universe
+        .pred(&head_ast.pred, head_ast.args.len())
+        .map_err(|e| SyntaxError::new(e.to_string(), head_ast.pos))?;
+    // Variables seen in the body (function arguments must come from there).
+    let body_var_count = vt.names.len();
+    let mut head_args = Vec::with_capacity(head_ast.args.len());
+    for t in &head_ast.args {
+        match t {
+            AstTerm::Const(c) => head_args.push(HeadTerm::Const(universe.constant(c))),
+            AstTerm::Var(v) => {
+                let var = vt.var(v);
+                if var.index() >= body_var_count {
+                    return Err(SyntaxError::new(
+                        format!(
+                            "variable `{v}` in a functional head must occur in the body \
+                             (use a plain existential head instead)"
+                        ),
+                        head_ast.pos,
+                    ));
+                }
+                head_args.push(HeadTerm::Var(var));
+            }
+            AstTerm::Fn(f, args) => {
+                let mut vars = Vec::with_capacity(args.len());
+                for arg in args {
+                    match arg {
+                        AstTerm::Var(v) => {
+                            let var = vt.var(v);
+                            if var.index() >= body_var_count {
+                                return Err(SyntaxError::new(
+                                    format!("function argument `{v}` must occur in the body"),
+                                    head_ast.pos,
+                                ));
+                            }
+                            vars.push(var);
+                        }
+                        _ => {
+                            return Err(SyntaxError::new(
+                                "function arguments must be variables",
+                                head_ast.pos,
+                            ))
+                        }
+                    }
+                }
+                let sk = universe
+                    .skolem_fn(f, vars.len())
+                    .map_err(|e| SyntaxError::new(e.to_string(), head_ast.pos))?;
+                head_args.push(HeadTerm::Skolem(sk, vars.into()));
+            }
+        }
+    }
+    SkolemRule::new(universe, body_pos, body_neg, head_pred, head_args)
+        .map_err(|e| SyntaxError::new(e.to_string(), rule.pos))
+}
+
+fn lower_query(universe: &mut Universe, q: &AstQuery) -> Result<Nbcq> {
+    let mut names: Vec<String> = Vec::new();
+    let qvar = |name: &str, names: &mut Vec<String>| -> QVar {
+        if let Some(i) = names.iter().position(|n| n == name) {
+            QVar::new(i as u32)
+        } else {
+            names.push(name.to_owned());
+            QVar::new((names.len() - 1) as u32)
+        }
+    };
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for lit in &q.body {
+        let atom = &lit.atom;
+        let pred = universe
+            .pred(&atom.pred, atom.args.len())
+            .map_err(|e| SyntaxError::new(e.to_string(), atom.pos))?;
+        let mut args = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            match t {
+                AstTerm::Var(v) => args.push(QTerm::Var(qvar(v, &mut names))),
+                AstTerm::Const(c) => args.push(QTerm::Const(universe.constant(c))),
+                AstTerm::Fn(..) => {
+                    return Err(SyntaxError::new(
+                        "queries cannot mention nulls (function terms)",
+                        atom.pos,
+                    ))
+                }
+            }
+        }
+        let qa = QueryAtom::new(pred, args);
+        if lit.negated {
+            neg.push(qa);
+        } else {
+            pos.push(qa);
+        }
+    }
+    let answer_vars: Vec<QVar> = q
+        .answer_vars
+        .iter()
+        .map(|v| qvar(v, &mut names))
+        .collect();
+    Nbcq::new(universe, pos, neg, answer_vars)
+        .map_err(|e| SyntaxError::new(e.to_string(), q.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_example1() {
+        let mut u = Universe::new();
+        let lowered = load(
+            &mut u,
+            r#"
+            scientist(john).
+            conferencePaper(X) -> article(X).
+            scientist(X) -> isAuthorOf(X, Y).
+            ?- isAuthorOf(john, X).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(lowered.database.len(), 1);
+        assert_eq!(lowered.program.tgds.len(), 2);
+        assert!(lowered.program.tgds[1].has_existentials());
+        assert_eq!(lowered.queries.len(), 1);
+        let sk = lowered.skolem_program(&mut u).unwrap();
+        assert_eq!(sk.rules.len(), 2);
+    }
+
+    #[test]
+    fn lower_example4_functional_form() {
+        let mut u = Universe::new();
+        let lowered = load(
+            &mut u,
+            r#"
+            r(0,0,1).  p(0,0).
+            r(X,Y,Z) -> r(X,Z,f(X,Y,Z)).
+            r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).
+            r(X,Y,Z), not p(X,Y) -> q(Z).
+            r(X,Y,Z), not p(X,Z) -> s(X).
+            p(X,Y), not s(X) -> t(X).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(lowered.functional.len(), 1);
+        assert_eq!(lowered.program.tgds.len(), 4);
+        let sk = lowered.skolem_program(&mut u).unwrap();
+        assert_eq!(sk.rules.len(), 5);
+        // No auto-skolem was needed; the explicit `f` is the only function.
+        assert_eq!(u.num_skolems(), 1);
+        assert_eq!(u.skolem_name(u.lookup_skolem("f").unwrap()), "f");
+    }
+
+    #[test]
+    fn constraint_lowering() {
+        let mut u = Universe::new();
+        let lowered = load(&mut u, "p(X), q(X) -> false.").unwrap();
+        assert_eq!(lowered.program.constraints.len(), 1);
+    }
+
+    #[test]
+    fn unguarded_rule_reports_position() {
+        let mut u = Universe::new();
+        let err = load(&mut u, "p(X,Y), p(Y,Z) -> p(X,Z).").unwrap_err();
+        assert!(err.message.contains("guard"), "{err}");
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn fact_with_variable_rejected() {
+        let mut u = Universe::new();
+        let err = load(&mut u, "p(X).").unwrap_err();
+        assert!(err.message.contains("ground"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut u = Universe::new();
+        let err = load(&mut u, "p(a). p(a,b).").unwrap_err();
+        assert!(err.message.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn functional_head_with_fresh_var_rejected() {
+        let mut u = Universe::new();
+        let err = load(&mut u, "p(X) -> q(X, f(X, Y)).").unwrap_err();
+        assert!(err.message.contains("must occur in the body"), "{err}");
+    }
+
+    #[test]
+    fn query_with_answer_vars() {
+        let mut u = Universe::new();
+        let lowered = load(&mut u, "edge(a,b). ?(X) edge(X, Y), not edge(Y, X).").unwrap();
+        let q = &lowered.queries[0];
+        assert_eq!(q.answer_vars.len(), 1);
+        assert_eq!(q.pos.len(), 1);
+        assert_eq!(q.neg.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        let mut u = Universe::new();
+        let err = load(&mut u, "p(a). ?- p(X), not q(Y).").unwrap_err();
+        assert!(err.message.contains("range-restricted"), "{err}");
+    }
+
+    #[test]
+    fn shared_function_symbols_unify_across_rules() {
+        let mut u = Universe::new();
+        let lowered = load(
+            &mut u,
+            "p(X) -> q(X, f(X)).  q(X, Y) -> r(X, f(X)).",
+        )
+        .unwrap();
+        assert_eq!(lowered.functional.len(), 2);
+        assert_eq!(u.num_skolems(), 1, "same `f` in both rules");
+    }
+}

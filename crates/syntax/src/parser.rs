@@ -1,0 +1,298 @@
+//! Recursive-descent parser for the Datalog± surface syntax.
+//!
+//! Grammar (statements end with `.`):
+//!
+//! ```text
+//! program    := statement*
+//! statement  := fact | rule | query
+//! fact       := atom '.'
+//! rule       := literal (',' literal)* '->' head '.'
+//! head       := 'false' | atom (',' atom)*
+//! query      := '?-' literal (',' literal)* '.'
+//!             | '?' '(' VAR (',' VAR)* ')' literal (',' literal)* '.'
+//! literal    := ('not' | '!')? atom
+//! atom       := NAME '(' term (',' term)* ')' | NAME
+//! term       := VAR | NAME | NAME '(' term (',' term)* ')'
+//! ```
+
+use crate::ast::*;
+use crate::error::{Result, SyntaxError};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses a complete source file.
+pub fn parse(src: &str) -> Result<AstProgram> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    let mut statements = Vec::new();
+    while !p.at(Tok::Eof) {
+        statements.push(p.statement()?);
+    }
+    Ok(AstProgram { statements })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i]
+    }
+
+    fn at(&self, tok: Tok) -> bool {
+        self.peek().tok == tok
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.i].clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Token> {
+        if self.peek().tok == tok {
+            Ok(self.bump())
+        } else {
+            Err(SyntaxError::new(
+                format!("expected {what}, found {:?}", self.peek().tok),
+                self.peek().pos,
+            ))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let pos = self.peek().pos;
+        match &self.peek().tok {
+            Tok::QueryArrow => {
+                self.bump();
+                let body = self.literals()?;
+                self.expect(Tok::Period, "`.`")?;
+                Ok(Statement::Query(AstQuery {
+                    answer_vars: Vec::new(),
+                    body,
+                    pos,
+                }))
+            }
+            Tok::Question => {
+                self.bump();
+                self.expect(Tok::LParen, "`(` after `?`")?;
+                let mut answer_vars = Vec::new();
+                loop {
+                    match self.bump() {
+                        Token { tok: Tok::Var(v), .. } => answer_vars.push(v),
+                        t => {
+                            return Err(SyntaxError::new(
+                                "expected an answer variable",
+                                t.pos,
+                            ))
+                        }
+                    }
+                    if self.at(Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen, "`)`")?;
+                let body = self.literals()?;
+                self.expect(Tok::Period, "`.`")?;
+                Ok(Statement::Query(AstQuery {
+                    answer_vars,
+                    body,
+                    pos,
+                }))
+            }
+            _ => {
+                let body = self.literals()?;
+                if self.at(Tok::Arrow) {
+                    self.bump();
+                    let head = if self.at(Tok::False) {
+                        self.bump();
+                        Vec::new()
+                    } else {
+                        let mut head = vec![self.atom()?];
+                        while self.at(Tok::Comma) {
+                            self.bump();
+                            head.push(self.atom()?);
+                        }
+                        head
+                    };
+                    self.expect(Tok::Period, "`.`")?;
+                    Ok(Statement::Rule(AstRule { body, head, pos }))
+                } else {
+                    self.expect(Tok::Period, "`.` or `->`")?;
+                    // A fact: exactly one positive ground-looking literal.
+                    if body.len() != 1 || body[0].negated {
+                        return Err(SyntaxError::new(
+                            "a fact must be a single positive atom",
+                            pos,
+                        ));
+                    }
+                    Ok(Statement::Fact(body.into_iter().next().unwrap().atom))
+                }
+            }
+        }
+    }
+
+    fn literals(&mut self) -> Result<Vec<AstLiteral>> {
+        let mut out = vec![self.literal()?];
+        while self.at(Tok::Comma) {
+            self.bump();
+            out.push(self.literal()?);
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<AstLiteral> {
+        let negated = if self.at(Tok::Not) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        Ok(AstLiteral {
+            atom: self.atom()?,
+            negated,
+        })
+    }
+
+    fn atom(&mut self) -> Result<AstAtom> {
+        let t = self.bump();
+        // Predicate position is unambiguous, so capitalized names (the
+        // description-logic convention: `Article`, `ValidID`, …) are
+        // accepted here even though they lex as variables.
+        let pred = match t.tok {
+            Tok::Name(p) | Tok::Var(p) => p,
+            other => {
+                return Err(SyntaxError::new(
+                    format!("expected a predicate name, found {other:?}"),
+                    t.pos,
+                ));
+            }
+        };
+        let mut args = Vec::new();
+        if self.at(Tok::LParen) {
+            self.bump();
+            loop {
+                args.push(self.term()?);
+                if self.at(Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen, "`)`")?;
+        }
+        Ok(AstAtom {
+            pred,
+            args,
+            pos: t.pos,
+        })
+    }
+
+    fn term(&mut self) -> Result<AstTerm> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Var(v) => Ok(AstTerm::Var(v)),
+            Tok::Name(n) => {
+                if self.at(Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.term()?);
+                        if self.at(Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(AstTerm::Fn(n, args))
+                } else {
+                    Ok(AstTerm::Const(n))
+                }
+            }
+            other => Err(SyntaxError::new(
+                format!("expected a term, found {other:?}"),
+                t.pos,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_fact_rule_query() {
+        let src = r#"
+            % Example 1 from the paper.
+            scientist(john).
+            conferencePaper(X) -> article(X).
+            scientist(X) -> isAuthorOf(X, Y).
+            ?- isAuthorOf(john, X).
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.facts().count(), 1);
+        assert_eq!(prog.rules().count(), 2);
+        assert_eq!(prog.queries().count(), 1);
+    }
+
+    #[test]
+    fn parse_negation_and_constraint() {
+        let src = "p(X), not q(X) -> r(X).  p(X), r(X) -> false.";
+        let prog = parse(src).unwrap();
+        let rules: Vec<_> = prog.rules().collect();
+        assert!(rules[0].body[1].negated);
+        assert!(rules[1].head.is_empty());
+    }
+
+    #[test]
+    fn parse_functional_head() {
+        let src = "r(X,Y,Z) -> r(X,Z,f(X,Y,Z)).";
+        let prog = parse(src).unwrap();
+        let rule = prog.rules().next().unwrap();
+        assert!(matches!(&rule.head[0].args[2], AstTerm::Fn(n, args) if n == "f" && args.len() == 3));
+    }
+
+    #[test]
+    fn parse_answer_vars() {
+        let src = "?(X, Y) p(X, Y), not q(Y).";
+        let prog = parse(src).unwrap();
+        let q = prog.queries().next().unwrap();
+        assert_eq!(q.answer_vars, vec!["X".to_string(), "Y".to_string()]);
+        assert_eq!(q.body.len(), 2);
+    }
+
+    #[test]
+    fn parse_conjunctive_head() {
+        let src = "person(X) -> employeeId(X, I), valid(I).";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.rules().next().unwrap().head.len(), 2);
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let src = "go. go -> stop.";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.facts().count(), 1);
+        assert_eq!(prog.rules().count(), 1);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("p(X) -> ").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        let err2 = parse("p(a)\nq(b).").unwrap_err();
+        assert_eq!(err2.pos.line, 2);
+    }
+
+    #[test]
+    fn negated_fact_rejected() {
+        assert!(parse("not p(a).").is_err());
+    }
+}

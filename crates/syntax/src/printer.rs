@@ -1,0 +1,277 @@
+//! Pretty-printer: core structures → surface syntax (round-trips through
+//! the parser).
+
+use wfdl_core::{
+    HeadTerm, Program, RTerm, RuleAtom, SkolemProgram, SkolemRule, Tgd, Universe, Var,
+};
+use wfdl_query::{Nbcq, QTerm, QueryAtom};
+use wfdl_storage::Database;
+
+fn var_name(v: Var) -> String {
+    format!("V{}", v.index())
+}
+
+fn push_rterm(universe: &Universe, t: &RTerm, out: &mut String) {
+    match t {
+        RTerm::Const(c) => out.push_str(&universe.display_term(*c).to_string()),
+        RTerm::Var(v) => out.push_str(&var_name(*v)),
+    }
+}
+
+fn push_rule_atom(universe: &Universe, a: &RuleAtom, out: &mut String) {
+    out.push_str(universe.pred_name(a.pred));
+    if !a.args.is_empty() {
+        out.push('(');
+        for (i, t) in a.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_rterm(universe, t, out);
+        }
+        out.push(')');
+    }
+}
+
+fn push_body(universe: &Universe, pos: &[RuleAtom], neg: &[RuleAtom], out: &mut String) {
+    let mut first = true;
+    for a in pos {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        push_rule_atom(universe, a, out);
+    }
+    for a in neg {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str("not ");
+        push_rule_atom(universe, a, out);
+    }
+}
+
+/// Renders a TGD as `body -> head.`
+pub fn print_tgd(universe: &Universe, tgd: &Tgd) -> String {
+    let mut out = String::new();
+    push_body(universe, &tgd.body_pos, &tgd.body_neg, &mut out);
+    out.push_str(" -> ");
+    for (i, a) in tgd.head.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_rule_atom(universe, a, &mut out);
+    }
+    out.push('.');
+    out
+}
+
+/// Renders a skolemized rule, with explicit function terms in the head.
+pub fn print_skolem_rule(universe: &Universe, rule: &SkolemRule) -> String {
+    let mut out = String::new();
+    push_body(universe, &rule.body_pos, &rule.body_neg, &mut out);
+    out.push_str(" -> ");
+    out.push_str(universe.pred_name(rule.head_pred));
+    if !rule.head_args.is_empty() {
+        out.push('(');
+        for (i, t) in rule.head_args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match t {
+                HeadTerm::Const(c) => out.push_str(&universe.display_term(*c).to_string()),
+                HeadTerm::Var(v) => out.push_str(&var_name(*v)),
+                HeadTerm::Skolem(f, vars) => {
+                    out.push_str(universe.skolem_name(*f));
+                    out.push('(');
+                    for (k, v) in vars.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&var_name(*v));
+                    }
+                    out.push(')');
+                }
+            }
+        }
+        out.push(')');
+    }
+    out.push('.');
+    out
+}
+
+/// Renders a whole program (TGDs then constraints), one statement per line.
+pub fn print_program(universe: &Universe, program: &Program) -> String {
+    let mut out = String::new();
+    for tgd in &program.tgds {
+        out.push_str(&print_tgd(universe, tgd));
+        out.push('\n');
+    }
+    for c in &program.constraints {
+        push_body(universe, &c.body_pos, &c.body_neg, &mut out);
+        out.push_str(" -> false.\n");
+    }
+    out
+}
+
+/// Renders a skolemized program, one rule per line.
+pub fn print_skolem_program(universe: &Universe, program: &SkolemProgram) -> String {
+    let mut out = String::new();
+    for r in &program.rules {
+        out.push_str(&print_skolem_rule(universe, r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a database, one fact per line (sorted for stability).
+pub fn print_database(universe: &Universe, db: &Database) -> String {
+    let mut lines: Vec<String> = db
+        .facts()
+        .iter()
+        .map(|&a| format!("{}.", universe.display_atom(a)))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+fn push_query_atom(universe: &Universe, a: &QueryAtom, out: &mut String) {
+    out.push_str(universe.pred_name(a.pred));
+    if !a.args.is_empty() {
+        out.push('(');
+        for (i, t) in a.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match t {
+                QTerm::Const(c) => out.push_str(&universe.display_term(*c).to_string()),
+                QTerm::Var(v) => out.push_str(&format!("V{}", v.index())),
+            }
+        }
+        out.push(')');
+    }
+}
+
+/// Renders an NBCQ in surface syntax (`?- …` or `?(…) …`).
+pub fn print_query(universe: &Universe, q: &Nbcq) -> String {
+    let mut out = String::new();
+    if q.is_boolean() {
+        out.push_str("?- ");
+    } else {
+        out.push_str("?(");
+        for (i, v) in q.answer_vars.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("V{}", v.index()));
+        }
+        out.push_str(") ");
+    }
+    let mut first = true;
+    for a in &q.pos {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        push_query_atom(universe, a, &mut out);
+    }
+    for a in &q.neg {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str("not ");
+        push_query_atom(universe, a, &mut out);
+    }
+    out.push('.');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::load;
+
+    /// Fixed-point round trip: print → parse+lower → print must agree.
+    fn roundtrip(src: &str) {
+        let mut u1 = Universe::new();
+        let l1 = load(&mut u1, src).unwrap();
+        let mut printed = print_program(&u1, &l1.program);
+        printed.push_str(&print_skolem_program(&u1, &SkolemProgram {
+            rules: l1.functional.clone(),
+        }));
+        printed.push_str(&print_database(&u1, &l1.database));
+        for q in &l1.queries {
+            printed.push_str(&print_query(&u1, q));
+            printed.push('\n');
+        }
+
+        let mut u2 = Universe::new();
+        let l2 = load(&mut u2, &printed).unwrap();
+        let mut printed2 = print_program(&u2, &l2.program);
+        printed2.push_str(&print_skolem_program(&u2, &SkolemProgram {
+            rules: l2.functional.clone(),
+        }));
+        printed2.push_str(&print_database(&u2, &l2.database));
+        for q in &l2.queries {
+            printed2.push_str(&print_query(&u2, q));
+            printed2.push('\n');
+        }
+        assert_eq!(printed, printed2, "print/parse round trip diverged");
+    }
+
+    #[test]
+    fn roundtrip_example1() {
+        roundtrip(
+            r#"
+            scientist(john).
+            conferencePaper(X) -> article(X).
+            scientist(X) -> isAuthorOf(X, Y).
+            ?- isAuthorOf(john, X).
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_example4() {
+        roundtrip(
+            r#"
+            r(0,0,1). p(0,0).
+            r(X,Y,Z) -> r(X,Z,f(X,Y,Z)).
+            r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).
+            r(X,Y,Z), not p(X,Y) -> q(Z).
+            r(X,Y,Z), not p(X,Z) -> s(X).
+            p(X,Y), not s(X) -> t(X).
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_constraints_and_answer_queries() {
+        roundtrip(
+            r#"
+            emp(a). person(a). person(b).
+            person(X), not emp(X) -> seeker(X).
+            emp(X), seeker(X) -> false.
+            ?(X) person(X), not seeker(X).
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_nullary() {
+        roundtrip("go. go, not stop -> run.");
+    }
+
+    #[test]
+    fn printed_tgd_shape() {
+        let mut u = Universe::new();
+        let l = load(&mut u, "p(X), not q(X) -> r(X, Y).").unwrap();
+        let s = print_tgd(&u, &l.program.tgds[0]);
+        assert_eq!(s, "p(V0), not q(V0) -> r(V0, V1).");
+    }
+}

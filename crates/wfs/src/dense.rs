@@ -1,0 +1,119 @@
+//! Dense, engine-internal representation of a ground normal program.
+//!
+//! The fixpoint engines re-index the atoms mentioned by a
+//! [`GroundProgram`] into a contiguous `0..n` range so that truth values,
+//! counters and worklists are flat arrays.
+
+use wfdl_core::{AtomId, FxHashMap};
+use wfdl_storage::GroundProgram;
+
+/// A ground program with atoms renumbered densely.
+#[derive(Clone, Debug)]
+pub struct DenseProgram {
+    /// Dense index → original atom id (sorted ascending).
+    pub atom_of: Vec<AtomId>,
+    /// Original atom id → dense index.
+    pub index_of: FxHashMap<AtomId, u32>,
+    /// Facts (dense indices).
+    pub facts: Vec<u32>,
+    /// Rule heads (dense indices), one per rule.
+    pub head: Vec<u32>,
+    /// Positive bodies.
+    pub pos: Vec<Box<[u32]>>,
+    /// Negative bodies.
+    pub neg: Vec<Box<[u32]>>,
+    /// For each atom, rules that have it in their positive body.
+    pub pos_occ: Vec<Vec<u32>>,
+    /// For each atom, rules that have it in their negative body.
+    pub neg_occ: Vec<Vec<u32>>,
+    /// For each atom, rules that have it as head.
+    pub head_occ: Vec<Vec<u32>>,
+}
+
+impl DenseProgram {
+    /// Builds the dense form of `prog`.
+    pub fn new(prog: &GroundProgram) -> Self {
+        let atom_of: Vec<AtomId> = prog.atoms().to_vec();
+        let mut index_of = FxHashMap::default();
+        for (i, &a) in atom_of.iter().enumerate() {
+            index_of.insert(a, i as u32);
+        }
+        let n = atom_of.len();
+        let facts: Vec<u32> = prog.facts().iter().map(|a| index_of[a]).collect();
+        let num_rules = prog.num_rules();
+        let mut head = Vec::with_capacity(num_rules);
+        let mut pos = Vec::with_capacity(num_rules);
+        let mut neg = Vec::with_capacity(num_rules);
+        let mut pos_occ = vec![Vec::new(); n];
+        let mut neg_occ = vec![Vec::new(); n];
+        let mut head_occ = vec![Vec::new(); n];
+        for (ri, rule) in prog.rules().iter().enumerate() {
+            let h = index_of[&rule.head];
+            head.push(h);
+            head_occ[h as usize].push(ri as u32);
+            let p: Box<[u32]> = rule.pos.iter().map(|a| index_of[a]).collect();
+            for &b in p.iter() {
+                pos_occ[b as usize].push(ri as u32);
+            }
+            pos.push(p);
+            let m: Box<[u32]> = rule.neg.iter().map(|a| index_of[a]).collect();
+            for &b in m.iter() {
+                neg_occ[b as usize].push(ri as u32);
+            }
+            neg.push(m);
+        }
+        DenseProgram {
+            atom_of,
+            index_of,
+            facts,
+            head,
+            pos,
+            neg,
+            pos_occ,
+            neg_occ,
+            head_occ,
+        }
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn num_atoms(&self) -> usize {
+        self.atom_of.len()
+    }
+
+    /// Number of rules.
+    #[inline]
+    pub fn num_rules(&self) -> usize {
+        self.head.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdl_storage::{GroundProgramBuilder, GroundRule};
+
+    fn a(i: usize) -> AtomId {
+        AtomId::from_index(i)
+    }
+
+    #[test]
+    fn dense_renumbering_round_trips() {
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(10));
+        b.add_rule(GroundRule::new(a(20), vec![a(10)], vec![a(30)]));
+        let prog = b.finish();
+        let d = DenseProgram::new(&prog);
+        assert_eq!(d.num_atoms(), 3);
+        assert_eq!(d.num_rules(), 1);
+        // atom_of is sorted: [a10, a20, a30]
+        assert_eq!(d.atom_of, vec![a(10), a(20), a(30)]);
+        assert_eq!(d.facts, vec![0]);
+        assert_eq!(d.head, vec![1]);
+        assert_eq!(d.pos[0].as_ref(), &[0]);
+        assert_eq!(d.neg[0].as_ref(), &[2]);
+        assert_eq!(d.pos_occ[0], vec![0]);
+        assert_eq!(d.neg_occ[2], vec![0]);
+        assert_eq!(d.head_occ[1], vec![0]);
+    }
+}

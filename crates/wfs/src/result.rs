@@ -1,0 +1,54 @@
+//! Common output type of the fixpoint engines.
+
+use crate::dense::DenseProgram;
+use wfdl_core::{AtomId, BitSet, FxHashMap, Interp, Truth};
+
+/// The three-valued model computed by an engine over the atoms of a ground
+/// program, with per-atom decision stages.
+#[derive(Clone, Debug)]
+pub struct EngineResult {
+    /// Truth values over the program's atom universe.
+    pub interp: Interp,
+    /// Stage at which each decided atom obtained its value.
+    pub decided_stage: FxHashMap<AtomId, u32>,
+    /// Number of productive stages until the fixpoint.
+    pub stages: u32,
+}
+
+impl EngineResult {
+    pub(crate) fn from_dense(
+        dense: &DenseProgram,
+        truth_true: &BitSet,
+        truth_false: &BitSet,
+        stage_of: &[u32],
+        stages: u32,
+    ) -> Self {
+        let mut interp = Interp::with_capacity(dense.num_atoms());
+        let mut decided_stage = FxHashMap::default();
+        for (i, &atom) in dense.atom_of.iter().enumerate() {
+            if truth_true.contains(i) {
+                interp.set_true(atom);
+                decided_stage.insert(atom, stage_of[i]);
+            } else if truth_false.contains(i) {
+                interp.set_false(atom);
+                decided_stage.insert(atom, stage_of[i]);
+            }
+        }
+        EngineResult {
+            interp,
+            decided_stage,
+            stages,
+        }
+    }
+
+    /// Truth value of an atom (`Unknown` for undecided or unmentioned).
+    #[inline]
+    pub fn value(&self, atom: AtomId) -> Truth {
+        self.interp.value(atom)
+    }
+
+    /// Decision stage of an atom, if decided.
+    pub fn stage_of(&self, atom: AtomId) -> Option<u32> {
+        self.decided_stage.get(&atom).copied()
+    }
+}

@@ -1,0 +1,466 @@
+//! The top-level solver: chase a segment, run a WFS engine, answer truth
+//! queries — `WFS(D, Σ)` of Definition 3, with honest exactness reporting.
+
+use crate::alternating::AlternatingEngine;
+use crate::forward::ForwardEngine;
+use crate::result::EngineResult;
+use crate::wp::{StepMode, WpEngine};
+use wfdl_chase::{ChaseBudget, ChaseSegment};
+use wfdl_core::{
+    AtomId, CoreError, PredId, Program, RuleAtom, SkolemProgram, Tgd, Truth, Universe,
+};
+use wfdl_storage::{Database, GroundProgram};
+
+/// Which fixpoint engine computes the model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// `W_P` with `T_P`-closure acceleration (default).
+    #[default]
+    Wp,
+    /// `W_P` stepped literally per the definition (stage-faithful, slower).
+    WpLiteral,
+    /// Van Gelder's alternating fixpoint.
+    Alternating,
+    /// The forward-proof operator `Ŵ_P` on the chase segment (Theorem 8).
+    Forward,
+}
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WfsOptions {
+    /// Chase materialization limits.
+    pub budget: ChaseBudget,
+    /// Engine selection.
+    pub engine: EngineKind,
+}
+
+impl WfsOptions {
+    /// Options with the given chase depth.
+    pub fn depth(depth: u32) -> Self {
+        WfsOptions {
+            budget: ChaseBudget::depth(depth),
+            engine: EngineKind::default(),
+        }
+    }
+
+    /// Options with an unbounded chase (terminating programs only).
+    pub fn unbounded() -> Self {
+        WfsOptions {
+            budget: ChaseBudget::unbounded(),
+            engine: EngineKind::default(),
+        }
+    }
+
+    /// Replaces the engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// The well-founded model of `D` under `Σ` restricted to a chase segment.
+///
+/// Atoms outside the segment have no forward proof within the materialized
+/// part of `F⁺(P)` and are reported **false**, which is exact when
+/// [`WellFoundedModel::exact`] holds (the chase quiesced within budget) and
+/// a depth-`n·δ`-justified approximation otherwise (Proposition 12).
+#[derive(Debug)]
+pub struct WellFoundedModel {
+    /// The materialized chase segment.
+    pub segment: ChaseSegment,
+    /// The extracted finite ground normal program.
+    pub ground: GroundProgram,
+    /// Engine output over the segment's atoms.
+    pub result: EngineResult,
+    /// True iff the chase quiesced within budget, making the model exact.
+    pub exact: bool,
+    /// The engine that produced the result.
+    pub engine: EngineKind,
+}
+
+impl WellFoundedModel {
+    /// Truth value of a ground atom under `WFS(D, Σ)`.
+    pub fn value(&self, atom: AtomId) -> Truth {
+        if self.segment.contains(atom) {
+            self.result.value(atom)
+        } else {
+            Truth::False
+        }
+    }
+
+    /// `atom ∈ WFS(D,Σ)`.
+    pub fn is_true(&self, atom: AtomId) -> bool {
+        self.value(atom).is_true()
+    }
+
+    /// `¬atom ∈ WFS(D,Σ)`.
+    pub fn is_false(&self, atom: AtomId) -> bool {
+        self.value(atom).is_false()
+    }
+
+    /// Number of engine stages to the fixpoint.
+    pub fn stages(&self) -> u32 {
+        self.result.stages
+    }
+
+    /// Iterates over the true atoms of the model.
+    pub fn true_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.result.interp.true_atoms()
+    }
+
+    /// Iterates over segment atoms whose value is unknown (undefined).
+    pub fn unknown_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.segment
+            .atoms()
+            .iter()
+            .map(|sa| sa.atom)
+            .filter(|&a| self.result.value(a).is_unknown())
+    }
+
+    /// Counts `(true, false-in-segment, unknown)` over segment atoms.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut t = 0;
+        let mut f = 0;
+        let mut u = 0;
+        for sa in self.segment.atoms() {
+            match self.result.value(sa.atom) {
+                Truth::True => t += 1,
+                Truth::False => f += 1,
+                Truth::Unknown => u += 1,
+            }
+        }
+        (t, f, u)
+    }
+
+    /// Renders the true atoms (non-auxiliary predicates) sorted, one per
+    /// line — handy in examples and tests.
+    pub fn render_true(&self, universe: &Universe) -> String {
+        let mut lines: Vec<String> = self
+            .true_atoms()
+            .filter(|&a| !universe.pred_info(universe.atoms.pred(a)).auxiliary)
+            .map(|a| universe.display_atom(a).to_string())
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+impl wfdl_query::TruthSource for WellFoundedModel {
+    fn value(&self, atom: AtomId) -> Truth {
+        WellFoundedModel::value(self, atom)
+    }
+
+    fn certain_atoms(&self) -> Vec<AtomId> {
+        self.true_atoms().collect()
+    }
+
+    fn possible_atoms(&self) -> Vec<AtomId> {
+        self.segment
+            .atoms()
+            .iter()
+            .map(|sa| sa.atom)
+            .filter(|&a| !self.result.value(a).is_false())
+            .collect()
+    }
+}
+
+/// Computes `WFS(D, Σf)` on a budgeted chase segment.
+pub fn solve(
+    universe: &mut Universe,
+    db: &Database,
+    program: &SkolemProgram,
+    options: WfsOptions,
+) -> WellFoundedModel {
+    let segment = ChaseSegment::build(universe, db, program, options.budget);
+    let ground = segment.to_ground_program();
+    let result = match options.engine {
+        EngineKind::Wp => WpEngine::new(&ground).solve(StepMode::Accelerated),
+        EngineKind::WpLiteral => WpEngine::new(&ground).solve(StepMode::Literal),
+        EngineKind::Alternating => AlternatingEngine::new(&ground).solve(),
+        EngineKind::Forward => ForwardEngine::new(&segment).solve(),
+    };
+    let exact = segment.complete;
+    WellFoundedModel {
+        segment,
+        ground,
+        result,
+        exact,
+        engine: options.engine,
+    }
+}
+
+/// Computes the **conservative no-UNA approximation** used in the paper's
+/// Example 2 discussion: labelled nulls might denote equal values, so a
+/// null-containing atom that merely fails to be derived cannot be declared
+/// false, and rules negating such atoms never fire. The equality-friendly
+/// WFS of \[4\] is a different (and co-NP-hard) semantics; this
+/// approximation suffices to reproduce the qualitative separation the paper
+/// draws (`ValidID(f(a))` is derived under UNA, withheld without it).
+pub fn solve_no_una(
+    universe: &mut Universe,
+    db: &Database,
+    program: &SkolemProgram,
+    budget: ChaseBudget,
+) -> WellFoundedModel {
+    let segment = ChaseSegment::build(universe, db, program, budget);
+    let ground = segment.to_ground_program();
+    let frozen: Vec<AtomId> = ground
+        .atoms()
+        .iter()
+        .copied()
+        .filter(|&a| !universe.atom_is_constant_free_of_nulls(a))
+        .collect();
+    let result = WpEngine::new(&ground)
+        .with_frozen(frozen)
+        .solve(StepMode::Accelerated);
+    let exact = segment.complete;
+    WellFoundedModel {
+        segment,
+        ground,
+        result,
+        exact,
+        engine: EngineKind::Wp,
+    }
+}
+
+/// Lowers a [`Program`]'s negative constraints into rules deriving fresh
+/// nullary violation predicates, returning the skolemized program together
+/// with the violation predicate of each constraint (in order).
+pub fn lower_with_constraints(
+    universe: &mut Universe,
+    program: &Program,
+) -> Result<(SkolemProgram, Vec<PredId>), CoreError> {
+    let mut combined = Program {
+        tgds: program.tgds.clone(),
+        constraints: Vec::new(),
+    };
+    let mut violation_preds = Vec::with_capacity(program.constraints.len());
+    for (i, c) in program.constraints.iter().enumerate() {
+        let base = match &c.label {
+            Some(l) => format!("violated_{l}"),
+            None => format!("violated_{i}"),
+        };
+        let bot = universe.aux_pred(&base, 0);
+        violation_preds.push(bot);
+        combined.tgds.push(Tgd::new(
+            universe,
+            c.body_pos.clone(),
+            c.body_neg.clone(),
+            vec![RuleAtom::new(bot, Vec::new())],
+        )?);
+    }
+    let skolemized = combined.skolemize(universe)?;
+    Ok((skolemized, violation_preds))
+}
+
+/// Truth of each lowered constraint's violation atom in a model:
+/// `True` = surely violated, `Unknown` = possibly violated, `False` = safe.
+pub fn constraint_status(
+    universe: &mut Universe,
+    model: &WellFoundedModel,
+    violation_preds: &[PredId],
+) -> Vec<Truth> {
+    violation_preds
+        .iter()
+        .map(|&p| {
+            let atom = universe.atom(p, Vec::new()).expect("nullary");
+            model.value(atom)
+        })
+        .collect()
+}
+
+/// Outcome of [`solve_stable`].
+#[derive(Clone, Debug)]
+pub struct StabilityReport {
+    /// Depths at which models were computed.
+    pub depths: Vec<u32>,
+    /// Whether the final rounds were stable (or the chase completed).
+    pub stable: bool,
+}
+
+/// Deepening heuristic: solves at increasing depths until either the chase
+/// completes (exact) or the truth values of all previously-materialized
+/// atoms are unchanged across `required_stable_rounds` consecutive
+/// deepenings. Not a proof of exactness for truncated chases — the paper's
+/// guarantee needs depth `n·δ` — but exact whenever `exact` is reported and
+/// validated against ground truth on the paper's examples.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_stable(
+    universe: &mut Universe,
+    db: &Database,
+    program: &SkolemProgram,
+    start_depth: u32,
+    step: u32,
+    max_depth: u32,
+    required_stable_rounds: u32,
+    engine: EngineKind,
+) -> (WellFoundedModel, StabilityReport) {
+    assert!(step > 0, "deepening step must be positive");
+    let mut depth = start_depth;
+    let mut report = StabilityReport {
+        depths: vec![depth],
+        stable: false,
+    };
+    let mut model = solve(
+        universe,
+        db,
+        program,
+        WfsOptions {
+            budget: ChaseBudget::depth(depth),
+            engine,
+        },
+    );
+    let mut stable_rounds = 0u32;
+    while !model.exact && depth < max_depth {
+        depth = (depth + step).min(max_depth);
+        report.depths.push(depth);
+        let next = solve(
+            universe,
+            db,
+            program,
+            WfsOptions {
+                budget: ChaseBudget::depth(depth),
+                engine,
+            },
+        );
+        let agree = model
+            .segment
+            .atoms()
+            .iter()
+            .all(|sa| model.result.value(sa.atom) == next.value(sa.atom));
+        stable_rounds = if agree { stable_rounds + 1 } else { 0 };
+        model = next;
+        if model.exact || stable_rounds >= required_stable_rounds {
+            break;
+        }
+    }
+    report.stable = model.exact || stable_rounds >= required_stable_rounds;
+    (model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdl_chase::paper::example4;
+
+    #[test]
+    fn all_engines_agree_on_example4() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let engines = [
+            EngineKind::Wp,
+            EngineKind::WpLiteral,
+            EngineKind::Alternating,
+            EngineKind::Forward,
+        ];
+        let models: Vec<WellFoundedModel> = engines
+            .iter()
+            .map(|&e| solve(&mut u, &db, &prog, WfsOptions::depth(6).with_engine(e)))
+            .collect();
+        let reference = &models[0];
+        for (m, e) in models.iter().zip(&engines).skip(1) {
+            for sa in reference.segment.atoms() {
+                assert_eq!(
+                    reference.value(sa.atom),
+                    m.value(sa.atom),
+                    "engine {e:?} disagrees on {}",
+                    u.display_atom(sa.atom)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example4_key_verdicts() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let model = solve(&mut u, &db, &prog, WfsOptions::depth(8));
+        let t = u.lookup_pred("T").unwrap();
+        let s = u.lookup_pred("S").unwrap();
+        let zero = u.lookup_constant("0").unwrap();
+        let t0 = u.atom(t, vec![zero]).unwrap();
+        let s0 = u.atom(s, vec![zero]).unwrap();
+        assert!(model.is_true(t0));
+        assert!(model.is_false(s0));
+        // A completely foreign atom is false (no forward proof).
+        let q = u.lookup_pred("Q").unwrap();
+        let q0 = u.atom(q, vec![zero]).unwrap();
+        assert!(model.is_false(q0));
+        assert!(!model.exact, "Example 4 chase is infinite");
+    }
+
+    #[test]
+    fn stability_deepening_on_example4() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let (model, report) = solve_stable(
+            &mut u,
+            &db,
+            &prog,
+            2,
+            2,
+            12,
+            2,
+            EngineKind::Wp,
+        );
+        assert!(report.stable, "depths tried: {:?}", report.depths);
+        assert!(report.depths.len() >= 2);
+        let t = u.lookup_pred("T").unwrap();
+        let zero = u.lookup_constant("0").unwrap();
+        let t0 = u.atom(t, vec![zero]).unwrap();
+        assert!(model.is_true(t0));
+    }
+
+    #[test]
+    fn constraints_lowered_and_reported() {
+        use wfdl_core::{Constraint, RTerm, Var};
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let x = RTerm::Var(Var::new(0));
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(&u, vec![RuleAtom::new(p, vec![x])], vec![], vec![RuleAtom::new(q, vec![x])])
+                .unwrap(),
+        );
+        // Constraint: p(X), q(X) -> ⊥ (will be violated).
+        prog.push_constraint(
+            Constraint::new(
+                &u,
+                vec![RuleAtom::new(p, vec![x]), RuleAtom::new(q, vec![x])],
+                vec![],
+            )
+            .unwrap(),
+        );
+        // Constraint: q(X), not p(X) -> ⊥ (safe).
+        prog.push_constraint(
+            Constraint::new(
+                &u,
+                vec![RuleAtom::new(q, vec![x])],
+                vec![RuleAtom::new(p, vec![x])],
+            )
+            .unwrap(),
+        );
+        let (sk, viols) = lower_with_constraints(&mut u, &prog).unwrap();
+        let mut db = Database::new();
+        let c = u.constant("c");
+        let pc = u.atom(p, vec![c]).unwrap();
+        db.insert(&u, pc).unwrap();
+        let model = solve(&mut u, &db, &sk, WfsOptions::unbounded());
+        let status = constraint_status(&mut u, &model, &viols);
+        assert_eq!(status, vec![Truth::True, Truth::False]);
+    }
+
+    #[test]
+    fn counts_and_render() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let model = solve(&mut u, &db, &prog, WfsOptions::depth(5));
+        let (t, f, unk) = model.counts();
+        assert!(t > 0 && f > 0);
+        assert_eq!(unk, 0, "example 4 has a total well-founded model");
+        let rendered = model.render_true(&u);
+        assert!(rendered.contains("T(0)"));
+        assert!(!rendered.contains("S(0)"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Data-access policies under the well-founded semantics — the
+//! "data-oriented Web" setting the paper's introduction motivates.
+//!
+//! Policies naturally use default negation ("grant unless objected"),
+//! existential heads ("every dataset has *some* steward"), and constraints
+//! ("no grant on embargoed data"). Mutually referring objections create
+//! genuinely *undefined* decisions, which the three-valued WFS surfaces
+//! instead of picking an arbitrary answer — a `grant` is only acted on
+//! when it is **certainly** true.
+//!
+//! ```text
+//! cargo run --example access_policy
+//! ```
+
+use wfdatalog::{Reasoner, Truth};
+
+fn main() -> Result<(), wfdatalog::Error> {
+    let mut reasoner = Reasoner::from_source(
+        r#"
+        % ---- data ------------------------------------------------------
+        dataset(telemetry). dataset(billing). dataset(wiki).
+        user(ana). user(bo). user(cid).
+        requested(ana, telemetry).
+        requested(bo, billing).
+        requested(cid, wiki).
+        embargoed(billing).
+        cleared(ana).
+
+        % ---- ontology-style enrichment (existential head) ---------------
+        % Every dataset has some steward who implicitly requests review
+        % visibility.
+        dataset(D) -> steward(D, S).
+
+        % ---- policy rules (default negation) -----------------------------
+        % A request is granted unless the dataset is embargoed or somebody
+        % objects.
+        requested(U, D), not embargoed(D), not objection(U, D) -> grant(U, D).
+
+        % Cleared users' objections are waived; waived objections are not
+        % raised. Two departments object to each other's audits unless the
+        % other's objection is itself waived — a classic mutual default.
+        requested(U, D), not waived(U, D) -> objection(U, D).
+        requested(U, D), cleared(U) -> waived(U, D).
+        % An objection is also waived while the objector lacks audit
+        % standing — and standing is a mutual default between auditors:
+        requested(U, D), not standing(U) -> waived(U, D).
+        % cid and bo audit each other: each one's standing holds only if
+        % the other's does not — an unresolvable standoff.
+        audits(cid, bo). audits(bo, cid).
+        audits(U, V), not standing(V) -> standing(U).
+
+        % ---- hard constraint ---------------------------------------------
+        grant(U, D), embargoed(D) -> false.
+
+        % ---- queries -------------------------------------------------------
+        ?- grant(ana, telemetry).
+        ?- grant(bo, billing).
+        ?(U) requested(U, D), not grant(U, D).
+        "#,
+    )?;
+
+    let model = reasoner.solve_default()?;
+    println!("model exact: {} (policy rules have one existential)\n", model.exact);
+
+    let mut verdicts = Vec::new();
+    for (who, what) in [("ana", "telemetry"), ("bo", "billing"), ("cid", "wiki")] {
+        let verdict = reasoner.ask3(&model, &format!("?- grant({who}, {what})."))?;
+        let action = match verdict {
+            Truth::True => "GRANT (certain)",
+            Truth::False => "DENY (certain)",
+            Truth::Unknown => "ESCALATE (undefined under WFS)",
+        };
+        println!("{who:>4} requests {what:<10} -> {action}");
+        verdicts.push(verdict);
+    }
+    // All three outcomes occur: grant, hard deny, and a genuine unknown.
+    assert_eq!(
+        verdicts,
+        vec![Truth::True, Truth::False, Truth::Unknown],
+        "the example should exhibit all three truth values"
+    );
+
+    // The mutual-audit standoff is undefined, not arbitrarily resolved:
+    let standing_cid = reasoner.ask3(&model, "?- standing(cid).")?;
+    let standing_bo = reasoner.ask3(&model, "?- standing(bo).")?;
+    println!("\nmutual audit standing: cid = {standing_cid}, bo = {standing_bo}");
+    assert_eq!(standing_cid, Truth::Unknown);
+    assert_eq!(standing_bo, Truth::Unknown);
+
+    // Every dataset got a steward witness (a labelled null):
+    assert!(reasoner.ask(&model, "?- steward(billing, S).")?);
+
+    // The embargo constraint is respected:
+    let status = reasoner.constraint_status(&model);
+    println!("constraint status: {status:?}");
+    assert!(status.iter().all(|s| !s.is_true()));
+    Ok(())
+}

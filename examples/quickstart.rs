@@ -1,0 +1,47 @@
+//! Quickstart: parse a guarded normal Datalog± program, compute its
+//! well-founded model, and ask queries.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use wfdatalog::Reasoner;
+
+fn main() -> Result<(), wfdatalog::Error> {
+    let mut reasoner = Reasoner::from_source(
+        r#"
+        % A tiny project-staffing knowledge base.
+        employee(ada).
+        employee(grace).
+        on_leave(grace).
+
+        % Every employee works on some project (existential head).
+        employee(X) -> assigned(X, P).
+
+        % Employees not on leave and not blocked are available.
+        employee(X), not on_leave(X), not blocked(X) -> available(X).
+
+        % Availability and leave must not coincide (negative constraint).
+        available(X), on_leave(X) -> false.
+        "#,
+    )?;
+
+    let model = reasoner.solve_default()?;
+    println!("well-founded model (true atoms):");
+    println!("{}", model.render_true(&reasoner.universe));
+    println!();
+
+    for (query, label) in [
+        ("?- available(ada).", "is Ada available?"),
+        ("?- available(grace).", "is Grace available?"),
+        ("?- assigned(ada, P).", "is Ada assigned to some project?"),
+    ] {
+        let verdict = reasoner.ask(&model, query)?;
+        println!("{label:40} {verdict}");
+    }
+
+    let status = reasoner.constraint_status(&model);
+    println!("\nconstraint violations: {status:?}");
+    println!("model exact: {}", model.exact);
+    Ok(())
+}

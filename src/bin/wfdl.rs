@@ -1,0 +1,213 @@
+//! `wfdl` — command-line well-founded reasoner for guarded normal Datalog±.
+//!
+//! ```text
+//! wfdl run program.dl [--depth N] [--engine wp|wp-literal|alternating|forward]
+//!                     [--model] [--hidden] [--forest N] [--stats]
+//! wfdl check program.dl            # parse + validate only
+//! ```
+//!
+//! The program file may contain facts, guarded NTGDs (head-only variables
+//! are existential), rules with explicit Skolem terms, negative constraints
+//! (`-> false`) and queries (`?- …` / `?(X) …`). Queries in the file are
+//! answered against the computed model.
+
+use std::process::ExitCode;
+use wfdatalog::chase::ExplicitForest;
+use wfdatalog::{EngineKind, Reasoner, Truth, WfsOptions};
+
+struct Options {
+    command: String,
+    file: String,
+    depth: Option<u32>,
+    engine: EngineKind,
+    show_model: bool,
+    show_hidden: bool,
+    forest_depth: Option<u32>,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wfdl run <file> [--depth N] [--engine wp|wp-literal|alternating|forward]\n\
+         \x20                   [--model] [--hidden] [--forest N] [--stats]\n\
+         \x20      wfdl check <file>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage());
+    let file = args.next().unwrap_or_else(|| usage());
+    let mut opts = Options {
+        command,
+        file,
+        depth: None,
+        engine: EngineKind::Wp,
+        show_model: false,
+        show_hidden: false,
+        forest_depth: None,
+        stats: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--depth" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.depth = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--engine" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.engine = match v.as_str() {
+                    "wp" => EngineKind::Wp,
+                    "wp-literal" => EngineKind::WpLiteral,
+                    "alternating" => EngineKind::Alternating,
+                    "forward" => EngineKind::Forward,
+                    _ => usage(),
+                };
+            }
+            "--model" => opts.show_model = true,
+            "--hidden" => opts.show_hidden = true,
+            "--stats" => opts.stats = true,
+            "--forest" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.forest_depth = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut reasoner = match Reasoner::from_source(&source) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match opts.command.as_str() {
+        "check" => {
+            println!(
+                "{}: ok — {} rules, {} facts, {} constraints, {} queries",
+                opts.file,
+                reasoner.sigma.rules.len(),
+                reasoner.database.len(),
+                reasoner.violations.len(),
+                reasoner.queries.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "run" => run(opts, reasoner.queries.len(), &mut reasoner),
+        _ => usage(),
+    }
+}
+
+fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
+    let wfs_options = match opts.depth {
+        Some(d) => WfsOptions::depth(d).with_engine(opts.engine),
+        None => {
+            // Unbounded when the program has no existentials.
+            let has_skolems = reasoner.sigma.rules.iter().any(|r| {
+                r.head_args
+                    .iter()
+                    .any(|t| matches!(t, wfdatalog::core::HeadTerm::Skolem(..)))
+            });
+            if has_skolems {
+                WfsOptions::depth(12).with_engine(opts.engine)
+            } else {
+                WfsOptions::unbounded().with_engine(opts.engine)
+            }
+        }
+    };
+    let model = match reasoner.solve(wfs_options) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("solver error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.stats {
+        let (t, f, u) = model.counts();
+        println!(
+            "% segment: {} atoms, {} rule instances, {} stages, exact: {}",
+            model.segment.atoms().len(),
+            model.ground.num_rules(),
+            model.stages(),
+            model.exact
+        );
+        println!("% truth: {t} true, {f} false, {u} unknown");
+    }
+
+    if let Some(fd) = opts.forest_depth {
+        let fd = fd.min(model.segment.budget().max_depth);
+        let forest = ExplicitForest::unfold(&model.segment, fd, 50_000);
+        println!("% chase forest to depth {fd}:");
+        print!("{}", forest.render(&reasoner.universe));
+        if forest.hit_node_cap {
+            println!("% … truncated at 50000 nodes");
+        }
+    }
+
+    if opts.show_model || num_queries == 0 {
+        println!("% true atoms:");
+        for atom in model.true_atoms() {
+            let pred = reasoner.universe.atoms.pred(atom);
+            if !opts.show_hidden && reasoner.universe.pred_info(pred).auxiliary {
+                continue;
+            }
+            println!("{}.", reasoner.universe.display_atom(atom));
+        }
+        let unknown: Vec<_> = model.unknown_atoms().collect();
+        if !unknown.is_empty() {
+            println!("% undefined atoms:");
+            for atom in unknown {
+                println!("% {} : unknown", reasoner.universe.display_atom(atom));
+            }
+        }
+    }
+
+    // Answer the file's queries in order.
+    let queries = reasoner.queries.clone();
+    for (i, q) in queries.iter().enumerate() {
+        if q.is_boolean() {
+            let verdict = wfdatalog::query::holds3(&reasoner.universe, &model, q);
+            println!("query {}: {verdict}", i + 1);
+        } else {
+            let ans = wfdatalog::query::answers(&reasoner.universe, &model, q);
+            println!("query {}: {} answer(s)", i + 1, ans.len());
+            for tuple in ans.tuples() {
+                let rendered: Vec<String> = tuple
+                    .iter()
+                    .map(|&t| reasoner.universe.display_term(t).to_string())
+                    .collect();
+                println!("  ({})", rendered.join(", "));
+            }
+        }
+    }
+
+    // Constraint report.
+    let status = reasoner.constraint_status(&model);
+    for (i, s) in status.iter().enumerate() {
+        match s {
+            Truth::True => println!("constraint {}: VIOLATED", i + 1),
+            Truth::Unknown => println!("constraint {}: possibly violated", i + 1),
+            Truth::False => {}
+        }
+    }
+    if status.iter().any(|s| s.is_true()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,287 @@
+//! # wfdatalog — well-founded semantics for guarded normal Datalog±
+//!
+//! A from-scratch Rust implementation of
+//! *"Well-Founded Semantics for Extended Datalog and Ontological
+//! Reasoning"* (Hernich, Kupke, Lukasiewicz, Gottlob; PODS 2013): the
+//! standard well-founded semantics (WFS) for Datalog with existential rule
+//! heads **and** default negation, under the unique name assumption.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wfdatalog::Reasoner;
+//!
+//! let mut reasoner = Reasoner::from_source(r#"
+//!     % Example 1 of the paper.
+//!     scientist(john).
+//!     scientist(X) -> isAuthorOf(X, Y).
+//!     conferencePaper(X) -> article(X).
+//! "#).unwrap();
+//! let model = reasoner.solve_default().unwrap();
+//! // John authors *something* (a labelled null):
+//! assert!(reasoner.ask(&model, "?- isAuthorOf(john, X).").unwrap());
+//! // …but no article is derivable:
+//! assert!(!reasoner.ask(&model, "?- article(X).").unwrap());
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`wfdl_core`] — terms, atoms, rules, programs, interpretations;
+//! * [`wfdl_storage`] — databases, ground programs, indexes;
+//! * [`wfdl_syntax`] — parser and printer for the surface language;
+//! * [`wfdl_chase`] — the guarded chase forest (condensed segments,
+//!   the explicit Example 6 forest, the paper's depth bound `δ`);
+//! * [`wfdl_wfs`] — three WFS fixpoint engines, the stratified
+//!   baseline, WCHECK-style membership with certificates;
+//! * [`wfdl_query`] — NBCQ evaluation with certain-answer semantics;
+//! * [`wfdl_ontology`] — DL-Lite_{R,⊓,not} translation.
+
+pub use wfdl_chase as chase;
+pub use wfdl_core as core;
+pub use wfdl_ontology as ontology;
+pub use wfdl_query as query;
+pub use wfdl_storage as storage;
+pub use wfdl_syntax as syntax;
+pub use wfdl_wfs as wfs;
+
+pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest};
+pub use wfdl_core::{AtomId, Interp, Program, SkolemProgram, Truth, Universe};
+pub use wfdl_query::{AnswerSet, Nbcq, TruthSource};
+pub use wfdl_storage::Database;
+pub use wfdl_wfs::{EngineKind, WellFoundedModel, WfsOptions};
+
+use std::fmt;
+
+/// Unified error type for the high-level API.
+#[derive(Debug)]
+pub enum Error {
+    /// Program construction / validation error.
+    Core(wfdl_core::CoreError),
+    /// Parse or lowering error.
+    Syntax(wfdl_syntax::SyntaxError),
+    /// Query construction error.
+    Query(wfdl_query::QueryError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "program error: {e}"),
+            Error::Syntax(e) => write!(f, "syntax error: {e}"),
+            Error::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<wfdl_core::CoreError> for Error {
+    fn from(e: wfdl_core::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<wfdl_syntax::SyntaxError> for Error {
+    fn from(e: wfdl_syntax::SyntaxError) -> Self {
+        Error::Syntax(e)
+    }
+}
+
+impl From<wfdl_query::QueryError> for Error {
+    fn from(e: wfdl_query::QueryError) -> Self {
+        Error::Query(e)
+    }
+}
+
+/// High-level façade: owns the universe, database, program and queries.
+pub struct Reasoner {
+    /// The interning context (public: power users mix APIs freely).
+    pub universe: Universe,
+    /// The database `D`.
+    pub database: Database,
+    /// The skolemized program `Σf` (constraints already lowered).
+    pub sigma: SkolemProgram,
+    /// Violation predicates of the lowered constraints, in source order.
+    pub violations: Vec<wfdl_core::PredId>,
+    /// Queries that appeared in the source, in order.
+    pub queries: Vec<Nbcq>,
+}
+
+impl Reasoner {
+    /// Parses a program text (facts, rules, constraints, queries).
+    pub fn from_source(src: &str) -> Result<Self, Error> {
+        let mut universe = Universe::new();
+        let lowered = wfdl_syntax::load(&mut universe, src)?;
+        let (mut sigma, violations) =
+            wfdl_wfs::lower_with_constraints(&mut universe, &lowered.program)?;
+        sigma.rules.extend(lowered.functional.iter().cloned());
+        Ok(Reasoner {
+            universe,
+            database: lowered.database,
+            sigma,
+            violations,
+            queries: lowered.queries,
+        })
+    }
+
+    /// Builds a reasoner from a DL-Lite ontology (Examples 1 and 2).
+    pub fn from_ontology(onto: &wfdl_ontology::Ontology) -> Result<Self, Error> {
+        let mut universe = Universe::new();
+        let translated = wfdl_ontology::translate(&mut universe, onto)?;
+        let (sigma, violations) =
+            wfdl_wfs::lower_with_constraints(&mut universe, &translated.program)?;
+        Ok(Reasoner {
+            universe,
+            database: translated.database,
+            sigma,
+            violations,
+            queries: Vec::new(),
+        })
+    }
+
+    /// Adds more source text (facts/rules/queries) to the reasoner.
+    pub fn add_source(&mut self, src: &str) -> Result<(), Error> {
+        let lowered = wfdl_syntax::load(&mut self.universe, src)?;
+        let (sigma, violations) =
+            wfdl_wfs::lower_with_constraints(&mut self.universe, &lowered.program)?;
+        self.sigma.rules.extend(sigma.rules);
+        self.sigma.rules.extend(lowered.functional.iter().cloned());
+        self.violations.extend(violations);
+        for &f in lowered.database.facts() {
+            self.database.insert_unchecked(&self.universe, f);
+        }
+        self.queries.extend(lowered.queries);
+        Ok(())
+    }
+
+    /// Computes the well-founded model with explicit options.
+    pub fn solve(&mut self, options: WfsOptions) -> Result<WellFoundedModel, Error> {
+        Ok(wfdl_wfs::solve(
+            &mut self.universe,
+            &self.database,
+            &self.sigma,
+            options,
+        ))
+    }
+
+    /// Computes the well-founded model with a sensible default budget
+    /// (unbounded for terminating programs, depth 12 otherwise).
+    pub fn solve_default(&mut self) -> Result<WellFoundedModel, Error> {
+        let has_existentials = self.sigma.rules.iter().any(|r| {
+            r.head_args
+                .iter()
+                .any(|t| matches!(t, wfdl_core::HeadTerm::Skolem(..)))
+        });
+        let options = if has_existentials {
+            WfsOptions::depth(12)
+        } else {
+            WfsOptions::unbounded()
+        };
+        self.solve(options)
+    }
+
+    /// Parses and evaluates a Boolean query (e.g. `"?- p(X), not q(X)."`)
+    /// against a model.
+    pub fn ask(&mut self, model: &WellFoundedModel, query_src: &str) -> Result<bool, Error> {
+        let q = self.parse_query(query_src)?;
+        Ok(wfdl_query::holds(&self.universe, model, &q))
+    }
+
+    /// Parses and evaluates a query with answer variables
+    /// (e.g. `"?(X) p(X, Y)."`), returning the constant tuples.
+    pub fn answers(
+        &mut self,
+        model: &WellFoundedModel,
+        query_src: &str,
+    ) -> Result<AnswerSet, Error> {
+        let q = self.parse_query(query_src)?;
+        Ok(wfdl_query::answers(&self.universe, model, &q))
+    }
+
+    /// Three-valued satisfaction of a Boolean query.
+    pub fn ask3(&mut self, model: &WellFoundedModel, query_src: &str) -> Result<Truth, Error> {
+        let q = self.parse_query(query_src)?;
+        Ok(wfdl_query::holds3(&self.universe, model, &q))
+    }
+
+    /// Parses a single query statement.
+    pub fn parse_query(&mut self, src: &str) -> Result<Nbcq, Error> {
+        let lowered = wfdl_syntax::load(&mut self.universe, src)?;
+        lowered.queries.into_iter().next().ok_or_else(|| {
+            Error::Syntax(wfdl_syntax::SyntaxError::new(
+                "expected a query (`?- ….` or `?(X) …  .`)",
+                wfdl_syntax::Pos { line: 1, col: 1 },
+            ))
+        })
+    }
+
+    /// Truth of each constraint's violation marker in the model.
+    pub fn constraint_status(&mut self, model: &WellFoundedModel) -> Vec<Truth> {
+        wfdl_wfs::constraint_status(&mut self.universe, model, &self.violations)
+    }
+
+    /// Looks up a ground atom `pred(constants…)` by names; `None` if the
+    /// atom was never materialized (its value is then `False`).
+    pub fn lookup_atom(&self, pred: &str, args: &[&str]) -> Option<AtomId> {
+        let p = self.universe.lookup_pred(pred)?;
+        let ts: Option<Vec<_>> = args
+            .iter()
+            .map(|a| self.universe.lookup_constant(a))
+            .collect();
+        self.universe.atoms.lookup(p, &ts?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let mut r = Reasoner::from_source(
+            r#"
+            scientist(john).
+            scientist(X) -> isAuthorOf(X, Y).
+            "#,
+        )
+        .unwrap();
+        let model = r.solve_default().unwrap();
+        assert!(r.ask(&model, "?- isAuthorOf(john, X).").unwrap());
+        assert!(!r.ask(&model, "?- isAuthorOf(X, john).").unwrap());
+    }
+
+    #[test]
+    fn add_source_accumulates() {
+        let mut r = Reasoner::from_source("p(a).").unwrap();
+        r.add_source("p(X) -> q(X).").unwrap();
+        let model = r.solve_default().unwrap();
+        assert!(r.ask(&model, "?- q(a).").unwrap());
+    }
+
+    #[test]
+    fn constraint_status_via_facade() {
+        let mut r = Reasoner::from_source(
+            r#"
+            cat(tom).
+            dog(tom).
+            cat(X), dog(X) -> false.
+            "#,
+        )
+        .unwrap();
+        let model = r.solve_default().unwrap();
+        assert_eq!(r.constraint_status(&model), vec![Truth::True]);
+    }
+
+    #[test]
+    fn ask3_reports_unknown() {
+        let mut r = Reasoner::from_source(
+            r#"
+            g(c).
+            g(X), not p(X) -> p(X).
+            "#,
+        )
+        .unwrap();
+        let model = r.solve_default().unwrap();
+        assert_eq!(r.ask3(&model, "?- p(c).").unwrap(), Truth::Unknown);
+    }
+}

@@ -1,0 +1,104 @@
+//! The condensed chase segment is equivalent to the definitional explicit
+//! forest: same labels, same minimal depths, same minimal derivation
+//! levels, and every explicit edge realizes a condensed rule instance.
+
+use wfdatalog::chase::{ChaseBudget, ChaseSegment, ExplicitForest};
+use wfdatalog::Universe;
+use wfdl_gen::{random_database, random_program, RandomConfig, RandomDbConfig};
+
+fn check_equivalence(u: &Universe, seg: &ChaseSegment, depth: u32) {
+    let forest = ExplicitForest::unfold(seg, depth, 200_000);
+    assert!(!forest.hit_node_cap, "raise the cap for this test");
+
+    // Labels coincide.
+    let mut forest_labels: Vec<_> = forest.nodes().iter().map(|n| n.atom).collect();
+    forest_labels.sort_unstable();
+    forest_labels.dedup();
+    let mut seg_labels: Vec<_> = seg.atoms().iter().map(|a| a.atom).collect();
+    seg_labels.sort_unstable();
+    assert_eq!(
+        forest_labels,
+        seg_labels,
+        "label sets differ (universe has {} atoms)",
+        u.atoms.len()
+    );
+
+    // Minimal depth and level per atom coincide.
+    for sa in seg.atoms() {
+        let nodes: Vec<_> = forest
+            .nodes()
+            .iter()
+            .filter(|n| n.atom == sa.atom)
+            .collect();
+        let min_depth = nodes.iter().map(|n| n.depth).min().unwrap();
+        let min_level = nodes.iter().map(|n| n.level).min().unwrap();
+        assert_eq!(min_depth, sa.depth, "depth of {}", u.display_atom(sa.atom));
+        assert_eq!(min_level, sa.level, "level of {}", u.display_atom(sa.atom));
+    }
+
+    // Every edge of the explicit forest is labelled by a segment instance
+    // whose guard is the parent's label.
+    for node in forest.nodes() {
+        if let (Some(parent), Some(via)) = (node.parent, node.via) {
+            let inst = seg.instance(via);
+            let parent_atom = forest.nodes()[parent as usize].atom;
+            assert_eq!(inst.guard_atom, parent_atom);
+            assert_eq!(inst.head, node.atom);
+        }
+    }
+}
+
+#[test]
+fn equivalence_on_paper_example() {
+    let mut u = Universe::new();
+    let (db, sigma) = wfdatalog::chase::paper::example4(&mut u);
+    for depth in [1u32, 2, 3, 4] {
+        let seg = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(depth));
+        check_equivalence(&u, &seg, depth);
+    }
+}
+
+#[test]
+fn equivalence_on_random_workloads() {
+    for seed in 0..20u64 {
+        let mut u = Universe::new();
+        let w = random_program(
+            &mut u,
+            &RandomConfig {
+                seed,
+                num_rules: 8,
+                negation_prob: 0.4,
+                existential_prob: 0.3,
+                ..Default::default()
+            },
+        );
+        let db = random_database(
+            &mut u,
+            &w,
+            &RandomDbConfig {
+                num_constants: 5,
+                num_facts: 10,
+                seed: seed ^ 0x77,
+            },
+        );
+        let seg = ChaseSegment::build(&mut u, &db, &w.sigma, ChaseBudget::depth(3));
+        check_equivalence(&u, &seg, 3);
+    }
+}
+
+#[test]
+fn deeper_segments_extend_shallower_ones() {
+    let mut u = Universe::new();
+    let (db, sigma) = wfdatalog::chase::paper::example4(&mut u);
+    let shallow = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(3));
+    let deep = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(6));
+    for sa in shallow.atoms() {
+        let meta = deep
+            .meta(sa.atom)
+            .expect("shallow atoms persist in deeper segments");
+        assert_eq!(meta.depth, sa.depth);
+        assert_eq!(meta.level, sa.level);
+    }
+    assert!(deep.atoms().len() > shallow.atoms().len());
+    assert!(deep.instances().len() > shallow.instances().len());
+}

@@ -1,0 +1,54 @@
+//! The sample programs shipped in `programs/` keep their advertised
+//! behaviour (these are the same files the `wfdl` CLI demonstrates).
+
+use wfdatalog::{Reasoner, Truth, WfsOptions};
+
+fn load_program(name: &str) -> Reasoner {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/programs/");
+    let src = std::fs::read_to_string(format!("{path}{name}")).expect("program file exists");
+    Reasoner::from_source(&src).expect("program file parses")
+}
+
+#[test]
+fn example4_program_file() {
+    let mut r = load_program("example4.dl");
+    assert_eq!(r.queries.len(), 3);
+    let model = r.solve(WfsOptions::depth(7)).unwrap();
+    let queries = r.queries.clone();
+    let expected = [Truth::True, Truth::False, Truth::True];
+    for (q, want) in queries.iter().zip(expected) {
+        assert_eq!(
+            wfdatalog::query::holds3(&r.universe, &model, q),
+            want,
+            "query {q:?}"
+        );
+    }
+}
+
+#[test]
+fn employment_program_file() {
+    let mut r = load_program("employment.dl");
+    let model = r.solve(WfsOptions::depth(6)).unwrap();
+    assert!(r.ask(&model, "?- validId(I).").unwrap());
+    // b is the only unemployed person.
+    let ans = r.answers(&model, "?(X) person(X), not employed(X).").unwrap();
+    assert_eq!(ans.len(), 1);
+    let b = r.universe.lookup_constant("b").unwrap();
+    assert!(ans.contains(&[b]));
+    // The valid ID is a's; b's job-seeker ID does not validate.
+    assert!(r.ask(&model, "?- employeeId(a, I), validId(I).").unwrap());
+    assert!(!r.ask(&model, "?- jobSeekerId(b, I), validId(I).").unwrap());
+}
+
+#[test]
+fn win_move_program_file() {
+    let mut r = load_program("win_move.dl");
+    let model = r.solve_default().unwrap();
+    assert!(model.exact);
+    // c is won (moves to terminal d), d is lost.
+    assert_eq!(r.ask3(&model, "?- win(c).").unwrap(), Truth::True);
+    assert_eq!(r.ask3(&model, "?- win(d).").unwrap(), Truth::False);
+    // a and b sit on a draw cycle: undefined.
+    assert_eq!(r.ask3(&model, "?- win(a).").unwrap(), Truth::Unknown);
+    assert_eq!(r.ask3(&model, "?- win(b).").unwrap(), Truth::Unknown);
+}

@@ -1,0 +1,140 @@
+//! Surface-syntax robustness: round trips and failure injection.
+
+use wfdatalog::syntax::{self, load};
+use wfdatalog::{Reasoner, Universe};
+
+/// Printing a lowered program and re-loading it must reach a fixed point.
+fn assert_roundtrip(src: &str) {
+    let render = |src: &str| -> String {
+        let mut u = Universe::new();
+        let l = load(&mut u, src).expect("load");
+        let mut out = syntax::print_program(&u, &l.program);
+        out.push_str(&syntax::print_skolem_program(
+            &u,
+            &wfdatalog::SkolemProgram {
+                rules: l.functional.clone(),
+            },
+        ));
+        out.push_str(&syntax::print_database(&u, &l.database));
+        for q in &l.queries {
+            out.push_str(&syntax::print_query(&u, q));
+            out.push('\n');
+        }
+        out
+    };
+    let once = render(src);
+    let twice = render(&once);
+    assert_eq!(once, twice, "round trip diverged for:\n{src}");
+}
+
+#[test]
+fn roundtrip_paper_programs() {
+    assert_roundtrip(
+        r#"
+        scientist(john).
+        conferencePaper(X) -> article(X).
+        scientist(X) -> isAuthorOf(X, Y).
+        ?- isAuthorOf(john, X).
+        "#,
+    );
+    assert_roundtrip(
+        r#"
+        r(0,0,1). p(0,0).
+        r(X,Y,Z) -> r(X,Z,f(X,Y,Z)).
+        r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).
+        r(X,Y,Z), not p(X,Y) -> q(Z).
+        r(X,Y,Z), not p(X,Z) -> s(X).
+        p(X,Y), not s(X) -> t(X).
+        "#,
+    );
+    assert_roundtrip(
+        r#"
+        person(a). person(b). employed(a).
+        person(X), employed(X), not hasJobSeekerId(X) -> employeeId(X, I).
+        employeeId(X, I), jobSeekerId(X, I) -> false.
+        ?(X) person(X), not employed(X).
+        "#,
+    );
+}
+
+#[test]
+fn capitalized_predicates_are_accepted() {
+    let mut r = Reasoner::from_source(
+        r#"
+        Person(alice).
+        Person(X) -> Mortal(X).
+        ?- Mortal(alice).
+        "#,
+    )
+    .unwrap();
+    let model = r.solve_default().unwrap();
+    assert!(r.ask(&model, "?- Mortal(X).").unwrap());
+}
+
+// ---- failure injection --------------------------------------------------
+
+fn load_err(src: &str) -> String {
+    let mut u = Universe::new();
+    load(&mut u, src).unwrap_err().to_string()
+}
+
+#[test]
+fn unguarded_rule_rejected_with_position() {
+    let err = load_err("p(X,Y), p(Y,Z) -> p(X,Z).");
+    assert!(err.contains("guard"), "{err}");
+    assert!(err.starts_with("1:"), "{err}");
+}
+
+#[test]
+fn unsafe_negation_rejected() {
+    let err = load_err("p(X), not q(Y) -> r(X).");
+    assert!(err.contains("unsafe") || err.contains("negated"), "{err}");
+}
+
+#[test]
+fn head_null_rejected_in_fact() {
+    let err = load_err("p(f(a)).");
+    assert!(err.contains("null"), "{err}");
+}
+
+#[test]
+fn function_in_body_rejected() {
+    let err = load_err("p(f(X)) -> q(X).");
+    assert!(err.contains("heads"), "{err}");
+}
+
+#[test]
+fn arity_mismatch_across_statements() {
+    let err = load_err("p(a, b). q(X, Y) -> p(X).");
+    assert!(err.contains("arity"), "{err}");
+}
+
+#[test]
+fn dangling_statement_rejected() {
+    let err = load_err("p(a)");
+    assert!(err.contains('.'), "{err}");
+}
+
+#[test]
+fn unterminated_string_rejected() {
+    let err = load_err("p(\"abc).");
+    assert!(err.contains("unterminated"), "{err}");
+}
+
+#[test]
+fn empty_head_requires_false_keyword() {
+    let err = load_err("p(X) -> .");
+    assert!(err.contains("predicate name"), "{err}");
+}
+
+#[test]
+fn query_variable_only_in_negation_rejected() {
+    let err = load_err("p(a). ?- p(X), not q(Y).");
+    assert!(err.contains("range-restricted"), "{err}");
+}
+
+#[test]
+fn constraint_must_be_guarded_too() {
+    let err = load_err("p(X), q(Y) -> false.");
+    assert!(err.contains("guard"), "{err}");
+}
