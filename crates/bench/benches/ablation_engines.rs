@@ -34,7 +34,14 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("winmove512", name),
             &engine,
             |b, &engine| {
-                b.iter(|| solve(&mut u, &db, &sigma, WfsOptions::unbounded().with_engine(engine)));
+                b.iter(|| {
+                    solve(
+                        &mut u,
+                        &db,
+                        &sigma,
+                        WfsOptions::unbounded().with_engine(engine),
+                    )
+                });
             },
         );
     }

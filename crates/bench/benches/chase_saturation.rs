@@ -14,9 +14,13 @@ fn bench(c: &mut Criterion) {
         let mut u = Universe::new();
         let (db, sigma) = paper::example4(&mut u);
         let _ = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(depth));
-        group.bench_with_input(BenchmarkId::new("example4_depth", depth), &depth, |b, &d| {
-            b.iter(|| ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(d)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("example4_depth", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(d)));
+            },
+        );
     }
 
     {

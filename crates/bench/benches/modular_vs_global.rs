@@ -1,0 +1,94 @@
+//! Modular (SCC-condensation) evaluation vs the global fixpoint engines —
+//! the headline measurement for the dense-CSR + modular-evaluation
+//! refactor. Engine time is isolated by extracting the ground program once
+//! and timing only the fixpoint computation.
+//!
+//! Workloads:
+//! * `stratified` — a random stratified guarded program (negation across
+//!   strata only): every component is definite, so the modular engine does
+//!   one linear sweep while the global engines run staged unfounded-set
+//!   rounds;
+//! * `winmove_dag` — win–move on an acyclic game graph: the alternation
+//!   depth (and hence the global engines' stage count) grows with the
+//!   longest path, while the condensation stays all-definite;
+//! * `winmove512` — the win–move game on a random graph with draw cycles:
+//!   the recursive components exist but stay tiny.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfdl_core::Universe;
+use wfdl_gen::{
+    random_database, random_stratified_program, winmove_database, winmove_sigma, RandomConfig,
+    RandomDbConfig, WinMoveConfig,
+};
+use wfdl_storage::GroundProgram;
+use wfdl_wfs::{solve, AlternatingEngine, ModularEngine, StepMode, WfsOptions, WpEngine};
+
+fn stratified_ground() -> GroundProgram {
+    let mut u = Universe::new();
+    let w = random_stratified_program(
+        &mut u,
+        &RandomConfig {
+            seed: 2,
+            num_rules: 32,
+            num_preds: 12,
+            negation_prob: 0.6,
+            existential_prob: 0.0,
+            ..Default::default()
+        },
+        4,
+    );
+    let db = random_database(
+        &mut u,
+        &w,
+        &RandomDbConfig {
+            num_constants: 48,
+            num_facts: 2048,
+            seed: 9,
+        },
+    );
+    solve(&mut u, &db, &w.sigma, WfsOptions::unbounded()).ground
+}
+
+fn winmove_ground(nodes: usize, forward_bias: f64) -> GroundProgram {
+    let mut u = Universe::new();
+    let sigma = winmove_sigma(&mut u);
+    let db = winmove_database(
+        &mut u,
+        &WinMoveConfig {
+            nodes,
+            out_degree: 2.0,
+            forward_bias,
+            seed: 3,
+        },
+    );
+    solve(&mut u, &db, &sigma, WfsOptions::unbounded()).ground
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modular_vs_global");
+    group.sample_size(30);
+
+    for (workload, ground) in [
+        ("stratified", stratified_ground()),
+        ("winmove_dag", winmove_ground(2048, 1.0)),
+        ("winmove512", winmove_ground(512, 0.5)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(workload, "modular"), &ground, |b, g| {
+            b.iter(|| ModularEngine::new(g).solve());
+        });
+        group.bench_with_input(BenchmarkId::new(workload, "wp"), &ground, |b, g| {
+            b.iter(|| WpEngine::new(g).solve(StepMode::Accelerated));
+        });
+        group.bench_with_input(
+            BenchmarkId::new(workload, "alternating"),
+            &ground,
+            |b, g| {
+                b.iter(|| AlternatingEngine::new(g).solve());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -35,7 +35,10 @@ pub fn e1_chase_forest_figure() {
 /// `T(0)` enters `lfp(Ŵ_P)` grows with segment depth (ω+2 in the limit).
 pub fn e2_transfinite_stages() {
     println!("== E2: Example 9 — Ŵ_P stage arithmetic on growing segments ==");
-    println!("{:>6} {:>10} {:>12} {:>12} {:>10}", "depth", "atoms", "stages", "stage(T(0))", "T(0)");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10}",
+        "depth", "atoms", "stages", "stage(T(0))", "T(0)"
+    );
     for depth in [4u32, 6, 8, 10, 12, 16] {
         let mut u = Universe::new();
         let (db, sigma) = paper::example4(&mut u);
@@ -61,7 +64,10 @@ pub fn e2_transfinite_stages() {
 /// polynomial (near-linear) runtime.
 pub fn e3_data_complexity() {
     println!("== E3: Theorem 13 — data complexity (fixed Σ, |D| grows) ==");
-    println!("{:>10} {:>12} {:>12} {:>12}", "|D|", "atoms", "rules", "time");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "|D|", "atoms", "rules", "time"
+    );
     let mut series = Series::default();
     for k in [4usize, 8, 16, 32, 64, 128, 256] {
         let mut u = Universe::new();
@@ -173,7 +179,6 @@ pub fn e4_combined_complexity() {
     );
 }
 
-
 /// E5 — Theorem 14: NBCQ answering, scaling database size and query size.
 pub fn e5_nbcq_answering() {
     println!("== E5: Theorem 14 — NBCQ answering ==");
@@ -201,7 +206,10 @@ pub fn e5_nbcq_answering() {
         println!("{:>10} {:>11.2?}", db.len(), t);
         series.push(db.len() as f64, t.as_secs_f64());
     }
-    println!("log-log slope: {:.2} (paper: PTIME data complexity)", series.loglog_slope());
+    println!(
+        "log-log slope: {:.2} (paper: PTIME data complexity)",
+        series.loglog_slope()
+    );
 
     println!("-- fixed |D|, growing query size n --");
     println!("{:>6} {:>12} {:>10}", "n", "time", "holds");
@@ -261,7 +269,9 @@ pub fn e6_dllite_employment() {
         let tr = translate(&mut u, &onto).unwrap();
         let sigma = tr.program.clone().skolemize(&mut u).unwrap();
         let model = solve(&mut u, &tr.database, &sigma, WfsOptions::depth(5)); // warm-up
-        let t = median_time(3, || solve(&mut u, &tr.database, &sigma, WfsOptions::depth(5)));
+        let t = median_time(3, || {
+            solve(&mut u, &tr.database, &sigma, WfsOptions::depth(5))
+        });
         let valid = u.lookup_pred("ValidID").unwrap();
         let una_count = model
             .true_atoms()
@@ -293,8 +303,14 @@ pub fn e6_dllite_employment() {
 /// executable).
 pub fn e7_engine_ablation() {
     println!("== E7: engine ablation (Wp / Wp-literal / alternating / forward) ==");
-    type WorkloadFn =
-        Box<dyn Fn() -> (Universe, wfdl_storage::Database, wfdl_core::SkolemProgram, WfsOptions)>;
+    type WorkloadFn = Box<
+        dyn Fn() -> (
+            Universe,
+            wfdl_storage::Database,
+            wfdl_core::SkolemProgram,
+            WfsOptions,
+        ),
+    >;
     let workloads: Vec<(String, WorkloadFn)> = vec![
         (
             "example4 depth 8".into(),
@@ -436,8 +452,12 @@ pub fn e9_winmove_scaling() {
                 seed: 17,
             },
         );
-        let model = solve(&mut u, &db, &sigma, WfsOptions::unbounded()); // warm-up
-        let t = median_time(3, || solve(&mut u, &db, &sigma, WfsOptions::unbounded()));
+        // Pinned to W_P: the "stages" column is the paper's fixpoint stage
+        // count, which the (default) modular engine does not report — it
+        // counts dependency components instead.
+        let opts = WfsOptions::unbounded().with_engine(EngineKind::Wp);
+        let model = solve(&mut u, &db, &sigma, opts); // warm-up
+        let t = median_time(3, || solve(&mut u, &db, &sigma, opts));
         let win = u.lookup_pred("win").unwrap();
         let mut won = 0usize;
         let mut drawn = 0usize;
@@ -510,7 +530,10 @@ pub fn e11_type_census() {
         let seg = ChaseSegment::build(&mut u, &db, &sigma, ChaseBudget::depth(depth));
         let interp = ForwardEngine::new(&seg).solve().interp;
         let census = wfdl_wfs::type_census(&mut u, &seg, &interp);
-        println!("{:>6} {:>10} {:>16}", depth, census.atoms, census.distinct_types);
+        println!(
+            "{:>6} {:>10} {:>16}",
+            depth, census.atoms, census.distinct_types
+        );
     }
     println!(
         "paper (Lemmas 10/11, Prop. 12): finitely many non-isomorphic types\n\

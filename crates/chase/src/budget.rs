@@ -74,7 +74,9 @@ mod tests {
         assert_eq!(b.max_atoms, usize::MAX);
         let u = ChaseBudget::unbounded();
         assert_eq!(u.max_depth, u32::MAX);
-        let c = ChaseBudget::default().with_max_atoms(10).with_max_instances(20);
+        let c = ChaseBudget::default()
+            .with_max_atoms(10)
+            .with_max_instances(20);
         assert_eq!(c.max_atoms, 10);
         assert_eq!(c.max_instances, 20);
     }

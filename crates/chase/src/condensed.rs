@@ -365,8 +365,7 @@ impl<'a> Builder<'a> {
             }
             Some(&hi) => {
                 let meta = &mut self.atoms[hi as usize];
-                let improved =
-                    child_depth < meta.depth || child_level < meta.level;
+                let improved = child_depth < meta.depth || child_level < meta.level;
                 if improved {
                     meta.depth = meta.depth.min(child_depth);
                     meta.level = meta.level.min(child_level);
@@ -433,9 +432,7 @@ mod tests {
             .iter()
             .map(|sa| u.display_atom(sa.atom).to_string())
             .collect();
-        for expected in [
-            "R(0,0,1)", "P(0,0)", "P(0,1)", "Q(1)", "S(0)", "T(0)",
-        ] {
+        for expected in ["R(0,0,1)", "P(0,0)", "P(0,1)", "Q(1)", "S(0)", "T(0)"] {
             assert!(
                 labels.iter().any(|l| l == expected),
                 "missing {expected}; got {labels:?}"
@@ -468,7 +465,9 @@ mod tests {
         assert_eq!((m.depth, m.level), (1, 1));
         // a = f(0,0,1); P(0,a) needs P(0,1) (level 1) and R(0,1,a) (level 1)
         // so its level is 2, depth 2.
-        let f = u.lookup_skolem("sk_r1_0").expect("skolem fn named after rule label");
+        let f = u
+            .lookup_skolem("sk_r1_0")
+            .expect("skolem fn named after rule label");
         let a_term = u.skolem_term(f, vec![zero, zero, one]).unwrap();
         let p0a = u.atom(p, vec![zero, a_term]).unwrap();
         let m = seg.meta(p0a).unwrap();
@@ -519,10 +518,22 @@ mod tests {
         let done = u.pred("done", 1).unwrap();
         let mut prog = Program::new();
         prog.push(
-            Tgd::new(&u, vec![RuleAtom::new(p, vec![v(0)])], vec![], vec![RuleAtom::new(q, vec![v(0)])]).unwrap(),
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(p, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(q, vec![v(0)])],
+            )
+            .unwrap(),
         );
         prog.push(
-            Tgd::new(&u, vec![RuleAtom::new(s, vec![v(0)])], vec![], vec![RuleAtom::new(rr, vec![v(0)])]).unwrap(),
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(s, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(rr, vec![v(0)])],
+            )
+            .unwrap(),
         );
         // guard q(X), side r(X) -> done(X)
         prog.push(

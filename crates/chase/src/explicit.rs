@@ -59,8 +59,7 @@ impl ExplicitForest {
                 level: 0,
             });
         }
-        let mut present: FxHashSet<AtomId> =
-            nodes.iter().map(|n| n.atom).collect();
+        let mut present: FxHashSet<AtomId> = nodes.iter().map(|n| n.atom).collect();
         let mut done: FxHashSet<(u32, InstanceId)> = FxHashSet::default();
         let mut hit_node_cap = false;
 

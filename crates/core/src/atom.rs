@@ -60,7 +60,10 @@ impl AtomStore {
     /// Arity agreement with the predicate declaration is the caller's
     /// responsibility; [`crate::universe::Universe::atom`] performs the check.
     pub fn intern(&mut self, pred: PredId, args: impl Into<Box<[TermId]>>) -> AtomId {
-        let node = AtomNode { pred, args: args.into() };
+        let node = AtomNode {
+            pred,
+            args: args.into(),
+        };
         if let Some(&id) = self.map.get(&node) {
             return id;
         }
@@ -76,7 +79,10 @@ impl AtomStore {
         // needed. `HashMap` requires an owned key type for `get`, so we pay
         // one allocation per miss-or-hit here; lookups are not on the hot
         // path (interning is).
-        let node = AtomNode { pred, args: args.into() };
+        let node = AtomNode {
+            pred,
+            args: args.into(),
+        };
         self.map.get(&node).copied()
     }
 

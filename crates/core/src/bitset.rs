@@ -86,9 +86,10 @@ impl BitSet {
 
     /// Iterates over set bit indices in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word }.map(move |b| wi * 64 + b)
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter { word }.map(move |b| wi * 64 + b))
     }
 
     /// True iff `self` and `other` share no set bit.

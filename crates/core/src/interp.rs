@@ -143,9 +143,10 @@ impl Interp {
     /// Information-order comparison: true iff every literal of `self` is in
     /// `other` (i.e. `self ⊑ other` in the knowledge order).
     pub fn subsumed_by(&self, other: &Interp) -> bool {
-        self.vals.iter().enumerate().all(|(i, &v)| {
-            v.is_unknown() || other.value(AtomId::from_index(i)) == v
-        })
+        self.vals
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v.is_unknown() || other.value(AtomId::from_index(i)) == v)
     }
 }
 

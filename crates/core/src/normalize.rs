@@ -112,7 +112,10 @@ mod tests {
             &u,
             vec![RuleAtom::new(p, vec![v(0)])],
             vec![],
-            vec![RuleAtom::new(q, vec![v(0), v(1)]), RuleAtom::new(r, vec![v(1)])],
+            vec![
+                RuleAtom::new(q, vec![v(0), v(1)]),
+                RuleAtom::new(r, vec![v(1)]),
+            ],
         )
         .unwrap();
         let out = normalize_heads(&mut u, vec![tgd]).unwrap();
@@ -141,7 +144,10 @@ mod tests {
             &u,
             vec![RuleAtom::new(p, vec![v(0)])],
             vec![RuleAtom::new(s, vec![v(0)])],
-            vec![RuleAtom::new(q, vec![v(0), v(1)]), RuleAtom::new(r, vec![v(1)])],
+            vec![
+                RuleAtom::new(q, vec![v(0), v(1)]),
+                RuleAtom::new(r, vec![v(1)]),
+            ],
         )
         .unwrap();
         let out = normalize_heads(&mut u, vec![tgd]).unwrap();

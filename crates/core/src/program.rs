@@ -120,7 +120,10 @@ mod tests {
                 &u,
                 vec![RuleAtom::new(p, vec![v(0)])],
                 vec![],
-                vec![RuleAtom::new(q, vec![v(0), v(1)]), RuleAtom::new(r, vec![v(1)])],
+                vec![
+                    RuleAtom::new(q, vec![v(0), v(1)]),
+                    RuleAtom::new(r, vec![v(1)]),
+                ],
             )
             .unwrap(),
         );

@@ -60,7 +60,10 @@ pub struct RuleAtom {
 impl RuleAtom {
     /// Creates a rule atom.
     pub fn new(pred: PredId, args: impl Into<Box<[RTerm]>>) -> Self {
-        RuleAtom { pred, args: args.into() }
+        RuleAtom {
+            pred,
+            args: args.into(),
+        }
     }
 
     /// Iterates over the variables of this atom (with repetitions).
@@ -361,7 +364,12 @@ fn render_body(universe: &Universe, pos: &[RuleAtom], neg: &[RuleAtom]) -> Strin
     s
 }
 
-fn render_rule(universe: &Universe, pos: &[RuleAtom], neg: &[RuleAtom], head: &[RuleAtom]) -> String {
+fn render_rule(
+    universe: &Universe,
+    pos: &[RuleAtom],
+    neg: &[RuleAtom],
+    head: &[RuleAtom],
+) -> String {
     let mut s = render_body(universe, pos, neg);
     s.push_str(" -> ");
     for (i, a) in head.iter().enumerate() {

@@ -191,8 +191,7 @@ impl SkolemRule {
                 HeadTerm::Const(c) => *c,
                 HeadTerm::Var(v) => binding[v.index()],
                 HeadTerm::Skolem(f, vars) => {
-                    let sk_args: Vec<TermId> =
-                        vars.iter().map(|v| binding[v.index()]).collect();
+                    let sk_args: Vec<TermId> = vars.iter().map(|v| binding[v.index()]).collect();
                     universe
                         .skolem_term(*f, sk_args)
                         .expect("skolem arity fixed at construction")

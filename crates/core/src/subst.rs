@@ -94,11 +94,7 @@ pub fn match_atom(
 }
 
 /// Instantiates a rule atom under a total binding, interning the ground atom.
-pub fn instantiate_atom(
-    universe: &mut Universe,
-    pattern: &RuleAtom,
-    binding: &[TermId],
-) -> AtomId {
+pub fn instantiate_atom(universe: &mut Universe, pattern: &RuleAtom, binding: &[TermId]) -> AtomId {
     let args: Vec<TermId> = pattern
         .args
         .iter()

@@ -97,7 +97,10 @@ impl TermStore {
 
     /// Interns a Skolem term. All `args` must already belong to this store.
     pub fn skolem(&mut self, f: SkolemId, args: impl Into<Box<[TermId]>>) -> TermId {
-        self.intern(TermNode::Skolem { f, args: args.into() })
+        self.intern(TermNode::Skolem {
+            f,
+            args: args.into(),
+        })
     }
 
     fn intern(&mut self, node: TermNode) -> TermId {

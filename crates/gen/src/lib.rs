@@ -25,6 +25,4 @@ pub use random::{
     random_database, random_program, random_stratified_program, RandomConfig, RandomDbConfig,
     RandomWorkload,
 };
-pub use winmove::{
-    winmove_cycle, winmove_database, winmove_path, winmove_sigma, WinMoveConfig,
-};
+pub use winmove::{winmove_cycle, winmove_database, winmove_path, winmove_sigma, WinMoveConfig};

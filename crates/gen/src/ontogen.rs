@@ -171,8 +171,7 @@ mod tests {
                 &mut u,
                 &translated.database,
                 &sigma,
-                wfdl_wfs::WfsOptions::depth(3)
-                    .with_engine(wfdl_wfs::EngineKind::Alternating),
+                wfdl_wfs::WfsOptions::depth(3).with_engine(wfdl_wfs::EngineKind::Alternating),
             );
             for sa in a.segment.atoms() {
                 assert_eq!(a.value(sa.atom), b.value(sa.atom), "seed {seed}");

@@ -100,7 +100,9 @@ fn build(
         let g_arity = arities[g];
         let guard = RuleAtom::new(
             preds[g],
-            (0..g_arity as u32).map(|i| RTerm::Var(Var::new(i))).collect::<Vec<_>>(),
+            (0..g_arity as u32)
+                .map(|i| RTerm::Var(Var::new(i)))
+                .collect::<Vec<_>>(),
         );
         let mut body_pos = vec![guard];
         // Head predicate: under stratification, at least the guard's stratum.
@@ -114,8 +116,7 @@ fn build(
 
         // Extra positive atoms over guard variables; under stratification
         // they must not exceed the head's stratum.
-        let n_extra = if rng.random_bool((cfg.extra_pos / (1.0 + cfg.extra_pos)).clamp(0.0, 1.0))
-        {
+        let n_extra = if rng.random_bool((cfg.extra_pos / (1.0 + cfg.extra_pos)).clamp(0.0, 1.0)) {
             1
         } else {
             0

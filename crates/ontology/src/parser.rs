@@ -94,11 +94,7 @@ fn err(line: u32, message: impl Into<String>) -> OntologyParseError {
     }
 }
 
-fn parse_statement(
-    stmt: &str,
-    line: u32,
-    onto: &mut Ontology,
-) -> Result<(), OntologyParseError> {
+fn parse_statement(stmt: &str, line: u32, onto: &mut Ontology) -> Result<(), OntologyParseError> {
     if let Some(idx) = stmt.find('<') {
         let (lhs, rhs) = (stmt[..idx].trim(), stmt[idx + 1..].trim());
         return parse_inclusion(lhs, rhs, line, onto);
@@ -119,7 +115,12 @@ fn parse_statement(
     match args.len() {
         1 => onto.abox.concept(name, args[0]),
         2 => onto.abox.role(name, args[0], args[1]),
-        n => return Err(err(line, format!("assertions take 1 or 2 arguments, got {n}"))),
+        n => {
+            return Err(err(
+                line,
+                format!("assertions take 1 or 2 arguments, got {n}"),
+            ))
+        }
     }
     Ok(())
 }
@@ -140,11 +141,7 @@ fn parse_inclusion(
         // inverse marker or starts lowercase (role-name convention);
         // otherwise it is an atomic-concept inclusion.
         let looks_role = |s: &str| {
-            s.ends_with('-')
-                || s.chars()
-                    .next()
-                    .map(|c| c.is_lowercase())
-                    .unwrap_or(false)
+            s.ends_with('-') || s.chars().next().map(|c| c.is_lowercase()).unwrap_or(false)
         };
         if looks_role(lhs_parts[0]) || looks_role(rhs) {
             onto.tbox.roles.push(RoleInclusion {
@@ -232,10 +229,13 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(onto.tbox, crate::dllite::Tbox {
-            concepts: example2_tbox().concepts,
-            roles: vec![],
-        });
+        assert_eq!(
+            onto.tbox,
+            crate::dllite::Tbox {
+                concepts: example2_tbox().concepts,
+                roles: vec![],
+            }
+        );
         assert_eq!(onto.abox.concept_assertions.len(), 3);
     }
 

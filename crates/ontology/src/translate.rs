@@ -16,9 +16,7 @@
 //!   order per inverse markers.
 
 use crate::dllite::*;
-use wfdl_core::{
-    Constraint, CoreError, PredId, Program, RTerm, RuleAtom, Tgd, Universe, Var,
-};
+use wfdl_core::{Constraint, CoreError, PredId, Program, RTerm, RuleAtom, Tgd, Universe, Var};
 use wfdl_storage::Database;
 
 /// The translated artifacts: a guarded normal Datalog± program (with
@@ -281,13 +279,13 @@ mod tests {
         let t = translate(&mut u, &onto).unwrap();
         let tgd = &t.program.tgds[0];
         // hasParent(X,Y) -> hasChild(Y,X)
-        assert_eq!(tgd.body_pos[0].args.as_ref(), &[
-            RTerm::Var(Var::new(0)),
-            RTerm::Var(Var::new(1))
-        ]);
-        assert_eq!(tgd.head[0].args.as_ref(), &[
-            RTerm::Var(Var::new(1)),
-            RTerm::Var(Var::new(0))
-        ]);
+        assert_eq!(
+            tgd.body_pos[0].args.as_ref(),
+            &[RTerm::Var(Var::new(0)), RTerm::Var(Var::new(1))]
+        );
+        assert_eq!(
+            tgd.head[0].args.as_ref(),
+            &[RTerm::Var(Var::new(1)), RTerm::Var(Var::new(0))]
+        );
     }
 }

@@ -14,9 +14,9 @@
 #![warn(missing_docs)]
 
 pub mod eval;
-pub mod source;
 pub mod nbcq;
+pub mod source;
 
 pub use eval::{answers, holds, holds3, AnswerSet};
-pub use source::{InterpSource, TruthSource};
 pub use nbcq::{Nbcq, QTerm, QVar, QueryAtom, QueryError};
+pub use source::{InterpSource, TruthSource};

@@ -84,7 +84,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::NoPositiveAtom => {
-                write!(f, "a normal conjunctive query needs at least one positive atom")
+                write!(
+                    f,
+                    "a normal conjunctive query needs at least one positive atom"
+                )
             }
             QueryError::UnsafeVariable(v) => write!(
                 f,

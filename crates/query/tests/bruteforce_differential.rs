@@ -15,7 +15,11 @@ struct ModelSpec {
 
 fn model_spec() -> impl Strategy<Value = ModelSpec> {
     proptest::collection::vec(
-        (0usize..3, proptest::collection::vec(0usize..5, 2), any::<bool>()),
+        (
+            0usize..3,
+            proptest::collection::vec(0usize..5, 2),
+            any::<bool>(),
+        ),
         0..25,
     )
     .prop_map(|atoms| ModelSpec { atoms })

@@ -5,6 +5,18 @@
 //! head / positive body / negative body). The chase extracts exactly this
 //! structure from a depth-bounded segment of the guarded chase forest; the
 //! fixpoint engines in `wfdl-wfs` never look at anything else.
+//!
+//! ## Dense local ids and CSR indexes
+//!
+//! Atoms mentioned by a program are renumbered into a contiguous
+//! `0..num_atoms()` range of **local ids** (position in the sorted
+//! [`GroundProgram::atoms`] list), and every index the engines touch in
+//! their inner loops is stored in **compressed-sparse-row** form: one flat
+//! offsets array (`n + 1` entries) plus one flat data array, so a lookup is
+//! two array reads and a slice — no hashing, no per-atom allocation. The
+//! `AtomId`-keyed accessors ([`GroundProgram::rules_with_head`] & co.)
+//! remain for callers that work with universe ids; the `*_local` twins are
+//! the hot-path API used by `wfdl-wfs`.
 
 use wfdl_core::{AtomId, BitSet, FxHashMap};
 
@@ -52,13 +64,16 @@ impl GroundRule {
     }
 }
 
-/// Builder that deduplicates rules and facts.
+/// Builder that deduplicates rules and facts, accumulating the atom set as
+/// it goes so [`GroundProgramBuilder::finish`] indexes in a single pass.
 #[derive(Clone, Debug, Default)]
 pub struct GroundProgramBuilder {
     rules: Vec<GroundRule>,
     seen: FxHashMap<GroundRule, GroundRuleId>,
     facts: Vec<AtomId>,
     fact_set: BitSet,
+    atoms: Vec<AtomId>,
+    atom_set: BitSet,
 }
 
 impl GroundProgramBuilder {
@@ -67,10 +82,18 @@ impl GroundProgramBuilder {
         Self::default()
     }
 
+    #[inline]
+    fn register_atom(&mut self, atom: AtomId) {
+        if self.atom_set.insert(atom.index()) {
+            self.atoms.push(atom);
+        }
+    }
+
     /// Adds a fact (a rule with empty body, kept separately).
     pub fn add_fact(&mut self, atom: AtomId) {
         if self.fact_set.insert(atom.index()) {
             self.facts.push(atom);
+            self.register_atom(atom);
         }
     }
 
@@ -80,6 +103,13 @@ impl GroundProgramBuilder {
             return id;
         }
         let id = GroundRuleId::from_index(self.rules.len());
+        self.register_atom(rule.head);
+        for i in 0..rule.pos.len() {
+            self.register_atom(rule.pos[i]);
+        }
+        for i in 0..rule.neg.len() {
+            self.register_atom(rule.neg[i]);
+        }
         self.seen.insert(rule.clone(), id);
         self.rules.push(rule);
         id
@@ -90,62 +120,202 @@ impl GroundProgramBuilder {
         self.rules.len()
     }
 
-    /// Finalizes into an indexed program.
+    /// Finalizes into an indexed program. The atom set accumulated during
+    /// building is carried forward, so this is one pass over the rules.
     pub fn finish(self) -> GroundProgram {
-        GroundProgram::build(self.rules, self.facts)
+        GroundProgram::from_parts(self.rules, self.facts, self.atoms)
     }
 }
 
-/// An indexed, deduplicated finite ground normal program.
+/// An indexed, deduplicated finite ground normal program with dense local
+/// atom ids and CSR occurrence indexes.
 #[derive(Clone, Debug, Default)]
 pub struct GroundProgram {
     rules: Vec<GroundRule>,
     facts: Vec<AtomId>,
-    /// All atoms appearing anywhere (facts, heads, bodies), sorted.
+    /// All atoms appearing anywhere (facts, heads, bodies), sorted. The
+    /// **local id** of an atom is its position here; `AtomId`-keyed
+    /// lookups binary-search this list (hot loops use local ids only).
     atoms: Vec<AtomId>,
-    atom_set: BitSet,
-    /// `head_occ[a]` = rules with head `a` (keyed by atom index).
-    head_occ: FxHashMap<AtomId, Vec<GroundRuleId>>,
-    /// `pos_occ[a]` = rules with `a` in the positive body.
-    pos_occ: FxHashMap<AtomId, Vec<GroundRuleId>>,
-    /// `neg_occ[a]` = rules with `a` in the negative body.
-    neg_occ: FxHashMap<AtomId, Vec<GroundRuleId>>,
+    /// Facts as local ids.
+    facts_local: Vec<u32>,
+    /// Rule heads as local ids, one per rule.
+    head_local: Vec<u32>,
+    /// Positive bodies as local ids, CSR over rules.
+    pos_off: Vec<u32>,
+    pos_local: Vec<u32>,
+    /// Negative bodies as local ids, CSR over rules.
+    neg_off: Vec<u32>,
+    neg_local: Vec<u32>,
+    /// `head_occ(a)` = rules with head `a`, CSR over local atom ids.
+    head_occ_off: Vec<u32>,
+    head_occ: Vec<GroundRuleId>,
+    /// `pos_occ(a)` = rules with `a` in the positive body.
+    pos_occ_off: Vec<u32>,
+    pos_occ: Vec<GroundRuleId>,
+    /// `neg_occ(a)` = rules with `a` in the negative body.
+    neg_occ_off: Vec<u32>,
+    neg_occ: Vec<GroundRuleId>,
 }
 
 impl GroundProgram {
-    /// Builds the indexes for a set of rules and facts.
+    /// Builds the indexes for a set of rules and facts, collecting the atom
+    /// set first. Prefer [`GroundProgramBuilder`], which accumulates the
+    /// atom set while deduplicating and skips this extra pass.
     pub fn build(rules: Vec<GroundRule>, facts: Vec<AtomId>) -> Self {
+        let mut atoms = Vec::new();
+        let mut atom_set = BitSet::new();
+        let register = |atom: AtomId, atoms: &mut Vec<AtomId>, set: &mut BitSet| {
+            if set.insert(atom.index()) {
+                atoms.push(atom);
+            }
+        };
+        for &f in &facts {
+            register(f, &mut atoms, &mut atom_set);
+        }
+        for rule in &rules {
+            register(rule.head, &mut atoms, &mut atom_set);
+            for &b in rule.pos.iter() {
+                register(b, &mut atoms, &mut atom_set);
+            }
+            for &b in rule.neg.iter() {
+                register(b, &mut atoms, &mut atom_set);
+            }
+        }
+        GroundProgram::from_parts(rules, facts, atoms)
+    }
+
+    /// Indexes a program over an explicitly-given atom universe. `atoms`
+    /// must contain every atom mentioned by `rules` and `facts` (it may
+    /// contain more — extra atoms simply head no rules, so the engines
+    /// treat them as unsupported). Used by `wfdl-wfs` to assemble
+    /// per-component subprograms whose universe includes atoms whose rules
+    /// were all eliminated by substitution.
+    pub fn build_with_atom_universe(
+        rules: Vec<GroundRule>,
+        facts: Vec<AtomId>,
+        atoms: Vec<AtomId>,
+    ) -> Self {
+        GroundProgram::from_parts(rules, facts, atoms)
+    }
+
+    /// Indexes a program whose atom set is already collected. Cost scales
+    /// with the program itself (`O(size · log n)`), never with the size of
+    /// the surrounding atom universe — the modular engine builds one
+    /// throwaway subprogram per recursive component.
+    fn from_parts(rules: Vec<GroundRule>, facts: Vec<AtomId>, mut atoms: Vec<AtomId>) -> Self {
+        atoms.sort_unstable();
+        atoms.dedup();
+        let n = atoms.len();
+        let local =
+            |a: AtomId| -> u32 { atoms.binary_search(&a).expect("atom in universe") as u32 };
+
+        let facts_local: Vec<u32> = facts.iter().map(|&f| local(f)).collect();
+
+        // Rule structure in local ids (CSR over rules).
+        let num_rules = rules.len();
+        let mut head_local = Vec::with_capacity(num_rules);
+        let mut pos_off = Vec::with_capacity(num_rules + 1);
+        let mut neg_off = Vec::with_capacity(num_rules + 1);
+        let mut pos_local = Vec::new();
+        let mut neg_local = Vec::new();
+        pos_off.push(0);
+        neg_off.push(0);
+        for rule in &rules {
+            head_local.push(local(rule.head));
+            pos_local.extend(rule.pos.iter().map(|&b| local(b)));
+            neg_local.extend(rule.neg.iter().map(|&b| local(b)));
+            pos_off.push(pos_local.len() as u32);
+            neg_off.push(neg_local.len() as u32);
+        }
+
+        // Occurrence indexes (CSR over local atom ids): count, prefix-sum,
+        // fill. The fill preserves rule order within each atom's row.
+        let mut head_counts = vec![0u32; n];
+        let mut pos_counts = vec![0u32; n];
+        let mut neg_counts = vec![0u32; n];
+        for r in 0..num_rules {
+            head_counts[head_local[r] as usize] += 1;
+            for &b in &pos_local[pos_off[r] as usize..pos_off[r + 1] as usize] {
+                pos_counts[b as usize] += 1;
+            }
+            for &b in &neg_local[neg_off[r] as usize..neg_off[r + 1] as usize] {
+                neg_counts[b as usize] += 1;
+            }
+        }
+        let prefix_sum = |counts: &[u32]| -> Vec<u32> {
+            let mut off = Vec::with_capacity(counts.len() + 1);
+            let mut acc = 0u32;
+            off.push(0);
+            for &c in counts {
+                acc += c;
+                off.push(acc);
+            }
+            off
+        };
+        let head_occ_off = prefix_sum(&head_counts);
+        let pos_occ_off = prefix_sum(&pos_counts);
+        let neg_occ_off = prefix_sum(&neg_counts);
+        let zero = GroundRuleId::from_index(0);
+        let mut head_occ = vec![zero; *head_occ_off.last().unwrap() as usize];
+        let mut pos_occ = vec![zero; *pos_occ_off.last().unwrap() as usize];
+        let mut neg_occ = vec![zero; *neg_occ_off.last().unwrap() as usize];
+        let mut head_fill: Vec<u32> = head_occ_off[..n].to_vec();
+        let mut pos_fill: Vec<u32> = pos_occ_off[..n].to_vec();
+        let mut neg_fill: Vec<u32> = neg_occ_off[..n].to_vec();
+        for r in 0..num_rules {
+            let id = GroundRuleId::from_index(r);
+            let h = head_local[r] as usize;
+            head_occ[head_fill[h] as usize] = id;
+            head_fill[h] += 1;
+            for &b in &pos_local[pos_off[r] as usize..pos_off[r + 1] as usize] {
+                pos_occ[pos_fill[b as usize] as usize] = id;
+                pos_fill[b as usize] += 1;
+            }
+            for &b in &neg_local[neg_off[r] as usize..neg_off[r + 1] as usize] {
+                neg_occ[neg_fill[b as usize] as usize] = id;
+                neg_fill[b as usize] += 1;
+            }
+        }
+
         let mut prog = GroundProgram {
             rules,
             facts,
-            ..Default::default()
+            atoms,
+            facts_local,
+            head_local,
+            pos_off,
+            pos_local,
+            neg_off,
+            neg_local,
+            head_occ_off,
+            head_occ,
+            pos_occ_off,
+            pos_occ,
+            neg_occ_off,
+            neg_occ,
         };
-        for &f in &prog.facts {
-            if prog.atom_set.insert(f.index()) {
-                prog.atoms.push(f);
-            }
-        }
-        for (i, rule) in prog.rules.iter().enumerate() {
-            let id = GroundRuleId::from_index(i);
-            prog.head_occ.entry(rule.head).or_default().push(id);
-            if prog.atom_set.insert(rule.head.index()) {
-                prog.atoms.push(rule.head);
-            }
-            for &b in rule.pos.iter() {
-                prog.pos_occ.entry(b).or_default().push(id);
-                if prog.atom_set.insert(b.index()) {
-                    prog.atoms.push(b);
-                }
-            }
-            for &b in rule.neg.iter() {
-                prog.neg_occ.entry(b).or_default().push(id);
-                if prog.atom_set.insert(b.index()) {
-                    prog.atoms.push(b);
-                }
-            }
-        }
-        prog.atoms.sort_unstable();
+        prog.shrink_to_fit();
         prog
+    }
+
+    /// Releases over-allocated capacity on every index array.
+    fn shrink_to_fit(&mut self) {
+        self.rules.shrink_to_fit();
+        self.facts.shrink_to_fit();
+        self.atoms.shrink_to_fit();
+        self.facts_local.shrink_to_fit();
+        self.head_local.shrink_to_fit();
+        self.pos_off.shrink_to_fit();
+        self.pos_local.shrink_to_fit();
+        self.neg_off.shrink_to_fit();
+        self.neg_local.shrink_to_fit();
+        self.head_occ_off.shrink_to_fit();
+        self.head_occ.shrink_to_fit();
+        self.pos_occ_off.shrink_to_fit();
+        self.pos_occ.shrink_to_fit();
+        self.neg_occ_off.shrink_to_fit();
+        self.neg_occ.shrink_to_fit();
     }
 
     /// The rules.
@@ -166,7 +336,8 @@ impl GroundProgram {
         &self.facts
     }
 
-    /// Every atom mentioned by the program, sorted by id.
+    /// Every atom mentioned by the program, sorted by id. An atom's
+    /// **local id** is its position in this slice.
     #[inline]
     pub fn atoms(&self) -> &[AtomId] {
         &self.atoms
@@ -175,22 +346,89 @@ impl GroundProgram {
     /// True iff `atom` is mentioned by the program.
     #[inline]
     pub fn mentions(&self, atom: AtomId) -> bool {
-        self.atom_set.contains(atom.index())
+        self.atoms.binary_search(&atom).is_ok()
+    }
+
+    /// The dense local id of `atom`, if mentioned (binary search; hot
+    /// loops work in local ids and never call this).
+    #[inline]
+    pub fn local_id(&self, atom: AtomId) -> Option<u32> {
+        self.atoms.binary_search(&atom).ok().map(|i| i as u32)
+    }
+
+    /// The atom with local id `local`.
+    #[inline]
+    pub fn atom_of_local(&self, local: u32) -> AtomId {
+        self.atoms[local as usize]
+    }
+
+    /// Facts as local ids.
+    #[inline]
+    pub fn facts_local(&self) -> &[u32] {
+        &self.facts_local
+    }
+
+    /// The head of rule `r` (by dense rule index) as a local id.
+    #[inline]
+    pub fn head_local(&self, r: usize) -> u32 {
+        self.head_local[r]
+    }
+
+    /// The positive body of rule `r` as local ids.
+    #[inline]
+    pub fn pos_local(&self, r: usize) -> &[u32] {
+        &self.pos_local[self.pos_off[r] as usize..self.pos_off[r + 1] as usize]
+    }
+
+    /// The negative body of rule `r` as local ids.
+    #[inline]
+    pub fn neg_local(&self, r: usize) -> &[u32] {
+        &self.neg_local[self.neg_off[r] as usize..self.neg_off[r + 1] as usize]
     }
 
     /// Rules whose head is `atom`.
     pub fn rules_with_head(&self, atom: AtomId) -> &[GroundRuleId] {
-        self.head_occ.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+        match self.local_id(atom) {
+            Some(l) => self.rules_with_head_local(l),
+            None => &[],
+        }
     }
 
     /// Rules with `atom` in their positive body.
     pub fn rules_with_pos(&self, atom: AtomId) -> &[GroundRuleId] {
-        self.pos_occ.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+        match self.local_id(atom) {
+            Some(l) => self.rules_with_pos_local(l),
+            None => &[],
+        }
     }
 
     /// Rules with `atom` in their negative body.
     pub fn rules_with_neg(&self, atom: AtomId) -> &[GroundRuleId] {
-        self.neg_occ.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+        match self.local_id(atom) {
+            Some(l) => self.rules_with_neg_local(l),
+            None => &[],
+        }
+    }
+
+    /// Rules whose head has local id `local`.
+    #[inline]
+    pub fn rules_with_head_local(&self, local: u32) -> &[GroundRuleId] {
+        let a = local as usize;
+        &self.head_occ[self.head_occ_off[a] as usize..self.head_occ_off[a + 1] as usize]
+    }
+
+    /// Rules with local atom `local` in their positive body.
+    #[inline]
+    pub fn rules_with_pos_local(&self, local: u32) -> &[GroundRuleId] {
+        let a = local as usize;
+        &self.pos_occ[self.pos_occ_off[a] as usize..self.pos_occ_off[a + 1] as usize]
+    }
+
+    /// Rules with local atom `local` in their negative body.
+    #[inline]
+    pub fn rules_with_neg_local(&self, local: u32) -> &[GroundRuleId] {
+        let a = local as usize;
+        &self.neg_occ[self.neg_occ_off[a] as usize..self.neg_occ_off[a + 1] as usize]
     }
 
     /// Number of rules.
@@ -206,7 +444,7 @@ impl GroundProgram {
     /// Total number of body literals across all rules (a size measure used
     /// in complexity reporting).
     pub fn num_body_literals(&self) -> usize {
-        self.rules.iter().map(|r| r.pos.len() + r.neg.len()).sum()
+        self.pos_local.len() + self.neg_local.len()
     }
 }
 
@@ -254,5 +492,72 @@ mod tests {
         assert!(p.mentions(a(3)));
         assert!(!p.mentions(a(7)));
         assert_eq!(p.num_body_literals(), 4);
+    }
+
+    #[test]
+    fn build_and_builder_produce_identical_indexes() {
+        let rules = vec![
+            GroundRule::new(a(5), vec![a(1), a(3)], vec![a(2)]),
+            GroundRule::new(a(3), vec![a(1)], vec![]),
+            GroundRule::new(a(5), vec![a(3)], vec![a(5)]),
+        ];
+        let facts = vec![a(1), a(9)];
+        let direct = GroundProgram::build(rules.clone(), facts.clone());
+        let mut b = GroundProgramBuilder::new();
+        for &f in &facts {
+            b.add_fact(f);
+        }
+        for r in &rules {
+            b.add_rule(r.clone());
+        }
+        let built = b.finish();
+        assert_eq!(direct.atoms(), built.atoms());
+        for &atom in direct.atoms() {
+            assert_eq!(direct.local_id(atom), built.local_id(atom));
+            assert_eq!(direct.rules_with_head(atom), built.rules_with_head(atom));
+            assert_eq!(direct.rules_with_pos(atom), built.rules_with_pos(atom));
+            assert_eq!(direct.rules_with_neg(atom), built.rules_with_neg(atom));
+        }
+    }
+
+    #[test]
+    fn local_ids_follow_sorted_atom_order() {
+        let mut b = GroundProgramBuilder::new();
+        b.add_rule(GroundRule::new(a(20), vec![a(10)], vec![a(30)]));
+        b.add_fact(a(40));
+        let p = b.finish();
+        assert_eq!(p.atoms(), &[a(10), a(20), a(30), a(40)]);
+        for (i, &atom) in p.atoms().iter().enumerate() {
+            assert_eq!(p.local_id(atom), Some(i as u32));
+            assert_eq!(p.atom_of_local(i as u32), atom);
+        }
+        assert_eq!(p.local_id(a(15)), None);
+        assert_eq!(p.local_id(a(1000)), None);
+        assert_eq!(p.facts_local(), &[3]);
+        assert_eq!(p.head_local(0), 1);
+        assert_eq!(p.pos_local(0), &[0]);
+        assert_eq!(p.neg_local(0), &[2]);
+    }
+
+    #[test]
+    fn csr_rows_cover_multi_occurrence_bodies() {
+        // a(0) occurs positively in two rules; a(1) negatively in two.
+        let mut b = GroundProgramBuilder::new();
+        let r0 = b.add_rule(GroundRule::new(a(2), vec![a(0)], vec![a(1)]));
+        let r1 = b.add_rule(GroundRule::new(a(3), vec![a(0), a(2)], vec![a(1)]));
+        let p = b.finish();
+        assert_eq!(p.rules_with_pos(a(0)), &[r0, r1]);
+        assert_eq!(p.rules_with_neg(a(1)), &[r0, r1]);
+        assert_eq!(p.rules_with_pos(a(2)), &[r1]);
+        assert!(p.rules_with_neg(a(3)).is_empty());
+    }
+
+    #[test]
+    fn empty_program_has_empty_indexes() {
+        let p = GroundProgramBuilder::new().finish();
+        assert_eq!(p.num_atoms(), 0);
+        assert_eq!(p.num_rules(), 0);
+        assert!(p.facts().is_empty());
+        assert!(p.rules_with_head(a(0)).is_empty());
     }
 }

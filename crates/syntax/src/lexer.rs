@@ -58,7 +58,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
     macro_rules! push {
         ($tok:expr, $pos:expr) => {
-            out.push(Token { tok: $tok, pos: $pos })
+            out.push(Token {
+                tok: $tok,
+                pos: $pos,
+            })
         };
     }
 
@@ -243,7 +246,10 @@ mod tests {
     #[test]
     fn positions_reported() {
         let toks = lex("p(a).\nq(").unwrap();
-        let q = toks.iter().find(|t| t.tok == Tok::Name("q".into())).unwrap();
+        let q = toks
+            .iter()
+            .find(|t| t.tok == Tok::Name("q".into()))
+            .unwrap();
         assert_eq!((q.pos.line, q.pos.col), (2, 1));
     }
 

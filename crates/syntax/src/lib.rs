@@ -30,6 +30,5 @@ pub use error::{Pos, SyntaxError};
 pub use lower::{load, lower, Lowered};
 pub use parser::parse;
 pub use printer::{
-    print_database, print_program, print_query, print_skolem_program, print_skolem_rule,
-    print_tgd,
+    print_database, print_program, print_query, print_skolem_program, print_skolem_rule, print_tgd,
 };

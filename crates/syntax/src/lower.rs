@@ -105,11 +105,7 @@ impl VarTable {
     }
 }
 
-fn lower_body_atom(
-    universe: &mut Universe,
-    vt: &mut VarTable,
-    atom: &AstAtom,
-) -> Result<RuleAtom> {
+fn lower_body_atom(universe: &mut Universe, vt: &mut VarTable, atom: &AstAtom) -> Result<RuleAtom> {
     let pred = universe
         .pred(&atom.pred, atom.args.len())
         .map_err(|e| SyntaxError::new(e.to_string(), atom.pos))?;
@@ -161,8 +157,7 @@ fn lower_rule(universe: &mut Universe, rule: &AstRule, out: &mut Lowered) -> Res
                 rule.pos,
             ));
         }
-        let rule_lowered =
-            lower_functional_head(universe, &mut vt, rule, body_pos, body_neg)?;
+        let rule_lowered = lower_functional_head(universe, &mut vt, rule, body_pos, body_neg)?;
         out.functional.push(rule_lowered);
         return Ok(());
     }
@@ -277,13 +272,8 @@ fn lower_query(universe: &mut Universe, q: &AstQuery) -> Result<Nbcq> {
             pos.push(qa);
         }
     }
-    let answer_vars: Vec<QVar> = q
-        .answer_vars
-        .iter()
-        .map(|v| qvar(v, &mut names))
-        .collect();
-    Nbcq::new(universe, pos, neg, answer_vars)
-        .map_err(|e| SyntaxError::new(e.to_string(), q.pos))
+    let answer_vars: Vec<QVar> = q.answer_vars.iter().map(|v| qvar(v, &mut names)).collect();
+    Nbcq::new(universe, pos, neg, answer_vars).map_err(|e| SyntaxError::new(e.to_string(), q.pos))
 }
 
 #[cfg(test)]
@@ -391,11 +381,7 @@ mod tests {
     #[test]
     fn shared_function_symbols_unify_across_rules() {
         let mut u = Universe::new();
-        let lowered = load(
-            &mut u,
-            "p(X) -> q(X, f(X)).  q(X, Y) -> r(X, f(X)).",
-        )
-        .unwrap();
+        let lowered = load(&mut u, "p(X) -> q(X, f(X)).  q(X, Y) -> r(X, f(X)).").unwrap();
         assert_eq!(lowered.functional.len(), 2);
         assert_eq!(u.num_skolems(), 1, "same `f` in both rules");
     }

@@ -82,13 +82,10 @@ impl Parser {
                 let mut answer_vars = Vec::new();
                 loop {
                     match self.bump() {
-                        Token { tok: Tok::Var(v), .. } => answer_vars.push(v),
-                        t => {
-                            return Err(SyntaxError::new(
-                                "expected an answer variable",
-                                t.pos,
-                            ))
-                        }
+                        Token {
+                            tok: Tok::Var(v), ..
+                        } => answer_vars.push(v),
+                        t => return Err(SyntaxError::new("expected an answer variable", t.pos)),
                     }
                     if self.at(Tok::Comma) {
                         self.bump();
@@ -256,7 +253,9 @@ mod tests {
         let src = "r(X,Y,Z) -> r(X,Z,f(X,Y,Z)).";
         let prog = parse(src).unwrap();
         let rule = prog.rules().next().unwrap();
-        assert!(matches!(&rule.head[0].args[2], AstTerm::Fn(n, args) if n == "f" && args.len() == 3));
+        assert!(
+            matches!(&rule.head[0].args[2], AstTerm::Fn(n, args) if n == "f" && args.len() == 3)
+        );
     }
 
     #[test]

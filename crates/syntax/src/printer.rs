@@ -201,9 +201,12 @@ mod tests {
         let mut u1 = Universe::new();
         let l1 = load(&mut u1, src).unwrap();
         let mut printed = print_program(&u1, &l1.program);
-        printed.push_str(&print_skolem_program(&u1, &SkolemProgram {
-            rules: l1.functional.clone(),
-        }));
+        printed.push_str(&print_skolem_program(
+            &u1,
+            &SkolemProgram {
+                rules: l1.functional.clone(),
+            },
+        ));
         printed.push_str(&print_database(&u1, &l1.database));
         for q in &l1.queries {
             printed.push_str(&print_query(&u1, q));
@@ -213,9 +216,12 @@ mod tests {
         let mut u2 = Universe::new();
         let l2 = load(&mut u2, &printed).unwrap();
         let mut printed2 = print_program(&u2, &l2.program);
-        printed2.push_str(&print_skolem_program(&u2, &SkolemProgram {
-            rules: l2.functional.clone(),
-        }));
+        printed2.push_str(&print_skolem_program(
+            &u2,
+            &SkolemProgram {
+                rules: l2.functional.clone(),
+            },
+        ));
         printed2.push_str(&print_database(&u2, &l2.database));
         for q in &l2.queries {
             printed2.push_str(&print_query(&u2, q));

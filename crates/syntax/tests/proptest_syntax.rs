@@ -41,8 +41,7 @@ proptest! {
 
 /// A small generator of valid guarded programs in surface syntax.
 fn program_strategy() -> impl Strategy<Value = String> {
-    let fact = (0usize..4, 0usize..4)
-        .prop_map(|(p, c)| format!("p{p}(k{c}, k{}).\n", (c + 1) % 4));
+    let fact = (0usize..4, 0usize..4).prop_map(|(p, c)| format!("p{p}(k{c}, k{}).\n", (c + 1) % 4));
     let plain_rule = (0usize..4, 0usize..4, any::<bool>()).prop_map(|(p, q, neg)| {
         if neg {
             format!("p{p}(X, Y), not p{q}(Y, X) -> p{}(X, Y).\n", (p + q) % 4)
@@ -52,8 +51,7 @@ fn program_strategy() -> impl Strategy<Value = String> {
     });
     let existential_rule =
         (0usize..4, 0usize..4).prop_map(|(p, q)| format!("p{p}(X, Y) -> p{q}(Y, Z).\n"));
-    let constraint =
-        (0usize..4usize,).prop_map(|(p,)| format!("p{p}(X, X) -> false.\n"));
+    let constraint = (0usize..4usize,).prop_map(|(p,)| format!("p{p}(X, X) -> false.\n"));
     let query = (0usize..4, any::<bool>()).prop_map(|(p, ans)| {
         if ans {
             format!("?(X) p{p}(X, Y).\n")

@@ -1,0 +1,421 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a cloneable generator driven by a deterministic RNG.
+pub trait Strategy: Clone {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(end >= start, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ----------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ---------------------------------------------------------------- erasure
+
+/// Object-safe core of [`Strategy`], for type erasure.
+trait DynStrategy {
+    type Value;
+
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    fn clone_box(&self) -> Box<dyn DynStrategy<Value = Self::Value>>;
+}
+
+impl<S: Strategy + 'static> DynStrategy for S {
+    type Value = S::Value;
+
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+
+    fn clone_box(&self) -> Box<dyn DynStrategy<Value = S::Value>> {
+        Box::new(self.clone())
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone_box())
+    }
+}
+
+impl<V> Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Uniform choice among alternative strategies ([`crate::prop_oneof!`]).
+#[derive(Debug)]
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<V: Debug> Union<V> {
+    /// A union of the given non-empty alternatives.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs an alternative");
+        Union { options }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// -------------------------------------------------------------- arbitrary
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Canonical `bool` strategy (fair coin).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+// ---------------------------------------------------------------- strings
+
+/// String strategies from a small regex subset: a `&'static str` pattern
+/// is a sequence of elements — a literal character, a character class
+/// `[a-z0-9_]`, or `\PC` (any printable character) — each optionally
+/// followed by a `{min,max}` repetition count.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for (elem, lo, hi) in &elements {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                elem.push_char(rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+enum PatternElem {
+    Literal(char),
+    /// Characters listed explicitly plus inclusive ranges.
+    Class(Vec<char>, Vec<(char, char)>),
+    /// `\PC` — any printable character.
+    Printable,
+}
+
+/// Pool of non-ASCII printables mixed into `\PC` output so the parser's
+/// robustness tests see multi-byte UTF-8.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ω', '中', '文', '→', '∀', '𝔘', '🦀'];
+
+impl PatternElem {
+    fn push_char(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            PatternElem::Literal(c) => out.push(*c),
+            PatternElem::Class(singles, ranges) => {
+                let span: u64 = singles.len() as u64
+                    + ranges
+                        .iter()
+                        .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+                        .sum::<u64>();
+                let mut pick = rng.below(span);
+                if pick < singles.len() as u64 {
+                    out.push(singles[pick as usize]);
+                    return;
+                }
+                pick -= singles.len() as u64;
+                for &(a, b) in ranges {
+                    let len = (b as u64) - (a as u64) + 1;
+                    if pick < len {
+                        out.push(char::from_u32(a as u32 + pick as u32).expect("class range"));
+                        return;
+                    }
+                    pick -= len;
+                }
+                unreachable!("class sampling within span");
+            }
+            PatternElem::Printable => {
+                // Mostly ASCII printables, occasionally multi-byte UTF-8.
+                if rng.below(8) == 0 {
+                    out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).expect("ascii"));
+                }
+            }
+        }
+    }
+}
+
+/// Parses the supported pattern subset into `(element, min, max)` triples.
+fn parse_pattern(pattern: &str) -> Vec<(PatternElem, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out: Vec<(PatternElem, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let elem = match chars[i] {
+            '[' => {
+                let mut singles = Vec::new();
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        singles.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // closing ']'
+                PatternElem::Class(singles, ranges)
+            }
+            '\\' => {
+                // Only `\PC` (printable) is supported.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                PatternElem::Printable
+            }
+            c => {
+                i += 1;
+                PatternElem::Literal(c)
+            }
+        };
+        // Optional {min,max} / {n} quantifier.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier min"),
+                    hi.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(hi >= lo, "bad quantifier in {pattern:?}");
+        out.push((elem, lo, hi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern_matches_shape() {
+        let mut rng = TestRng::deterministic("strategy::identifier");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_bounds_length() {
+        let mut rng = TestRng::deterministic("strategy::printable");
+        for _ in 0..100 {
+            let s = "\\PC{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let mut rng = TestRng::deterministic("strategy::compose");
+        let strat = (0u16..512, (-3i8..4).prop_map(|x| x * 2));
+        for _ in 0..500 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!(a < 512);
+            assert!((-6..=6).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_alternative() {
+        let mut rng = TestRng::deterministic("strategy::union");
+        let strat = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

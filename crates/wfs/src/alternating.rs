@@ -13,28 +13,26 @@
 //! assert that agreement on every program they touch, including thousands of
 //! random ones.
 
-use crate::dense::DenseProgram;
 use crate::result::EngineResult;
 use wfdl_core::BitSet;
 use wfdl_storage::GroundProgram;
 
-/// The alternating-fixpoint engine.
-pub struct AlternatingEngine {
-    dense: DenseProgram,
+/// The alternating-fixpoint engine. Borrows the ground program's dense
+/// local ids and CSR indexes directly.
+pub struct AlternatingEngine<'a> {
+    prog: &'a GroundProgram,
 }
 
-impl AlternatingEngine {
+impl<'a> AlternatingEngine<'a> {
     /// Prepares the engine for a ground program.
-    pub fn new(prog: &GroundProgram) -> Self {
-        AlternatingEngine {
-            dense: DenseProgram::new(prog),
-        }
+    pub fn new(prog: &'a GroundProgram) -> Self {
+        AlternatingEngine { prog }
     }
 
     /// Runs the alternation to its fixpoint.
     #[allow(clippy::needless_range_loop)] // parallel arrays are indexed together
     pub fn solve(&self) -> EngineResult {
-        let d = &self.dense;
+        let d = self.prog;
         let n = d.num_atoms();
 
         let mut i_set = BitSet::with_capacity(n); // true underestimate
@@ -76,45 +74,45 @@ impl AlternatingEngine {
                 truth_false.insert(a);
             }
         }
-        EngineResult::from_dense(d, &i_set, &truth_false, &stage_of, stage)
+        EngineResult::from_ground(d, &i_set, &truth_false, &stage_of, stage)
     }
 
     /// `S(J)`: least model of the GL-reduct w.r.t. the assumed-true set `J`.
     #[allow(clippy::needless_range_loop)] // parallel arrays are indexed together
     fn reduct_closure(&self, j: &BitSet) -> BitSet {
-        let d = &self.dense;
+        let d = self.prog;
         let n = d.num_atoms();
         let mut derived = BitSet::with_capacity(n);
         let mut queue: Vec<u32> = Vec::new();
 
         let mut missing: Vec<u32> = vec![0; d.num_rules()];
         for r in 0..d.num_rules() {
-            if d.neg[r].iter().any(|&b| j.contains(b as usize)) {
+            if d.neg_local(r).iter().any(|&b| j.contains(b as usize)) {
                 missing[r] = u32::MAX; // rule removed by the reduct
                 continue;
             }
-            missing[r] = d.pos[r].len() as u32;
+            missing[r] = d.pos_local(r).len() as u32;
             if missing[r] == 0 {
-                let h = d.head[r];
+                let h = d.head_local(r);
                 if derived.insert(h as usize) {
                     queue.push(h);
                 }
             }
         }
-        for &f in &d.facts {
+        for &f in d.facts_local() {
             if derived.insert(f as usize) {
                 queue.push(f);
             }
         }
         while let Some(a) = queue.pop() {
-            for &r in &d.pos_occ[a as usize] {
-                let r = r as usize;
+            for &rid in d.rules_with_pos_local(a) {
+                let r = rid.index();
                 if missing[r] == u32::MAX || missing[r] == 0 {
                     continue;
                 }
-                missing[r] -= d.pos[r].iter().filter(|&&b| b == a).count() as u32;
+                missing[r] -= d.pos_local(r).iter().filter(|&&b| b == a).count() as u32;
                 if missing[r] == 0 {
-                    let h = d.head[r];
+                    let h = d.head_local(r);
                     if derived.insert(h as usize) {
                         queue.push(h);
                     }

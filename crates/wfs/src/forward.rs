@@ -38,15 +38,6 @@ use crate::result::EngineResult;
 use wfdl_chase::{ChaseSegment, InstanceId};
 use wfdl_core::{AtomId, BitSet, FxHashMap, Interp};
 
-/// Negative-side-condition regime for the aliveness fixpoint.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AliveMode {
-    /// Hypotheses must already be false in `I` (proof usable to derive).
-    Strict,
-    /// Hypotheses must merely not be true in `I` (proof not yet blocked).
-    Avoid,
-}
-
 /// The `Ŵ_P` engine over a chase segment.
 pub struct ForwardEngine<'a> {
     seg: &'a ChaseSegment,
@@ -91,26 +82,36 @@ impl<'a> ForwardEngine<'a> {
         }
     }
 
-    /// Computes the alive set (segment-atom indices) for `I` in `mode`.
-    pub fn alive(&self, interp: &Interp, mode: AliveMode) -> BitSet {
+    /// Admissibility of every instance under **both** regimes in one pass
+    /// over the negative side atoms: `(strict, avoid)`. A hypothesis atom
+    /// that never occurs in the forest has no forward proof, so its
+    /// negation is in `Ŵ_{P,1}` (Example 9); treat it as false here.
+    fn admissibility(&self, interp: &Interp) -> (Vec<bool>, Vec<bool>) {
+        let num = self.seg.instances().len();
+        let mut strict = vec![true; num];
+        let mut avoid = vec![true; num];
+        for (ii, inst) in self.seg.instances().iter().enumerate() {
+            for &b in inst.neg.iter() {
+                if strict[ii] && !interp.is_false(b) && self.index_of.contains_key(&b) {
+                    strict[ii] = false;
+                }
+                if avoid[ii] && interp.is_true(b) {
+                    avoid[ii] = false;
+                }
+                if !strict[ii] && !avoid[ii] {
+                    break;
+                }
+            }
+        }
+        (strict, avoid)
+    }
+
+    /// Aliveness least fixpoint for a precomputed admissibility vector.
+    fn alive_with(&self, admissible: &[bool]) -> BitSet {
         let n = self.seg.atoms().len();
         let mut alive = BitSet::with_capacity(n);
         let mut queue: Vec<u32> = Vec::new();
         let mut missing: Vec<u32> = self.pos_len.clone();
-
-        // Admissibility of each instance under `mode`. A hypothesis atom
-        // that never occurs in the forest has no forward proof, so its
-        // negation is in `Ŵ_{P,1}` (Example 9); treat it as false here.
-        let mut admissible = vec![false; self.seg.instances().len()];
-        for (ii, inst) in self.seg.instances().iter().enumerate() {
-            admissible[ii] = match mode {
-                AliveMode::Strict => inst
-                    .neg
-                    .iter()
-                    .all(|&b| interp.is_false(b) || !self.index_of.contains_key(&b)),
-                AliveMode::Avoid => inst.neg.iter().all(|&b| !interp.is_true(b)),
-            };
-        }
 
         for i in 0..self.seg.num_facts() {
             if alive.insert(i) {
@@ -137,10 +138,13 @@ impl<'a> ForwardEngine<'a> {
         alive
     }
 
-    /// One application of `Ŵ_P` restricted to the segment's atoms.
+    /// One application of `Ŵ_P` restricted to the segment's atoms. The two
+    /// aliveness passes share a single admissibility sweep over the
+    /// instances' negative sides.
     pub fn step(&self, interp: &Interp) -> Interp {
-        let provable = self.alive(interp, AliveMode::Strict);
-        let not_refuted = self.alive(interp, AliveMode::Avoid);
+        let (strict, avoid) = self.admissibility(interp);
+        let provable = self.alive_with(&strict);
+        let not_refuted = self.alive_with(&avoid);
         let mut out = Interp::new();
         for (i, sa) in self.seg.atoms().iter().enumerate() {
             if provable.contains(i) {
@@ -180,6 +184,7 @@ impl<'a> ForwardEngine<'a> {
             interp,
             decided_stage,
             stages: stage,
+            stats: None,
         }
     }
 

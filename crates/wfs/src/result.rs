@@ -1,7 +1,8 @@
 //! Common output type of the fixpoint engines.
 
-use crate::dense::DenseProgram;
+use crate::scc::ModularStats;
 use wfdl_core::{AtomId, BitSet, FxHashMap, Interp, Truth};
+use wfdl_storage::GroundProgram;
 
 /// The three-valued model computed by an engine over the atoms of a ground
 /// program, with per-atom decision stages.
@@ -13,19 +14,21 @@ pub struct EngineResult {
     pub decided_stage: FxHashMap<AtomId, u32>,
     /// Number of productive stages until the fixpoint.
     pub stages: u32,
+    /// Per-component statistics (populated by the SCC-modular engine).
+    pub stats: Option<ModularStats>,
 }
 
 impl EngineResult {
-    pub(crate) fn from_dense(
-        dense: &DenseProgram,
+    pub(crate) fn from_ground(
+        prog: &GroundProgram,
         truth_true: &BitSet,
         truth_false: &BitSet,
         stage_of: &[u32],
         stages: u32,
     ) -> Self {
-        let mut interp = Interp::with_capacity(dense.num_atoms());
+        let mut interp = Interp::with_capacity(prog.num_atoms());
         let mut decided_stage = FxHashMap::default();
-        for (i, &atom) in dense.atom_of.iter().enumerate() {
+        for (i, &atom) in prog.atoms().iter().enumerate() {
             if truth_true.contains(i) {
                 interp.set_true(atom);
                 decided_stage.insert(atom, stage_of[i]);
@@ -38,6 +41,7 @@ impl EngineResult {
             interp,
             decided_stage,
             stages,
+            stats: None,
         }
     }
 

@@ -4,6 +4,7 @@
 use crate::alternating::AlternatingEngine;
 use crate::forward::ForwardEngine;
 use crate::result::EngineResult;
+use crate::scc::{ModularEngine, ModularStats};
 use crate::wp::{StepMode, WpEngine};
 use wfdl_chase::{ChaseBudget, ChaseSegment};
 use wfdl_core::{
@@ -14,8 +15,12 @@ use wfdl_storage::{Database, GroundProgram};
 /// Which fixpoint engine computes the model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EngineKind {
-    /// `W_P` with `T_P`-closure acceleration (default).
+    /// SCC-condensation modular evaluation (default): negation-free
+    /// components by a flat semi-naive pass, `W_P` only on components with
+    /// internal negation. See [`crate::scc`].
     #[default]
+    Modular,
+    /// `W_P` with `T_P`-closure acceleration on the whole program.
     Wp,
     /// `W_P` stepped literally per the definition (stage-faithful, slower).
     WpLiteral,
@@ -98,9 +103,16 @@ impl WellFoundedModel {
         self.value(atom).is_false()
     }
 
-    /// Number of engine stages to the fixpoint.
+    /// Number of engine stages to the fixpoint. For [`EngineKind::Modular`]
+    /// this is the number of dependency components processed.
     pub fn stages(&self) -> u32 {
         self.result.stages
+    }
+
+    /// Per-component statistics, when the modular engine produced the
+    /// result (`None` for the global engines).
+    pub fn component_stats(&self) -> Option<ModularStats> {
+        self.result.stats
     }
 
     /// Iterates over the true atoms of the model.
@@ -174,6 +186,7 @@ pub fn solve(
     let segment = ChaseSegment::build(universe, db, program, options.budget);
     let ground = segment.to_ground_program();
     let result = match options.engine {
+        EngineKind::Modular => ModularEngine::new(&ground).solve(),
         EngineKind::Wp => WpEngine::new(&ground).solve(StepMode::Accelerated),
         EngineKind::WpLiteral => WpEngine::new(&ground).solve(StepMode::Literal),
         EngineKind::Alternating => AlternatingEngine::new(&ground).solve(),
@@ -348,6 +361,7 @@ mod tests {
         let mut u = Universe::new();
         let (db, prog) = example4(&mut u);
         let engines = [
+            EngineKind::Modular,
             EngineKind::Wp,
             EngineKind::WpLiteral,
             EngineKind::Alternating,
@@ -393,16 +407,7 @@ mod tests {
     fn stability_deepening_on_example4() {
         let mut u = Universe::new();
         let (db, prog) = example4(&mut u);
-        let (model, report) = solve_stable(
-            &mut u,
-            &db,
-            &prog,
-            2,
-            2,
-            12,
-            2,
-            EngineKind::Wp,
-        );
+        let (model, report) = solve_stable(&mut u, &db, &prog, 2, 2, 12, 2, EngineKind::Wp);
         assert!(report.stable, "depths tried: {:?}", report.depths);
         assert!(report.depths.len() >= 2);
         let t = u.lookup_pred("T").unwrap();
@@ -420,8 +425,13 @@ mod tests {
         let x = RTerm::Var(Var::new(0));
         let mut prog = Program::new();
         prog.push(
-            Tgd::new(&u, vec![RuleAtom::new(p, vec![x])], vec![], vec![RuleAtom::new(q, vec![x])])
-                .unwrap(),
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(p, vec![x])],
+                vec![],
+                vec![RuleAtom::new(q, vec![x])],
+            )
+            .unwrap(),
         );
         // Constraint: p(X), q(X) -> ⊥ (will be violated).
         prog.push_constraint(

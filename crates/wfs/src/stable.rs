@@ -11,7 +11,6 @@
 //! validation only; it refuses programs with more than
 //! [`MAX_ATOMS_FOR_ENUMERATION`] atoms.
 
-use crate::dense::DenseProgram;
 use wfdl_core::AtomId;
 use wfdl_storage::GroundProgram;
 
@@ -21,17 +20,16 @@ pub const MAX_ATOMS_FOR_ENUMERATION: usize = 20;
 /// Enumerates all stable models as sorted vectors of true atoms. Returns
 /// `None` if the program is too large to enumerate.
 pub fn stable_models(prog: &GroundProgram) -> Option<Vec<Vec<AtomId>>> {
-    let dense = DenseProgram::new(prog);
-    let n = dense.num_atoms();
+    let n = prog.num_atoms();
     if n > MAX_ATOMS_FOR_ENUMERATION {
         return None;
     }
     let mut models = Vec::new();
     for mask in 0u32..(1u32 << n) {
-        if is_stable(&dense, mask) {
+        if is_stable(prog, mask) {
             let atoms: Vec<AtomId> = (0..n)
                 .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| dense.atom_of[i])
+                .map(|i| prog.atom_of_local(i as u32))
                 .collect();
             models.push(atoms);
         }
@@ -40,28 +38,28 @@ pub fn stable_models(prog: &GroundProgram) -> Option<Vec<Vec<AtomId>>> {
 }
 
 /// Gelfond–Lifschitz check: `M` is stable iff the least model of the
-/// reduct `P^M` equals `M`.
-fn is_stable(dense: &DenseProgram, mask: u32) -> bool {
+/// reduct `P^M` equals `M` (atoms as local ids in the bitmask).
+fn is_stable(prog: &GroundProgram, mask: u32) -> bool {
     let in_m = |a: u32| mask & (1 << a) != 0;
     // Least model of the reduct by naive iteration (n ≤ 20).
     let mut derived: u32 = 0;
-    for &f in &dense.facts {
+    for &f in prog.facts_local() {
         derived |= 1 << f;
     }
     let mut changed = true;
     while changed {
         changed = false;
-        'rules: for r in 0..dense.num_rules() {
-            let h = dense.head[r];
+        'rules: for r in 0..prog.num_rules() {
+            let h = prog.head_local(r);
             if derived & (1 << h) != 0 {
                 continue;
             }
-            for &b in dense.neg[r].iter() {
+            for &b in prog.neg_local(r) {
                 if in_m(b) {
                     continue 'rules; // rule deleted by the reduct
                 }
             }
-            for &b in dense.pos[r].iter() {
+            for &b in prog.pos_local(r) {
                 if derived & (1 << b) == 0 {
                     continue 'rules;
                 }

@@ -231,7 +231,13 @@ mod tests {
         // e(X) -> p(X);  e(X), not p(X) -> q(X)  — wait, p depends on e
         // only, q negatively on p: stratified with p at 0, q at 1.
         prog.push(
-            Tgd::new(&u, vec![RuleAtom::new(e, vec![v(0)])], vec![], vec![RuleAtom::new(p, vec![v(0)])]).unwrap(),
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(e, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(p, vec![v(0)])],
+            )
+            .unwrap(),
         );
         prog.push(
             Tgd::new(
@@ -268,10 +274,22 @@ mod tests {
         let mut prog = Program::new();
         // g(X), not q(X) -> p(X);  g(X), not p(X) -> q(X): odd loop.
         prog.push(
-            Tgd::new(&u, vec![RuleAtom::new(g, vec![v(0)])], vec![RuleAtom::new(q, vec![v(0)])], vec![RuleAtom::new(p, vec![v(0)])]).unwrap(),
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(g, vec![v(0)])],
+                vec![RuleAtom::new(q, vec![v(0)])],
+                vec![RuleAtom::new(p, vec![v(0)])],
+            )
+            .unwrap(),
         );
         prog.push(
-            Tgd::new(&u, vec![RuleAtom::new(g, vec![v(0)])], vec![RuleAtom::new(p, vec![v(0)])], vec![RuleAtom::new(q, vec![v(0)])]).unwrap(),
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(g, vec![v(0)])],
+                vec![RuleAtom::new(p, vec![v(0)])],
+                vec![RuleAtom::new(q, vec![v(0)])],
+            )
+            .unwrap(),
         );
         let sk = prog.skolemize(&mut u).unwrap();
         assert!(stratify(&sk).is_none());
@@ -280,12 +298,8 @@ mod tests {
     #[test]
     fn perfect_model_matches_wfs_on_stratified_program() {
         let (mut u, db, sk) = build_stratified();
-        let seg = wfdl_chase::ChaseSegment::build(
-            &mut u,
-            &db,
-            &sk,
-            wfdl_chase::ChaseBudget::unbounded(),
-        );
+        let seg =
+            wfdl_chase::ChaseSegment::build(&mut u, &db, &sk, wfdl_chase::ChaseBudget::unbounded());
         assert!(seg.complete);
         let ground = seg.to_ground_program();
         let strat = stratify(&sk).unwrap();
@@ -309,7 +323,13 @@ mod tests {
         let q = u.pred("q", 1).unwrap();
         let mut prog = Program::new();
         prog.push(
-            Tgd::new(&u, vec![RuleAtom::new(p, vec![v(0)])], vec![], vec![RuleAtom::new(q, vec![v(0)])]).unwrap(),
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(p, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(q, vec![v(0)])],
+            )
+            .unwrap(),
         );
         let sk = prog.skolemize(&mut u).unwrap();
         let strat = stratify(&sk).unwrap();

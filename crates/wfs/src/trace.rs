@@ -87,13 +87,12 @@ impl StageTrace {
         let mut current = 0u32;
         let mut shown = 0usize;
         let mut suppressed = 0usize;
-        let mut flush =
-            |out: &mut String, suppressed: &mut usize| {
-                if *suppressed > 0 {
-                    out.push_str(&format!("  … {suppressed} more\n"));
-                    *suppressed = 0;
-                }
-            };
+        let flush = |out: &mut String, suppressed: &mut usize| {
+            if *suppressed > 0 {
+                out.push_str(&format!("  … {suppressed} more\n"));
+                *suppressed = 0;
+            }
+        };
         for e in &self.entries {
             if e.stage != current {
                 flush(&mut out, &mut suppressed);
@@ -124,7 +123,12 @@ mod tests {
     fn trace_example4(engine: EngineKind) -> (Universe, StageTrace) {
         let mut u = Universe::new();
         let (db, sigma) = example4(&mut u);
-        let model = solve(&mut u, &db, &sigma, WfsOptions::depth(5).with_engine(engine));
+        let model = solve(
+            &mut u,
+            &db,
+            &sigma,
+            WfsOptions::depth(5).with_engine(engine),
+        );
         (u, StageTrace::from_result(&model.result))
     }
 
@@ -132,10 +136,7 @@ mod tests {
     fn trace_is_stage_sorted_and_complete() {
         let (_u, trace) = trace_example4(EngineKind::Forward);
         assert!(!trace.entries().is_empty());
-        assert!(trace
-            .entries()
-            .windows(2)
-            .all(|w| w[0].stage <= w[1].stage));
+        assert!(trace.entries().windows(2).all(|w| w[0].stage <= w[1].stage));
         assert_eq!(trace.settled_stage(), trace.stages);
     }
 

@@ -21,9 +21,7 @@
 //!   E11).
 
 use wfdl_chase::ChaseSegment;
-use wfdl_core::{
-    AtomId, FxHashMap, FxHashSet, Interp, PredId, TermId, TermNode, Truth, Universe,
-};
+use wfdl_core::{AtomId, FxHashMap, FxHashSet, Interp, PredId, TermId, TermNode, Truth, Universe};
 
 /// The type `(a, S)` of an atom: all decided literals over `dom(a)`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -130,11 +128,7 @@ pub fn canonicalize(universe: &Universe, ty: &AtomType) -> CanonicalType {
         }
     };
     let node = universe.atoms.node(ty.atom);
-    let args: Vec<CanonTerm> = node
-        .args
-        .iter()
-        .map(|&t| canon(t, &mut renaming))
-        .collect();
+    let args: Vec<CanonTerm> = node.args.iter().map(|&t| canon(t, &mut renaming)).collect();
     let mut literals: Vec<(PredId, Vec<CanonTerm>, Truth)> = ty
         .literals
         .iter()
@@ -240,11 +234,7 @@ pub struct TypeCensus {
 }
 
 /// Counts distinct canonical types over all segment atoms.
-pub fn type_census(
-    universe: &mut Universe,
-    seg: &ChaseSegment,
-    interp: &Interp,
-) -> TypeCensus {
+pub fn type_census(universe: &mut Universe, seg: &ChaseSegment, interp: &Interp) -> TypeCensus {
     let mut set: FxHashSet<CanonicalType> = FxHashSet::default();
     let atoms: Vec<AtomId> = seg.atoms().iter().map(|sa| sa.atom).collect();
     for atom in &atoms {

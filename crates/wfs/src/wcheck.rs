@@ -97,11 +97,7 @@ pub struct Certificate {
 /// Returns `None` if the atom is not true in `interp`. The extraction
 /// replays the strict-mode aliveness closure, so the produced supports are
 /// acyclic by construction.
-pub fn certify(
-    seg: &ChaseSegment,
-    interp: &Interp,
-    atom: AtomId,
-) -> Option<Certificate> {
+pub fn certify(seg: &ChaseSegment, interp: &Interp, atom: AtomId) -> Option<Certificate> {
     if !interp.is_true(atom) {
         return None;
     }
@@ -218,7 +214,10 @@ fn verify_inner(
     }
     // Root must be a database fact.
     let root = cert.path[0];
-    if !seg.atoms()[..seg.num_facts()].iter().any(|sa| sa.atom == root) {
+    if !seg.atoms()[..seg.num_facts()]
+        .iter()
+        .any(|sa| sa.atom == root)
+    {
         return false;
     }
     for (k, &iid) in cert.steps.iter().enumerate() {
@@ -245,8 +244,8 @@ fn verify_inner(
                     if !in_progress.insert(b) {
                         return false; // cyclic support
                     }
-                    let ok = verify_inner(seg, interp, sub, in_progress)
-                        && sub.path.last() == Some(&b);
+                    let ok =
+                        verify_inner(seg, interp, sub, in_progress) && sub.path.last() == Some(&b);
                     in_progress.remove(&b);
                     if !ok {
                         return false;

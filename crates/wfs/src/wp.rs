@@ -16,7 +16,6 @@
 //! — the standard van Gelder characterization — using Dowling–Gallier
 //! counters.
 
-use crate::dense::DenseProgram;
 use crate::result::EngineResult;
 use wfdl_core::BitSet;
 use wfdl_storage::GroundProgram;
@@ -31,9 +30,11 @@ pub enum StepMode {
     Accelerated,
 }
 
-/// The `W_P` fixpoint engine.
-pub struct WpEngine {
-    dense: DenseProgram,
+/// The `W_P` fixpoint engine. Borrows the ground program's dense local
+/// ids and CSR indexes directly — construction allocates nothing beyond
+/// the two option bitsets.
+pub struct WpEngine<'a> {
+    prog: &'a GroundProgram,
     /// Atoms that may never be declared false (excluded from every
     /// unfounded set). Empty under the paper's UNA semantics; populated
     /// with null-containing atoms to obtain the conservative no-UNA
@@ -41,14 +42,22 @@ pub struct WpEngine {
     /// denote equal values, so non-derivation of a null-atom cannot justify
     /// its falsity).
     frozen: BitSet,
+    /// Atoms assumed **undefined** by an outer evaluation (the SCC-modular
+    /// engine substitutes lower-component unknowns this way): they are
+    /// never declared false *and* they seed the possibly-founded set, so a
+    /// head depending positively on one stays undefined instead of
+    /// collapsing to false. The caller guarantees they head no rule and
+    /// are not facts, so they can never become true either.
+    assumed: BitSet,
 }
 
-impl WpEngine {
+impl<'a> WpEngine<'a> {
     /// Prepares the engine for a ground program.
-    pub fn new(prog: &GroundProgram) -> Self {
+    pub fn new(prog: &'a GroundProgram) -> Self {
         WpEngine {
-            dense: DenseProgram::new(prog),
+            prog,
             frozen: BitSet::new(),
+            assumed: BitSet::new(),
         }
     }
 
@@ -57,21 +66,44 @@ impl WpEngine {
     /// [`WpEngine::solve`] as `Unknown`.
     pub fn with_frozen(mut self, atoms: impl IntoIterator<Item = wfdl_core::AtomId>) -> Self {
         for a in atoms {
-            if let Some(&i) = self.dense.index_of.get(&a) {
+            if let Some(i) = self.prog.local_id(a) {
                 self.frozen.insert(i as usize);
             }
         }
         self
     }
 
-    /// Access to the dense form (shared with sibling engines in tests).
-    pub fn dense(&self) -> &DenseProgram {
-        &self.dense
+    /// Marks local atom ids as externally-undefined (never false, and
+    /// seeding the possibly-founded set). Used by the SCC-modular engine.
+    ///
+    /// An assumed atom must have no derivation in this program — heading a
+    /// rule or being a fact would let `T_P` prove it true while the
+    /// unfounded computation simultaneously treats it as permanently
+    /// undefined, yielding a model that is neither the program's WFS nor
+    /// the intended partial evaluation.
+    pub fn with_assumed_unknown(mut self, local_ids: impl IntoIterator<Item = u32>) -> Self {
+        for i in local_ids {
+            debug_assert!(
+                self.prog.rules_with_head_local(i).is_empty(),
+                "assumed-unknown atom {i} heads a rule"
+            );
+            debug_assert!(
+                !self.prog.facts_local().contains(&i),
+                "assumed-unknown atom {i} is a fact"
+            );
+            self.assumed.insert(i as usize);
+        }
+        self
+    }
+
+    /// The ground program this engine evaluates.
+    pub fn ground(&self) -> &GroundProgram {
+        self.prog
     }
 
     /// Computes `lfp(W_P)`.
     pub fn solve(&self, mode: StepMode) -> EngineResult {
-        let n = self.dense.num_atoms();
+        let n = self.prog.num_atoms();
         let mut truth = State::new(n);
         let mut stage = 0u32;
         loop {
@@ -86,30 +118,30 @@ impl WpEngine {
                 break;
             }
         }
-        truth.into_result(&self.dense, stage)
+        truth.into_result(self.prog, stage)
     }
 
     /// One application of `W_P`: `T_P(I)` (single step) plus `¬.U_P(I)`.
     #[allow(clippy::needless_range_loop)] // parallel arrays are indexed together
     fn literal_step(&self, s: &mut State, stage: u32) -> bool {
-        let d = &self.dense;
+        let d = self.prog;
         let mut new_true: Vec<u32> = Vec::new();
-        for &f in &d.facts {
+        for &f in d.facts_local() {
             if !s.is_true(f) {
                 new_true.push(f);
             }
         }
         'rules: for r in 0..d.num_rules() {
-            let h = d.head[r];
+            let h = d.head_local(r);
             if s.is_true(h) {
                 continue;
             }
-            for &b in d.pos[r].iter() {
+            for &b in d.pos_local(r) {
                 if !s.is_true(b) {
                     continue 'rules;
                 }
             }
-            for &b in d.neg[r].iter() {
+            for &b in d.neg_local(r) {
                 if !s.is_false(b) {
                     continue 'rules;
                 }
@@ -144,25 +176,25 @@ impl WpEngine {
     /// Saturates `T_P` over the current interpretation with counters.
     #[allow(clippy::needless_range_loop)] // parallel arrays are indexed together
     fn tp_closure(&self, s: &mut State, stage: u32) -> bool {
-        let d = &self.dense;
+        let d = self.prog;
         // missing[r] = positive body atoms not yet true.
         let mut missing: Vec<u32> = (0..d.num_rules())
-            .map(|r| d.pos[r].iter().filter(|&&b| !s.is_true(b)).count() as u32)
+            .map(|r| d.pos_local(r).iter().filter(|&&b| !s.is_true(b)).count() as u32)
             .collect();
         let mut queue: Vec<u32> = Vec::new();
         let mut changed = false;
         let fire = |r: usize, s: &mut State, queue: &mut Vec<u32>, changed: &mut bool| {
             // All negatives must be false in the CURRENT interpretation
             // (T_P requires ¬.B⁻(r) ⊆ I, which is stable within a stage).
-            if d.neg[r].iter().all(|&b| s.is_false(b)) {
-                let h = d.head[r];
+            if d.neg_local(r).iter().all(|&b| s.is_false(b)) {
+                let h = d.head_local(r);
                 if s.set_true(h, stage) {
                     *changed = true;
                     queue.push(h);
                 }
             }
         };
-        for &f in &d.facts {
+        for &f in d.facts_local() {
             if s.set_true(f, stage) {
                 changed = true;
                 queue.push(f);
@@ -175,13 +207,16 @@ impl WpEngine {
             }
         }
         while let Some(a) = queue.pop() {
-            for &r in &d.pos_occ[a as usize] {
-                let r = r as usize;
+            for &rid in d.rules_with_pos_local(a) {
+                let r = rid.index();
                 // Only decrement for atoms that just became true; an atom is
-                // enqueued exactly once (set_true is idempotent), but it may
-                // appear several times in one body — recount cheaply.
+                // enqueued exactly once (set_true is idempotent). Bodies are
+                // deduplicated by GroundRule::new — the same invariant
+                // scc.rs's single-decrement propagation relies on — so this
+                // recount always finds exactly one occurrence; it is kept as
+                // a guard in case that invariant ever changes.
                 if missing[r] > 0 {
-                    missing[r] -= d.pos[r].iter().filter(|&&b| b == a).count() as u32;
+                    missing[r] -= d.pos_local(r).iter().filter(|&&b| b == a).count() as u32;
                     if missing[r] == 0 {
                         fire(r, s, &mut queue, &mut changed);
                     }
@@ -194,7 +229,7 @@ impl WpEngine {
     /// The greatest unfounded set `U_P(I)` (dense indices).
     #[allow(clippy::needless_range_loop)] // parallel arrays are indexed together
     fn greatest_unfounded(&self, s: &State) -> Vec<u32> {
-        let d = &self.dense;
+        let d = self.prog;
         let n = d.num_atoms();
         let mut founded = BitSet::with_capacity(n);
         let mut queue: Vec<u32> = Vec::new();
@@ -204,33 +239,40 @@ impl WpEngine {
         let mut live = vec![false; d.num_rules()];
         let mut missing: Vec<u32> = vec![0; d.num_rules()];
         for r in 0..d.num_rules() {
-            let pos_ok = d.pos[r].iter().all(|&b| !s.is_false(b));
-            let neg_ok = d.neg[r].iter().all(|&b| !s.is_true(b));
+            let pos_ok = d.pos_local(r).iter().all(|&b| !s.is_false(b));
+            let neg_ok = d.neg_local(r).iter().all(|&b| !s.is_true(b));
             live[r] = pos_ok && neg_ok;
             if live[r] {
-                missing[r] = d.pos[r].len() as u32;
+                missing[r] = d.pos_local(r).len() as u32;
                 if missing[r] == 0 {
-                    let h = d.head[r];
+                    let h = d.head_local(r);
                     if founded.insert(h as usize) {
                         queue.push(h);
                     }
                 }
             }
         }
-        for &f in &d.facts {
+        for &f in d.facts_local() {
             if founded.insert(f as usize) {
                 queue.push(f);
             }
         }
+        // Externally-undefined atoms are possibly true, so they count as
+        // founded support — without becoming derivable in T_P.
+        for a in self.assumed.iter() {
+            if founded.insert(a) {
+                queue.push(a as u32);
+            }
+        }
         while let Some(a) = queue.pop() {
-            for &r in &d.pos_occ[a as usize] {
-                let r = r as usize;
+            for &rid in d.rules_with_pos_local(a) {
+                let r = rid.index();
                 if !live[r] || missing[r] == 0 {
                     continue;
                 }
-                missing[r] -= d.pos[r].iter().filter(|&&b| b == a).count() as u32;
+                missing[r] -= d.pos_local(r).iter().filter(|&&b| b == a).count() as u32;
                 if missing[r] == 0 {
-                    let h = d.head[r];
+                    let h = d.head_local(r);
                     if founded.insert(h as usize) {
                         queue.push(h);
                     }
@@ -238,7 +280,11 @@ impl WpEngine {
             }
         }
         (0..n as u32)
-            .filter(|&a| !founded.contains(a as usize) && !self.frozen.contains(a as usize))
+            .filter(|&a| {
+                !founded.contains(a as usize)
+                    && !self.frozen.contains(a as usize)
+                    && !self.assumed.contains(a as usize)
+            })
             .collect()
     }
 }
@@ -287,9 +333,9 @@ impl State {
         fresh
     }
 
-    fn into_result(self, dense: &DenseProgram, stages: u32) -> EngineResult {
-        EngineResult::from_dense(
-            dense,
+    fn into_result(self, prog: &GroundProgram, stages: u32) -> EngineResult {
+        EngineResult::from_ground(
+            prog,
             &self.truth_true,
             &self.truth_false,
             &self.stage_of,

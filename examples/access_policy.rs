@@ -60,7 +60,10 @@ fn main() -> Result<(), wfdatalog::Error> {
     )?;
 
     let model = reasoner.solve_default()?;
-    println!("model exact: {} (policy rules have one existential)\n", model.exact);
+    println!(
+        "model exact: {} (policy rules have one existential)\n",
+        model.exact
+    );
 
     let mut verdicts = Vec::new();
     for (who, what) in [("ana", "telemetry"), ("bo", "billing"), ("cid", "wiki")] {

@@ -44,6 +44,9 @@ fn main() -> Result<(), wfdatalog::Error> {
 
     // A null witnesses the existential; answers over constants are empty.
     let ans = reasoner.answers(&model, "?(X) isAuthorOf(john, X).")?;
-    println!("constant answers for X: {} (the witness is a labelled null)", ans.len());
+    println!(
+        "constant answers for X: {} (the witness is a labelled null)",
+        ans.len()
+    );
     Ok(())
 }

@@ -18,7 +18,10 @@ fn main() {
     // ---- Example 6: the chase forest up to depth 3 ----------------------
     let seg3 = ChaseSegment::build(&mut universe, &db, &sigma, ChaseBudget::depth(3));
     let forest = ExplicitForest::unfold(&seg3, 3, 10_000);
-    println!("=== Example 6: F+(P) up to depth 3 ({} nodes) ===", forest.len());
+    println!(
+        "=== Example 6: F+(P) up to depth 3 ({} nodes) ===",
+        forest.len()
+    );
     print!("{}", forest.render(&universe));
 
     // ---- Example 9: Ŵ_P stages on a depth-8 segment ----------------------
@@ -70,6 +73,9 @@ fn main() {
             .join(", ")
     );
     let ok = wcheck::verify(&seg, &result.interp, &cert);
-    println!("independent verification: {}", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "independent verification: {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
     assert!(ok);
 }

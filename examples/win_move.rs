@@ -53,11 +53,22 @@ fn main() {
     println!("\nwon   ({:3}): {:?}", won.len(), preview(&won));
     println!("lost  ({:3}): {:?}", lost.len(), preview(&lost));
     println!("drawn ({:3}): {:?}", drawn.len(), preview(&drawn));
-    println!(
-        "\nfixpoint in {} stages over {} ground rule instances",
-        model.stages(),
-        model.ground.num_rules()
-    );
+    match model.component_stats() {
+        Some(s) => println!(
+            "\ncondensation: {} components ({} definite, {} recursive, largest {}) \
+             over {} ground rule instances",
+            s.components,
+            s.definite_components,
+            s.recursive_components,
+            s.largest_component,
+            model.ground.num_rules()
+        ),
+        None => println!(
+            "\nfixpoint in {} stages over {} ground rule instances",
+            model.stages(),
+            model.ground.num_rules()
+        ),
+    }
 }
 
 fn preview(v: &[usize]) -> Vec<usize> {

@@ -1,7 +1,8 @@
 //! `wfdl` — command-line well-founded reasoner for guarded normal Datalog±.
 //!
 //! ```text
-//! wfdl run program.dl [--depth N] [--engine wp|wp-literal|alternating|forward]
+//! wfdl run program.dl [--depth N]
+//!                     [--engine modular|wp|wp-literal|alternating|forward]
 //!                     [--model] [--hidden] [--forest N] [--stats]
 //! wfdl check program.dl            # parse + validate only
 //! ```
@@ -28,7 +29,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wfdl run <file> [--depth N] [--engine wp|wp-literal|alternating|forward]\n\
+        "usage: wfdl run <file> [--depth N]\n\
+         \x20                   [--engine modular|wp|wp-literal|alternating|forward]\n\
          \x20                   [--model] [--hidden] [--forest N] [--stats]\n\
          \x20      wfdl check <file>"
     );
@@ -43,7 +45,7 @@ fn parse_args() -> Options {
         command,
         file,
         depth: None,
-        engine: EngineKind::Wp,
+        engine: EngineKind::Modular,
         show_model: false,
         show_hidden: false,
         forest_depth: None,
@@ -58,6 +60,7 @@ fn parse_args() -> Options {
             "--engine" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.engine = match v.as_str() {
+                    "modular" => EngineKind::Modular,
                     "wp" => EngineKind::Wp,
                     "wp-literal" => EngineKind::WpLiteral,
                     "alternating" => EngineKind::Alternating,
@@ -148,6 +151,17 @@ fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
             model.exact
         );
         println!("% truth: {t} true, {f} false, {u} unknown");
+        if let Some(s) = model.component_stats() {
+            println!(
+                "% condensation: {} components ({} definite, {} recursive), \
+                 largest {}, {} atoms solved recursively",
+                s.components,
+                s.definite_components,
+                s.recursive_components,
+                s.largest_component,
+                s.atoms_in_recursive
+            );
+        }
     }
 
     if let Some(fd) = opts.forest_depth {

@@ -27,14 +27,40 @@
 //! ## Crate map
 //!
 //! * [`wfdl_core`] — terms, atoms, rules, programs, interpretations;
-//! * [`wfdl_storage`] — databases, ground programs, indexes;
+//! * [`wfdl_storage`] — databases, ground programs (dense local atom ids +
+//!   CSR occurrence indexes), secondary indexes;
 //! * [`wfdl_syntax`] — parser and printer for the surface language;
 //! * [`wfdl_chase`] — the guarded chase forest (condensed segments,
 //!   the explicit Example 6 forest, the paper's depth bound `δ`);
-//! * [`wfdl_wfs`] — three WFS fixpoint engines, the stratified
+//! * [`wfdl_wfs`] — the WFS engines (see below), the stratified
 //!   baseline, WCHECK-style membership with certificates;
 //! * [`wfdl_query`] — NBCQ evaluation with certain-answer semantics;
 //! * [`wfdl_ontology`] — DL-Lite_{R,⊓,not} translation.
+//!
+//! ## Engine architecture
+//!
+//! The ground program extracted from a chase segment renumbers its atoms
+//! into dense local ids and keeps every occurrence index in flat CSR
+//! arrays. On top of that sits a two-level evaluation scheme, selected by
+//! [`EngineKind`] in [`WfsOptions`]:
+//!
+//! * [`EngineKind::Modular`] *(default)* condenses the atom dependency
+//!   graph with Tarjan's SCC algorithm and evaluates components bottom-up:
+//!   components without internal negation get one flat semi-naive pass,
+//!   and only components that are genuinely recursive through negation
+//!   (e.g. win–move draw cycles) invoke the `W_P` unfounded-set machinery
+//!   on their own (usually tiny) subprogram. Per-component counters are
+//!   returned as [`ModularStats`] via
+//!   [`WellFoundedModel::component_stats`](wfdl_wfs::WellFoundedModel::component_stats)
+//!   and printed by `wfdl run --stats`.
+//! * [`EngineKind::Wp`], [`EngineKind::WpLiteral`],
+//!   [`EngineKind::Alternating`] and [`EngineKind::Forward`] run a single
+//!   global fixpoint; they remain available for cross-validation,
+//!   stage-faithful traces and the chase-level `Ŵ_P` semantics.
+//!
+//! All engines compute the same three-valued model (enforced by the
+//! cross-engine agreement test suite); they differ only in how much work
+//! they do to get there.
 
 pub use wfdl_chase as chase;
 pub use wfdl_core as core;
@@ -48,7 +74,7 @@ pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest};
 pub use wfdl_core::{AtomId, Interp, Program, SkolemProgram, Truth, Universe};
 pub use wfdl_query::{AnswerSet, Nbcq, TruthSource};
 pub use wfdl_storage::Database;
-pub use wfdl_wfs::{EngineKind, WellFoundedModel, WfsOptions};
+pub use wfdl_wfs::{EngineKind, ModularStats, WellFoundedModel, WfsOptions};
 
 use std::fmt;
 

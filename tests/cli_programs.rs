@@ -31,7 +31,9 @@ fn employment_program_file() {
     let model = r.solve(WfsOptions::depth(6)).unwrap();
     assert!(r.ask(&model, "?- validId(I).").unwrap());
     // b is the only unemployed person.
-    let ans = r.answers(&model, "?(X) person(X), not employed(X).").unwrap();
+    let ans = r
+        .answers(&model, "?(X) person(X), not employed(X).")
+        .unwrap();
     assert_eq!(ans.len(), 1);
     let b = r.universe.lookup_constant("b").unwrap();
     assert!(ans.contains(&[b]));

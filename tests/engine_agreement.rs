@@ -5,18 +5,22 @@
 use proptest::prelude::*;
 use wfdatalog::storage::{GroundProgram, GroundProgramBuilder, GroundRule};
 use wfdatalog::wfs::{
-    perfect_model, solve, stratify, AlternatingEngine, EngineKind, StepMode, WfsOptions,
-    WpEngine,
+    perfect_model, solve, stratify, AlternatingEngine, EngineKind, ModularEngine, StepMode,
+    WfsOptions, WpEngine,
 };
 use wfdatalog::{AtomId, Truth, Universe};
 use wfdl_gen::{
-    random_database, random_program, random_stratified_program, RandomConfig, RandomDbConfig,
+    random_database, random_program, random_stratified_program, winmove_database, winmove_sigma,
+    RandomConfig, RandomDbConfig, WinMoveConfig,
 };
 
 /// Strategy: a random ground normal program over `n` atoms.
 fn ground_program(max_atoms: usize, max_rules: usize) -> impl Strategy<Value = GroundProgram> {
-    let rule = (0..max_atoms, proptest::collection::vec(0..max_atoms, 0..3),
-                proptest::collection::vec(0..max_atoms, 0..3));
+    let rule = (
+        0..max_atoms,
+        proptest::collection::vec(0..max_atoms, 0..3),
+        proptest::collection::vec(0..max_atoms, 0..3),
+    );
     (
         proptest::collection::vec(0..max_atoms, 0..3),
         proptest::collection::vec(rule, 1..max_rules),
@@ -40,15 +44,34 @@ fn ground_program(max_atoms: usize, max_rules: usize) -> impl Strategy<Value = G
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// `lfp(W_P)` (both stepping modes) = alternating fixpoint.
+    /// `lfp(W_P)` (both stepping modes) = alternating fixpoint = the
+    /// SCC-modular evaluation.
     #[test]
     fn wp_equals_alternating_on_random_ground_programs(p in ground_program(10, 12)) {
         let lit = WpEngine::new(&p).solve(StepMode::Literal);
         let acc = WpEngine::new(&p).solve(StepMode::Accelerated);
         let alt = AlternatingEngine::new(&p).solve();
+        let modular = ModularEngine::new(&p).solve();
         for &a in p.atoms() {
             prop_assert_eq!(lit.value(a), acc.value(a), "literal vs accelerated on {:?}", a);
             prop_assert_eq!(acc.value(a), alt.value(a), "wp vs alternating on {:?}", a);
+            prop_assert_eq!(acc.value(a), modular.value(a), "wp vs modular on {:?}", a);
+        }
+    }
+
+    /// The modular engine agrees with global `W_P` on dense random
+    /// programs (many overlapping components, heavy negation).
+    #[test]
+    fn modular_equals_wp_on_dense_random_programs(p in ground_program(14, 24)) {
+        let acc = WpEngine::new(&p).solve(StepMode::Accelerated);
+        let modular = ModularEngine::new(&p).solve();
+        let stats = modular.stats.expect("modular engine reports stats");
+        prop_assert_eq!(
+            stats.definite_components + stats.recursive_components,
+            stats.components
+        );
+        for &a in p.atoms() {
+            prop_assert_eq!(modular.value(a), acc.value(a), "modular vs wp on {:?}", a);
         }
     }
 
@@ -107,9 +130,14 @@ fn engines_agree_on_random_guarded_workloads() {
                 ..Default::default()
             },
         );
-        let opts = WfsOptions::depth(5);
+        let opts = WfsOptions::depth(5).with_engine(EngineKind::Wp);
         let reference = solve(&mut u, &db, &w.sigma, opts);
-        for engine in [EngineKind::WpLiteral, EngineKind::Alternating, EngineKind::Forward] {
+        for engine in [
+            EngineKind::Modular,
+            EngineKind::WpLiteral,
+            EngineKind::Alternating,
+            EngineKind::Forward,
+        ] {
             let other = solve(&mut u, &db, &w.sigma, opts.with_engine(engine));
             for sa in reference.segment.atoms() {
                 assert_eq!(
@@ -159,6 +187,51 @@ fn wfs_equals_perfect_model_on_stratified_workloads() {
             assert!(!model.value(a).is_unknown(), "stratified WFS is total");
         }
     }
+}
+
+/// The modular engine classifies win–move graphs (with genuine unknowns on
+/// draw cycles) identically to every global engine, and actually exercises
+/// its recursive path on them.
+#[test]
+fn modular_agrees_on_winmove_graphs_with_unknowns() {
+    let mut saw_unknowns = false;
+    let mut saw_recursive = false;
+    for seed in 0..12u64 {
+        let mut u = Universe::new();
+        let sigma = winmove_sigma(&mut u);
+        let db = winmove_database(
+            &mut u,
+            &WinMoveConfig {
+                nodes: 48,
+                out_degree: 2.0,
+                forward_bias: 0.3, // plenty of cycles → draws
+                seed,
+            },
+        );
+        let opts = WfsOptions::unbounded();
+        let modular = solve(&mut u, &db, &sigma, opts.with_engine(EngineKind::Modular));
+        assert!(modular.exact);
+        let stats = modular.component_stats().expect("modular stats");
+        saw_recursive |= stats.recursive_components > 0;
+        for engine in [EngineKind::Wp, EngineKind::Alternating, EngineKind::Forward] {
+            let other = solve(&mut u, &db, &sigma, opts.with_engine(engine));
+            for sa in modular.segment.atoms() {
+                let v = modular.value(sa.atom);
+                saw_unknowns |= v.is_unknown();
+                assert_eq!(
+                    v,
+                    other.value(sa.atom),
+                    "seed {seed}, engine {engine:?}, atom {}",
+                    u.display_atom(sa.atom)
+                );
+            }
+        }
+    }
+    assert!(saw_unknowns, "workload never produced a draw — weak test");
+    assert!(
+        saw_recursive,
+        "modular engine never took its recursive path"
+    );
 }
 
 /// Monotonicity of deepening on the paper's example: values decided at

@@ -17,7 +17,9 @@ fn example1_literature() {
     let model = r.solve_default().unwrap();
     assert!(r.ask(&model, "?- Article(pods13).").unwrap());
     // Unsafe query (Y occurs only under negation) must be rejected.
-    assert!(r.ask(&model, "?- Article(X), not ConferencePaper(Y).").is_err());
+    assert!(r
+        .ask(&model, "?- Article(X), not ConferencePaper(Y).")
+        .is_err());
 }
 
 /// Example 2: `ValidID(f(a))` under UNA; withheld without UNA.
@@ -38,13 +40,9 @@ fn example2_unique_name_assumption_matters() {
     // And the crux: some ID is valid (namely f(a)).
     assert!(r.ask(&model, "?- ValidID(X).").unwrap());
     // The valid ID belongs to a's employee record.
-    assert!(r
-        .ask(&model, "?- EmployeeID(a, X), ValidID(X).")
-        .unwrap());
+    assert!(r.ask(&model, "?- EmployeeID(a, X), ValidID(X).").unwrap());
     // b's job-seeker ID is not valid (it is in JobSeekerID's range).
-    assert!(!r
-        .ask(&model, "?- JobSeekerID(b, X), ValidID(X).")
-        .unwrap());
+    assert!(!r.ask(&model, "?- JobSeekerID(b, X), ValidID(X).").unwrap());
 
     // Conservative no-UNA reading: the validation is withheld.
     let no_una = solve_no_una(
@@ -71,7 +69,12 @@ fn example4_model_verdicts() {
         EngineKind::Alternating,
         EngineKind::Forward,
     ] {
-        let model = solve(&mut u, &db, &sigma, WfsOptions::depth(7).with_engine(engine));
+        let model = solve(
+            &mut u,
+            &db,
+            &sigma,
+            WfsOptions::depth(7).with_engine(engine),
+        );
         let atom = |p: &str, args: &[wfdatalog::core::TermId]| {
             let pid = u.lookup_pred(p).unwrap();
             u.atoms.lookup(pid, args)

@@ -81,7 +81,5 @@ fn ontology_text_round_trip() {
     let mut r = Reasoner::from_ontology(&onto).unwrap();
     let model = r.solve(WfsOptions::depth(6)).unwrap();
     assert!(r.ask(&model, "?- ValidID(X).").unwrap());
-    assert!(r
-        .ask(&model, "?- EmployeeID(a, X), ValidID(X).")
-        .unwrap());
+    assert!(r.ask(&model, "?- EmployeeID(a, X), ValidID(X).").unwrap());
 }

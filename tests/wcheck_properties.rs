@@ -63,8 +63,8 @@ fn every_true_atom_has_a_verifying_certificate() {
         );
         let model = solve(&mut u, &db, &w.sigma, WfsOptions::depth(4));
         for atom in model.true_atoms().collect::<Vec<_>>() {
-            let cert = wcheck::certify(&model.segment, &model.result.interp, atom)
-                .unwrap_or_else(|| {
+            let cert =
+                wcheck::certify(&model.segment, &model.result.interp, atom).unwrap_or_else(|| {
                     panic!(
                         "seed {seed}: true atom {} lacks a certificate",
                         u.display_atom(atom)
@@ -117,8 +117,7 @@ fn every_false_atom_has_a_refutation() {
             // Either no rule derives it, or every deriving rule is blocked.
             assert!(
                 refutation.no_derivation
-                    || refutation.blocked.len()
-                        == model.segment.instances_with_head(sa.atom).len()
+                    || refutation.blocked.len() == model.segment.instances_with_head(sa.atom).len()
             );
         }
     }
