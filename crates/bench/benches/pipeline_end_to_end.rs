@@ -1,0 +1,261 @@
+//! End-to-end pipeline benchmark: parse/translate → skolemize → chase →
+//! ground → modular solve, phase-attributed.
+//!
+//! Unlike the engine-only benches, every sample runs the **whole** pipeline
+//! on a fresh universe, so the numbers include interning, chase saturation
+//! and ground-program extraction — the phases that dominate end-to-end
+//! latency on ontological workloads. Each phase is timed separately within
+//! the same run, so a chase-saturation speedup is attributable without
+//! cross-bench guesswork.
+//!
+//! Output:
+//! * human-readable per-phase medians on stdout (same shape as the
+//!   criterion stub's reports);
+//! * machine-readable medians in `BENCH_pipeline.json` (override the path
+//!   with `WFDL_BENCH_JSON`, the sample count with `WFDL_BENCH_SAMPLES`),
+//!   so future PRs have a perf trajectory to compare against.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use wfdl_chase::{ChaseBudget, ChaseSegment};
+use wfdl_core::Universe;
+use wfdl_gen::{employment_ontology, random_ontology, EmploymentConfig, OntologyConfig};
+use wfdl_ontology::Ontology;
+use wfdl_wfs::ModularEngine;
+
+const PHASES: [&str; 5] = ["frontend", "skolemize", "chase", "ground", "solve"];
+
+/// One pipeline sample: wall-clock per phase, in [`PHASES`] order.
+struct Sample {
+    phase_ns: [u64; PHASES.len()],
+}
+
+impl Sample {
+    fn total_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+}
+
+/// A workload's collected samples plus size counters from the last run.
+struct Outcome {
+    name: &'static str,
+    samples: Vec<Sample>,
+    atoms: usize,
+    instances: usize,
+    ground_rules: usize,
+}
+
+fn sample_count() -> usize {
+    std::env::var("WFDL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(30)
+}
+
+fn median_ns(samples: &[Sample], extract: impl Fn(&Sample) -> u64) -> u64 {
+    let mut v: Vec<u64> = samples.iter().map(extract).collect();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let d = Duration::from_nanos(ns);
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = std::hint::black_box(f());
+    (out, start.elapsed().as_nanos() as u64)
+}
+
+/// The scaled Example 4 chain workload as surface syntax, so the sample
+/// pays for a real parse (the other workloads enter via the DL-Lite
+/// translation instead).
+fn chain_source(num_seeds: usize) -> String {
+    let mut src = String::new();
+    for i in 0..num_seeds {
+        writeln!(src, "r(c{i}, c{i}, d{i}).").unwrap();
+        writeln!(src, "p(c{i}, c{i}).").unwrap();
+    }
+    src.push_str(
+        "r(X, Y, Z) -> r(X, Z, f(X, Y, Z)).\n\
+         r(X, Y, Z), p(X, Y), not q(Z) -> p(X, Z).\n\
+         r(X, Y, Z), not p(X, Y) -> q(Z).\n\
+         r(X, Y, Z), not p(X, Z) -> s(X).\n\
+         p(X, Y), not s(X) -> t(X).\n",
+    );
+    src
+}
+
+/// Runs one parse-entry pipeline sample and returns phase timings plus
+/// result sizes.
+fn run_source_sample(src: &str, budget: ChaseBudget) -> (Sample, usize, usize, usize) {
+    let mut u = Universe::new();
+    let (lowered, parse_ns) = time(|| wfdl_syntax::load(&mut u, src).expect("valid source"));
+    let (sigma, skolem_ns) = time(|| {
+        lowered
+            .skolem_program(&mut u)
+            .expect("skolemizable program")
+    });
+    let (seg, chase_ns) = time(|| ChaseSegment::build(&mut u, &lowered.database, &sigma, budget));
+    let (ground, ground_ns) = time(|| seg.to_ground_program());
+    let (_res, solve_ns) = time(|| ModularEngine::new(&ground).solve());
+    (
+        Sample {
+            phase_ns: [parse_ns, skolem_ns, chase_ns, ground_ns, solve_ns],
+        },
+        seg.atoms().len(),
+        seg.num_instances(),
+        ground.num_rules(),
+    )
+}
+
+/// Runs one ontology-entry pipeline sample (translation plays the frontend
+/// role that parsing plays for textual workloads).
+fn run_ontology_sample(onto: &Ontology, budget: ChaseBudget) -> (Sample, usize, usize, usize) {
+    let mut u = Universe::new();
+    let (translated, translate_ns) =
+        time(|| wfdl_ontology::translate(&mut u, onto).expect("translation never fails"));
+    let (sigma, skolem_ns) = time(|| {
+        let (sigma, _viols) =
+            wfdl_wfs::lower_with_constraints(&mut u, &translated.program).expect("lowerable");
+        sigma
+    });
+    let (seg, chase_ns) =
+        time(|| ChaseSegment::build(&mut u, &translated.database, &sigma, budget));
+    let (ground, ground_ns) = time(|| seg.to_ground_program());
+    let (_res, solve_ns) = time(|| ModularEngine::new(&ground).solve());
+    (
+        Sample {
+            phase_ns: [translate_ns, skolem_ns, chase_ns, ground_ns, solve_ns],
+        },
+        seg.atoms().len(),
+        seg.num_instances(),
+        ground.num_rules(),
+    )
+}
+
+fn collect(
+    name: &'static str,
+    samples: usize,
+    mut one: impl FnMut() -> (Sample, usize, usize, usize),
+) -> Outcome {
+    // One untimed warm-up run.
+    let _ = one();
+    let mut out = Outcome {
+        name,
+        samples: Vec::with_capacity(samples),
+        atoms: 0,
+        instances: 0,
+        ground_rules: 0,
+    };
+    for _ in 0..samples {
+        let (s, atoms, instances, rules) = one();
+        out.samples.push(s);
+        out.atoms = atoms;
+        out.instances = instances;
+        out.ground_rules = rules;
+    }
+    out
+}
+
+fn report(outcomes: &[Outcome], samples: usize) {
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"samples\": {samples},").unwrap();
+    json.push_str("  \"workloads\": [\n");
+    for (wi, o) in outcomes.iter().enumerate() {
+        println!(
+            "pipeline_end_to_end/{}: {} atoms, {} instances, {} ground rules",
+            o.name, o.atoms, o.instances, o.ground_rules
+        );
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", o.name).unwrap();
+        writeln!(json, "      \"atoms\": {},", o.atoms).unwrap();
+        writeln!(json, "      \"instances\": {},", o.instances).unwrap();
+        writeln!(json, "      \"ground_rules\": {},", o.ground_rules).unwrap();
+        json.push_str("      \"median_ns\": {");
+        for (pi, phase) in PHASES.iter().enumerate() {
+            let m = median_ns(&o.samples, |s| s.phase_ns[pi]);
+            println!(
+                "pipeline_end_to_end/{}/{}: median {} ({} samples)",
+                o.name,
+                phase,
+                fmt_ns(m),
+                o.samples.len()
+            );
+            if pi > 0 {
+                json.push_str(", ");
+            }
+            write!(json, "\"{phase}\": {m}").unwrap();
+        }
+        let total = median_ns(&o.samples, Sample::total_ns);
+        println!(
+            "pipeline_end_to_end/{}/total: median {} ({} samples)",
+            o.name,
+            fmt_ns(total),
+            o.samples.len()
+        );
+        write!(json, ", \"total\": {total}}}").unwrap();
+        json.push('\n');
+        if wi + 1 == outcomes.len() {
+            json.push_str("    }\n");
+        } else {
+            json.push_str("    },\n");
+        }
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("WFDL_BENCH_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("pipeline_end_to_end: wrote {path}"),
+        Err(e) => eprintln!("pipeline_end_to_end: cannot write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let samples = sample_count();
+
+    let chain_src = chain_source(192);
+    let ontogen_cfg = OntologyConfig {
+        num_concepts: 14,
+        num_roles: 7,
+        num_axioms: 60,
+        num_role_axioms: 10,
+        negation_prob: 0.4,
+        exists_prob: 0.4,
+        bottom_prob: 0.05,
+        num_individuals: 48,
+        num_assertions: 360,
+        seed: 2013,
+    };
+    let ontogen = random_ontology(&ontogen_cfg);
+    let employment = employment_ontology(&EmploymentConfig {
+        num_persons: 384,
+        employed_fraction: 0.5,
+        seed: 2013,
+    });
+
+    let outcomes = vec![
+        collect("chain", samples, || {
+            run_source_sample(&chain_src, ChaseBudget::depth(8))
+        }),
+        collect("ontogen", samples, || {
+            run_ontology_sample(&ontogen, ChaseBudget::depth(4))
+        }),
+        collect("employment", samples, || {
+            run_ontology_sample(&employment, ChaseBudget::depth(6))
+        }),
+    ];
+
+    report(&outcomes, samples);
+}

@@ -29,15 +29,41 @@
 //! watch counters. Atom depths/levels are maintained as minima by a
 //! relaxation worklist, because a later-discovered derivation may be
 //! shallower than the first one.
+//!
+//! ## Hash-free memory layout
+//!
+//! Saturation runs entirely on **dense indexes and flat pools** — after the
+//! one unavoidable hash per *newly interned* term/atom in the universe, no
+//! hot-path step hashes anything:
+//!
+//! * every discovered atom gets a dense [`SegAtomId`] **once** in
+//!   `add_atom`; the reverse map `seg_of` is a flat array indexed by the
+//!   universe's (equally dense) [`AtomId`], so membership tests and id
+//!   conversion are single array reads;
+//! * instance bodies live in shared arena pools (`pos_seg` / `neg_atoms`)
+//!   addressed by CSR offsets — zero per-instance boxes;
+//! * the Dowling–Gallier watch lists and the depth/level relaxation index
+//!   (`instances-with-atom-in-body`) are intrusive linked lists over flat
+//!   entry pools with per-atom head/tail cursors;
+//! * the "did this (rule, atom) pair instantiate already?" set collapses to
+//!   one bit per segment atom, because expansion always attempts every rule
+//!   guarded by the atom's predicate in one sweep;
+//! * guard/head/body occurrence indexes are finalized into CSR arrays
+//!   (counting sort) mirroring [`GroundProgram`]'s layout, and
+//!   [`ChaseSegment::to_ground_program`] hands the segment off as a
+//!   straight array translation — no per-atom hash lookups.
 
 use crate::budget::ChaseBudget;
-use crate::instance::{InstanceId, RuleInstance};
+use crate::instance::{InstanceId, RuleInstance, SegAtomId};
 use std::collections::VecDeque;
 use wfdl_core::{
-    match_atom, subst::instantiate_atom, AtomId, Binding, FxHashMap, FxHashSet, PredId,
-    SkolemProgram, Universe,
+    match_atom, subst::instantiate_atom_into, AtomId, Binding, BitSet, SkolemProgram, TermId,
+    Universe,
 };
-use wfdl_storage::{Database, GroundProgram, GroundProgramBuilder, GroundRule};
+use wfdl_storage::{Database, GroundProgram};
+
+/// Sentinel for "no entry" in the flat index arrays.
+const NONE: u32 = u32::MAX;
 
 /// Per-atom metadata within a segment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,14 +77,44 @@ pub struct SegmentAtom {
 }
 
 /// A finite segment of the condensed guarded chase forest.
+///
+/// Atoms are identified by dense [`SegAtomId`]s (positions in
+/// [`ChaseSegment::atoms`]); rule instances by dense [`InstanceId`]s. All
+/// per-instance and per-atom indexes are flat CSR arrays — see the module
+/// docs for the layout.
 #[derive(Clone, Debug)]
 pub struct ChaseSegment {
     atoms: Vec<SegmentAtom>,
-    atom_pos: FxHashMap<AtomId, u32>,
-    instances: Vec<RuleInstance>,
-    by_guard: FxHashMap<AtomId, Vec<InstanceId>>,
-    by_head: FxHashMap<AtomId, Vec<InstanceId>>,
+    /// `seg_of[AtomId::index()]` = the atom's [`SegAtomId`] (or `NONE`).
+    seg_of: Vec<u32>,
     num_facts: usize,
+    /// Originating rule per instance.
+    inst_src_rule: Vec<u32>,
+    /// Guard atom per instance.
+    inst_guard: Vec<SegAtomId>,
+    /// Head atom per instance (always a segment atom).
+    inst_head: Vec<SegAtomId>,
+    /// Positive bodies (guard included, rule order), pooled; CSR over
+    /// instances.
+    pos_off: Vec<u32>,
+    pos_seg: Vec<SegAtomId>,
+    /// Distinct positive-body size per instance (bodies may repeat an atom
+    /// after instantiation).
+    pos_distinct: Vec<u32>,
+    /// Negative bodies (rule order), pooled; CSR over instances. Kept as
+    /// universe ids because hypotheses need not occur in the segment.
+    neg_off: Vec<u32>,
+    neg_atoms: Vec<AtomId>,
+    /// Instances guarded by each segment atom; CSR over [`SegAtomId`].
+    guard_occ_off: Vec<u32>,
+    guard_occ: Vec<InstanceId>,
+    /// Instances deriving each segment atom; CSR over [`SegAtomId`].
+    head_occ_off: Vec<u32>,
+    head_occ: Vec<InstanceId>,
+    /// Instances with each segment atom in their positive body
+    /// (deduplicated per instance); CSR over [`SegAtomId`].
+    body_occ_off: Vec<u32>,
+    body_occ: Vec<InstanceId>,
     /// True iff saturation quiesced with no budget limit hit: the segment
     /// *is* the full chase (always the case for non-existential programs).
     pub complete: bool,
@@ -92,38 +148,156 @@ impl ChaseSegment {
         self.num_facts
     }
 
-    /// All discovered rule instances.
+    /// Number of discovered rule instances.
     #[inline]
-    pub fn instances(&self) -> &[RuleInstance] {
-        &self.instances
+    pub fn num_instances(&self) -> usize {
+        self.inst_src_rule.len()
     }
 
-    /// An instance by id.
+    /// Iterates over all instance ids in discovery order.
+    pub fn instance_ids(&self) -> impl Iterator<Item = InstanceId> {
+        (0..self.inst_src_rule.len()).map(InstanceId::from_index)
+    }
+
+    /// The dense segment id of `atom`, if it occurs in the segment. One
+    /// array read — no hashing.
     #[inline]
-    pub fn instance(&self, id: InstanceId) -> &RuleInstance {
-        &self.instances[id.index()]
+    pub fn seg_id(&self, atom: AtomId) -> Option<SegAtomId> {
+        match self.seg_of.get(atom.index()) {
+            Some(&s) if s != NONE => Some(SegAtomId::from_index(s as usize)),
+            _ => None,
+        }
+    }
+
+    /// The universe atom with segment id `id`.
+    #[inline]
+    pub fn atom_of(&self, id: SegAtomId) -> AtomId {
+        self.atoms[id.index()].atom
+    }
+
+    /// Metadata for a segment id.
+    #[inline]
+    pub fn meta_of(&self, id: SegAtomId) -> SegmentAtom {
+        self.atoms[id.index()]
     }
 
     /// Metadata for `atom`, if it occurs in the segment.
     pub fn meta(&self, atom: AtomId) -> Option<SegmentAtom> {
-        self.atom_pos.get(&atom).map(|&i| self.atoms[i as usize])
+        self.seg_id(atom).map(|s| self.atoms[s.index()])
     }
 
     /// True iff `atom` occurs in the segment (i.e. in `label(F⁺(P))`, up to
     /// truncation).
     #[inline]
     pub fn contains(&self, atom: AtomId) -> bool {
-        self.atom_pos.contains_key(&atom)
+        self.seg_id(atom).is_some()
     }
 
-    /// Instances whose guard matched `atom`.
+    /// Originating skolemized-program rule of an instance.
+    #[inline]
+    pub fn src_rule(&self, id: InstanceId) -> u32 {
+        self.inst_src_rule[id.index()]
+    }
+
+    /// Guard atom of an instance, as a segment id.
+    #[inline]
+    pub fn guard_seg(&self, id: InstanceId) -> SegAtomId {
+        self.inst_guard[id.index()]
+    }
+
+    /// Guard atom of an instance, as a universe id.
+    #[inline]
+    pub fn guard_atom(&self, id: InstanceId) -> AtomId {
+        self.atom_of(self.inst_guard[id.index()])
+    }
+
+    /// Head atom of an instance, as a segment id.
+    #[inline]
+    pub fn head_seg(&self, id: InstanceId) -> SegAtomId {
+        self.inst_head[id.index()]
+    }
+
+    /// Head atom of an instance, as a universe id.
+    #[inline]
+    pub fn head_atom(&self, id: InstanceId) -> AtomId {
+        self.atom_of(self.inst_head[id.index()])
+    }
+
+    /// Positive body of an instance (guard included, rule order) as
+    /// segment ids. Fired instances only reference segment atoms, so this
+    /// is total.
+    #[inline]
+    pub fn pos_seg(&self, id: InstanceId) -> &[SegAtomId] {
+        let i = id.index();
+        &self.pos_seg[self.pos_off[i] as usize..self.pos_off[i + 1] as usize]
+    }
+
+    /// Number of **distinct** atoms in an instance's positive body.
+    #[inline]
+    pub fn num_distinct_pos(&self, id: InstanceId) -> u32 {
+        self.pos_distinct[id.index()]
+    }
+
+    /// Negative body of an instance (rule order), as universe ids —
+    /// hypotheses may lie outside the segment.
+    #[inline]
+    pub fn neg_atoms(&self, id: InstanceId) -> &[AtomId] {
+        let i = id.index();
+        &self.neg_atoms[self.neg_off[i] as usize..self.neg_off[i + 1] as usize]
+    }
+
+    /// Materializes an instance as an owned [`RuleInstance`] (allocates two
+    /// boxes; display/test convenience, not a hot-path API).
+    pub fn instance(&self, id: InstanceId) -> RuleInstance {
+        RuleInstance {
+            src_rule: self.src_rule(id),
+            guard_atom: self.guard_atom(id),
+            pos: self.pos_seg(id).iter().map(|&s| self.atom_of(s)).collect(),
+            neg: self.neg_atoms(id).into(),
+            head: self.head_atom(id),
+        }
+    }
+
+    /// Instances whose guard matched the segment atom `id`.
+    #[inline]
+    pub fn instances_with_guard_seg(&self, id: SegAtomId) -> &[InstanceId] {
+        debug_assert!(id.index() < self.atoms.len(), "segment id out of range");
+        let a = id.index();
+        &self.guard_occ[self.guard_occ_off[a] as usize..self.guard_occ_off[a + 1] as usize]
+    }
+
+    /// Instances deriving the segment atom `id`.
+    #[inline]
+    pub fn instances_with_head_seg(&self, id: SegAtomId) -> &[InstanceId] {
+        debug_assert!(id.index() < self.atoms.len(), "segment id out of range");
+        let a = id.index();
+        &self.head_occ[self.head_occ_off[a] as usize..self.head_occ_off[a + 1] as usize]
+    }
+
+    /// Instances with the segment atom `id` in their positive body
+    /// (deduplicated per instance).
+    #[inline]
+    pub fn instances_with_body_seg(&self, id: SegAtomId) -> &[InstanceId] {
+        debug_assert!(id.index() < self.atoms.len(), "segment id out of range");
+        let a = id.index();
+        &self.body_occ[self.body_occ_off[a] as usize..self.body_occ_off[a + 1] as usize]
+    }
+
+    /// Instances whose guard matched `atom`. Atoms outside the segment
+    /// guard nothing, so unknown atoms yield an empty slice.
     pub fn instances_with_guard(&self, atom: AtomId) -> &[InstanceId] {
-        self.by_guard.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+        match self.seg_id(atom) {
+            Some(s) => self.instances_with_guard_seg(s),
+            None => &[],
+        }
     }
 
-    /// Instances deriving `atom`.
+    /// Instances deriving `atom`; empty for atoms outside the segment.
     pub fn instances_with_head(&self, atom: AtomId) -> &[InstanceId] {
-        self.by_head.get(&atom).map(Vec::as_slice).unwrap_or(&[])
+        match self.seg_id(atom) {
+            Some(s) => self.instances_with_head_seg(s),
+            None => &[],
+        }
     }
 
     /// The budget the segment was built with.
@@ -143,24 +317,162 @@ impl ChaseSegment {
 
     /// Extracts the finite ground normal program (facts + instances) that
     /// the WFS fixpoint engines evaluate.
+    ///
+    /// This is a **straight array translation**: the ground program's local
+    /// atom ids are assigned by scanning a bitmap of mentioned universe ids
+    /// in increasing order (universe ids are dense, so the scan yields the
+    /// sorted atom list directly), every body atom is mapped through flat
+    /// arrays, and duplicate rules are removed by a sort of rule indexes —
+    /// no hash probe and no binary search per atom anywhere on this path.
     pub fn to_ground_program(&self) -> GroundProgram {
-        let mut b = GroundProgramBuilder::new();
+        let num_inst = self.num_instances();
+
+        // 1. Mentioned universe atoms: facts ∪ instance heads/bodies.
+        let mut mentioned = BitSet::new();
         for sa in &self.atoms[..self.num_facts] {
-            b.add_fact(sa.atom);
+            mentioned.insert(sa.atom.index());
         }
-        for inst in &self.instances {
-            b.add_rule(GroundRule::new(
-                inst.head,
-                inst.pos.to_vec(),
-                inst.neg.to_vec(),
-            ));
+        for i in 0..num_inst {
+            mentioned.insert(self.atoms[self.inst_head[i].index()].atom.index());
+            for k in self.pos_off[i]..self.pos_off[i + 1] {
+                mentioned.insert(self.atoms[self.pos_seg[k as usize].index()].atom.index());
+            }
+            for k in self.neg_off[i]..self.neg_off[i + 1] {
+                mentioned.insert(self.neg_atoms[k as usize].index());
+            }
         }
-        b.finish()
+
+        // 2. Sorted atom list + flat universe-id → local-id map. Iterating
+        // the bitmap visits universe ids in increasing order, which *is*
+        // AtomId order.
+        let mut atoms: Vec<AtomId> = Vec::with_capacity(mentioned.len());
+        let mut local_of = vec![NONE; mentioned.iter().last().map_or(0, |m| m + 1)];
+        for uid in mentioned.iter() {
+            local_of[uid] = atoms.len() as u32;
+            atoms.push(AtomId::from_index(uid));
+        }
+        let local_of_seg = |s: SegAtomId| local_of[self.atoms[s.index()].atom.index()];
+
+        // 3. Rule arrays in local ids, bodies sorted + deduplicated (the
+        // GroundRule normal form; local-id order equals AtomId order).
+        let mut head_local = Vec::with_capacity(num_inst);
+        let mut pos_off = Vec::with_capacity(num_inst + 1);
+        let mut neg_off = Vec::with_capacity(num_inst + 1);
+        let mut pos_local: Vec<u32> = Vec::with_capacity(self.pos_seg.len());
+        let mut neg_local: Vec<u32> = Vec::with_capacity(self.neg_atoms.len());
+        pos_off.push(0u32);
+        neg_off.push(0u32);
+        for i in 0..num_inst {
+            head_local.push(local_of_seg(self.inst_head[i]));
+            let start = pos_local.len();
+            pos_local.extend(
+                self.pos_seg[self.pos_off[i] as usize..self.pos_off[i + 1] as usize]
+                    .iter()
+                    .map(|&s| local_of_seg(s)),
+            );
+            pos_local[start..].sort_unstable();
+            dedup_tail(&mut pos_local, start);
+            pos_off.push(pos_local.len() as u32);
+            let start = neg_local.len();
+            neg_local.extend(
+                self.neg_atoms[self.neg_off[i] as usize..self.neg_off[i + 1] as usize]
+                    .iter()
+                    .map(|&a| local_of[a.index()]),
+            );
+            neg_local[start..].sort_unstable();
+            dedup_tail(&mut neg_local, start);
+            neg_off.push(neg_local.len() as u32);
+        }
+
+        // 4. Drop duplicate rules, keeping first occurrences in discovery
+        // order (the historical builder semantics). A sort of rule indexes
+        // groups equal rules; ties broken by index so the first survives.
+        let rule_key = |r: usize| {
+            (
+                head_local[r],
+                &pos_local[pos_off[r] as usize..pos_off[r + 1] as usize],
+                &neg_local[neg_off[r] as usize..neg_off[r + 1] as usize],
+            )
+        };
+        let mut order: Vec<u32> = (0..num_inst as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            rule_key(a as usize)
+                .cmp(&rule_key(b as usize))
+                .then(a.cmp(&b))
+        });
+        let mut keep = vec![true; num_inst];
+        let mut dups = 0usize;
+        for w in order.windows(2) {
+            if rule_key(w[0] as usize) == rule_key(w[1] as usize) {
+                keep[w[1] as usize] = false;
+                dups += 1;
+            }
+        }
+        if dups > 0 {
+            let mut h = Vec::with_capacity(num_inst - dups);
+            let mut po = vec![0u32];
+            let mut pl = Vec::new();
+            let mut no = vec![0u32];
+            let mut nl = Vec::new();
+            for r in 0..num_inst {
+                if !keep[r] {
+                    continue;
+                }
+                h.push(head_local[r]);
+                pl.extend_from_slice(&pos_local[pos_off[r] as usize..pos_off[r + 1] as usize]);
+                po.push(pl.len() as u32);
+                nl.extend_from_slice(&neg_local[neg_off[r] as usize..neg_off[r + 1] as usize]);
+                no.push(nl.len() as u32);
+            }
+            head_local = h;
+            pos_off = po;
+            pos_local = pl;
+            neg_off = no;
+            neg_local = nl;
+        }
+
+        // 5. Facts (unique by construction) and handoff.
+        let facts: Vec<AtomId> = self.atoms[..self.num_facts]
+            .iter()
+            .map(|sa| sa.atom)
+            .collect();
+        let facts_local: Vec<u32> = facts.iter().map(|f| local_of[f.index()]).collect();
+        GroundProgram::from_dense_parts(
+            atoms,
+            facts,
+            facts_local,
+            head_local,
+            pos_off,
+            pos_local,
+            neg_off,
+            neg_local,
+        )
     }
 }
 
+/// Removes adjacent duplicates in `v[start..]` (which must be sorted).
+fn dedup_tail(v: &mut Vec<u32>, start: usize) {
+    let mut w = start;
+    for r in start..v.len() {
+        if r == start || v[r] != v[w - 1] {
+            v[w] = v[r];
+            w += 1;
+        }
+    }
+    v.truncate(w);
+}
+
+/// An instance parked until its side atoms appear, with its body spans in
+/// the pending arenas.
+#[derive(Clone, Copy)]
 struct Pending {
-    inst: RuleInstance,
+    src_rule: u32,
+    guard: u32,
+    head: AtomId,
+    pos_off: u32,
+    pos_len: u32,
+    neg_off: u32,
+    neg_len: u32,
     missing: u32,
 }
 
@@ -168,49 +480,103 @@ struct Builder<'a> {
     universe: &'a mut Universe,
     program: &'a SkolemProgram,
     budget: ChaseBudget,
-    rules_by_guard_pred: FxHashMap<PredId, Vec<u32>>,
+    /// Rule indexes per guard predicate (flat, [`wfdl_core::PredId`]-indexed).
+    rules_by_guard_pred: Vec<Vec<u32>>,
+
+    // --- final segment state, built in place ---
     atoms: Vec<SegmentAtom>,
-    atom_pos: FxHashMap<AtomId, u32>,
-    instances: Vec<RuleInstance>,
-    by_guard: FxHashMap<AtomId, Vec<InstanceId>>,
-    by_head: FxHashMap<AtomId, Vec<InstanceId>>,
-    /// Instances in whose positive body (guard included) an atom occurs —
-    /// consulted when that atom's depth/level improves.
-    by_body: FxHashMap<AtomId, Vec<InstanceId>>,
+    seg_of: Vec<u32>,
+    inst_src_rule: Vec<u32>,
+    inst_guard: Vec<SegAtomId>,
+    inst_head: Vec<SegAtomId>,
+    pos_off: Vec<u32>,
+    pos_seg: Vec<SegAtomId>,
+    neg_off: Vec<u32>,
+    neg_atoms: Vec<AtomId>,
+
+    /// One bit per segment atom: its (predicate's) rules were instantiated.
+    /// Replaces a hash set of `(rule, atom)` pairs — expansion attempts
+    /// every rule of the guard predicate in one sweep, so pair granularity
+    /// is never needed.
+    expanded: Vec<bool>,
+    /// Intrusive per-segment-atom lists of instances whose positive body
+    /// mentions the atom (drives depth/level relaxation). `body_head`/
+    /// `body_tail` are cursors per atom; entries are appended, never freed.
+    body_head: Vec<u32>,
+    body_tail: Vec<u32>,
+    body_next: Vec<u32>,
+    body_inst: Vec<u32>,
+    /// Intrusive watch lists per **universe** atom id (missing side atoms
+    /// are not yet segment atoms), same entry-pool shape.
+    watch_head: Vec<u32>,
+    watch_tail: Vec<u32>,
+    watch_next: Vec<u32>,
+    watch_pend: Vec<u32>,
+    /// Parked instances plus the arenas their body spans point into.
     pending: Vec<Pending>,
-    watchers: FxHashMap<AtomId, Vec<u32>>,
+    pend_pos: Vec<AtomId>,
+    pend_neg: Vec<AtomId>,
+
     expand_queue: VecDeque<u32>,
     relax_queue: VecDeque<u32>,
-    seen_pairs: FxHashSet<(u32, AtomId)>,
+
+    // --- reusable scratch buffers (zero steady-state allocation) ---
+    scratch_binding: Binding,
+    scratch_total: Vec<TermId>,
+    scratch_args: Vec<TermId>,
+    scratch_pos: Vec<AtomId>,
+    scratch_neg: Vec<AtomId>,
+    scratch_missing: Vec<AtomId>,
+
     expansion_blocked: bool,
     caps_hit: bool,
 }
 
 impl<'a> Builder<'a> {
     fn new(universe: &'a mut Universe, program: &'a SkolemProgram, budget: ChaseBudget) -> Self {
-        let mut rules_by_guard_pred: FxHashMap<PredId, Vec<u32>> = FxHashMap::default();
+        let mut rules_by_guard_pred: Vec<Vec<u32>> = Vec::new();
         for (i, rule) in program.rules.iter().enumerate() {
-            rules_by_guard_pred
-                .entry(rule.guard_atom().pred)
-                .or_default()
-                .push(i as u32);
+            let p = rule.guard_atom().pred.index();
+            if rules_by_guard_pred.len() <= p {
+                rules_by_guard_pred.resize_with(p + 1, Vec::new);
+            }
+            rules_by_guard_pred[p].push(i as u32);
         }
+        let seg_of = vec![NONE; universe.atoms.len()];
         Builder {
             universe,
             program,
             budget,
             rules_by_guard_pred,
             atoms: Vec::new(),
-            atom_pos: FxHashMap::default(),
-            instances: Vec::new(),
-            by_guard: FxHashMap::default(),
-            by_head: FxHashMap::default(),
-            by_body: FxHashMap::default(),
+            seg_of,
+            inst_src_rule: Vec::new(),
+            inst_guard: Vec::new(),
+            inst_head: Vec::new(),
+            pos_off: vec![0],
+            pos_seg: Vec::new(),
+            neg_off: vec![0],
+            neg_atoms: Vec::new(),
+            expanded: Vec::new(),
+            body_head: Vec::new(),
+            body_tail: Vec::new(),
+            body_next: Vec::new(),
+            body_inst: Vec::new(),
+            watch_head: Vec::new(),
+            watch_tail: Vec::new(),
+            watch_next: Vec::new(),
+            watch_pend: Vec::new(),
             pending: Vec::new(),
-            watchers: FxHashMap::default(),
+            pend_pos: Vec::new(),
+            pend_neg: Vec::new(),
             expand_queue: VecDeque::new(),
             relax_queue: VecDeque::new(),
-            seen_pairs: FxHashSet::default(),
+            scratch_binding: Binding::new(0),
+            scratch_total: Vec::new(),
+            scratch_args: Vec::new(),
+            scratch_pos: Vec::new(),
+            scratch_neg: Vec::new(),
+            scratch_missing: Vec::new(),
             expansion_blocked: false,
             caps_hit: false,
         }
@@ -234,139 +600,332 @@ impl<'a> Builder<'a> {
 
         let pending_at_end = self.pending.iter().filter(|p| p.missing > 0).count();
         let complete = !self.expansion_blocked && !self.caps_hit;
+        self.finish(num_facts, pending_at_end, complete)
+    }
+
+    /// Finalizes the occurrence CSRs (counting sort over the instance
+    /// arrays) and assembles the segment.
+    fn finish(mut self, num_facts: usize, pending_at_end: usize, complete: bool) -> ChaseSegment {
+        let n = self.atoms.len();
+        let num_inst = self.inst_src_rule.len();
+
+        let mut guard_counts = vec![0u32; n];
+        let mut head_counts = vec![0u32; n];
+        let mut body_counts = vec![0u32; n];
+        let mut pos_distinct = vec![0u32; num_inst];
+        for i in 0..num_inst {
+            guard_counts[self.inst_guard[i].index()] += 1;
+            head_counts[self.inst_head[i].index()] += 1;
+            let span = self.pos_off[i] as usize..self.pos_off[i + 1] as usize;
+            for k in span.clone() {
+                let s = self.pos_seg[k];
+                // Count each distinct body atom once per instance (bodies
+                // are short; a linear prior-occurrence scan beats any set).
+                if self.pos_seg[span.start..k].contains(&s) {
+                    continue;
+                }
+                body_counts[s.index()] += 1;
+                pos_distinct[i] += 1;
+            }
+        }
+        let prefix_sum = |counts: &[u32]| -> Vec<u32> {
+            let mut off = Vec::with_capacity(counts.len() + 1);
+            let mut acc = 0u32;
+            off.push(0);
+            for &c in counts {
+                acc += c;
+                off.push(acc);
+            }
+            off
+        };
+        let guard_occ_off = prefix_sum(&guard_counts);
+        let head_occ_off = prefix_sum(&head_counts);
+        let body_occ_off = prefix_sum(&body_counts);
+        let zero = InstanceId::from_index(0);
+        let mut guard_occ = vec![zero; *guard_occ_off.last().unwrap() as usize];
+        let mut head_occ = vec![zero; *head_occ_off.last().unwrap() as usize];
+        let mut body_occ = vec![zero; *body_occ_off.last().unwrap() as usize];
+        let mut guard_fill: Vec<u32> = guard_occ_off[..n].to_vec();
+        let mut head_fill: Vec<u32> = head_occ_off[..n].to_vec();
+        let mut body_fill: Vec<u32> = body_occ_off[..n].to_vec();
+        for i in 0..num_inst {
+            let id = InstanceId::from_index(i);
+            let g = self.inst_guard[i].index();
+            guard_occ[guard_fill[g] as usize] = id;
+            guard_fill[g] += 1;
+            let h = self.inst_head[i].index();
+            head_occ[head_fill[h] as usize] = id;
+            head_fill[h] += 1;
+            let span = self.pos_off[i] as usize..self.pos_off[i + 1] as usize;
+            for k in span.clone() {
+                let s = self.pos_seg[k];
+                if self.pos_seg[span.start..k].contains(&s) {
+                    continue;
+                }
+                body_occ[body_fill[s.index()] as usize] = id;
+                body_fill[s.index()] += 1;
+            }
+        }
+
+        self.atoms.shrink_to_fit();
+        self.seg_of.shrink_to_fit();
+        self.inst_src_rule.shrink_to_fit();
+        self.inst_guard.shrink_to_fit();
+        self.inst_head.shrink_to_fit();
+        self.pos_off.shrink_to_fit();
+        self.pos_seg.shrink_to_fit();
+        self.neg_off.shrink_to_fit();
+        self.neg_atoms.shrink_to_fit();
+
         ChaseSegment {
             atoms: self.atoms,
-            atom_pos: self.atom_pos,
-            instances: self.instances,
-            by_guard: self.by_guard,
-            by_head: self.by_head,
+            seg_of: self.seg_of,
             num_facts,
+            inst_src_rule: self.inst_src_rule,
+            inst_guard: self.inst_guard,
+            inst_head: self.inst_head,
+            pos_off: self.pos_off,
+            pos_seg: self.pos_seg,
+            pos_distinct,
+            neg_off: self.neg_off,
+            neg_atoms: self.neg_atoms,
+            guard_occ_off,
+            guard_occ,
+            head_occ_off,
+            head_occ,
+            body_occ_off,
+            body_occ,
             complete,
             pending_at_end,
             budget: self.budget,
         }
     }
 
-    /// Registers a new atom, queuing it for expansion. Assumes not present.
+    /// Segment id of an interned atom, if materialized.
+    #[inline]
+    fn lookup_seg(&self, atom: AtomId) -> Option<u32> {
+        match self.seg_of.get(atom.index()) {
+            Some(&s) if s != NONE => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Registers a new atom, queuing it for expansion and firing pending
+    /// instances that were waiting for it. Assumes not present.
     fn add_atom(&mut self, atom: AtomId, depth: u32, level: u32) {
-        debug_assert!(!self.atom_pos.contains_key(&atom));
+        let uid = atom.index();
+        if self.seg_of.len() <= uid {
+            self.seg_of.resize(uid + 1, NONE);
+        }
+        debug_assert_eq!(self.seg_of[uid], NONE, "atom already in segment");
         let idx = self.atoms.len() as u32;
         self.atoms.push(SegmentAtom { atom, depth, level });
-        self.atom_pos.insert(atom, idx);
+        self.seg_of[uid] = idx;
+        self.expanded.push(false);
+        self.body_head.push(NONE);
+        self.body_tail.push(NONE);
         self.expand_queue.push_back(idx);
-        // Wake pending instances waiting for this atom.
-        if let Some(watchers) = self.watchers.remove(&atom) {
-            for p in watchers {
-                let pend = &mut self.pending[p as usize];
-                pend.missing -= 1;
-                if pend.missing == 0 {
-                    let inst = pend.inst.clone();
-                    self.fire(inst);
+        // Wake pending instances watching this atom. Detach the list first;
+        // entries are append-only, so traversal stays valid while nested
+        // fires push new entries for *other* atoms.
+        if uid < self.watch_head.len() {
+            let mut e = self.watch_head[uid];
+            self.watch_head[uid] = NONE;
+            self.watch_tail[uid] = NONE;
+            while e != NONE {
+                let next = self.watch_next[e as usize];
+                let p = self.watch_pend[e as usize] as usize;
+                self.pending[p].missing -= 1;
+                if self.pending[p].missing == 0 {
+                    self.fire_pending(p);
                 }
+                e = next;
             }
         }
+    }
+
+    /// Appends a watch-list entry for `uid` → pending instance `pend`.
+    fn watch_push(&mut self, uid: usize, pend: u32) {
+        if self.watch_head.len() <= uid {
+            self.watch_head.resize(uid + 1, NONE);
+            self.watch_tail.resize(uid + 1, NONE);
+        }
+        let e = self.watch_next.len() as u32;
+        self.watch_next.push(NONE);
+        self.watch_pend.push(pend);
+        let tail = self.watch_tail[uid];
+        if tail == NONE {
+            self.watch_head[uid] = e;
+        } else {
+            self.watch_next[tail as usize] = e;
+        }
+        self.watch_tail[uid] = e;
+    }
+
+    /// Appends a body-occurrence entry for segment atom `s` → instance.
+    fn body_link(&mut self, s: u32, inst: u32) {
+        let e = self.body_next.len() as u32;
+        self.body_next.push(NONE);
+        self.body_inst.push(inst);
+        let tail = self.body_tail[s as usize];
+        if tail == NONE {
+            self.body_head[s as usize] = e;
+        } else {
+            self.body_next[tail as usize] = e;
+        }
+        self.body_tail[s as usize] = e;
     }
 
     /// Tries every rule whose guard predicate matches this atom.
     fn expand(&mut self, ai: u32) {
         let SegmentAtom { atom, depth, .. } = self.atoms[ai as usize];
-        let pred = self.universe.atoms.pred(atom);
-        let Some(rule_ids) = self.rules_by_guard_pred.get(&pred) else {
-            return;
+        let pred = self.universe.atoms.pred(atom).index();
+        let num_rules = match self.rules_by_guard_pred.get(pred) {
+            Some(rules) if !rules.is_empty() => rules.len(),
+            _ => return,
         };
         if depth >= self.budget.max_depth {
             // This atom could have children beyond the budgeted depth.
             self.expansion_blocked = true;
             return;
         }
-        for &ri in rule_ids.clone().iter() {
-            if !self.seen_pairs.insert((ri, atom)) {
+        if self.expanded[ai as usize] {
+            // Re-queued by relaxation after its rules already instantiated
+            // (instances are per (rule, atom), so nothing new can fire).
+            return;
+        }
+        self.expanded[ai as usize] = true;
+        let program = self.program;
+        for k in 0..num_rules {
+            let ri = self.rules_by_guard_pred[pred][k];
+            let rule = &program.rules[ri as usize];
+            self.scratch_binding.reset(rule.num_vars());
+            if !match_atom(
+                self.universe,
+                rule.guard_atom(),
+                atom,
+                &mut self.scratch_binding,
+            ) {
                 continue;
             }
-            let rule = &self.program.rules[ri as usize];
-            let mut binding = Binding::new(rule.num_vars());
-            if !match_atom(self.universe, rule.guard_atom(), atom, &mut binding) {
-                continue;
+            self.scratch_binding
+                .write_total(rule.num_vars(), &mut self.scratch_total);
+            self.scratch_pos.clear();
+            for a in &rule.body_pos {
+                let id = instantiate_atom_into(
+                    self.universe,
+                    a,
+                    &self.scratch_total,
+                    &mut self.scratch_args,
+                );
+                self.scratch_pos.push(id);
             }
-            let total = binding.to_total(rule.num_vars());
-            let pos: Box<[AtomId]> = rule
-                .body_pos
-                .iter()
-                .map(|a| instantiate_atom(self.universe, a, &total))
-                .collect();
-            let neg: Box<[AtomId]> = rule
-                .body_neg
-                .iter()
-                .map(|a| instantiate_atom(self.universe, a, &total))
-                .collect();
-            let head = rule.instantiate_head(self.universe, &total);
-            let inst = RuleInstance {
-                src_rule: ri,
-                guard_atom: atom,
-                pos,
-                neg,
-                head,
-            };
-            let mut missing: Vec<AtomId> = inst
-                .pos
-                .iter()
-                .copied()
-                .filter(|a| !self.atom_pos.contains_key(a))
-                .collect();
-            missing.sort_unstable();
-            missing.dedup();
-            if missing.is_empty() {
-                self.fire(inst);
+            self.scratch_neg.clear();
+            for a in &rule.body_neg {
+                let id = instantiate_atom_into(
+                    self.universe,
+                    a,
+                    &self.scratch_total,
+                    &mut self.scratch_args,
+                );
+                self.scratch_neg.push(id);
+            }
+            let head = rule.instantiate_head(self.universe, &self.scratch_total);
+
+            self.scratch_missing.clear();
+            for i in 0..self.scratch_pos.len() {
+                let a = self.scratch_pos[i];
+                if self.lookup_seg(a).is_none() {
+                    self.scratch_missing.push(a);
+                }
+            }
+            self.scratch_missing.sort_unstable();
+            self.scratch_missing.dedup();
+            if self.scratch_missing.is_empty() {
+                self.fire(ri, ai, head);
             } else {
                 let pidx = self.pending.len() as u32;
-                self.pending.push(Pending {
-                    missing: missing.len() as u32,
-                    inst,
-                });
-                for m in missing {
-                    self.watchers.entry(m).or_default().push(pidx);
+                let pend = Pending {
+                    src_rule: ri,
+                    guard: ai,
+                    head,
+                    pos_off: self.pend_pos.len() as u32,
+                    pos_len: self.scratch_pos.len() as u32,
+                    neg_off: self.pend_neg.len() as u32,
+                    neg_len: self.scratch_neg.len() as u32,
+                    missing: self.scratch_missing.len() as u32,
+                };
+                self.pend_pos.extend_from_slice(&self.scratch_pos);
+                self.pend_neg.extend_from_slice(&self.scratch_neg);
+                self.pending.push(pend);
+                for i in 0..self.scratch_missing.len() {
+                    let m = self.scratch_missing[i];
+                    self.watch_push(m.index(), pidx);
                 }
             }
         }
     }
 
-    /// Records a fired instance (all positive body atoms present) and
-    /// derives its head.
-    fn fire(&mut self, inst: RuleInstance) {
-        if self.instances.len() >= self.budget.max_instances {
+    /// Fires a parked instance whose last missing side atom just appeared:
+    /// stages its body spans back into the scratch buffers and records it.
+    fn fire_pending(&mut self, p: usize) {
+        let pd = self.pending[p];
+        self.scratch_pos.clear();
+        self.scratch_pos.extend_from_slice(
+            &self.pend_pos[pd.pos_off as usize..(pd.pos_off + pd.pos_len) as usize],
+        );
+        self.scratch_neg.clear();
+        self.scratch_neg.extend_from_slice(
+            &self.pend_neg[pd.neg_off as usize..(pd.neg_off + pd.neg_len) as usize],
+        );
+        self.fire(pd.src_rule, pd.guard, pd.head);
+    }
+
+    /// Records a fired instance (positive body in `scratch_pos`, negative
+    /// in `scratch_neg`, all positive atoms present) and derives its head.
+    /// The scratch buffers are fully consumed before the head derivation
+    /// can recurse into nested fires.
+    fn fire(&mut self, src_rule: u32, guard: u32, head: AtomId) {
+        if self.inst_src_rule.len() >= self.budget.max_instances {
             self.caps_hit = true;
             return;
         }
-        let guard_meta = self.atoms[self.atom_pos[&inst.guard_atom] as usize];
-        let child_depth = guard_meta.depth + 1;
-        let child_level = 1 + inst
-            .pos
-            .iter()
-            .map(|a| self.atoms[self.atom_pos[a] as usize].level)
-            .max()
-            .unwrap_or(0);
-
-        let iid = InstanceId::from_index(self.instances.len());
-        self.by_guard.entry(inst.guard_atom).or_default().push(iid);
-        self.by_head.entry(inst.head).or_default().push(iid);
-        for &b in inst.pos.iter() {
-            self.by_body.entry(b).or_default().push(iid);
+        let head_seg = self.lookup_seg(head);
+        if head_seg.is_none() && self.atoms.len() >= self.budget.max_atoms {
+            // The head would exceed the atom cap; drop the instance whole
+            // so every recorded instance's head is a segment atom.
+            self.caps_hit = true;
+            return;
         }
-        let head = inst.head;
-        self.instances.push(inst);
 
-        match self.atom_pos.get(&head) {
-            None => {
-                if self.atoms.len() >= self.budget.max_atoms {
-                    self.caps_hit = true;
-                    return;
-                }
-                self.add_atom(head, child_depth, child_level);
-            }
-            Some(&hi) => {
+        let child_depth = self.atoms[guard as usize].depth + 1;
+        let mut child_level = 0u32;
+        for i in 0..self.scratch_pos.len() {
+            let s = self.seg_of[self.scratch_pos[i].index()];
+            debug_assert_ne!(s, NONE, "fired instance has a missing body atom");
+            child_level = child_level.max(self.atoms[s as usize].level);
+        }
+        let child_level = child_level + 1;
+
+        let iid = self.inst_src_rule.len() as u32;
+        self.inst_src_rule.push(src_rule);
+        self.inst_guard.push(SegAtomId::from_index(guard as usize));
+        let hseg = head_seg.unwrap_or(self.atoms.len() as u32);
+        self.inst_head.push(SegAtomId::from_index(hseg as usize));
+        for i in 0..self.scratch_pos.len() {
+            let s = self.seg_of[self.scratch_pos[i].index()];
+            self.pos_seg.push(SegAtomId::from_index(s as usize));
+            self.body_link(s, iid);
+        }
+        self.pos_off.push(self.pos_seg.len() as u32);
+        self.neg_atoms.extend_from_slice(&self.scratch_neg);
+        self.neg_off.push(self.neg_atoms.len() as u32);
+
+        match head_seg {
+            None => self.add_atom(head, child_depth, child_level),
+            Some(hi) => {
                 let meta = &mut self.atoms[hi as usize];
-                let improved = child_depth < meta.depth || child_level < meta.level;
-                if improved {
+                if child_depth < meta.depth || child_level < meta.level {
                     meta.depth = meta.depth.min(child_depth);
                     meta.level = meta.level.min(child_level);
                     self.relax_queue.push_back(hi);
@@ -378,32 +937,28 @@ impl<'a> Builder<'a> {
     /// Propagates a depth/level improvement of `atoms[ai]` to the heads of
     /// every instance whose body mentions it, and re-checks the depth gate.
     fn relax(&mut self, ai: u32) {
-        let SegmentAtom { atom, depth, .. } = self.atoms[ai as usize];
+        let depth = self.atoms[ai as usize].depth;
         // The atom may now be allowed to expand where it previously hit the
         // depth gate.
         if depth < self.budget.max_depth {
             self.expand_queue.push_back(ai);
         }
-        let Some(insts) = self.by_body.get(&atom) else {
-            return;
-        };
-        for &iid in insts.clone().iter() {
-            let inst = &self.instances[iid.index()];
-            let guard_meta = self.atoms[self.atom_pos[&inst.guard_atom] as usize];
-            let child_depth = guard_meta.depth + 1;
-            let child_level = 1 + inst
-                .pos
-                .iter()
-                .map(|a| self.atoms[self.atom_pos[a] as usize].level)
-                .max()
-                .unwrap_or(0);
-            let head = inst.head;
-            let hi = self.atom_pos[&head];
-            let meta = &mut self.atoms[hi as usize];
+        let mut e = self.body_head[ai as usize];
+        while e != NONE {
+            let iid = self.body_inst[e as usize] as usize;
+            e = self.body_next[e as usize];
+            let child_depth = self.atoms[self.inst_guard[iid].index()].depth + 1;
+            let mut child_level = 0u32;
+            for k in self.pos_off[iid] as usize..self.pos_off[iid + 1] as usize {
+                child_level = child_level.max(self.atoms[self.pos_seg[k].index()].level);
+            }
+            let child_level = child_level + 1;
+            let hi = self.inst_head[iid].index();
+            let meta = &mut self.atoms[hi];
             if child_depth < meta.depth || child_level < meta.level {
                 meta.depth = meta.depth.min(child_depth);
                 meta.level = meta.level.min(child_level);
-                self.relax_queue.push_back(hi);
+                self.relax_queue.push_back(hi as u32);
             }
         }
     }
@@ -499,7 +1054,7 @@ mod tests {
         let seg = ChaseSegment::build(&mut u, &db, &sk, ChaseBudget::unbounded());
         assert!(seg.complete);
         assert_eq!(seg.atoms().len(), 2);
-        assert_eq!(seg.instances().len(), 1);
+        assert_eq!(seg.num_instances(), 1);
         let gp = seg.to_ground_program();
         assert_eq!(gp.num_rules(), 1);
         assert_eq!(gp.facts().len(), 1);
@@ -585,7 +1140,7 @@ mod tests {
         // still complete (nothing was cut off by a budget).
         assert!(seg.complete);
         assert_eq!(seg.pending_at_end, 1);
-        assert_eq!(seg.instances().len(), 0);
+        assert_eq!(seg.num_instances(), 0);
     }
 
     #[test]
@@ -600,5 +1155,72 @@ mod tests {
         );
         assert!(!seg.complete);
         assert!(seg.atoms().len() <= 10);
+        // The dense invariant: every recorded instance's head is a segment
+        // atom even when the atom cap truncated the chase.
+        for iid in seg.instance_ids() {
+            assert!(seg.head_seg(iid).index() < seg.atoms().len());
+        }
+    }
+
+    #[test]
+    fn unknown_atom_queries_return_empty_slices() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(3));
+        // An atom interned after the chase — never part of the segment.
+        let fresh_pred = u.pred("fresh", 1).unwrap();
+        let zero = u.lookup_constant("0").unwrap();
+        let foreign = u.atom(fresh_pred, vec![zero]).unwrap();
+        assert!(!seg.contains(foreign));
+        assert_eq!(seg.seg_id(foreign), None);
+        assert!(seg.meta(foreign).is_none());
+        assert!(seg.instances_with_guard(foreign).is_empty());
+        assert!(seg.instances_with_head(foreign).is_empty());
+        // A segment atom that heads nothing / guards nothing still answers
+        // with (possibly empty) slices rather than a miss.
+        let t = u.lookup_pred("T").unwrap();
+        let t0 = u.atom(t, vec![zero]).unwrap();
+        assert!(seg.contains(t0));
+        assert!(seg.instances_with_guard(t0).is_empty(), "T guards no rule");
+        assert!(!seg.instances_with_head(t0).is_empty());
+    }
+
+    #[test]
+    fn csr_accessors_mirror_instance_arrays() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(4));
+        assert!(seg.num_instances() > 0);
+        for iid in seg.instance_ids() {
+            let inst = seg.instance(iid);
+            // Dense accessors agree with the materialized view.
+            assert_eq!(seg.guard_atom(iid), inst.guard_atom);
+            assert_eq!(seg.head_atom(iid), inst.head);
+            assert_eq!(seg.src_rule(iid), inst.src_rule);
+            let pos: Vec<AtomId> = seg.pos_seg(iid).iter().map(|&s| seg.atom_of(s)).collect();
+            assert_eq!(pos.as_slice(), inst.pos.as_ref());
+            assert_eq!(seg.neg_atoms(iid), inst.neg.as_ref());
+            // Occurrence rows contain the instance.
+            assert!(seg
+                .instances_with_guard_seg(seg.guard_seg(iid))
+                .contains(&iid));
+            assert!(seg
+                .instances_with_head_seg(seg.head_seg(iid))
+                .contains(&iid));
+            for &s in seg.pos_seg(iid) {
+                assert!(seg.instances_with_body_seg(s).contains(&iid));
+            }
+            // Distinct-count matches a naive dedup.
+            let mut dedup = pos.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(seg.num_distinct_pos(iid) as usize, dedup.len());
+        }
+        // Round-trip seg ids.
+        for (i, sa) in seg.atoms().iter().enumerate() {
+            let sid = seg.seg_id(sa.atom).expect("segment atom has a seg id");
+            assert_eq!(sid.index(), i);
+            assert_eq!(seg.atom_of(sid), sa.atom);
+        }
     }
 }

@@ -9,8 +9,8 @@
 //! [`crate::condensed::ChaseSegment`].
 
 use crate::condensed::ChaseSegment;
-use crate::instance::InstanceId;
-use wfdl_core::{AtomId, FxHashSet, Universe};
+use crate::instance::{InstanceId, SegAtomId};
+use wfdl_core::{AtomId, BitSet, FxHashSet, Universe};
 
 /// A node of the explicit forest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,8 +49,11 @@ impl ExplicitForest {
             "cannot unfold deeper than the segment was chased"
         );
         let mut nodes: Vec<ForestNode> = Vec::new();
+        // Per-node segment id of the label, parallel to `nodes` (internal:
+        // guard lookups and presence tests run on dense ids).
+        let mut node_seg: Vec<SegAtomId> = Vec::new();
         // Roots: database facts, level 0, in segment order.
-        for sa in &segment.atoms()[..segment.num_facts()] {
+        for (i, sa) in segment.atoms()[..segment.num_facts()].iter().enumerate() {
             nodes.push(ForestNode {
                 atom: sa.atom,
                 parent: None,
@@ -58,8 +61,12 @@ impl ExplicitForest {
                 depth: 0,
                 level: 0,
             });
+            node_seg.push(SegAtomId::from_index(i));
         }
-        let mut present: FxHashSet<AtomId> = nodes.iter().map(|n| n.atom).collect();
+        let mut present = BitSet::with_capacity(segment.atoms().len());
+        for s in node_seg.iter() {
+            present.insert(s.index());
+        }
         let mut done: FxHashSet<(u32, InstanceId)> = FxHashSet::default();
         let mut hit_node_cap = false;
 
@@ -69,28 +76,35 @@ impl ExplicitForest {
         loop {
             level += 1;
             let snapshot_len = nodes.len();
-            let mut additions: Vec<ForestNode> = Vec::new();
+            let mut additions: Vec<(ForestNode, SegAtomId)> = Vec::new();
             'outer: for v in 0..snapshot_len as u32 {
                 let vnode = nodes[v as usize];
                 if vnode.depth >= max_depth {
                     continue;
                 }
-                for &iid in segment.instances_with_guard(vnode.atom) {
+                for &iid in segment.instances_with_guard_seg(node_seg[v as usize]) {
                     if done.contains(&(v, iid)) {
                         continue;
                     }
-                    let inst = segment.instance(iid);
-                    if !inst.pos.iter().all(|a| present.contains(a)) {
+                    if !segment
+                        .pos_seg(iid)
+                        .iter()
+                        .all(|s| present.contains(s.index()))
+                    {
                         continue;
                     }
                     done.insert((v, iid));
-                    additions.push(ForestNode {
-                        atom: inst.head,
-                        parent: Some(v),
-                        via: Some(iid),
-                        depth: vnode.depth + 1,
-                        level,
-                    });
+                    let head = segment.head_seg(iid);
+                    additions.push((
+                        ForestNode {
+                            atom: segment.atom_of(head),
+                            parent: Some(v),
+                            via: Some(iid),
+                            depth: vnode.depth + 1,
+                            level,
+                        },
+                        head,
+                    ));
                     if snapshot_len + additions.len() >= max_nodes {
                         hit_node_cap = true;
                         break 'outer;
@@ -98,13 +112,17 @@ impl ExplicitForest {
                 }
             }
             if additions.is_empty() || hit_node_cap {
-                nodes.extend(additions);
+                for (n, s) in additions {
+                    nodes.push(n);
+                    node_seg.push(s);
+                }
                 break;
             }
-            for n in &additions {
-                present.insert(n.atom);
+            for (n, s) in additions {
+                present.insert(s.index());
+                nodes.push(n);
+                node_seg.push(s);
             }
-            nodes.extend(additions);
         }
         ExplicitForest {
             nodes,

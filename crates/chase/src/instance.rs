@@ -1,4 +1,4 @@
-//! Fully instantiated ground rules discovered during chase saturation.
+//! Dense identifiers and materialized views for chase-segment contents.
 
 use wfdl_core::AtomId;
 
@@ -20,11 +20,43 @@ impl InstanceId {
     }
 }
 
-/// A ground instance of a skolemized rule, produced by matching the rule's
-/// guard against a chase atom.
+/// Dense id of an atom **within one segment**: its position in
+/// [`crate::condensed::ChaseSegment::atoms`]. All hot-path segment indexes
+/// (instance bodies, occurrence CSRs, engine worklists) are keyed by
+/// `SegAtomId`, so a lookup is an array read — never a hash probe. Convert
+/// to the universe-wide [`AtomId`] with
+/// [`crate::condensed::ChaseSegment::atom_of`] and back with
+/// [`crate::condensed::ChaseSegment::seg_id`] (both O(1)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegAtomId(u32);
+
+impl SegAtomId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        SegAtomId(u32::try_from(i).expect("segment atom id overflow"))
+    }
+}
+
+/// A **materialized** ground instance of a skolemized rule, produced by
+/// matching the rule's guard against a chase atom.
 ///
 /// Because the guard contains every universal variable, the instance is
 /// fully determined by `(src_rule, guard_atom)`.
+///
+/// Inside a segment, instance bodies live in shared arena pools addressed
+/// by `(offset, len)` spans; this owned form exists for display, tests and
+/// other cold paths
+/// ([`crate::condensed::ChaseSegment::instance`] allocates it on demand).
+/// Hot paths use the slice accessors
+/// ([`crate::condensed::ChaseSegment::pos_seg`],
+/// [`crate::condensed::ChaseSegment::neg_atoms`], …) instead.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RuleInstance {
     /// Index of the originating rule in the skolemized program.

@@ -25,4 +25,4 @@ pub use budget::ChaseBudget;
 pub use condensed::{ChaseSegment, SegmentAtom};
 pub use delta::{paper_delta, query_depth_bound};
 pub use explicit::{ExplicitForest, ForestNode};
-pub use instance::{InstanceId, RuleInstance};
+pub use instance::{InstanceId, RuleInstance, SegAtomId};

@@ -7,7 +7,9 @@
 use crate::fxhash::FxHashMap;
 use crate::schema::PredId;
 use crate::term::TermId;
+use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// An interned ground atom.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -42,6 +44,56 @@ pub struct AtomNode {
     pub args: Box<[TermId]>,
 }
 
+/// Borrowed view of an atom key, so the interning table can be probed with
+/// `(PredId, &[TermId])` without building an owned [`AtomNode`] (and its
+/// `Box`) per probe. The `Borrow<dyn AtomKey>` bridge is the stable-Rust
+/// equivalent of a raw-entry lookup.
+trait AtomKey {
+    fn key(&self) -> (PredId, &[TermId]);
+}
+
+impl AtomKey for AtomNode {
+    #[inline]
+    fn key(&self) -> (PredId, &[TermId]) {
+        (self.pred, &self.args)
+    }
+}
+
+struct BorrowedAtom<'a>(PredId, &'a [TermId]);
+
+impl AtomKey for BorrowedAtom<'_> {
+    #[inline]
+    fn key(&self) -> (PredId, &[TermId]) {
+        (self.0, self.1)
+    }
+}
+
+impl<'a> Borrow<dyn AtomKey + 'a> for AtomNode {
+    #[inline]
+    fn borrow(&self) -> &(dyn AtomKey + 'a) {
+        self
+    }
+}
+
+// Must agree with `#[derive(Hash)]` on `AtomNode` (field order: pred, then
+// args, where `Box<[TermId]>` hashes like the underlying slice), otherwise
+// borrowed probes would miss entries inserted under owned keys.
+impl Hash for dyn AtomKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let (pred, args) = self.key();
+        pred.hash(state);
+        args.hash(state);
+    }
+}
+
+impl PartialEq for dyn AtomKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for dyn AtomKey + '_ {}
+
 /// Hash-consing store for ground atoms.
 #[derive(Clone, Debug, Default)]
 pub struct AtomStore {
@@ -60,30 +112,38 @@ impl AtomStore {
     /// Arity agreement with the predicate declaration is the caller's
     /// responsibility; [`crate::universe::Universe::atom`] performs the check.
     pub fn intern(&mut self, pred: PredId, args: impl Into<Box<[TermId]>>) -> AtomId {
-        let node = AtomNode {
-            pred,
-            args: args.into(),
-        };
-        if let Some(&id) = self.map.get(&node) {
+        let args = args.into();
+        if let Some(id) = self.lookup(pred, &args) {
             return id;
         }
+        self.insert_new(AtomNode { pred, args })
+    }
+
+    /// Interns `pred(args…)` from a borrowed argument slice: the hit path —
+    /// the overwhelmingly common case during chase saturation, where the
+    /// same ground side atoms are re-instantiated per rule match — performs
+    /// **zero** allocations; only a genuinely new atom copies `args`.
+    pub fn intern_ref(&mut self, pred: PredId, args: &[TermId]) -> AtomId {
+        if let Some(id) = self.lookup(pred, args) {
+            return id;
+        }
+        self.insert_new(AtomNode {
+            pred,
+            args: args.into(),
+        })
+    }
+
+    fn insert_new(&mut self, node: AtomNode) -> AtomId {
         let id = AtomId(u32::try_from(self.nodes.len()).expect("atom store overflow"));
         self.nodes.push(node.clone());
         self.map.insert(node, id);
         id
     }
 
-    /// Looks up an atom without interning it.
+    /// Looks up an atom without interning it. Allocation-free.
     pub fn lookup(&self, pred: PredId, args: &[TermId]) -> Option<AtomId> {
-        // Cheap probe without allocating: build a key on the stack only if
-        // needed. `HashMap` requires an owned key type for `get`, so we pay
-        // one allocation per miss-or-hit here; lookups are not on the hot
-        // path (interning is).
-        let node = AtomNode {
-            pred,
-            args: args.into(),
-        };
-        self.map.get(&node).copied()
+        let probe = BorrowedAtom(pred, args);
+        self.map.get(&probe as &dyn AtomKey).copied()
     }
 
     /// The structure of an interned atom.

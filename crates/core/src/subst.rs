@@ -51,12 +51,29 @@ impl Binding {
         self.slots.iter_mut().for_each(|s| *s = None);
     }
 
+    /// Clears and resizes for a rule with `num_vars` variables, so one
+    /// binding buffer can be reused across a matching loop.
+    pub fn reset(&mut self, num_vars: u32) {
+        self.slots.clear();
+        self.slots.resize(num_vars as usize, None);
+    }
+
     /// Extracts a total binding as a dense vector, panicking if any variable
     /// in `0..n` is unbound (callers use this only after a guard match).
     pub fn to_total(&self, n: u32) -> Vec<TermId> {
-        (0..n as usize)
-            .map(|v| self.slots[v].expect("guard match binds all universal variables"))
-            .collect()
+        let mut out = Vec::with_capacity(n as usize);
+        self.write_total(n, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Binding::to_total`]: writes the dense
+    /// binding into `out` (cleared first).
+    pub fn write_total(&self, n: u32, out: &mut Vec<TermId>) {
+        out.clear();
+        out.extend(
+            (0..n as usize)
+                .map(|v| self.slots[v].expect("guard match binds all universal variables")),
+        );
     }
 }
 
@@ -95,15 +112,28 @@ pub fn match_atom(
 
 /// Instantiates a rule atom under a total binding, interning the ground atom.
 pub fn instantiate_atom(universe: &mut Universe, pattern: &RuleAtom, binding: &[TermId]) -> AtomId {
-    let args: Vec<TermId> = pattern
-        .args
-        .iter()
-        .map(|t| match t {
-            RTerm::Const(c) => *c,
-            RTerm::Var(v) => binding[v.index()],
-        })
-        .collect();
-    universe.atoms.intern(pattern.pred, args)
+    let mut scratch = Vec::with_capacity(pattern.args.len());
+    instantiate_atom_into(universe, pattern, binding, &mut scratch)
+}
+
+/// Borrow-friendly instantiation fast path: writes the ground arguments
+/// into `scratch` (cleared first) and interns via the borrowed-slice probe,
+/// so re-deriving an already-interned atom — the common case in chase
+/// saturation — allocates nothing. Callers keep one scratch buffer alive
+/// across an instantiation loop.
+#[inline]
+pub fn instantiate_atom_into(
+    universe: &mut Universe,
+    pattern: &RuleAtom,
+    binding: &[TermId],
+    scratch: &mut Vec<TermId>,
+) -> AtomId {
+    scratch.clear();
+    scratch.extend(pattern.args.iter().map(|t| match t {
+        RTerm::Const(c) => *c,
+        RTerm::Var(v) => binding[v.index()],
+    }));
+    universe.atoms.intern_ref(pattern.pred, scratch)
 }
 
 #[cfg(test)]

@@ -206,7 +206,6 @@ impl GroundProgram {
     fn from_parts(rules: Vec<GroundRule>, facts: Vec<AtomId>, mut atoms: Vec<AtomId>) -> Self {
         atoms.sort_unstable();
         atoms.dedup();
-        let n = atoms.len();
         let local =
             |a: AtomId| -> u32 { atoms.binary_search(&a).expect("atom in universe") as u32 };
 
@@ -228,6 +227,90 @@ impl GroundProgram {
             pos_off.push(pos_local.len() as u32);
             neg_off.push(neg_local.len() as u32);
         }
+
+        GroundProgram::finish_with_locals(
+            rules,
+            facts,
+            atoms,
+            facts_local,
+            head_local,
+            pos_off,
+            pos_local,
+            neg_off,
+            neg_local,
+        )
+    }
+
+    /// Constructs a program **directly from dense local-id arrays**, the
+    /// hash-free handoff used by `wfdl-chase` when translating a saturated
+    /// segment: the caller already knows every atom's local id, so indexing
+    /// is pure counting-sort array work — no hash probe and no binary
+    /// search per atom occurrence anywhere on this path.
+    ///
+    /// Contract (checked by `debug_assert`s): `atoms` is sorted and
+    /// deduplicated; every local id is `< atoms.len()`; `pos_off`/`neg_off`
+    /// are CSR offset arrays over `head_local.len()` rules; per-rule body
+    /// slices are sorted and deduplicated (the [`GroundRule`] normal form).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_dense_parts(
+        atoms: Vec<AtomId>,
+        facts: Vec<AtomId>,
+        facts_local: Vec<u32>,
+        head_local: Vec<u32>,
+        pos_off: Vec<u32>,
+        pos_local: Vec<u32>,
+        neg_off: Vec<u32>,
+        neg_local: Vec<u32>,
+    ) -> Self {
+        debug_assert!(atoms.windows(2).all(|w| w[0] < w[1]), "atoms sorted+dedup");
+        debug_assert_eq!(pos_off.len(), head_local.len() + 1);
+        debug_assert_eq!(neg_off.len(), head_local.len() + 1);
+        let num_rules = head_local.len();
+        let mut rules = Vec::with_capacity(num_rules);
+        let atom_of = |l: &u32| -> AtomId {
+            debug_assert!((*l as usize) < atoms.len(), "local id in range");
+            atoms[*l as usize]
+        };
+        for r in 0..num_rules {
+            let pos_slice = &pos_local[pos_off[r] as usize..pos_off[r + 1] as usize];
+            let neg_slice = &neg_local[neg_off[r] as usize..neg_off[r + 1] as usize];
+            debug_assert!(pos_slice.windows(2).all(|w| w[0] < w[1]));
+            debug_assert!(neg_slice.windows(2).all(|w| w[0] < w[1]));
+            rules.push(GroundRule {
+                head: atom_of(&head_local[r]),
+                pos: pos_slice.iter().map(atom_of).collect(),
+                neg: neg_slice.iter().map(atom_of).collect(),
+            });
+        }
+        GroundProgram::finish_with_locals(
+            rules,
+            facts,
+            atoms,
+            facts_local,
+            head_local,
+            pos_off,
+            pos_local,
+            neg_off,
+            neg_local,
+        )
+    }
+
+    /// Shared tail of all constructors: builds the occurrence CSRs from
+    /// ready-made local-id rule arrays by counting sort.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_with_locals(
+        rules: Vec<GroundRule>,
+        facts: Vec<AtomId>,
+        atoms: Vec<AtomId>,
+        facts_local: Vec<u32>,
+        head_local: Vec<u32>,
+        pos_off: Vec<u32>,
+        pos_local: Vec<u32>,
+        neg_off: Vec<u32>,
+        neg_local: Vec<u32>,
+    ) -> Self {
+        let n = atoms.len();
+        let num_rules = rules.len();
 
         // Occurrence indexes (CSR over local atom ids): count, prefix-sum,
         // fill. The fill preserves rule order within each atom's row.

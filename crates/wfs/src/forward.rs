@@ -35,51 +35,22 @@
 //! atoms to `False`.
 
 use crate::result::EngineResult;
-use wfdl_chase::{ChaseSegment, InstanceId};
+use wfdl_chase::{ChaseSegment, InstanceId, SegAtomId};
 use wfdl_core::{AtomId, BitSet, FxHashMap, Interp};
 
 /// The `Ŵ_P` engine over a chase segment.
+///
+/// Runs directly on the segment's dense ids and CSR occurrence indexes —
+/// no per-engine hash map, no per-atom allocation: the segment already
+/// stores everything the aliveness fixpoint needs.
 pub struct ForwardEngine<'a> {
     seg: &'a ChaseSegment,
-    /// Segment-atom index per atom id.
-    index_of: FxHashMap<AtomId, u32>,
-    /// For each segment atom, the instances having it in their positive
-    /// body (deduplicated).
-    pos_occ: Vec<Vec<u32>>,
-    /// Distinct positive-body size per instance.
-    pos_len: Vec<u32>,
-    /// Instances per head (segment-atom indexed).
-    head_occ: Vec<Vec<u32>>,
 }
 
 impl<'a> ForwardEngine<'a> {
     /// Prepares the engine for a segment.
     pub fn new(seg: &'a ChaseSegment) -> Self {
-        let n = seg.atoms().len();
-        let mut index_of = FxHashMap::default();
-        for (i, sa) in seg.atoms().iter().enumerate() {
-            index_of.insert(sa.atom, i as u32);
-        }
-        let mut pos_occ = vec![Vec::new(); n];
-        let mut head_occ = vec![Vec::new(); n];
-        let mut pos_len = Vec::with_capacity(seg.instances().len());
-        for (ii, inst) in seg.instances().iter().enumerate() {
-            let mut body: Vec<u32> = inst.pos.iter().map(|a| index_of[a]).collect();
-            body.sort_unstable();
-            body.dedup();
-            pos_len.push(body.len() as u32);
-            for b in body {
-                pos_occ[b as usize].push(ii as u32);
-            }
-            head_occ[index_of[&inst.head] as usize].push(ii as u32);
-        }
-        ForwardEngine {
-            seg,
-            index_of,
-            pos_occ,
-            pos_len,
-            head_occ,
-        }
+        ForwardEngine { seg }
     }
 
     /// Admissibility of every instance under **both** regimes in one pass
@@ -87,12 +58,13 @@ impl<'a> ForwardEngine<'a> {
     /// that never occurs in the forest has no forward proof, so its
     /// negation is in `Ŵ_{P,1}` (Example 9); treat it as false here.
     fn admissibility(&self, interp: &Interp) -> (Vec<bool>, Vec<bool>) {
-        let num = self.seg.instances().len();
+        let num = self.seg.num_instances();
         let mut strict = vec![true; num];
         let mut avoid = vec![true; num];
-        for (ii, inst) in self.seg.instances().iter().enumerate() {
-            for &b in inst.neg.iter() {
-                if strict[ii] && !interp.is_false(b) && self.index_of.contains_key(&b) {
+        for ii in 0..num {
+            let id = InstanceId::from_index(ii);
+            for &b in self.seg.neg_atoms(id) {
+                if strict[ii] && !interp.is_false(b) && self.seg.contains(b) {
                     strict[ii] = false;
                 }
                 if avoid[ii] && interp.is_true(b) {
@@ -109,9 +81,12 @@ impl<'a> ForwardEngine<'a> {
     /// Aliveness least fixpoint for a precomputed admissibility vector.
     fn alive_with(&self, admissible: &[bool]) -> BitSet {
         let n = self.seg.atoms().len();
+        let num = self.seg.num_instances();
         let mut alive = BitSet::with_capacity(n);
         let mut queue: Vec<u32> = Vec::new();
-        let mut missing: Vec<u32> = self.pos_len.clone();
+        let mut missing: Vec<u32> = (0..num)
+            .map(|ii| self.seg.num_distinct_pos(InstanceId::from_index(ii)))
+            .collect();
 
         for i in 0..self.seg.num_facts() {
             if alive.insert(i) {
@@ -121,16 +96,19 @@ impl<'a> ForwardEngine<'a> {
         // Instances with empty positive bodies cannot exist (guarded rules
         // always have a guard), so seeding from facts is enough.
         while let Some(a) = queue.pop() {
-            for &ii in &self.pos_occ[a as usize] {
-                let ii = ii as usize;
+            for &iid in self
+                .seg
+                .instances_with_body_seg(SegAtomId::from_index(a as usize))
+            {
+                let ii = iid.index();
                 if !admissible[ii] || missing[ii] == 0 {
                     continue;
                 }
                 missing[ii] -= 1;
                 if missing[ii] == 0 {
-                    let h = self.index_of[&self.seg.instances()[ii].head];
-                    if alive.insert(h as usize) {
-                        queue.push(h);
+                    let h = self.seg.head_seg(iid).index();
+                    if alive.insert(h) {
+                        queue.push(h as u32);
                     }
                 }
             }
@@ -188,12 +166,10 @@ impl<'a> ForwardEngine<'a> {
         }
     }
 
-    /// Instances deriving a segment atom (by id).
-    pub fn derivers(&self, atom: AtomId) -> &[u32] {
-        self.index_of
-            .get(&atom)
-            .map(|&i| self.head_occ[i as usize].as_slice())
-            .unwrap_or(&[])
+    /// Instances deriving a segment atom (by id); empty for atoms outside
+    /// the segment.
+    pub fn derivers(&self, atom: AtomId) -> &[InstanceId] {
+        self.seg.instances_with_head(atom)
     }
 
     /// The segment this engine runs on.
@@ -203,11 +179,11 @@ impl<'a> ForwardEngine<'a> {
 
     /// Looks up the segment index of an atom.
     pub fn segment_index(&self, atom: AtomId) -> Option<u32> {
-        self.index_of.get(&atom).copied()
+        self.seg.seg_id(atom).map(|s| s.index() as u32)
     }
 
-    /// Convenience: instance by id.
-    pub fn instance(&self, id: u32) -> &wfdl_chase::RuleInstance {
+    /// Convenience: materializes an instance by id.
+    pub fn instance(&self, id: u32) -> wfdl_chase::RuleInstance {
         self.seg.instance(InstanceId::from_index(id as usize))
     }
 }

@@ -197,7 +197,7 @@ pub fn subtree_signature(
         let mut next: Vec<AtomId> = Vec::new();
         for &a in &frontier {
             for &iid in seg.instances_with_guard(a) {
-                let head = seg.instance(iid).head;
+                let head = seg.head_atom(iid);
                 if seen.insert(head) {
                     next.push(head);
                 }

@@ -16,10 +16,13 @@
 //! witness WCHECK guesses; `verify` re-checks a certificate independently
 //! of any fixpoint engine.
 
-use crate::forward::ForwardEngine;
 use wfdl_chase::{ChaseSegment, InstanceId};
-use wfdl_core::{AtomId, FxHashMap, FxHashSet, Interp, Truth};
+use wfdl_core::{AtomId, BitSet, FxHashMap, FxHashSet, Interp, Truth};
 use wfdl_storage::{GroundProgram, GroundProgramBuilder, GroundRule};
+
+/// Sentinel for the dense per-segment-atom arrays used during certificate
+/// extraction.
+const NONE: u32 = u32::MAX;
 
 /// Extracts the dependency cone of `targets` from a segment-extracted
 /// ground program: all atoms and rules that can influence the targets'
@@ -103,54 +106,52 @@ pub fn certify(seg: &ChaseSegment, interp: &Interp, atom: AtomId) -> Option<Cert
     }
     // Replay a T-closure over instances whose hypotheses are false in the
     // final model, recording one justifying instance per derived atom in
-    // derivation order.
-    let engine = ForwardEngine::new(seg);
-    let mut just: FxHashMap<AtomId, InstanceId> = FxHashMap::default();
-    let mut order: FxHashMap<AtomId, u32> = FxHashMap::default();
-    let mut derived: FxHashSet<AtomId> = FxHashSet::default();
-    let mut queue: Vec<AtomId> = Vec::new();
+    // derivation order. Everything runs on dense segment ids: flat arrays,
+    // no hashing.
+    let n = seg.atoms().len();
+    let mut just: Vec<u32> = vec![NONE; n];
+    let mut order: Vec<u32> = vec![NONE; n];
+    let mut derived = BitSet::with_capacity(n);
     let mut tick = 0u32;
-    for sa in &seg.atoms()[..seg.num_facts()] {
-        derived.insert(sa.atom);
-        order.insert(sa.atom, tick);
+    for (i, o) in order.iter_mut().enumerate().take(seg.num_facts()) {
+        derived.insert(i);
+        *o = tick;
         tick += 1;
-        queue.push(sa.atom);
     }
     // Fixpoint: fire instances whose positive bodies are derived and whose
     // negative bodies are false in the model.
     let mut progress = true;
     while progress {
         progress = false;
-        let _ = &mut queue;
-        for (ii, inst) in seg.instances().iter().enumerate() {
-            if derived.contains(&inst.head) {
+        for iid in seg.instance_ids() {
+            let h = seg.head_seg(iid).index();
+            if derived.contains(h) {
                 continue;
             }
-            if !inst
-                .neg
+            if !seg
+                .neg_atoms(iid)
                 .iter()
                 .all(|&b| interp.is_false(b) || !seg.contains(b))
             {
                 continue;
             }
-            if !inst.pos.iter().all(|b| derived.contains(b)) {
+            if !seg.pos_seg(iid).iter().all(|s| derived.contains(s.index())) {
                 continue;
             }
-            derived.insert(inst.head);
-            just.insert(inst.head, InstanceId::from_index(ii));
-            order.insert(inst.head, tick);
+            derived.insert(h);
+            just[h] = iid.index() as u32;
+            order[h] = tick;
             tick += 1;
             progress = true;
         }
     }
-    let _ = engine;
     build_certificate(seg, &just, &order, atom)
 }
 
 fn build_certificate(
     seg: &ChaseSegment,
-    just: &FxHashMap<AtomId, InstanceId>,
-    order: &FxHashMap<AtomId, u32>,
+    just: &[u32],
+    order: &[u32],
     atom: AtomId,
 ) -> Option<Certificate> {
     // Guard chain.
@@ -159,30 +160,37 @@ fn build_certificate(
     let mut supports: FxHashMap<AtomId, Certificate> = FxHashMap::default();
     let mut hypotheses: Vec<AtomId> = Vec::new();
     let mut cur = atom;
-    while let Some(&iid) = just.get(&cur) {
+    loop {
+        let cur_seg = seg.seg_id(cur)?;
+        let j = just[cur_seg.index()];
+        if j == NONE {
+            // The chain must terminate at a fact (no justification entry,
+            // but an `order` tick from the fact seeding).
+            if order[cur_seg.index()] == NONE {
+                return None;
+            }
+            break;
+        }
+        let iid = InstanceId::from_index(j as usize);
         steps.push(iid);
-        let inst = seg.instance(iid);
-        for &b in inst.neg.iter() {
+        for &b in seg.neg_atoms(iid) {
             hypotheses.push(b);
         }
-        for &b in inst.pos.iter() {
-            if b == inst.guard_atom || b == cur {
+        let guard_atom = seg.guard_atom(iid);
+        for &s in seg.pos_seg(iid) {
+            let b = seg.atom_of(s);
+            if b == guard_atom || b == cur {
                 continue;
             }
             if let std::collections::hash_map::Entry::Vacant(e) = supports.entry(b) {
                 // Support atoms were derived strictly earlier in the replay.
-                debug_assert!(order[&b] < order[&cur]);
+                debug_assert!(order[s.index()] < order[cur_seg.index()]);
                 let sub = build_certificate(seg, just, order, b)?;
                 e.insert(sub);
             }
         }
-        cur = inst.guard_atom;
+        cur = guard_atom;
         path.push(cur);
-    }
-    // The chain must terminate at a fact (which has no justification entry
-    // but is in `order` iff it was seeded as a fact).
-    if !order.contains_key(&cur) {
-        return None;
     }
     path.reverse();
     steps.reverse();
@@ -221,17 +229,21 @@ fn verify_inner(
         return false;
     }
     for (k, &iid) in cert.steps.iter().enumerate() {
-        let inst = seg.instance(iid);
-        if inst.guard_atom != cert.path[k] || inst.head != cert.path[k + 1] {
+        if iid.index() >= seg.num_instances() {
+            return false; // forged instance id
+        }
+        let guard_atom = seg.guard_atom(iid);
+        if guard_atom != cert.path[k] || seg.head_atom(iid) != cert.path[k + 1] {
             return false;
         }
-        for &b in inst.neg.iter() {
+        for &b in seg.neg_atoms(iid) {
             if !interp.is_false(b) && seg.contains(b) {
                 return false;
             }
         }
-        for &b in inst.pos.iter() {
-            if b == inst.guard_atom {
+        for &s in seg.pos_seg(iid) {
+            let b = seg.atom_of(s);
+            if b == guard_atom {
                 continue;
             }
             // Side atom: either it appears earlier on the path, or a
@@ -294,14 +306,14 @@ pub fn refute(seg: &ChaseSegment, interp: &Interp, atom: AtomId) -> Option<Refut
     }
     let mut blocked = Vec::new();
     for &iid in seg.instances_with_head(atom) {
-        let inst = seg.instance(iid);
-        let blocker = inst
-            .pos
+        let blocker = seg
+            .pos_seg(iid)
             .iter()
-            .find(|&&b| interp.is_false(b))
-            .map(|&b| Blocker::PositiveFalse(b))
+            .map(|&s| seg.atom_of(s))
+            .find(|&b| interp.is_false(b))
+            .map(Blocker::PositiveFalse)
             .or_else(|| {
-                inst.neg
+                seg.neg_atoms(iid)
                     .iter()
                     .find(|&&b| interp.is_true(b))
                     .map(|&b| Blocker::NegativeTrue(b))

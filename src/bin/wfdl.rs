@@ -12,9 +12,36 @@
 //! (`-> false`) and queries (`?- …` / `?(X) …`). Queries in the file are
 //! answered against the computed model.
 
+use std::io::Write;
 use std::process::ExitCode;
 use wfdatalog::chase::ExplicitForest;
 use wfdatalog::{EngineKind, Reasoner, Truth, WfsOptions};
+
+/// Writes to stdout, treating a closed pipe as a normal end of output:
+/// `wfdl run … | head` must exit 0, not panic (the classic Rust `println!`
+/// papercut). Other I/O errors are reported and exit nonzero.
+fn write_out(args: std::fmt::Arguments) {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = lock.write_fmt(args) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("wfdl: cannot write to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `println!` routed through [`write_out`].
+macro_rules! outln {
+    () => { write_out(format_args!("\n")) };
+    ($($arg:tt)*) => { write_out(format_args!("{}\n", format_args!($($arg)*))) };
+}
+
+/// `print!` routed through [`write_out`].
+macro_rules! outp {
+    ($($arg:tt)*) => { write_out(format_args!($($arg)*)) };
+}
 
 struct Options {
     command: String,
@@ -101,7 +128,7 @@ fn main() -> ExitCode {
 
     match opts.command.as_str() {
         "check" => {
-            println!(
+            outln!(
                 "{}: ok — {} rules, {} facts, {} constraints, {} queries",
                 opts.file,
                 reasoner.sigma.rules.len(),
@@ -143,16 +170,16 @@ fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
 
     if opts.stats {
         let (t, f, u) = model.counts();
-        println!(
+        outln!(
             "% segment: {} atoms, {} rule instances, {} stages, exact: {}",
             model.segment.atoms().len(),
             model.ground.num_rules(),
             model.stages(),
             model.exact
         );
-        println!("% truth: {t} true, {f} false, {u} unknown");
+        outln!("% truth: {t} true, {f} false, {u} unknown");
         if let Some(s) = model.component_stats() {
-            println!(
+            outln!(
                 "% condensation: {} components ({} definite, {} recursive), \
                  largest {}, {} atoms solved recursively",
                 s.components,
@@ -167,27 +194,27 @@ fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
     if let Some(fd) = opts.forest_depth {
         let fd = fd.min(model.segment.budget().max_depth);
         let forest = ExplicitForest::unfold(&model.segment, fd, 50_000);
-        println!("% chase forest to depth {fd}:");
-        print!("{}", forest.render(&reasoner.universe));
+        outln!("% chase forest to depth {fd}:");
+        outp!("{}", forest.render(&reasoner.universe));
         if forest.hit_node_cap {
-            println!("% … truncated at 50000 nodes");
+            outln!("% … truncated at 50000 nodes");
         }
     }
 
     if opts.show_model || num_queries == 0 {
-        println!("% true atoms:");
+        outln!("% true atoms:");
         for atom in model.true_atoms() {
             let pred = reasoner.universe.atoms.pred(atom);
             if !opts.show_hidden && reasoner.universe.pred_info(pred).auxiliary {
                 continue;
             }
-            println!("{}.", reasoner.universe.display_atom(atom));
+            outln!("{}.", reasoner.universe.display_atom(atom));
         }
         let unknown: Vec<_> = model.unknown_atoms().collect();
         if !unknown.is_empty() {
-            println!("% undefined atoms:");
+            outln!("% undefined atoms:");
             for atom in unknown {
-                println!("% {} : unknown", reasoner.universe.display_atom(atom));
+                outln!("% {} : unknown", reasoner.universe.display_atom(atom));
             }
         }
     }
@@ -197,16 +224,16 @@ fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
     for (i, q) in queries.iter().enumerate() {
         if q.is_boolean() {
             let verdict = wfdatalog::query::holds3(&reasoner.universe, &model, q);
-            println!("query {}: {verdict}", i + 1);
+            outln!("query {}: {verdict}", i + 1);
         } else {
             let ans = wfdatalog::query::answers(&reasoner.universe, &model, q);
-            println!("query {}: {} answer(s)", i + 1, ans.len());
+            outln!("query {}: {} answer(s)", i + 1, ans.len());
             for tuple in ans.tuples() {
                 let rendered: Vec<String> = tuple
                     .iter()
                     .map(|&t| reasoner.universe.display_term(t).to_string())
                     .collect();
-                println!("  ({})", rendered.join(", "));
+                outln!("  ({})", rendered.join(", "));
             }
         }
     }
@@ -215,8 +242,8 @@ fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
     let status = reasoner.constraint_status(&model);
     for (i, s) in status.iter().enumerate() {
         match s {
-            Truth::True => println!("constraint {}: VIOLATED", i + 1),
-            Truth::Unknown => println!("constraint {}: possibly violated", i + 1),
+            Truth::True => outln!("constraint {}: VIOLATED", i + 1),
+            Truth::Unknown => outln!("constraint {}: possibly violated", i + 1),
             Truth::False => {}
         }
     }

@@ -100,5 +100,5 @@ fn deeper_segments_extend_shallower_ones() {
         assert_eq!(meta.level, sa.level);
     }
     assert!(deep.atoms().len() > shallow.atoms().len());
-    assert!(deep.instances().len() > shallow.instances().len());
+    assert!(deep.num_instances() > shallow.num_instances());
 }
