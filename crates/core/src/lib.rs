@@ -31,6 +31,7 @@ pub mod program;
 pub mod rule;
 pub mod schema;
 pub mod skolem;
+pub mod snapshot;
 pub mod subst;
 pub mod symbol;
 pub mod term;
@@ -46,6 +47,7 @@ pub use program::Program;
 pub use rule::{Constraint, RTerm, RuleAtom, Tgd, Var};
 pub use schema::{PredId, PredInfo, SchemaStats};
 pub use skolem::{HeadTerm, SkolemProgram, SkolemRule};
+pub use snapshot::UniverseSnapshot;
 pub use subst::{match_atom, Binding};
 pub use symbol::{Symbol, SymbolTable};
 pub use term::{SkolemId, TermId, TermNode, TermStore};

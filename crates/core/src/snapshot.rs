@@ -1,0 +1,85 @@
+//! Immutable, thread-shareable snapshots of a [`Universe`].
+//!
+//! The serving path of the compile → solve → serve lifecycle needs a
+//! universe that is *provably* frozen: query evaluation must resolve
+//! predicates, constants and atoms without interning anything new, so the
+//! same snapshot can be read from many threads at once. A
+//! [`UniverseSnapshot`] wraps a finished universe behind an [`Arc`] and
+//! exposes only `&Universe` access — no `&mut` accessor exists, so the
+//! type system rules out post-freeze mutation.
+
+use crate::universe::Universe;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable snapshot of a [`Universe`].
+///
+/// Cloning is O(1) (an [`Arc`] bump), and the snapshot is `Send + Sync`,
+/// so one reasoning session's interning context can be shared across any
+/// number of serving threads. All read-only [`Universe`] methods are
+/// available through [`Deref`]:
+///
+/// ```
+/// use wfdl_core::{Universe, UniverseSnapshot};
+/// let mut u = Universe::new();
+/// let p = u.pred("p", 1).unwrap();
+/// let c = u.constant("c");
+/// u.atom(p, vec![c]).unwrap();
+/// let frozen = UniverseSnapshot::new(u);
+/// assert_eq!(frozen.lookup_pred("p"), Some(p));
+/// assert_eq!(frozen.lookup_constant("c"), Some(c));
+/// assert_eq!(frozen.lookup_constant("never_interned"), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UniverseSnapshot(Arc<Universe>);
+
+impl UniverseSnapshot {
+    /// Freezes a universe. The universe is moved in; nothing can mutate it
+    /// afterwards.
+    pub fn new(universe: Universe) -> Self {
+        UniverseSnapshot(Arc::new(universe))
+    }
+
+    /// The frozen universe.
+    #[inline]
+    pub fn universe(&self) -> &Universe {
+        &self.0
+    }
+}
+
+impl Deref for UniverseSnapshot {
+    type Target = Universe;
+
+    #[inline]
+    fn deref(&self) -> &Universe {
+        &self.0
+    }
+}
+
+impl From<Universe> for UniverseSnapshot {
+    fn from(universe: Universe) -> Self {
+        UniverseSnapshot::new(universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UniverseSnapshot>();
+
+        let mut u = Universe::new();
+        let p = u.pred("edge", 2).unwrap();
+        let a = u.constant("a");
+        let b = u.constant("b");
+        let atom = u.atom(p, vec![a, b]).unwrap();
+        let snap = UniverseSnapshot::new(u);
+        let snap2 = snap.clone();
+        assert!(Arc::ptr_eq(&snap.0, &snap2.0));
+        assert_eq!(snap2.atoms.lookup(p, &[a, b]), Some(atom));
+        assert_eq!(snap2.display_atom(atom).to_string(), "edge(a,b)");
+    }
+}

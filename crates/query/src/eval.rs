@@ -50,14 +50,28 @@ impl AnswerSet {
 }
 
 /// Evaluates the query over a model under certain-answer semantics.
+///
+/// Builds a fresh index over the model's certainly-true atoms on every
+/// call; when the same model answers many queries, build the index once
+/// and use [`answers_indexed`] (this is what prepared queries do).
 pub fn answers<S: TruthSource>(universe: &Universe, model: &S, query: &Nbcq) -> AnswerSet {
     let index = AtomIndex::build(universe, model.certain_atoms());
+    answers_indexed(universe, model, &index, query)
+}
+
+/// [`answers`] over a prebuilt index of the model's certainly-true atoms.
+pub fn answers_indexed<S: TruthSource>(
+    universe: &Universe,
+    model: &S,
+    certain: &AtomIndex,
+    query: &Nbcq,
+) -> AnswerSet {
     let mut out = AnswerSet::default();
     let mut binding: Vec<Option<TermId>> = vec![None; query.num_vars() as usize];
     search(
         universe,
         model,
-        &index,
+        certain,
         query,
         &mut binding,
         &mut vec![false; query.pos.len()],
@@ -81,23 +95,35 @@ pub fn holds3<S: TruthSource>(universe: &Universe, model: &S, query: &Nbcq) -> T
         return Truth::True;
     }
     let index = AtomIndex::build(universe, model.possible_atoms());
+    if possible_witness_indexed(universe, model, &index, query) {
+        Truth::Unknown
+    } else {
+        Truth::False
+    }
+}
+
+/// True iff a satisfying homomorphism exists in "possible" mode (positives
+/// not false, negatives not true), over a prebuilt index of the model's
+/// not-certainly-false atoms. The `Unknown` leg of [`holds3`].
+pub fn possible_witness_indexed<S: TruthSource>(
+    universe: &Universe,
+    model: &S,
+    possible: &AtomIndex,
+    query: &Nbcq,
+) -> bool {
     let mut out = AnswerSet::default();
     let mut binding: Vec<Option<TermId>> = vec![None; query.num_vars() as usize];
     search(
         universe,
         model,
-        &index,
+        possible,
         query,
         &mut binding,
         &mut vec![false; query.pos.len()],
         &mut out,
         Mode::Possible,
     );
-    if out.is_empty() {
-        Truth::False
-    } else {
-        Truth::Unknown
-    }
+    !out.is_empty()
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]

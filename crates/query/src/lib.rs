@@ -15,8 +15,10 @@
 
 pub mod eval;
 pub mod nbcq;
+pub mod prepared;
 pub mod source;
 
-pub use eval::{answers, holds, holds3, AnswerSet};
+pub use eval::{answers, answers_indexed, holds, holds3, possible_witness_indexed, AnswerSet};
 pub use nbcq::{Nbcq, QTerm, QVar, QueryAtom, QueryError};
+pub use prepared::PreparedQuery;
 pub use source::{InterpSource, TruthSource};

@@ -1,0 +1,198 @@
+//! Prepared queries: parse/lower once, evaluate many times.
+//!
+//! The serving path of the compile → solve → serve lifecycle resolves a
+//! query against a **frozen** universe snapshot: predicates and constants
+//! are looked up, never interned. A constant (or whole predicate) the
+//! reasoning session has never seen cannot appear in any materialized atom,
+//! so instead of erroring the resolution **short-circuits to a definite
+//! verdict**:
+//!
+//! * a *positive* literal mentioning an unknown predicate or constant can
+//!   never be matched — the query is definitely unsatisfied
+//!   ([`PreparedQuery::is_definitely_empty`]);
+//! * a *negated* literal mentioning one is satisfied by every assignment
+//!   (the atom has no forward proof, hence is false under WFS), so the
+//!   literal is dropped during preparation.
+//!
+//! Evaluation borrows everything (`&Universe`, `&impl TruthSource`,
+//! prebuilt [`AtomIndex`]es), so a prepared query can be re-evaluated from
+//! many threads without any synchronization.
+
+use crate::eval::{answers_indexed, possible_witness_indexed, AnswerSet};
+use crate::nbcq::Nbcq;
+use crate::source::TruthSource;
+use wfdl_core::{Truth, Universe};
+use wfdl_storage::AtomIndex;
+
+/// A query lowered against a frozen universe, ready for repeated
+/// evaluation through `&self`.
+///
+/// Built by `wfdl_syntax::prepare_query` (text entry point) or
+/// [`PreparedQuery::from_query`] (programmatic entry point).
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    /// The lowered query; `None` when preparation proved the query can
+    /// have no certain or possible answers (see module docs).
+    query: Option<Nbcq>,
+    /// Number of answer variables (shape of the answer tuples even when
+    /// the query is definitely empty).
+    answer_arity: usize,
+}
+
+impl PreparedQuery {
+    /// Wraps an already-lowered query.
+    pub fn from_query(query: Nbcq) -> Self {
+        PreparedQuery {
+            answer_arity: query.answer_vars.len(),
+            query: Some(query),
+        }
+    }
+
+    /// A query whose positive part mentions a predicate or constant the
+    /// universe has never interned: definitely no answers.
+    pub fn definitely_empty(answer_arity: usize) -> Self {
+        PreparedQuery {
+            query: None,
+            answer_arity,
+        }
+    }
+
+    /// The lowered query, unless preparation short-circuited.
+    pub fn query(&self) -> Option<&Nbcq> {
+        self.query.as_ref()
+    }
+
+    /// True iff preparation already proved there are no answers.
+    pub fn is_definitely_empty(&self) -> bool {
+        self.query.is_none()
+    }
+
+    /// True iff the query has no answer variables.
+    pub fn is_boolean(&self) -> bool {
+        self.answer_arity == 0
+    }
+
+    /// Number of answer variables (width of each answer tuple).
+    pub fn answer_arity(&self) -> usize {
+        self.answer_arity
+    }
+
+    /// Certain answers, reusing a prebuilt index over the model's
+    /// certainly-true atoms.
+    pub fn answers_with<S: TruthSource>(
+        &self,
+        universe: &Universe,
+        model: &S,
+        certain: &AtomIndex,
+    ) -> AnswerSet {
+        match &self.query {
+            Some(q) => answers_indexed(universe, model, certain, q),
+            None => AnswerSet::default(),
+        }
+    }
+
+    /// Boolean satisfaction (certain-answer semantics).
+    pub fn holds_with<S: TruthSource>(
+        &self,
+        universe: &Universe,
+        model: &S,
+        certain: &AtomIndex,
+    ) -> bool {
+        !self.answers_with(universe, model, certain).is_empty()
+    }
+
+    /// Three-valued satisfaction; `possible` must index the model's
+    /// not-certainly-false atoms.
+    pub fn holds3_with<S: TruthSource>(
+        &self,
+        universe: &Universe,
+        model: &S,
+        certain: &AtomIndex,
+        possible: &AtomIndex,
+    ) -> Truth {
+        let Some(q) = &self.query else {
+            return Truth::False;
+        };
+        if !answers_indexed(universe, model, certain, q).is_empty() {
+            return Truth::True;
+        }
+        if possible_witness_indexed(universe, model, possible, q) {
+            Truth::Unknown
+        } else {
+            Truth::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nbcq::{QTerm, QVar, QueryAtom};
+    use crate::source::InterpSource;
+    use wfdl_core::Interp;
+
+    #[test]
+    fn definitely_empty_short_circuits_everywhere() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let c = u.constant("c");
+        let pc = u.atom(p, vec![c]).unwrap();
+        let mut i = Interp::new();
+        i.set_true(pc);
+        let atoms = vec![pc];
+        let src = InterpSource::new(&i, &atoms);
+        let certain = AtomIndex::build(&u, [pc]);
+        let possible = AtomIndex::build(&u, [pc]);
+
+        let q = PreparedQuery::definitely_empty(1);
+        assert!(q.is_definitely_empty());
+        assert!(!q.is_boolean());
+        assert_eq!(q.answer_arity(), 1);
+        assert!(q.answers_with(&u, &src, &certain).is_empty());
+        assert!(!q.holds_with(&u, &src, &certain));
+        assert_eq!(q.holds3_with(&u, &src, &certain, &possible), Truth::False);
+    }
+
+    #[test]
+    fn prepared_query_agrees_with_direct_evaluation() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let c = u.constant("c");
+        let d = u.constant("d");
+        let pc = u.atom(p, vec![c]).unwrap();
+        let pd = u.atom(p, vec![d]).unwrap();
+        let mut i = Interp::new();
+        i.set_true(pc);
+        // pd stays unknown.
+        let atoms = vec![pc, pd];
+        let src = InterpSource::new(&i, &atoms);
+        let certain = AtomIndex::build(&u, [pc]);
+        let possible = AtomIndex::build(&u, [pc, pd]);
+
+        let nbcq = Nbcq::new(
+            &u,
+            vec![QueryAtom::new(p, vec![QTerm::Var(QVar::new(0))])],
+            vec![],
+            vec![QVar::new(0)],
+        )
+        .unwrap();
+        let direct = crate::eval::answers(&u, &src, &nbcq);
+        let prepared = PreparedQuery::from_query(nbcq.clone());
+        assert!(!prepared.is_definitely_empty());
+        assert!(prepared.is_boolean() == nbcq.is_boolean());
+        assert_eq!(prepared.answers_with(&u, &src, &certain), direct);
+        assert!(prepared.holds_with(&u, &src, &certain));
+
+        // holds3: p(d) is only possible, not certain.
+        let qd = Nbcq::boolean(&u, vec![QueryAtom::new(p, vec![QTerm::Const(d)])], vec![]).unwrap();
+        let prepared_d = PreparedQuery::from_query(qd.clone());
+        assert_eq!(
+            prepared_d.holds3_with(&u, &src, &certain, &possible),
+            crate::eval::holds3(&u, &src, &qd)
+        );
+        assert_eq!(
+            prepared_d.holds3_with(&u, &src, &certain, &possible),
+            Truth::Unknown
+        );
+    }
+}

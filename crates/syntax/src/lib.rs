@@ -27,8 +27,8 @@ pub mod parser;
 pub mod printer;
 
 pub use error::{Pos, SyntaxError};
-pub use lower::{load, lower, Lowered};
-pub use parser::parse;
+pub use lower::{load, lower, lower_query, lower_query_frozen, prepare_query, Lowered};
+pub use parser::{parse, parse_single_query};
 pub use printer::{
     print_database, print_program, print_query, print_skolem_program, print_skolem_rule, print_tgd,
 };

@@ -11,7 +11,7 @@ use crate::error::{Result, SyntaxError};
 use wfdl_core::{
     Constraint, HeadTerm, Program, RTerm, RuleAtom, SkolemProgram, SkolemRule, Tgd, Universe, Var,
 };
-use wfdl_query::{Nbcq, QTerm, QVar, QueryAtom};
+use wfdl_query::{Nbcq, PreparedQuery, QTerm, QVar, QueryAtom, QueryError};
 use wfdl_storage::Database;
 
 /// The result of lowering a source file.
@@ -235,7 +235,10 @@ fn lower_functional_head(
         .map_err(|e| SyntaxError::new(e.to_string(), rule.pos))
 }
 
-fn lower_query(universe: &mut Universe, q: &AstQuery) -> Result<Nbcq> {
+/// Lowers a parsed query, interning predicates and constants on first use
+/// (the compile-stage path; for the serving path see
+/// [`lower_query_frozen`]).
+pub fn lower_query(universe: &mut Universe, q: &AstQuery) -> Result<Nbcq> {
     let mut names: Vec<String> = Vec::new();
     let qvar = |name: &str, names: &mut Vec<String>| -> QVar {
         if let Some(i) = names.iter().position(|n| n == name) {
@@ -274,6 +277,143 @@ fn lower_query(universe: &mut Universe, q: &AstQuery) -> Result<Nbcq> {
     }
     let answer_vars: Vec<QVar> = q.answer_vars.iter().map(|v| qvar(v, &mut names)).collect();
     Nbcq::new(universe, pos, neg, answer_vars).map_err(|e| SyntaxError::new(e.to_string(), q.pos))
+}
+
+/// A query atom whose predicate and constants may or may not resolve
+/// against the frozen universe.
+struct FrozenAtom {
+    /// Fully-resolved atom, or `None` when the predicate or one of the
+    /// constants was never interned.
+    resolved: Option<QueryAtom>,
+    /// Variables occurring in the atom (tracked even when unresolved, so
+    /// range-restriction is validated on the query as written).
+    vars: Vec<QVar>,
+}
+
+/// Lowers a parsed query against a **frozen** universe: predicates and
+/// constants are looked up, never interned, so this works through
+/// `&Universe` and is safe to call concurrently.
+///
+/// A name the reasoning session has never interned cannot occur in any
+/// materialized atom, so resolution failure is a semantic verdict rather
+/// than an error: an unresolved *positive* literal makes the whole query
+/// [`PreparedQuery::is_definitely_empty`]; an unresolved *negated* literal
+/// is certainly satisfied and dropped. Malformed queries (non-range-
+/// restricted, arity mismatches against known predicates, function terms)
+/// still error, with the same messages as the interning path.
+pub fn lower_query_frozen(universe: &Universe, q: &AstQuery) -> Result<PreparedQuery> {
+    let mut names: Vec<String> = Vec::new();
+    let qvar = |name: &str, names: &mut Vec<String>| -> QVar {
+        if let Some(i) = names.iter().position(|n| n == name) {
+            QVar::new(i as u32)
+        } else {
+            names.push(name.to_owned());
+            QVar::new((names.len() - 1) as u32)
+        }
+    };
+
+    let lower_atom = |atom: &AstAtom, names: &mut Vec<String>| -> Result<FrozenAtom> {
+        let pred = universe.lookup_pred(&atom.pred);
+        if let Some(p) = pred {
+            if universe.pred_arity(p) != atom.args.len() {
+                return Err(SyntaxError::new(
+                    QueryError::ArityMismatch {
+                        predicate: atom.pred.clone(),
+                    }
+                    .to_string(),
+                    atom.pos,
+                ));
+            }
+        }
+        let mut vars = Vec::new();
+        let mut args = Some(Vec::with_capacity(atom.args.len()));
+        for t in &atom.args {
+            match t {
+                AstTerm::Var(v) => {
+                    let var = qvar(v, names);
+                    vars.push(var);
+                    if let Some(a) = args.as_mut() {
+                        a.push(QTerm::Var(var));
+                    }
+                }
+                AstTerm::Const(c) => match universe.lookup_constant(c) {
+                    Some(t) => {
+                        if let Some(a) = args.as_mut() {
+                            a.push(QTerm::Const(t));
+                        }
+                    }
+                    None => args = None,
+                },
+                AstTerm::Fn(..) => {
+                    return Err(SyntaxError::new(
+                        "queries cannot mention nulls (function terms)",
+                        atom.pos,
+                    ))
+                }
+            }
+        }
+        let resolved = match (pred, args) {
+            (Some(p), Some(a)) => Some(QueryAtom::new(p, a)),
+            _ => None,
+        };
+        Ok(FrozenAtom { resolved, vars })
+    };
+
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for lit in &q.body {
+        let atom = lower_atom(&lit.atom, &mut names)?;
+        if lit.negated {
+            neg.push(atom);
+        } else {
+            pos.push(atom);
+        }
+    }
+    let answer_vars: Vec<QVar> = q.answer_vars.iter().map(|v| qvar(v, &mut names)).collect();
+
+    // Validate the query *as written* (resolved or not), mirroring the
+    // checks `Nbcq::new` performs on the interning path.
+    if pos.is_empty() {
+        return Err(SyntaxError::new(
+            QueryError::NoPositiveAtom.to_string(),
+            q.pos,
+        ));
+    }
+    let pos_vars: Vec<QVar> = pos.iter().flat_map(|a| a.vars.iter().copied()).collect();
+    for a in &neg {
+        if let Some(&v) = a.vars.iter().find(|v| !pos_vars.contains(v)) {
+            return Err(SyntaxError::new(
+                QueryError::UnsafeVariable(v).to_string(),
+                q.pos,
+            ));
+        }
+    }
+    for &v in &answer_vars {
+        if !pos_vars.contains(&v) {
+            return Err(SyntaxError::new(
+                QueryError::UnboundAnswerVariable(v).to_string(),
+                q.pos,
+            ));
+        }
+    }
+
+    // Unresolved positive literal: no homomorphism can ever match it.
+    if pos.iter().any(|a| a.resolved.is_none()) {
+        return Ok(PreparedQuery::definitely_empty(answer_vars.len()));
+    }
+    let pos: Vec<QueryAtom> = pos.into_iter().map(|a| a.resolved.unwrap()).collect();
+    // Unresolved negated literals are certainly satisfied: drop them.
+    let neg: Vec<QueryAtom> = neg.into_iter().filter_map(|a| a.resolved).collect();
+    let nbcq = Nbcq::new(universe, pos, neg, answer_vars)
+        .map_err(|e| SyntaxError::new(e.to_string(), q.pos))?;
+    Ok(PreparedQuery::from_query(nbcq))
+}
+
+/// Parses and lowers a single query against a frozen universe in one step:
+/// the text entry point of the serving path.
+pub fn prepare_query(universe: &Universe, src: &str) -> Result<PreparedQuery> {
+    let ast = crate::parser::parse_single_query(src)?;
+    lower_query_frozen(universe, &ast)
 }
 
 #[cfg(test)]
@@ -384,5 +524,76 @@ mod tests {
         let lowered = load(&mut u, "p(X) -> q(X, f(X)).  q(X, Y) -> r(X, f(X)).").unwrap();
         assert_eq!(lowered.functional.len(), 2);
         assert_eq!(u.num_skolems(), 1, "same `f` in both rules");
+    }
+
+    // ---- frozen-universe query lowering ---------------------------------
+
+    fn frozen_universe() -> Universe {
+        let mut u = Universe::new();
+        load(&mut u, "edge(a,b). edge(b,c). mark(a).").unwrap();
+        u
+    }
+
+    #[test]
+    fn prepare_query_does_not_intern() {
+        let u = frozen_universe();
+        let before = (u.num_preds(), u.terms.len());
+        let q = prepare_query(&u, "?- edge(a, X), not mark(X).").unwrap();
+        assert!(!q.is_definitely_empty());
+        assert_eq!((u.num_preds(), u.terms.len()), before, "no interning");
+    }
+
+    #[test]
+    fn unknown_constant_in_positive_literal_short_circuits() {
+        let u = frozen_universe();
+        let q = prepare_query(&u, "?(X) edge(X, zz).").unwrap();
+        assert!(q.is_definitely_empty());
+        assert_eq!(q.answer_arity(), 1);
+        // Unknown predicate too.
+        let q2 = prepare_query(&u, "?- ghost(a).").unwrap();
+        assert!(q2.is_definitely_empty());
+        assert!(q2.is_boolean());
+    }
+
+    #[test]
+    fn unknown_name_in_negated_literal_is_dropped() {
+        let u = frozen_universe();
+        // `not mark(zz)` can never be falsified: the atom was never
+        // materialized, so the literal is certainly satisfied.
+        let q = prepare_query(&u, "?- edge(a, X), not mark(zz).").unwrap();
+        let nbcq = q.query().expect("still evaluable");
+        assert_eq!(nbcq.neg.len(), 0, "unresolved negated literal dropped");
+        assert_eq!(nbcq.pos.len(), 1);
+        // Unknown predicate under negation likewise.
+        let q2 = prepare_query(&u, "?- edge(a, X), not ghost(X).").unwrap();
+        assert_eq!(q2.query().unwrap().neg.len(), 0);
+    }
+
+    #[test]
+    fn frozen_lowering_still_validates() {
+        let u = frozen_universe();
+        // Non-range-restricted query: the unsafe variable occurs only under
+        // negation, even though the negated predicate is unknown.
+        let err = prepare_query(&u, "?- edge(a, X), not ghost(Y).").unwrap_err();
+        assert!(err.message.contains("range-restricted"), "{err}");
+        // Arity mismatch against a *known* predicate is still an error.
+        let err = prepare_query(&u, "?- edge(a).").unwrap_err();
+        assert!(err.message.contains("arity"), "{err}");
+        // Function terms are still rejected.
+        let err = prepare_query(&u, "?- edge(a, f(a)).").unwrap_err();
+        assert!(err.message.contains("null"), "{err}");
+        // A source with no query reports the real position.
+        let err = prepare_query(&u, "\n\n  edge(a,b).").unwrap_err();
+        assert!(err.message.contains("expected a query"), "{err}");
+        assert_eq!(err.pos.line, 3, "{err}");
+    }
+
+    #[test]
+    fn parse_single_query_returns_first_query() {
+        let q = crate::parser::parse_single_query("?- p(X). ?- q(X).").unwrap();
+        assert_eq!(q.body.len(), 1);
+        assert_eq!(q.body[0].atom.pred, "p");
+        let err = crate::parser::parse_single_query("").unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (1, 1));
     }
 }

@@ -30,6 +30,37 @@ pub fn parse(src: &str) -> Result<AstProgram> {
     Ok(AstProgram { statements })
 }
 
+/// Source position of a statement.
+fn statement_pos(stmt: &Statement) -> crate::error::Pos {
+    match stmt {
+        Statement::Fact(a) => a.pos,
+        Statement::Rule(r) => r.pos,
+        Statement::Query(q) => q.pos,
+    }
+}
+
+/// Parses a source expected to contain a query statement
+/// (`?- ….` or `?(X) … .`), returning the first one.
+///
+/// Non-query statements are tolerated but at least one query must be
+/// present; the "expected a query" error points at the first offending
+/// statement's real source position (not a hardcoded 1:1).
+pub fn parse_single_query(src: &str) -> Result<AstQuery> {
+    let ast = parse(src)?;
+    if let Some(q) = ast.queries().next() {
+        return Ok(q.clone());
+    }
+    let pos = ast
+        .statements
+        .first()
+        .map(statement_pos)
+        .unwrap_or(crate::error::Pos { line: 1, col: 1 });
+    Err(SyntaxError::new(
+        "expected a query (`?- ….` or `?(X) …  .`)",
+        pos,
+    ))
+}
+
 struct Parser {
     tokens: Vec<Token>,
     i: usize,

@@ -3,9 +3,10 @@
 //! The workspace must build without network access, so this crate
 //! re-implements the slice of proptest's API that the test suites use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, numeric range strategies,
-//!   tuple strategies, [`Just`], `any::<bool>()`, and string strategies
-//!   from a small regex subset (`[a-z]` classes, `\PC`, `{m,n}` counts);
+//! * the [`strategy::Strategy`] trait with `prop_map`, numeric range
+//!   strategies, tuple strategies, [`strategy::Just`], `any::<bool>()`,
+//!   and string strategies from a small regex subset (`[a-z]` classes,
+//!   `\PC`, `{m,n}` counts);
 //! * [`collection::vec`] and [`collection::hash_set`];
 //! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
 //!   [`prop_oneof!`] macros with `#![proptest_config(...)]` support.

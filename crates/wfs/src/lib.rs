@@ -47,8 +47,8 @@ pub use forward::ForwardEngine;
 pub use result::EngineResult;
 pub use scc::{condensation, Condensation, ModularEngine, ModularStats};
 pub use solver::{
-    constraint_status, lower_with_constraints, solve, solve_stable, EngineKind, StabilityReport,
-    WellFoundedModel, WfsOptions,
+    constraint_status, lower_with_constraints, solve, solve_packaged, solve_stable, EngineKind,
+    SolveOutput, StabilityReport, WellFoundedModel, WfsOptions,
 };
 pub use stable::stable_models;
 pub use stratified::{perfect_model, stratify, Stratification};

@@ -31,7 +31,7 @@ pub enum EngineKind {
 }
 
 /// Solver configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WfsOptions {
     /// Chase materialization limits.
     pub budget: ChaseBudget,
@@ -199,6 +199,36 @@ pub fn solve(
         result,
         exact,
         engine: options.engine,
+    }
+}
+
+/// Everything one solve produces, packaged for the serve stage: the model
+/// plus the truth of each lowered constraint's violation marker, computed
+/// while the universe is still mutable (the markers are nullary atoms that
+/// may need interning). After this returns, nothing on the serving path
+/// needs `&mut Universe` again.
+#[derive(Debug)]
+pub struct SolveOutput {
+    /// The well-founded model.
+    pub model: WellFoundedModel,
+    /// Truth of each constraint's violation marker, in `violations` order.
+    pub constraint_status: Vec<Truth>,
+}
+
+/// [`solve`] plus constraint-status evaluation in one call — the solve
+/// stage of the compile → solve → serve lifecycle.
+pub fn solve_packaged(
+    universe: &mut Universe,
+    db: &Database,
+    program: &SkolemProgram,
+    options: WfsOptions,
+    violations: &[PredId],
+) -> SolveOutput {
+    let model = solve(universe, db, program, options);
+    let constraint_status = constraint_status(universe, &model, violations);
+    SolveOutput {
+        model,
+        constraint_status,
     }
 }
 

@@ -8,14 +8,18 @@
 //! instead of picking an arbitrary answer — a `grant` is only acted on
 //! when it is **certainly** true.
 //!
+//! The serving shape is the interesting part: the policy model is solved
+//! once, and every access decision is a prepared query against the frozen
+//! artifact — exactly what a policy-decision endpoint would do per request.
+//!
 //! ```text
 //! cargo run --example access_policy
 //! ```
 
-use wfdatalog::{Reasoner, Truth};
+use wfdatalog::{KnowledgeBase, Truth};
 
 fn main() -> Result<(), wfdatalog::Error> {
-    let mut reasoner = Reasoner::from_source(
+    let mut kb = KnowledgeBase::from_source(
         r#"
         % ---- data ------------------------------------------------------
         dataset(telemetry). dataset(billing). dataset(wiki).
@@ -51,23 +55,18 @@ fn main() -> Result<(), wfdatalog::Error> {
 
         % ---- hard constraint ---------------------------------------------
         grant(U, D), embargoed(D) -> false.
-
-        % ---- queries -------------------------------------------------------
-        ?- grant(ana, telemetry).
-        ?- grant(bo, billing).
-        ?(U) requested(U, D), not grant(U, D).
         "#,
     )?;
 
-    let model = reasoner.solve_default()?;
+    let model = kb.solve();
     println!(
         "model exact: {} (policy rules have one existential)\n",
-        model.exact
+        model.exact()
     );
 
     let mut verdicts = Vec::new();
     for (who, what) in [("ana", "telemetry"), ("bo", "billing"), ("cid", "wiki")] {
-        let verdict = reasoner.ask3(&model, &format!("?- grant({who}, {what})."))?;
+        let verdict = model.ask3(&format!("?- grant({who}, {what})."))?;
         let action = match verdict {
             Truth::True => "GRANT (certain)",
             Truth::False => "DENY (certain)",
@@ -84,18 +83,21 @@ fn main() -> Result<(), wfdatalog::Error> {
     );
 
     // The mutual-audit standoff is undefined, not arbitrarily resolved:
-    let standing_cid = reasoner.ask3(&model, "?- standing(cid).")?;
-    let standing_bo = reasoner.ask3(&model, "?- standing(bo).")?;
+    let standing_cid = model.ask3("?- standing(cid).")?;
+    let standing_bo = model.ask3("?- standing(bo).")?;
     println!("\nmutual audit standing: cid = {standing_cid}, bo = {standing_bo}");
     assert_eq!(standing_cid, Truth::Unknown);
     assert_eq!(standing_bo, Truth::Unknown);
 
     // Every dataset got a steward witness (a labelled null):
-    assert!(reasoner.ask(&model, "?- steward(billing, S).")?);
+    assert!(model.ask("?- steward(billing, S).")?);
+
+    // A user the knowledge base has never heard of is certainly denied —
+    // no error, no interning, just "no forward proof":
+    assert!(!model.ask("?- grant(mallory, billing).")?);
 
     // The embargo constraint is respected:
-    let status = reasoner.constraint_status(&model);
-    println!("constraint status: {status:?}");
-    assert!(status.iter().all(|s| !s.is_true()));
+    println!("constraint status: {:?}", model.constraint_status());
+    assert!(model.constraint_status().iter().all(|s| !s.is_true()));
     Ok(())
 }

@@ -11,35 +11,41 @@
 //! ```
 
 use wfdatalog::ontology::{example2_abox, example2_tbox, Ontology};
-use wfdatalog::{Reasoner, Truth};
+use wfdatalog::{ChaseBudget, KnowledgeBase, Truth, Universe, WfsOptions};
 
 fn main() -> Result<(), wfdatalog::Error> {
     let onto = Ontology {
         tbox: example2_tbox(),
         abox: example2_abox(),
     };
-    let mut reasoner = Reasoner::from_ontology(&onto)?;
 
     // --- UNA (the paper's semantics) ------------------------------------
-    let model = reasoner.solve(wfdatalog::WfsOptions::depth(6))?;
+    let mut kb = KnowledgeBase::from_ontology(&onto)?;
+    let model = kb.solve_with(WfsOptions::depth(6));
     println!("=== standard WFS under UNA ===");
-    println!("{}", model.render_true(&reasoner.universe));
+    println!("{}", model.render_true());
 
-    let valid_under_una = reasoner.ask(&model, "?- ValidID(X).")?;
+    let valid_under_una = model.ask("?- ValidID(X).")?;
     println!("\n∃X ValidID(X)?  {valid_under_una}");
     assert!(valid_under_una, "Example 2: UNA-WFS validates f(a)");
 
     // --- conservative no-UNA approximation ------------------------------
     // Labelled nulls might denote equal values, so null-atoms are never
-    // declared false and negation over them cannot fire.
+    // declared false and negation over them cannot fire. The no-UNA solver
+    // is a research-grade entry point below the lifecycle API, so this part
+    // drives the layers directly.
+    let mut u = Universe::new();
+    let translated = wfdatalog::ontology::translate(&mut u, &onto)?;
+    let (sigma, _violations) = wfdatalog::wfs::lower_with_constraints(&mut u, &translated.program)?;
     let no_una = wfdatalog::wfs::solver::solve_no_una(
-        &mut reasoner.universe,
-        &reasoner.database,
-        &reasoner.sigma,
-        wfdatalog::ChaseBudget::depth(6),
+        &mut u,
+        &translated.database,
+        &sigma,
+        ChaseBudget::depth(6),
     );
-    let q = reasoner.parse_query("?- ValidID(X).")?;
-    let verdict = wfdatalog::query::holds3(&reasoner.universe, &no_una, &q);
+    let ast = wfdatalog::syntax::parse_single_query("?- ValidID(X).")?;
+    let q = wfdatalog::syntax::lower_query(&mut u, &ast)?;
+    let verdict = wfdatalog::query::holds3(&u, &no_una, &q);
     println!("\n=== conservative no-UNA reading ===");
     println!("∃X ValidID(X)?  {verdict}");
     assert_ne!(

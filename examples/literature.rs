@@ -7,7 +7,7 @@
 //! ```
 
 use wfdatalog::ontology::example1;
-use wfdatalog::Reasoner;
+use wfdatalog::KnowledgeBase;
 
 fn main() -> Result<(), wfdatalog::Error> {
     let onto = example1();
@@ -31,19 +31,19 @@ fn main() -> Result<(), wfdatalog::Error> {
         println!("  {} ⊑ {}", lhs.join(" ⊓ "), rhs);
     }
 
-    let mut reasoner = Reasoner::from_ontology(&onto)?;
-    let model = reasoner.solve_default()?;
+    let mut kb = KnowledgeBase::from_ontology(&onto)?;
+    let model = kb.solve();
 
     println!("\nderived atoms:");
-    println!("{}", model.render_true(&reasoner.universe));
+    println!("{}", model.render_true());
 
     // The BCQ of Example 1: ∃X isAuthorOf(john, X).
-    let yes = reasoner.ask(&model, "?- isAuthorOf(john, X).")?;
+    let yes = model.ask("?- isAuthorOf(john, X).")?;
     println!("\n∃X isAuthorOf(john, X)?  {yes}");
     assert!(yes, "the paper's Example 1 BCQ must hold");
 
     // A null witnesses the existential; answers over constants are empty.
-    let ans = reasoner.answers(&model, "?(X) isAuthorOf(john, X).")?;
+    let ans = model.answers("?(X) isAuthorOf(john, X).")?;
     println!(
         "constant answers for X: {} (the witness is a labelled null)",
         ans.len()

@@ -1,14 +1,15 @@
-//! Quickstart: parse a guarded normal Datalog± program, compute its
-//! well-founded model, and ask queries.
+//! Quickstart: compile a guarded normal Datalog± program, solve its
+//! well-founded model once, and serve queries from the immutable artifact.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use wfdatalog::Reasoner;
+use wfdatalog::KnowledgeBase;
 
 fn main() -> Result<(), wfdatalog::Error> {
-    let mut reasoner = Reasoner::from_source(
+    // Compile: the KnowledgeBase owns all mutable state.
+    let mut kb = KnowledgeBase::from_source(
         r#"
         % A tiny project-staffing knowledge base.
         employee(ada).
@@ -26,22 +27,28 @@ fn main() -> Result<(), wfdatalog::Error> {
         "#,
     )?;
 
-    let model = reasoner.solve_default()?;
+    // Solve: one immutable, thread-shareable model.
+    let model = kb.solve();
     println!("well-founded model (true atoms):");
-    println!("{}", model.render_true(&reasoner.universe));
+    println!("{}", model.render_true());
     println!();
 
+    // Serve: every query goes through &self.
     for (query, label) in [
         ("?- available(ada).", "is Ada available?"),
         ("?- available(grace).", "is Grace available?"),
         ("?- assigned(ada, P).", "is Ada assigned to some project?"),
     ] {
-        let verdict = reasoner.ask(&model, query)?;
+        let verdict = model.ask(query)?;
         println!("{label:40} {verdict}");
     }
 
-    let status = reasoner.constraint_status(&model);
-    println!("\nconstraint violations: {status:?}");
-    println!("model exact: {}", model.exact);
+    // Hot queries are prepared once and re-evaluated cheaply.
+    let available = model.prepare("?(X) available(X).")?;
+    let answers = model.answers_prepared(&available);
+    println!("\navailable staff: {} (prepared query)", answers.len());
+
+    println!("constraint violations: {:?}", model.constraint_status());
+    println!("model exact: {}", model.exact());
     Ok(())
 }

@@ -1,21 +1,25 @@
 //! `wfdl` — command-line well-founded reasoner for guarded normal Datalog±.
 //!
 //! ```text
-//! wfdl run program.dl [--depth N]
-//!                     [--engine modular|wp|wp-literal|alternating|forward]
-//!                     [--model] [--hidden] [--forest N] [--stats]
+//! wfdl run program.dl   [--depth N]
+//!                       [--engine modular|wp|wp-literal|alternating|forward]
+//!                       [--model] [--hidden] [--forest N] [--stats]
+//! wfdl query program.dl --q '?- win(a).' [--q '?(X) win(X).' …]
+//!                       [--depth N] [--engine …]
 //! wfdl check program.dl            # parse + validate only
 //! ```
 //!
 //! The program file may contain facts, guarded NTGDs (head-only variables
 //! are existential), rules with explicit Skolem terms, negative constraints
-//! (`-> false`) and queries (`?- …` / `?(X) …`). Queries in the file are
-//! answered against the computed model.
+//! (`-> false`) and queries (`?- …` / `?(X) …`). `run` answers the file's
+//! own queries against the computed model; `query` solves once and answers
+//! ad-hoc queries given with `--q` (repeatable) without editing the file,
+//! via prepared queries against the frozen model.
 
 use std::io::Write;
 use std::process::ExitCode;
 use wfdatalog::chase::ExplicitForest;
-use wfdatalog::{EngineKind, Reasoner, Truth, WfsOptions};
+use wfdatalog::{EngineKind, KnowledgeBase, SolvedModel, Truth, WfsOptions};
 
 /// Writes to stdout, treating a closed pipe as a normal end of output:
 /// `wfdl run … | head` must exit 0, not panic (the classic Rust `println!`
@@ -52,13 +56,17 @@ struct Options {
     show_hidden: bool,
     forest_depth: Option<u32>,
     stats: bool,
+    /// Ad-hoc queries for `wfdl query` (repeatable `--q`).
+    adhoc_queries: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wfdl run <file> [--depth N]\n\
-         \x20                   [--engine modular|wp|wp-literal|alternating|forward]\n\
-         \x20                   [--model] [--hidden] [--forest N] [--stats]\n\
+        "usage: wfdl run <file>   [--depth N]\n\
+         \x20                     [--engine modular|wp|wp-literal|alternating|forward]\n\
+         \x20                     [--model] [--hidden] [--forest N] [--stats]\n\
+         \x20      wfdl query <file> --q '?- ….' [--q '?(X) … .' …]\n\
+         \x20                     [--depth N] [--engine …]\n\
          \x20      wfdl check <file>"
     );
     std::process::exit(2)
@@ -77,6 +85,7 @@ fn parse_args() -> Options {
         show_hidden: false,
         forest_depth: None,
         stats: false,
+        adhoc_queries: Vec::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -102,6 +111,10 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.forest_depth = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--q" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.adhoc_queries.push(v);
+            }
             _ => usage(),
         }
     }
@@ -110,6 +123,36 @@ fn parse_args() -> Options {
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    // Reject flags that the selected subcommand would silently ignore.
+    match opts.command.as_str() {
+        "query" => {
+            if opts.show_model || opts.show_hidden || opts.stats || opts.forest_depth.is_some() {
+                eprintln!(
+                    "wfdl query: --model/--hidden/--stats/--forest are only valid with `wfdl run`"
+                );
+                usage()
+            }
+        }
+        "check" => {
+            if opts.depth.is_some()
+                || opts.engine != EngineKind::Modular
+                || opts.show_model
+                || opts.show_hidden
+                || opts.stats
+                || opts.forest_depth.is_some()
+                || !opts.adhoc_queries.is_empty()
+            {
+                eprintln!("wfdl check: takes no flags (it parses and validates only)");
+                usage()
+            }
+        }
+        _ => {
+            if !opts.adhoc_queries.is_empty() {
+                eprintln!("wfdl {}: --q is only valid with `wfdl query`", opts.command);
+                usage()
+            }
+        }
+    }
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -118,8 +161,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut reasoner = match Reasoner::from_source(&source) {
-        Ok(r) => r,
+    let kb = match KnowledgeBase::from_source(&source) {
+        Ok(kb) => kb,
         Err(e) => {
             eprintln!("{}: {e}", opts.file);
             return ExitCode::FAILURE;
@@ -131,54 +174,87 @@ fn main() -> ExitCode {
             outln!(
                 "{}: ok — {} rules, {} facts, {} constraints, {} queries",
                 opts.file,
-                reasoner.sigma.rules.len(),
-                reasoner.database.len(),
-                reasoner.violations.len(),
-                reasoner.queries.len()
+                kb.sigma().rules.len(),
+                kb.database().len(),
+                kb.violations().len(),
+                kb.queries().len()
             );
             ExitCode::SUCCESS
         }
-        "run" => run(opts, reasoner.queries.len(), &mut reasoner),
+        "run" => run(opts, kb),
+        "query" => query(opts, kb),
         _ => usage(),
     }
 }
 
-fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
+/// Solves the knowledge base with the CLI's depth/engine options.
+fn solve(opts: &Options, mut kb: KnowledgeBase) -> std::sync::Arc<SolvedModel> {
     let wfs_options = match opts.depth {
         Some(d) => WfsOptions::depth(d).with_engine(opts.engine),
-        None => {
-            // Unbounded when the program has no existentials.
-            let has_skolems = reasoner.sigma.rules.iter().any(|r| {
-                r.head_args
-                    .iter()
-                    .any(|t| matches!(t, wfdatalog::core::HeadTerm::Skolem(..)))
-            });
-            if has_skolems {
-                WfsOptions::depth(12).with_engine(opts.engine)
-            } else {
-                WfsOptions::unbounded().with_engine(opts.engine)
+        // Auto: unbounded when the program has no existentials, else
+        // depth 12 (the KnowledgeBase default).
+        None => kb.effective_options().with_engine(opts.engine),
+    };
+    kb.solve_with(wfs_options)
+}
+
+/// Renders the verdict of one prepared query.
+fn answer_query(model: &SolvedModel, label: &str, q: &wfdatalog::PreparedQuery) {
+    if q.is_boolean() {
+        outln!("{label}: {}", model.ask3_prepared(q));
+    } else {
+        let ans = model.answers_prepared(q);
+        outln!("{label}: {} answer(s)", ans.len());
+        for tuple in ans.tuples() {
+            let rendered: Vec<String> = tuple
+                .iter()
+                .map(|&t| model.universe().display_term(t).to_string())
+                .collect();
+            outln!("  ({})", rendered.join(", "));
+        }
+    }
+}
+
+/// `wfdl query <file> --q '…' [--q '…']`: solve once, answer ad-hoc
+/// queries against the frozen model.
+fn query(opts: Options, kb: KnowledgeBase) -> ExitCode {
+    if opts.adhoc_queries.is_empty() {
+        eprintln!("wfdl query: at least one --q '…' is required");
+        usage()
+    }
+    let model = solve(&opts, kb);
+    // Prepare everything first so malformed queries fail before output.
+    let mut prepared = Vec::with_capacity(opts.adhoc_queries.len());
+    for src in &opts.adhoc_queries {
+        match model.prepare(src) {
+            Ok(q) => prepared.push(q),
+            Err(e) => {
+                eprintln!("query `{src}`: {e}");
+                return ExitCode::FAILURE;
             }
         }
-    };
-    let model = match reasoner.solve(wfs_options) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("solver error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    }
+    for (i, q) in prepared.iter().enumerate() {
+        answer_query(&model, &format!("query {}", i + 1), q);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(opts: Options, kb: KnowledgeBase) -> ExitCode {
+    let model = solve(&opts, kb);
+    let universe = model.universe();
 
     if opts.stats {
-        let (t, f, u) = model.counts();
+        let (t, f, u) = model.model().counts();
         outln!(
             "% segment: {} atoms, {} rule instances, {} stages, exact: {}",
-            model.segment.atoms().len(),
-            model.ground.num_rules(),
-            model.stages(),
-            model.exact
+            model.model().segment.atoms().len(),
+            model.model().ground.num_rules(),
+            model.model().stages(),
+            model.exact()
         );
         outln!("% truth: {t} true, {f} false, {u} unknown");
-        if let Some(s) = model.component_stats() {
+        if let Some(s) = model.model().component_stats() {
             outln!(
                 "% condensation: {} components ({} definite, {} recursive), \
                  largest {}, {} atoms solved recursively",
@@ -192,54 +268,40 @@ fn run(opts: Options, num_queries: usize, reasoner: &mut Reasoner) -> ExitCode {
     }
 
     if let Some(fd) = opts.forest_depth {
-        let fd = fd.min(model.segment.budget().max_depth);
-        let forest = ExplicitForest::unfold(&model.segment, fd, 50_000);
+        let fd = fd.min(model.model().segment.budget().max_depth);
+        let forest = ExplicitForest::unfold(&model.model().segment, fd, 50_000);
         outln!("% chase forest to depth {fd}:");
-        outp!("{}", forest.render(&reasoner.universe));
+        outp!("{}", forest.render(universe));
         if forest.hit_node_cap {
             outln!("% … truncated at 50000 nodes");
         }
     }
 
-    if opts.show_model || num_queries == 0 {
+    if opts.show_model || model.source_queries().is_empty() {
         outln!("% true atoms:");
-        for atom in model.true_atoms() {
-            let pred = reasoner.universe.atoms.pred(atom);
-            if !opts.show_hidden && reasoner.universe.pred_info(pred).auxiliary {
+        for atom in model.model().true_atoms() {
+            let pred = universe.atoms.pred(atom);
+            if !opts.show_hidden && universe.pred_info(pred).auxiliary {
                 continue;
             }
-            outln!("{}.", reasoner.universe.display_atom(atom));
+            outln!("{}.", universe.display_atom(atom));
         }
-        let unknown: Vec<_> = model.unknown_atoms().collect();
+        let unknown: Vec<_> = model.model().unknown_atoms().collect();
         if !unknown.is_empty() {
             outln!("% undefined atoms:");
             for atom in unknown {
-                outln!("% {} : unknown", reasoner.universe.display_atom(atom));
+                outln!("% {} : unknown", universe.display_atom(atom));
             }
         }
     }
 
-    // Answer the file's queries in order.
-    let queries = reasoner.queries.clone();
-    for (i, q) in queries.iter().enumerate() {
-        if q.is_boolean() {
-            let verdict = wfdatalog::query::holds3(&reasoner.universe, &model, q);
-            outln!("query {}: {verdict}", i + 1);
-        } else {
-            let ans = wfdatalog::query::answers(&reasoner.universe, &model, q);
-            outln!("query {}: {} answer(s)", i + 1, ans.len());
-            for tuple in ans.tuples() {
-                let rendered: Vec<String> = tuple
-                    .iter()
-                    .map(|&t| reasoner.universe.display_term(t).to_string())
-                    .collect();
-                outln!("  ({})", rendered.join(", "));
-            }
-        }
+    // Answer the file's queries in order (prepared at solve time).
+    for (i, q) in model.source_queries().iter().enumerate() {
+        answer_query(&model, &format!("query {}", i + 1), q);
     }
 
     // Constraint report.
-    let status = reasoner.constraint_status(&model);
+    let status = model.constraint_status();
     for (i, s) in status.iter().enumerate() {
         match s {
             Truth::True => outln!("constraint {}: VIOLATED", i + 1),

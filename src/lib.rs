@@ -6,35 +6,95 @@
 //! standard well-founded semantics (WFS) for Datalog with existential rule
 //! heads **and** default negation, under the unique name assumption.
 //!
-//! ## Quickstart
+//! ## The compile → solve → serve lifecycle
+//!
+//! The paper's workload shape is *reason once, query many times*: the
+//! well-founded model is fixed per knowledge base while certain-answer
+//! queries arrive continuously. The API mirrors that in three stages:
+//!
+//! 1. **Compile** — a [`KnowledgeBase`] owns the mutable interning context
+//!    and accumulates sources ([`KnowledgeBase::from_source`],
+//!    [`KnowledgeBase::add_source`], [`KnowledgeBase::from_ontology`]) with
+//!    fluent solver options.
+//! 2. **Solve** — [`KnowledgeBase::solve`] runs chase + engine once and
+//!    packages everything the serving path needs (model, constraint
+//!    verdicts, a frozen universe snapshot) into an immutable
+//!    [`SolvedModel`]. Solving again without mutation returns the cached
+//!    artifact.
+//! 3. **Serve** — [`SolvedModel`] is `Send + Sync` and answers every query
+//!    through `&self`: share one model across threads via [`Arc`] and call
+//!    [`SolvedModel::ask`]/[`SolvedModel::answers`] freely, or
+//!    [`SolvedModel::prepare`] a [`PreparedQuery`] once and re-evaluate it
+//!    with [`SolvedModel::ask_prepared`] at index-probe cost.
 //!
 //! ```
-//! use wfdatalog::Reasoner;
+//! use wfdatalog::KnowledgeBase;
 //!
-//! let mut reasoner = Reasoner::from_source(r#"
+//! // Compile.
+//! let mut kb = KnowledgeBase::from_source(r#"
 //!     % Example 1 of the paper.
 //!     scientist(john).
 //!     scientist(X) -> isAuthorOf(X, Y).
 //!     conferencePaper(X) -> article(X).
 //! "#).unwrap();
-//! let model = reasoner.solve_default().unwrap();
+//! // Solve (once).
+//! let model = kb.solve();
+//! // Serve (any number of times, from any thread, through &self).
 //! // John authors *something* (a labelled null):
-//! assert!(reasoner.ask(&model, "?- isAuthorOf(john, X).").unwrap());
+//! assert!(model.ask("?- isAuthorOf(john, X).").unwrap());
 //! // …but no article is derivable:
-//! assert!(!reasoner.ask(&model, "?- article(X).").unwrap());
+//! assert!(!model.ask("?- article(X).").unwrap());
+//! // Prepared queries parse/lower once and re-evaluate cheaply:
+//! let q = model.prepare("?- isAuthorOf(john, X).").unwrap();
+//! assert!(model.ask_prepared(&q));
 //! ```
+//!
+//! Queries are resolved against the model's **frozen** universe snapshot:
+//! nothing on the serving path interns, so a constant the knowledge base
+//! has never seen short-circuits to a definite verdict (the atom can have
+//! no forward proof) instead of erroring:
+//!
+//! ```
+//! # use wfdatalog::KnowledgeBase;
+//! # let mut kb = KnowledgeBase::from_source("p(a).").unwrap();
+//! # let model = kb.solve();
+//! assert!(!model.ask("?- p(brand_new_constant).").unwrap());
+//! ```
+//!
+//! ## Migrating from the deprecated [`Reasoner`] façade
+//!
+//! | old (`Reasoner`, `&mut self` everywhere)      | new (compile → solve → serve)              |
+//! |-----------------------------------------------|--------------------------------------------|
+//! | `Reasoner::from_source(src)?`                 | [`KnowledgeBase::from_source`]`(src)?`     |
+//! | `Reasoner::from_ontology(&onto)?`             | [`KnowledgeBase::from_ontology`]`(&onto)?` |
+//! | `r.add_source(src)?`                          | [`KnowledgeBase::add_source`]`(src)?`      |
+//! | `r.solve_default()?`                          | [`KnowledgeBase::solve`]`()`               |
+//! | `r.solve(options)?`                           | [`KnowledgeBase::solve_with`]`(options)`   |
+//! | `r.ask(&model, "?- q(X).")?`                  | `model.`[`ask`](SolvedModel::ask)`("?- q(X).")?` |
+//! | `r.ask3(&model, "?- q(X).")?`                 | `model.`[`ask3`](SolvedModel::ask3)`("?- q(X).")?` |
+//! | `r.answers(&model, "?(X) q(X).")?`            | `model.`[`answers`](SolvedModel::answers)`("?(X) q(X).")?` |
+//! | `r.parse_query(src)?` + `query::holds(…)`     | `model.`[`prepare`](SolvedModel::prepare)`(src)?` + [`ask_prepared`](SolvedModel::ask_prepared) |
+//! | `r.constraint_status(&model)`                 | `model.`[`constraint_status`](SolvedModel::constraint_status)`()` |
+//! | `r.lookup_atom("p", &["a"])`                  | `model.`[`lookup_atom`](SolvedModel::lookup_atom)`("p", &["a"])` |
+//! | `r.universe` (mutable field)                  | [`KnowledgeBase::universe`]` / `[`SolvedModel::universe`]` (read-only)` |
+//! | `model.render_true(&r.universe)`              | `model.`[`render_true`](SolvedModel::render_true)`()` |
+//!
+//! The old [`Reasoner`] remains for one release as a thin deprecated shim.
 //!
 //! ## Crate map
 //!
-//! * [`wfdl_core`] — terms, atoms, rules, programs, interpretations;
+//! * [`wfdl_core`] — terms, atoms, rules, programs, interpretations, and
+//!   the frozen [`UniverseSnapshot`];
 //! * [`wfdl_storage`] — databases, ground programs (dense local atom ids +
 //!   CSR occurrence indexes), secondary indexes;
-//! * [`wfdl_syntax`] — parser and printer for the surface language;
+//! * [`wfdl_syntax`] — parser and printer for the surface language, with
+//!   both interning (compile) and frozen (serve) query lowering;
 //! * [`wfdl_chase`] — the guarded chase forest (condensed segments,
 //!   the explicit Example 6 forest, the paper's depth bound `δ`);
 //! * [`wfdl_wfs`] — the WFS engines (see below), the stratified
 //!   baseline, WCHECK-style membership with certificates;
-//! * [`wfdl_query`] — NBCQ evaluation with certain-answer semantics;
+//! * [`wfdl_query`] — NBCQ evaluation with certain-answer semantics and
+//!   [`PreparedQuery`];
 //! * [`wfdl_ontology`] — DL-Lite_{R,⊓,not} translation.
 //!
 //! ## Engine architecture
@@ -71,12 +131,14 @@ pub use wfdl_syntax as syntax;
 pub use wfdl_wfs as wfs;
 
 pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest};
-pub use wfdl_core::{AtomId, Interp, Program, SkolemProgram, Truth, Universe};
-pub use wfdl_query::{AnswerSet, Nbcq, TruthSource};
+pub use wfdl_core::{AtomId, Interp, Program, SkolemProgram, Truth, Universe, UniverseSnapshot};
+pub use wfdl_query::{AnswerSet, Nbcq, PreparedQuery, TruthSource};
 pub use wfdl_storage::Database;
 pub use wfdl_wfs::{EngineKind, ModularStats, WellFoundedModel, WfsOptions};
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+use wfdl_storage::AtomIndex;
 
 /// Unified error type for the high-level API.
 #[derive(Debug)]
@@ -119,7 +181,366 @@ impl From<wfdl_query::QueryError> for Error {
     }
 }
 
+// ======================================================================
+// Compile stage
+// ======================================================================
+
+/// The compile stage: owns the mutable universe, database and skolemized
+/// program while sources accumulate, and produces immutable
+/// [`SolvedModel`]s on demand.
+///
+/// All mutation (interning, fact insertion, rule lowering) happens here;
+/// once [`KnowledgeBase::solve`] returns, the resulting [`SolvedModel`]
+/// never needs `&mut` again.
+pub struct KnowledgeBase {
+    universe: Universe,
+    database: Database,
+    sigma: SkolemProgram,
+    violations: Vec<wfdl_core::PredId>,
+    queries: Vec<Nbcq>,
+    /// Configured chase budget; `None` = decide from the program at
+    /// solve time (so it tracks later `add_source` calls).
+    budget: Option<ChaseBudget>,
+    /// Configured engine; `None` = the default engine.
+    engine: Option<EngineKind>,
+    cache: Option<(WfsOptions, Arc<SolvedModel>)>,
+}
+
+impl KnowledgeBase {
+    /// Compiles a program text (facts, rules, constraints, queries).
+    pub fn from_source(src: &str) -> Result<Self, Error> {
+        let mut universe = Universe::new();
+        let lowered = wfdl_syntax::load(&mut universe, src)?;
+        let (mut sigma, violations) =
+            wfdl_wfs::lower_with_constraints(&mut universe, &lowered.program)?;
+        sigma.rules.extend(lowered.functional.iter().cloned());
+        Ok(KnowledgeBase {
+            universe,
+            database: lowered.database,
+            sigma,
+            violations,
+            queries: lowered.queries,
+            budget: None,
+            engine: None,
+            cache: None,
+        })
+    }
+
+    /// Compiles a DL-Lite ontology (Examples 1 and 2 of the paper).
+    pub fn from_ontology(onto: &wfdl_ontology::Ontology) -> Result<Self, Error> {
+        let mut universe = Universe::new();
+        let translated = wfdl_ontology::translate(&mut universe, onto)?;
+        let (sigma, violations) =
+            wfdl_wfs::lower_with_constraints(&mut universe, &translated.program)?;
+        Ok(KnowledgeBase {
+            universe,
+            database: translated.database,
+            sigma,
+            violations,
+            queries: Vec::new(),
+            budget: None,
+            engine: None,
+            cache: None,
+        })
+    }
+
+    /// Adds more source text (facts/rules/constraints/queries).
+    /// Invalidates any cached solve.
+    pub fn add_source(&mut self, src: &str) -> Result<(), Error> {
+        let lowered = wfdl_syntax::load(&mut self.universe, src)?;
+        let (sigma, violations) =
+            wfdl_wfs::lower_with_constraints(&mut self.universe, &lowered.program)?;
+        self.sigma.rules.extend(sigma.rules);
+        self.sigma.rules.extend(lowered.functional.iter().cloned());
+        self.violations.extend(violations);
+        for &f in lowered.database.facts() {
+            self.database.insert_unchecked(&self.universe, f);
+        }
+        self.queries.extend(lowered.queries);
+        self.cache = None;
+        Ok(())
+    }
+
+    /// Replaces the solver options used by [`KnowledgeBase::solve`]
+    /// (builder style).
+    pub fn with_options(mut self, options: WfsOptions) -> Self {
+        self.budget = Some(options.budget);
+        self.engine = Some(options.engine);
+        self
+    }
+
+    /// Sets the chase depth, keeping the configured engine.
+    pub fn with_depth(mut self, depth: u32) -> Self {
+        self.budget = Some(ChaseBudget::depth(depth));
+        self
+    }
+
+    /// Sets the evaluation engine, keeping the configured budget.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The options [`KnowledgeBase::solve`] will use: the configured
+    /// budget and engine, with unset parts decided **at call time** — the
+    /// automatic budget (unbounded chase for programs without
+    /// existentials, depth 12 otherwise) tracks rules added after the
+    /// builder calls.
+    pub fn effective_options(&self) -> WfsOptions {
+        WfsOptions {
+            budget: self.budget.unwrap_or_else(|| self.auto_budget()),
+            engine: self.engine.unwrap_or_default(),
+        }
+    }
+
+    fn auto_budget(&self) -> ChaseBudget {
+        let has_existentials = self.sigma.rules.iter().any(|r| {
+            r.head_args
+                .iter()
+                .any(|t| matches!(t, wfdl_core::HeadTerm::Skolem(..)))
+        });
+        if has_existentials {
+            ChaseBudget::depth(12)
+        } else {
+            ChaseBudget::unbounded()
+        }
+    }
+
+    /// Solves with the effective options, producing an immutable,
+    /// thread-shareable [`SolvedModel`].
+    ///
+    /// Solving twice without intervening mutation returns the cached
+    /// artifact (an `Arc` clone) instead of recomputing chase, grounding
+    /// and fixpoint.
+    pub fn solve(&mut self) -> Arc<SolvedModel> {
+        self.solve_with(self.effective_options())
+    }
+
+    /// Solves with explicit options (cached under the same rule).
+    pub fn solve_with(&mut self, options: WfsOptions) -> Arc<SolvedModel> {
+        if let Some((cached_options, model)) = &self.cache {
+            if *cached_options == options {
+                return Arc::clone(model);
+            }
+        }
+        let output = wfdl_wfs::solve_packaged(
+            &mut self.universe,
+            &self.database,
+            &self.sigma,
+            options,
+            &self.violations,
+        );
+        // Freeze the universe *after* the chase interned its nulls: the
+        // snapshot sees every atom the model mentions.
+        let snapshot = UniverseSnapshot::new(self.universe.clone());
+        let certain_index = AtomIndex::build(&snapshot, TruthSource::certain_atoms(&output.model));
+        let source_queries = self
+            .queries
+            .iter()
+            .cloned()
+            .map(PreparedQuery::from_query)
+            .collect();
+        let model = Arc::new(SolvedModel {
+            universe: snapshot,
+            model: output.model,
+            constraint_status: output.constraint_status,
+            source_queries,
+            certain_index,
+            possible_index: OnceLock::new(),
+        });
+        self.cache = Some((options, Arc::clone(&model)));
+        model
+    }
+
+    // ----- read-only accessors ----------------------------------------
+
+    /// The interning context (read-only; mutation goes through
+    /// [`KnowledgeBase::add_source`]).
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The database `D`.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The skolemized program `Σf` (constraints already lowered).
+    pub fn sigma(&self) -> &SkolemProgram {
+        &self.sigma
+    }
+
+    /// Violation predicates of the lowered constraints, in source order.
+    pub fn violations(&self) -> &[wfdl_core::PredId] {
+        &self.violations
+    }
+
+    /// Queries that appeared in the sources, in order.
+    pub fn queries(&self) -> &[Nbcq] {
+        &self.queries
+    }
+}
+
+// ======================================================================
+// Solve + serve stages
+// ======================================================================
+
+/// The immutable artifact of one solve: chase segment, ground program,
+/// well-founded model, constraint verdicts and a frozen universe snapshot.
+///
+/// `SolvedModel` is `Send + Sync` and every method takes `&self`, so one
+/// model behind an [`Arc`] can serve queries from any number of threads.
+/// The index over certainly-true atoms is built once at solve time; the
+/// index for three-valued [`SolvedModel::ask3`] is built lazily on first
+/// use and shared afterwards.
+#[derive(Debug)]
+pub struct SolvedModel {
+    universe: UniverseSnapshot,
+    model: WellFoundedModel,
+    constraint_status: Vec<Truth>,
+    source_queries: Vec<PreparedQuery>,
+    certain_index: AtomIndex,
+    possible_index: OnceLock<AtomIndex>,
+}
+
+impl SolvedModel {
+    // ----- query serving ----------------------------------------------
+
+    /// Parses and lowers a query against the frozen snapshot, ready for
+    /// repeated evaluation. Unknown constants or predicates in the query
+    /// short-circuit to a definite verdict instead of erroring (see
+    /// [`PreparedQuery`]).
+    pub fn prepare(&self, query_src: &str) -> Result<PreparedQuery, Error> {
+        Ok(wfdl_syntax::prepare_query(&self.universe, query_src)?)
+    }
+
+    /// Parses and evaluates a Boolean query (e.g. `"?- p(X), not q(X)."`).
+    ///
+    /// Convenience for one-off questions; in a serving loop, [`prepare`]
+    /// once and [`ask_prepared`] per request.
+    ///
+    /// [`prepare`]: SolvedModel::prepare
+    /// [`ask_prepared`]: SolvedModel::ask_prepared
+    pub fn ask(&self, query_src: &str) -> Result<bool, Error> {
+        Ok(self.ask_prepared(&self.prepare(query_src)?))
+    }
+
+    /// Three-valued satisfaction of a Boolean query.
+    pub fn ask3(&self, query_src: &str) -> Result<Truth, Error> {
+        Ok(self.ask3_prepared(&self.prepare(query_src)?))
+    }
+
+    /// Parses and evaluates a query with answer variables
+    /// (e.g. `"?(X) p(X, Y)."`), returning the constant tuples.
+    pub fn answers(&self, query_src: &str) -> Result<AnswerSet, Error> {
+        Ok(self.answers_prepared(&self.prepare(query_src)?))
+    }
+
+    /// Evaluates a prepared Boolean query (certain-answer semantics).
+    pub fn ask_prepared(&self, query: &PreparedQuery) -> bool {
+        query.holds_with(&self.universe, &self.model, &self.certain_index)
+    }
+
+    /// Three-valued evaluation of a prepared query.
+    pub fn ask3_prepared(&self, query: &PreparedQuery) -> Truth {
+        query.holds3_with(
+            &self.universe,
+            &self.model,
+            &self.certain_index,
+            self.possible_index(),
+        )
+    }
+
+    /// Certain answers of a prepared query.
+    pub fn answers_prepared(&self, query: &PreparedQuery) -> AnswerSet {
+        query.answers_with(&self.universe, &self.model, &self.certain_index)
+    }
+
+    /// Evaluates a batch of prepared queries, returning one answer set per
+    /// query (in order).
+    pub fn answer_all(&self, queries: &[PreparedQuery]) -> Vec<AnswerSet> {
+        queries.iter().map(|q| self.answers_prepared(q)).collect()
+    }
+
+    /// The queries that appeared in the compiled sources, prepared against
+    /// this model's snapshot, in source order.
+    pub fn source_queries(&self) -> &[PreparedQuery] {
+        &self.source_queries
+    }
+
+    // ----- model inspection -------------------------------------------
+
+    /// The frozen universe snapshot the model was solved under.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The snapshot handle itself (cheap to clone and share).
+    pub fn snapshot(&self) -> &UniverseSnapshot {
+        &self.universe
+    }
+
+    /// The underlying well-founded model (segment, ground program, engine
+    /// result).
+    pub fn model(&self) -> &WellFoundedModel {
+        &self.model
+    }
+
+    /// Truth value of a ground atom under `WFS(D, Σ)`.
+    pub fn value(&self, atom: AtomId) -> Truth {
+        self.model.value(atom)
+    }
+
+    /// True iff the chase quiesced within budget, making the model exact.
+    pub fn exact(&self) -> bool {
+        self.model.exact
+    }
+
+    /// Truth of each constraint's violation marker, in source order:
+    /// `True` = surely violated, `Unknown` = possibly violated,
+    /// `False` = safe.
+    pub fn constraint_status(&self) -> &[Truth] {
+        &self.constraint_status
+    }
+
+    /// Looks up a ground atom `pred(constants…)` by names; `None` if the
+    /// atom was never materialized (its value is then `False`).
+    pub fn lookup_atom(&self, pred: &str, args: &[&str]) -> Option<AtomId> {
+        let p = self.universe.lookup_pred(pred)?;
+        let ts: Option<Vec<_>> = args
+            .iter()
+            .map(|a| self.universe.lookup_constant(a))
+            .collect();
+        self.universe.atoms.lookup(p, &ts?)
+    }
+
+    /// Renders the true atoms (non-auxiliary predicates) sorted, one per
+    /// line.
+    pub fn render_true(&self) -> String {
+        self.model.render_true(&self.universe)
+    }
+
+    fn possible_index(&self) -> &AtomIndex {
+        self.possible_index.get_or_init(|| {
+            AtomIndex::build(&self.universe, TruthSource::possible_atoms(&self.model))
+        })
+    }
+}
+
+// ======================================================================
+// Deprecated shim
+// ======================================================================
+
 /// High-level façade: owns the universe, database, program and queries.
+///
+/// Deprecated in favour of the compile → solve → serve lifecycle
+/// ([`KnowledgeBase`] → [`SolvedModel`]), which separates mutation from
+/// serving and is shareable across threads. See the crate-root migration
+/// table. This shim remains for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use KnowledgeBase (compile) → SolvedModel (solve/serve); see the crate-root migration table"
+)]
 pub struct Reasoner {
     /// The interning context (public: power users mix APIs freely).
     pub universe: Universe,
@@ -133,36 +554,28 @@ pub struct Reasoner {
     pub queries: Vec<Nbcq>,
 }
 
+#[allow(deprecated)]
 impl Reasoner {
     /// Parses a program text (facts, rules, constraints, queries).
     pub fn from_source(src: &str) -> Result<Self, Error> {
-        let mut universe = Universe::new();
-        let lowered = wfdl_syntax::load(&mut universe, src)?;
-        let (mut sigma, violations) =
-            wfdl_wfs::lower_with_constraints(&mut universe, &lowered.program)?;
-        sigma.rules.extend(lowered.functional.iter().cloned());
-        Ok(Reasoner {
-            universe,
-            database: lowered.database,
-            sigma,
-            violations,
-            queries: lowered.queries,
-        })
+        let kb = KnowledgeBase::from_source(src)?;
+        Ok(Reasoner::from_kb(kb))
     }
 
     /// Builds a reasoner from a DL-Lite ontology (Examples 1 and 2).
     pub fn from_ontology(onto: &wfdl_ontology::Ontology) -> Result<Self, Error> {
-        let mut universe = Universe::new();
-        let translated = wfdl_ontology::translate(&mut universe, onto)?;
-        let (sigma, violations) =
-            wfdl_wfs::lower_with_constraints(&mut universe, &translated.program)?;
-        Ok(Reasoner {
-            universe,
-            database: translated.database,
-            sigma,
-            violations,
-            queries: Vec::new(),
-        })
+        let kb = KnowledgeBase::from_ontology(onto)?;
+        Ok(Reasoner::from_kb(kb))
+    }
+
+    fn from_kb(kb: KnowledgeBase) -> Self {
+        Reasoner {
+            universe: kb.universe,
+            database: kb.database,
+            sigma: kb.sigma,
+            violations: kb.violations,
+            queries: kb.queries,
+        }
     }
 
     /// Adds more source text (facts/rules/queries) to the reasoner.
@@ -232,13 +645,8 @@ impl Reasoner {
 
     /// Parses a single query statement.
     pub fn parse_query(&mut self, src: &str) -> Result<Nbcq, Error> {
-        let lowered = wfdl_syntax::load(&mut self.universe, src)?;
-        lowered.queries.into_iter().next().ok_or_else(|| {
-            Error::Syntax(wfdl_syntax::SyntaxError::new(
-                "expected a query (`?- ….` or `?(X) …  .`)",
-                wfdl_syntax::Pos { line: 1, col: 1 },
-            ))
-        })
+        let ast = wfdl_syntax::parse_single_query(src)?;
+        Ok(wfdl_syntax::lower_query(&mut self.universe, &ast)?)
     }
 
     /// Truth of each constraint's violation marker in the model.
@@ -264,6 +672,141 @@ mod tests {
 
     #[test]
     fn quickstart_flow() {
+        let mut kb = KnowledgeBase::from_source(
+            r#"
+            scientist(john).
+            scientist(X) -> isAuthorOf(X, Y).
+            "#,
+        )
+        .unwrap();
+        let model = kb.solve();
+        assert!(model.ask("?- isAuthorOf(john, X).").unwrap());
+        assert!(!model.ask("?- isAuthorOf(X, john).").unwrap());
+    }
+
+    #[test]
+    fn add_source_accumulates_and_invalidates_cache() {
+        let mut kb = KnowledgeBase::from_source("p(a).").unwrap();
+        let before = kb.solve();
+        assert!(!before.ask("?- q(a).").unwrap());
+        kb.add_source("p(X) -> q(X).").unwrap();
+        let model = kb.solve();
+        assert!(model.ask("?- q(a).").unwrap());
+    }
+
+    #[test]
+    fn repeated_solve_reuses_cached_artifacts() {
+        let mut kb = KnowledgeBase::from_source("p(a). p(X) -> q(X).").unwrap();
+        let m1 = kb.solve();
+        let m2 = kb.solve();
+        assert!(Arc::ptr_eq(&m1, &m2), "no mutation → cached model");
+        // Different options recompute…
+        let m3 = kb.solve_with(WfsOptions::depth(3));
+        assert!(!Arc::ptr_eq(&m1, &m3));
+        // …and the default options now miss the (single-entry) cache.
+        let m4 = kb.solve();
+        assert!(!Arc::ptr_eq(&m1, &m4));
+        assert!(m4.ask("?- q(a).").unwrap());
+    }
+
+    #[test]
+    fn auto_budget_tracks_sources_added_after_builder_calls() {
+        // `with_engine` must not freeze the automatic budget decision:
+        // existential rules added later still trigger the depth-12 safety
+        // default (an unbounded chase would not terminate here).
+        let mut kb = KnowledgeBase::from_source("p(a).")
+            .unwrap()
+            .with_engine(EngineKind::Wp);
+        assert_eq!(kb.effective_options().budget, ChaseBudget::unbounded());
+        kb.add_source("p(X) -> q(X, Y). q(X, Y) -> p(Y).").unwrap();
+        let options = kb.effective_options();
+        assert_eq!(options.budget, ChaseBudget::depth(12));
+        assert_eq!(options.engine, EngineKind::Wp);
+        let model = kb.solve();
+        assert!(model.ask("?- q(a, Y).").unwrap());
+    }
+
+    #[test]
+    fn constraint_status_via_facade() {
+        let mut kb = KnowledgeBase::from_source(
+            r#"
+            cat(tom).
+            dog(tom).
+            cat(X), dog(X) -> false.
+            "#,
+        )
+        .unwrap();
+        let model = kb.solve();
+        assert_eq!(model.constraint_status(), &[Truth::True]);
+    }
+
+    #[test]
+    fn ask3_reports_unknown() {
+        let mut kb = KnowledgeBase::from_source(
+            r#"
+            g(c).
+            g(X), not p(X) -> p(X).
+            "#,
+        )
+        .unwrap();
+        let model = kb.solve();
+        assert_eq!(model.ask3("?- p(c).").unwrap(), Truth::Unknown);
+    }
+
+    #[test]
+    fn prepared_queries_and_answer_all() {
+        let mut kb = KnowledgeBase::from_source(
+            r#"
+            edge(a,b). edge(b,c). mark(a).
+            "#,
+        )
+        .unwrap();
+        let model = kb.solve();
+        let q1 = model.prepare("?(X) edge(X, Y).").unwrap();
+        let q2 = model.prepare("?(X) edge(X, Y), not mark(X).").unwrap();
+        let q3 = model.prepare("?(X) edge(X, never_seen).").unwrap();
+        let all = model.answer_all(&[q1.clone(), q2, q3]);
+        assert_eq!(all[0].len(), 2);
+        assert_eq!(all[1].len(), 1);
+        assert!(all[2].is_empty(), "unknown constant → definitely empty");
+        // Prepared evaluation agrees with the parse-per-call convenience.
+        assert_eq!(
+            model.answers("?(X) edge(X, Y).").unwrap(),
+            model.answers_prepared(&q1)
+        );
+    }
+
+    #[test]
+    fn unknown_constant_is_definite_not_error() {
+        let mut kb = KnowledgeBase::from_source("p(a).").unwrap();
+        let model = kb.solve();
+        assert!(!model.ask("?- p(zebra).").unwrap());
+        assert_eq!(model.ask3("?- p(zebra).").unwrap(), Truth::False);
+        // Negated unknown constants are certainly satisfied.
+        assert!(model.ask("?- p(X), not p(zebra).").unwrap());
+    }
+
+    #[test]
+    fn source_queries_are_prepared() {
+        let mut kb =
+            KnowledgeBase::from_source("edge(a,b). ?- edge(a, X). ?(X) edge(X, Y).").unwrap();
+        let model = kb.solve();
+        assert_eq!(model.source_queries().len(), 2);
+        assert!(model.ask_prepared(&model.source_queries()[0]));
+        assert_eq!(model.answers_prepared(&model.source_queries()[1]).len(), 1);
+    }
+
+    #[test]
+    fn solved_model_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolvedModel>();
+        assert_send_sync::<KnowledgeBase>();
+        assert_send_sync::<PreparedQuery>();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn reasoner_shim_still_works() {
         let mut r = Reasoner::from_source(
             r#"
             scientist(john).
@@ -274,40 +817,13 @@ mod tests {
         let model = r.solve_default().unwrap();
         assert!(r.ask(&model, "?- isAuthorOf(john, X).").unwrap());
         assert!(!r.ask(&model, "?- isAuthorOf(X, john).").unwrap());
-    }
-
-    #[test]
-    fn add_source_accumulates() {
-        let mut r = Reasoner::from_source("p(a).").unwrap();
-        r.add_source("p(X) -> q(X).").unwrap();
-        let model = r.solve_default().unwrap();
-        assert!(r.ask(&model, "?- q(a).").unwrap());
-    }
-
-    #[test]
-    fn constraint_status_via_facade() {
-        let mut r = Reasoner::from_source(
-            r#"
-            cat(tom).
-            dog(tom).
-            cat(X), dog(X) -> false.
-            "#,
-        )
-        .unwrap();
-        let model = r.solve_default().unwrap();
-        assert_eq!(r.constraint_status(&model), vec![Truth::True]);
-    }
-
-    #[test]
-    fn ask3_reports_unknown() {
-        let mut r = Reasoner::from_source(
-            r#"
-            g(c).
-            g(X), not p(X) -> p(X).
-            "#,
-        )
-        .unwrap();
-        let model = r.solve_default().unwrap();
-        assert_eq!(r.ask3(&model, "?- p(c).").unwrap(), Truth::Unknown);
+        // Satellite fix: the "expected a query" error carries the real
+        // source position, not a hardcoded 1:1.
+        let err = r.parse_query("\n\n   scientist(ada).").unwrap_err();
+        let Error::Syntax(e) = err else {
+            panic!("expected a syntax error")
+        };
+        assert!(e.message.contains("expected a query"), "{e}");
+        assert_eq!((e.pos.line, e.pos.col), (3, 4), "{e}");
     }
 }

@@ -1,56 +1,50 @@
 //! The sample programs shipped in `programs/` keep their advertised
 //! behaviour (these are the same files the `wfdl` CLI demonstrates).
 
-use wfdatalog::{Reasoner, Truth, WfsOptions};
+use wfdatalog::{KnowledgeBase, Truth, WfsOptions};
 
-fn load_program(name: &str) -> Reasoner {
+fn load_program(name: &str) -> KnowledgeBase {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/programs/");
     let src = std::fs::read_to_string(format!("{path}{name}")).expect("program file exists");
-    Reasoner::from_source(&src).expect("program file parses")
+    KnowledgeBase::from_source(&src).expect("program file parses")
 }
 
 #[test]
 fn example4_program_file() {
-    let mut r = load_program("example4.dl");
-    assert_eq!(r.queries.len(), 3);
-    let model = r.solve(WfsOptions::depth(7)).unwrap();
-    let queries = r.queries.clone();
+    let mut kb = load_program("example4.dl");
+    assert_eq!(kb.queries().len(), 3);
+    let model = kb.solve_with(WfsOptions::depth(7));
     let expected = [Truth::True, Truth::False, Truth::True];
-    for (q, want) in queries.iter().zip(expected) {
-        assert_eq!(
-            wfdatalog::query::holds3(&r.universe, &model, q),
-            want,
-            "query {q:?}"
-        );
+    assert_eq!(model.source_queries().len(), 3);
+    for (q, want) in model.source_queries().iter().zip(expected) {
+        assert_eq!(model.ask3_prepared(q), want, "query {q:?}");
     }
 }
 
 #[test]
 fn employment_program_file() {
-    let mut r = load_program("employment.dl");
-    let model = r.solve(WfsOptions::depth(6)).unwrap();
-    assert!(r.ask(&model, "?- validId(I).").unwrap());
+    let mut kb = load_program("employment.dl");
+    let model = kb.solve_with(WfsOptions::depth(6));
+    assert!(model.ask("?- validId(I).").unwrap());
     // b is the only unemployed person.
-    let ans = r
-        .answers(&model, "?(X) person(X), not employed(X).")
-        .unwrap();
+    let ans = model.answers("?(X) person(X), not employed(X).").unwrap();
     assert_eq!(ans.len(), 1);
-    let b = r.universe.lookup_constant("b").unwrap();
+    let b = model.universe().lookup_constant("b").unwrap();
     assert!(ans.contains(&[b]));
     // The valid ID is a's; b's job-seeker ID does not validate.
-    assert!(r.ask(&model, "?- employeeId(a, I), validId(I).").unwrap());
-    assert!(!r.ask(&model, "?- jobSeekerId(b, I), validId(I).").unwrap());
+    assert!(model.ask("?- employeeId(a, I), validId(I).").unwrap());
+    assert!(!model.ask("?- jobSeekerId(b, I), validId(I).").unwrap());
 }
 
 #[test]
 fn win_move_program_file() {
-    let mut r = load_program("win_move.dl");
-    let model = r.solve_default().unwrap();
-    assert!(model.exact);
+    let mut kb = load_program("win_move.dl");
+    let model = kb.solve();
+    assert!(model.exact());
     // c is won (moves to terminal d), d is lost.
-    assert_eq!(r.ask3(&model, "?- win(c).").unwrap(), Truth::True);
-    assert_eq!(r.ask3(&model, "?- win(d).").unwrap(), Truth::False);
+    assert_eq!(model.ask3("?- win(c).").unwrap(), Truth::True);
+    assert_eq!(model.ask3("?- win(d).").unwrap(), Truth::False);
     // a and b sit on a draw cycle: undefined.
-    assert_eq!(r.ask3(&model, "?- win(a).").unwrap(), Truth::Unknown);
-    assert_eq!(r.ask3(&model, "?- win(b).").unwrap(), Truth::Unknown);
+    assert_eq!(model.ask3("?- win(a).").unwrap(), Truth::Unknown);
+    assert_eq!(model.ask3("?- win(b).").unwrap(), Truth::Unknown);
 }

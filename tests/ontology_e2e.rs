@@ -2,7 +2,7 @@
 //! Example 2 with many persons, plus disjointness constraints.
 
 use wfdatalog::ontology::{Basic, ConceptInclusion, ConceptLiteral, Ontology, Rhs, Role};
-use wfdatalog::{Reasoner, Truth, WfsOptions};
+use wfdatalog::{KnowledgeBase, Truth, WfsOptions};
 use wfdl_gen::{employment_ontology, EmploymentConfig};
 
 #[test]
@@ -21,26 +21,23 @@ fn scaled_employment_invariants() {
             .filter(|(c, _)| c == "Employed")
             .map(|(_, i)| i.clone())
             .collect();
-        let mut r = Reasoner::from_ontology(&onto).unwrap();
-        let model = r.solve(WfsOptions::depth(5)).unwrap();
+        let mut kb = KnowledgeBase::from_ontology(&onto).unwrap();
+        let model = kb.solve_with(WfsOptions::depth(5));
 
         for i in 0..n {
             let person = format!("per{i}");
             let is_employed = employed.contains(&person);
             // Employed persons get an employee ID; the others a job-seeker
             // ID.
-            let has_emp = r
-                .ask(&model, &format!("?- EmployeeID({person}, X)."))
-                .unwrap();
-            let has_seek = r
-                .ask(&model, &format!("?- JobSeekerID({person}, X)."))
-                .unwrap();
+            let has_emp = model.ask(&format!("?- EmployeeID({person}, X).")).unwrap();
+            let has_seek = model.ask(&format!("?- JobSeekerID({person}, X).")).unwrap();
             assert_eq!(has_emp, is_employed, "{person}");
             assert_eq!(has_seek, !is_employed, "{person}");
             // Every employee ID is valid (UNA separates the ID spaces).
             if is_employed {
                 assert!(
-                    r.ask(&model, &format!("?- EmployeeID({person}, X), ValidID(X)."))
+                    model
+                        .ask(&format!("?- EmployeeID({person}, X), ValidID(X)."))
                         .unwrap(),
                     "{person}'s ID should be valid"
                 );
@@ -48,7 +45,7 @@ fn scaled_employment_invariants() {
         }
         // No job-seeker ID is ever valid.
         assert!(
-            !r.ask(&model, "?- JobSeekerID(X, Y), ValidID(Y).").unwrap(),
+            !model.ask("?- JobSeekerID(X, Y), ValidID(Y).").unwrap(),
             "job-seeker IDs must not validate"
         );
     }
@@ -67,9 +64,9 @@ fn disjointness_constraint_detects_violation() {
     });
     onto.abox.concept("Employed", "zoe");
     onto.abox.concept("Retired", "zoe");
-    let mut r = Reasoner::from_ontology(&onto).unwrap();
-    let model = r.solve_default().unwrap();
-    assert_eq!(r.constraint_status(&model), vec![Truth::True]);
+    let mut kb = KnowledgeBase::from_ontology(&onto).unwrap();
+    let model = kb.solve();
+    assert_eq!(model.constraint_status().to_vec(), vec![Truth::True]);
 
     // And a consistent ABox passes.
     let mut onto2 = Ontology::default();
@@ -81,9 +78,9 @@ fn disjointness_constraint_detects_violation() {
         rhs: Rhs::Bottom,
     });
     onto2.abox.concept("Employed", "zoe");
-    let mut r2 = Reasoner::from_ontology(&onto2).unwrap();
-    let model2 = r2.solve_default().unwrap();
-    assert_eq!(r2.constraint_status(&model2), vec![Truth::False]);
+    let mut kb2 = KnowledgeBase::from_ontology(&onto2).unwrap();
+    let model2 = kb2.solve();
+    assert_eq!(model2.constraint_status().to_vec(), vec![Truth::False]);
 }
 
 #[test]
@@ -101,11 +98,11 @@ fn role_hierarchy_propagates() {
         rhs: Rhs::Basic(Basic::Atomic("Affiliated".into())),
     });
     onto.abox.role("worksFor", "ada", "acme");
-    let mut r = Reasoner::from_ontology(&onto).unwrap();
-    let model = r.solve_default().unwrap();
-    assert!(r.ask(&model, "?- affiliatedWith(ada, acme).").unwrap());
-    assert!(r.ask(&model, "?- Affiliated(ada).").unwrap());
-    assert!(!r.ask(&model, "?- Affiliated(acme).").unwrap());
+    let mut kb = KnowledgeBase::from_ontology(&onto).unwrap();
+    let model = kb.solve();
+    assert!(model.ask("?- affiliatedWith(ada, acme).").unwrap());
+    assert!(model.ask("?- Affiliated(ada).").unwrap());
+    assert!(!model.ask("?- Affiliated(acme).").unwrap());
 }
 
 #[test]
@@ -119,10 +116,10 @@ fn inverse_roles_fire_range_reasoning() {
         rhs: Rhs::Basic(Basic::Atomic("Employee".into())),
     });
     onto.abox.role("employs", "acme", "bob");
-    let mut r = Reasoner::from_ontology(&onto).unwrap();
-    let model = r.solve_default().unwrap();
-    assert!(r.ask(&model, "?- Employee(bob).").unwrap());
-    assert!(!r.ask(&model, "?- Employee(acme).").unwrap());
+    let mut kb = KnowledgeBase::from_ontology(&onto).unwrap();
+    let model = kb.solve();
+    assert!(model.ask("?- Employee(bob).").unwrap());
+    assert!(!model.ask("?- Employee(acme).").unwrap());
 }
 
 #[test]
@@ -137,13 +134,13 @@ fn default_negation_in_tbox_is_nonmonotonic() {
         rhs: Rhs::Basic(Basic::Atomic("Adult".into())),
     });
     onto.abox.concept("Person", "sam");
-    let mut r = Reasoner::from_ontology(&onto).unwrap();
-    let model = r.solve_default().unwrap();
-    assert!(r.ask(&model, "?- Adult(sam).").unwrap());
+    let mut kb = KnowledgeBase::from_ontology(&onto).unwrap();
+    let model = kb.solve();
+    assert!(model.ask("?- Adult(sam).").unwrap());
 
     let mut onto2 = onto.clone();
     onto2.abox.concept("Minor", "sam");
-    let mut r2 = Reasoner::from_ontology(&onto2).unwrap();
-    let model2 = r2.solve_default().unwrap();
-    assert!(!r2.ask(&model2, "?- Adult(sam).").unwrap());
+    let mut kb2 = KnowledgeBase::from_ontology(&onto2).unwrap();
+    let model2 = kb2.solve();
+    assert!(!model2.ask("?- Adult(sam).").unwrap());
 }

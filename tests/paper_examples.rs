@@ -3,23 +3,21 @@
 use wfdatalog::chase::{paper, ChaseBudget, ChaseSegment, ExplicitForest};
 use wfdatalog::ontology::{example1, example2_abox, example2_tbox, Ontology};
 use wfdatalog::wfs::{solve, solver::solve_no_una, EngineKind, WfsOptions};
-use wfdatalog::{Reasoner, Truth, Universe};
+use wfdatalog::{KnowledgeBase, Truth, Universe};
 
 /// Example 1: the literature ontology and its BCQ.
 #[test]
 fn example1_literature() {
-    let mut r = Reasoner::from_ontology(&example1()).unwrap();
-    let model = r.solve_default().unwrap();
-    assert!(r.ask(&model, "?- isAuthorOf(john, X).").unwrap());
-    assert!(!r.ask(&model, "?- Article(X).").unwrap());
+    let mut kb = KnowledgeBase::from_ontology(&example1()).unwrap();
+    let model = kb.solve();
+    assert!(model.ask("?- isAuthorOf(john, X).").unwrap());
+    assert!(!model.ask("?- Article(X).").unwrap());
     // Adding a conference paper makes it an article.
-    r.add_source("ConferencePaper(pods13).").unwrap();
-    let model = r.solve_default().unwrap();
-    assert!(r.ask(&model, "?- Article(pods13).").unwrap());
+    kb.add_source("ConferencePaper(pods13).").unwrap();
+    let model = kb.solve();
+    assert!(model.ask("?- Article(pods13).").unwrap());
     // Unsafe query (Y occurs only under negation) must be rejected.
-    assert!(r
-        .ask(&model, "?- Article(X), not ConferencePaper(Y).")
-        .is_err());
+    assert!(model.ask("?- Article(X), not ConferencePaper(Y).").is_err());
 }
 
 /// Example 2: `ValidID(f(a))` under UNA; withheld without UNA.
@@ -29,33 +27,31 @@ fn example2_unique_name_assumption_matters() {
         tbox: example2_tbox(),
         abox: example2_abox(),
     };
-    let mut r = Reasoner::from_ontology(&onto).unwrap();
-    let model = r.solve(WfsOptions::depth(6)).unwrap();
+    let mut kb = KnowledgeBase::from_ontology(&onto).unwrap();
+    let model = kb.solve_with(WfsOptions::depth(6));
 
     // The paper: EmployeeID(a, f(a)) and JobSeekerID(b, g(b)) derived.
-    assert!(r.ask(&model, "?- EmployeeID(a, X).").unwrap());
-    assert!(r.ask(&model, "?- JobSeekerID(b, X).").unwrap());
+    assert!(model.ask("?- EmployeeID(a, X).").unwrap());
+    assert!(model.ask("?- JobSeekerID(b, X).").unwrap());
     // a is employed, so a is NOT registered as a job seeker.
-    assert!(!r.ask(&model, "?- JobSeekerID(a, X).").unwrap());
+    assert!(!model.ask("?- JobSeekerID(a, X).").unwrap());
     // And the crux: some ID is valid (namely f(a)).
-    assert!(r.ask(&model, "?- ValidID(X).").unwrap());
+    assert!(model.ask("?- ValidID(X).").unwrap());
     // The valid ID belongs to a's employee record.
-    assert!(r.ask(&model, "?- EmployeeID(a, X), ValidID(X).").unwrap());
+    assert!(model.ask("?- EmployeeID(a, X), ValidID(X).").unwrap());
     // b's job-seeker ID is not valid (it is in JobSeekerID's range).
-    assert!(!r.ask(&model, "?- JobSeekerID(b, X), ValidID(X).").unwrap());
+    assert!(!model.ask("?- JobSeekerID(b, X), ValidID(X).").unwrap());
 
-    // Conservative no-UNA reading: the validation is withheld.
-    let no_una = solve_no_una(
-        &mut r.universe,
-        &r.database,
-        &r.sigma,
-        ChaseBudget::depth(6),
-    );
-    let q = r.parse_query("?- ValidID(X).").unwrap();
-    assert_ne!(
-        wfdatalog::query::holds3(&r.universe, &no_una, &q),
-        Truth::True
-    );
+    // Conservative no-UNA reading: the validation is withheld. The no-UNA
+    // solver sits below the lifecycle API, so drive the layers directly.
+    let mut u = Universe::new();
+    let translated = wfdatalog::ontology::translate(&mut u, &onto).unwrap();
+    let (sigma, _violations) =
+        wfdatalog::wfs::lower_with_constraints(&mut u, &translated.program).unwrap();
+    let no_una = solve_no_una(&mut u, &translated.database, &sigma, ChaseBudget::depth(6));
+    let ast = wfdatalog::syntax::parse_single_query("?- ValidID(X).").unwrap();
+    let q = wfdatalog::syntax::lower_query(&mut u, &ast).unwrap();
+    assert_ne!(wfdatalog::query::holds3(&u, &no_una, &q), Truth::True);
 }
 
 /// Example 4: key literals of the well-founded model.
@@ -147,7 +143,7 @@ fn example9_stage_growth() {
 /// same model as the programmatic construction.
 #[test]
 fn example4_via_surface_syntax() {
-    let mut r = Reasoner::from_source(
+    let mut kb = KnowledgeBase::from_source(
         r#"
         r(0,0,1).  p(0,0).
         r(X,Y,Z) -> r(X,Z,f(X,Y,Z)).
@@ -158,12 +154,12 @@ fn example4_via_surface_syntax() {
         "#,
     )
     .unwrap();
-    let model = r.solve(WfsOptions::depth(7)).unwrap();
-    assert!(r.ask(&model, "?- t(0).").unwrap());
-    assert!(!r.ask(&model, "?- s(0).").unwrap());
-    assert_eq!(r.ask3(&model, "?- s(0).").unwrap(), Truth::False);
-    assert!(r.ask(&model, "?- p(0, 1).").unwrap());
-    assert!(!r.ask(&model, "?- q(1).").unwrap());
+    let model = kb.solve_with(WfsOptions::depth(7));
+    assert!(model.ask("?- t(0).").unwrap());
+    assert!(!model.ask("?- s(0).").unwrap());
+    assert_eq!(model.ask3("?- s(0).").unwrap(), Truth::False);
+    assert!(model.ask("?- p(0, 1).").unwrap());
+    assert!(!model.ask("?- q(1).").unwrap());
 }
 
 /// The paper's δ bound is computable for tiny schemas and `None` once it

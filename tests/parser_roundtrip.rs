@@ -1,7 +1,7 @@
 //! Surface-syntax robustness: round trips and failure injection.
 
 use wfdatalog::syntax::{self, load};
-use wfdatalog::{Reasoner, Universe};
+use wfdatalog::{KnowledgeBase, Universe};
 
 /// Printing a lowered program and re-loading it must reach a fixed point.
 fn assert_roundtrip(src: &str) {
@@ -59,7 +59,7 @@ fn roundtrip_paper_programs() {
 
 #[test]
 fn capitalized_predicates_are_accepted() {
-    let mut r = Reasoner::from_source(
+    let mut kb = KnowledgeBase::from_source(
         r#"
         Person(alice).
         Person(X) -> Mortal(X).
@@ -67,8 +67,8 @@ fn capitalized_predicates_are_accepted() {
         "#,
     )
     .unwrap();
-    let model = r.solve_default().unwrap();
-    assert!(r.ask(&model, "?- Mortal(X).").unwrap());
+    let model = kb.solve();
+    assert!(model.ask("?- Mortal(X).").unwrap());
 }
 
 // ---- failure injection --------------------------------------------------

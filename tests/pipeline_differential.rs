@@ -4,7 +4,7 @@
 
 use wfdatalog::syntax::{print_database, print_skolem_program};
 use wfdatalog::wfs::{solve, EngineKind, WfsOptions};
-use wfdatalog::{Reasoner, Universe};
+use wfdatalog::{KnowledgeBase, Universe};
 use wfdl_gen::{random_database, random_program, RandomConfig, RandomDbConfig};
 
 /// Renders a model as sorted `atom=truth` lines (aux predicates excluded).
@@ -50,10 +50,10 @@ fn printed_programs_solve_identically() {
         // Text round trip: print Σf + D, re-parse, re-solve.
         let mut text = print_skolem_program(&u, &w.sigma);
         text.push_str(&print_database(&u, &db));
-        let mut r = Reasoner::from_source(&text)
+        let mut kb = KnowledgeBase::from_source(&text)
             .unwrap_or_else(|e| panic!("seed {seed}: printed program must parse: {e}\n{text}"));
-        let reparsed = r.solve(WfsOptions::depth(4)).unwrap();
-        let reparsed_fp = fingerprint(&r.universe, &reparsed);
+        let reparsed = kb.solve_with(WfsOptions::depth(4));
+        let reparsed_fp = fingerprint(reparsed.universe(), reparsed.model());
 
         assert_eq!(
             direct_fp, reparsed_fp,
@@ -61,10 +61,12 @@ fn printed_programs_solve_identically() {
         );
 
         // And the alternating engine agrees on the re-parsed program.
-        let alt = r
-            .solve(WfsOptions::depth(4).with_engine(EngineKind::Alternating))
-            .unwrap();
-        assert_eq!(reparsed_fp, fingerprint(&r.universe, &alt), "seed {seed}");
+        let alt = kb.solve_with(WfsOptions::depth(4).with_engine(EngineKind::Alternating));
+        assert_eq!(
+            reparsed_fp,
+            fingerprint(alt.universe(), alt.model()),
+            "seed {seed}"
+        );
     }
 }
 
@@ -78,8 +80,8 @@ fn ontology_text_round_trip() {
         Person(a). Person(b). Employed(a).
     "#;
     let onto = wfdatalog::ontology::parse_ontology(src).unwrap();
-    let mut r = Reasoner::from_ontology(&onto).unwrap();
-    let model = r.solve(WfsOptions::depth(6)).unwrap();
-    assert!(r.ask(&model, "?- ValidID(X).").unwrap());
-    assert!(r.ask(&model, "?- EmployeeID(a, X), ValidID(X).").unwrap());
+    let mut kb = KnowledgeBase::from_ontology(&onto).unwrap();
+    let model = kb.solve_with(WfsOptions::depth(6));
+    assert!(model.ask("?- ValidID(X).").unwrap());
+    assert!(model.ask("?- EmployeeID(a, X), ValidID(X).").unwrap());
 }
