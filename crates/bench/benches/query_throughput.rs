@@ -85,28 +85,38 @@ fn eval_prepared(model: &SolvedModel, q: &PreparedQuery) -> usize {
     }
 }
 
-/// The old façade's serving loop: parse, intern and index per ask.
-#[allow(deprecated)]
+/// The historical serving loop (the pre-lifecycle `Reasoner` façade,
+/// now deleted): parse, intern and index on every single ask.
 fn run_parse_per_ask(samples: usize, queries: &[String]) -> (Vec<u64>, usize) {
     let onto = employment_ontology(&EmploymentConfig {
         num_persons: PERSONS,
         employed_fraction: 0.5,
         seed: 2013,
     });
-    let mut reasoner = wfdatalog::Reasoner::from_ontology(&onto).expect("ontology compiles");
-    let model = reasoner.solve(WfsOptions::depth(DEPTH)).expect("solves");
+    let mut universe = wfdatalog::Universe::new();
+    let translated =
+        wfdatalog::ontology::translate(&mut universe, &onto).expect("ontology compiles");
+    let (sigma, _violations) =
+        wfdatalog::wfs::lower_with_constraints(&mut universe, &translated.program)
+            .expect("constraints lower");
+    let model = wfdatalog::wfs::solve(
+        &mut universe,
+        &translated.database,
+        &sigma,
+        WfsOptions::depth(DEPTH),
+    );
     let mut fingerprint = 0usize;
     let mut times = Vec::with_capacity(samples);
     for i in 0..=samples {
         let start = Instant::now();
         let mut acc = 0usize;
         for q in queries {
-            let parsed = reasoner.parse_query(q).expect("query parses");
+            let ast = wfdatalog::syntax::parse_single_query(q).expect("query parses");
+            let parsed = wfdatalog::syntax::lower_query(&mut universe, &ast).expect("query lowers");
             if parsed.is_boolean() {
-                acc += wfdatalog::query::holds3(&reasoner.universe, &model, &parsed).is_true()
-                    as usize;
+                acc += wfdatalog::query::holds3(&universe, &model, &parsed).is_true() as usize;
             } else {
-                acc += wfdatalog::query::answers(&reasoner.universe, &model, &parsed).len();
+                acc += wfdatalog::query::answers(&universe, &model, &parsed).len();
             }
         }
         let ns = start.elapsed().as_nanos() as u64;

@@ -60,7 +60,7 @@ use wfdl_core::{
     match_atom, subst::instantiate_atom_into, AtomId, Binding, BitSet, SkolemProgram, TermId,
     Universe,
 };
-use wfdl_storage::{Database, GroundProgram};
+use wfdl_storage::{Database, GroundProgram, GroundRule};
 
 /// Sentinel for "no entry" in the flat index arrays.
 const NONE: u32 = u32::MAX;
@@ -87,7 +87,10 @@ pub struct ChaseSegment {
     atoms: Vec<SegmentAtom>,
     /// `seg_of[AtomId::index()]` = the atom's [`SegAtomId`] (or `NONE`).
     seg_of: Vec<u32>,
-    num_facts: usize,
+    /// Fact atoms as segment ids, in database insertion order. Fresh
+    /// builds place them first (`0..num_facts()`); resumed builds append
+    /// delta facts wherever discovery put them.
+    fact_seg: Vec<SegAtomId>,
     /// Originating rule per instance.
     inst_src_rule: Vec<u32>,
     /// Guard atom per instance.
@@ -122,6 +125,30 @@ pub struct ChaseSegment {
     /// stopped (diagnostic; nonzero is normal for truncated segments).
     pub pending_at_end: usize,
     budget: ChaseBudget,
+    /// Number of instances inherited from the segment this one was resumed
+    /// from (`0` for fresh builds): instances `inherited_instances..` are
+    /// the ones discovered by the resume, the basis for incremental
+    /// grounding ([`ChaseSegment::to_ground_program_from`]).
+    inherited_instances: usize,
+    /// Saturation state retained for [`ChaseSegment::resume_with`].
+    resume: ResumeState,
+}
+
+/// Saturation state that `finish` would otherwise discard, retained so
+/// [`ChaseSegment::resume_with`] can continue exactly where the build
+/// stopped: parked instances with their watch lists, the per-atom
+/// expansion bits, and the budget-truncation flags.
+#[derive(Clone, Debug)]
+struct ResumeState {
+    expanded: Vec<bool>,
+    pending: Vec<Pending>,
+    pend_pos: Vec<AtomId>,
+    pend_neg: Vec<AtomId>,
+    watch_head: Vec<u32>,
+    watch_tail: Vec<u32>,
+    watch_next: Vec<u32>,
+    watch_pend: Vec<u32>,
+    caps_hit: bool,
 }
 
 impl ChaseSegment {
@@ -135,17 +162,65 @@ impl ChaseSegment {
         Builder::new(universe, program, budget).run(db)
     }
 
-    /// All segment atoms with metadata, in discovery order; the first
-    /// [`ChaseSegment::num_facts`] entries are the database facts.
+    /// All segment atoms with metadata, in discovery order. Facts are the
+    /// first entries for fresh builds; resumed builds interleave delta
+    /// facts, so iterate [`ChaseSegment::fact_segs`] to find them.
     #[inline]
     pub fn atoms(&self) -> &[SegmentAtom] {
         &self.atoms
     }
 
-    /// Number of database facts at the start of [`ChaseSegment::atoms`].
+    /// Number of database facts in the segment.
     #[inline]
     pub fn num_facts(&self) -> usize {
-        self.num_facts
+        self.fact_seg.len()
+    }
+
+    /// The database facts as segment ids, in database insertion order.
+    #[inline]
+    pub fn fact_segs(&self) -> &[SegAtomId] {
+        &self.fact_seg
+    }
+
+    /// True iff this segment can be resumed with additional facts: the
+    /// original saturation must not have been truncated by the atom or
+    /// instance caps (cap truncation is discovery-order dependent, so a
+    /// resumed run could diverge from a fresh one). Depth truncation is
+    /// fine — the depth gate is a per-atom property of the final minima.
+    pub fn can_resume(&self) -> bool {
+        !self.resume.caps_hit
+    }
+
+    /// Continues saturation after `new_facts` join the database, reusing
+    /// every atom, rule instance and parked instance of this segment
+    /// instead of re-chasing from scratch.
+    ///
+    /// `program` must be the program this segment was built with (same
+    /// rules, same order) and `new_facts` must be ground, null-free,
+    /// interned in `universe` and not already database facts; the budget
+    /// is inherited. As long as [`ChaseSegment::can_resume`] holds, the
+    /// resumed segment contains exactly what a fresh
+    /// [`ChaseSegment::build`] over the grown database would — the same
+    /// atoms, instances, minimal depths and minimal levels — while doing
+    /// saturation work proportional to the *new* derivations only (plus
+    /// one linear pass to re-finalize the occurrence CSRs). A fact that
+    /// was previously derived at positive depth is relaxed to depth and
+    /// level 0 and the improvement propagated to its consequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment was cap-truncated (`!can_resume()`).
+    pub fn resume_with(
+        &self,
+        universe: &mut Universe,
+        program: &SkolemProgram,
+        new_facts: &[AtomId],
+    ) -> ChaseSegment {
+        assert!(
+            self.can_resume(),
+            "segment was cap-truncated; re-chase from scratch"
+        );
+        Builder::from_segment(universe, program, self).run_delta(new_facts)
     }
 
     /// Number of discovered rule instances.
@@ -329,8 +404,8 @@ impl ChaseSegment {
 
         // 1. Mentioned universe atoms: facts ∪ instance heads/bodies.
         let mut mentioned = BitSet::new();
-        for sa in &self.atoms[..self.num_facts] {
-            mentioned.insert(sa.atom.index());
+        for &fs in &self.fact_seg {
+            mentioned.insert(self.atoms[fs.index()].atom.index());
         }
         for i in 0..num_inst {
             mentioned.insert(self.atoms[self.inst_head[i].index()].atom.index());
@@ -385,8 +460,12 @@ impl ChaseSegment {
         }
 
         // 4. Drop duplicate rules, keeping first occurrences in discovery
-        // order (the historical builder semantics). A sort of rule indexes
-        // groups equal rules; ties broken by index so the first survives.
+        // order (the historical builder semantics). Equal rules have equal
+        // 64-bit digests, so hash first: when every digest is distinct —
+        // the overwhelmingly common case — there is nothing to drop and
+        // the expensive slice-comparison sort is skipped entirely; only
+        // colliding digests fall back to sorting (u64 keys, ties broken by
+        // index so the first occurrence survives) plus full-key checks.
         let rule_key = |r: usize| {
             (
                 head_local[r],
@@ -394,18 +473,56 @@ impl ChaseSegment {
                 &neg_local[neg_off[r] as usize..neg_off[r + 1] as usize],
             )
         };
-        let mut order: Vec<u32> = (0..num_inst as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            rule_key(a as usize)
-                .cmp(&rule_key(b as usize))
-                .then(a.cmp(&b))
-        });
+        let mix = wfdl_core::fxhash::mix64;
+        let digest = |r: usize| {
+            let (head, pos, neg) = rule_key(r);
+            let mut h = mix(0, head as u64);
+            h = mix(h, pos.len() as u64);
+            for &b in pos {
+                h = mix(h, b as u64);
+            }
+            for &b in neg {
+                h = mix(h, b as u64);
+            }
+            h
+        };
+        let digests: Vec<u64> = (0..num_inst).map(digest).collect();
+        let mut sorted_digests = digests.clone();
+        sorted_digests.sort_unstable();
+        let any_collision = sorted_digests.windows(2).any(|w| w[0] == w[1]);
         let mut keep = vec![true; num_inst];
         let mut dups = 0usize;
-        for w in order.windows(2) {
-            if rule_key(w[0] as usize) == rule_key(w[1] as usize) {
-                keep[w[1] as usize] = false;
-                dups += 1;
+        if any_collision {
+            let mut order: Vec<u32> = (0..num_inst as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                digests[a as usize]
+                    .cmp(&digests[b as usize])
+                    .then(a.cmp(&b))
+            });
+            // Within each equal-digest run (indexes ascending, so the
+            // first occurrence wins), drop every rule equal to an earlier
+            // kept one. A run of k copies of one rule costs O(k); only
+            // genuine digest collisions between distinct rules cost more.
+            let mut i = 0usize;
+            while i < order.len() {
+                let mut j = i + 1;
+                while j < order.len() && digests[order[j] as usize] == digests[order[i] as usize] {
+                    j += 1;
+                }
+                for x in i..j {
+                    let rx = order[x] as usize;
+                    if !keep[rx] {
+                        continue;
+                    }
+                    for &oy in &order[x + 1..j] {
+                        let ry = oy as usize;
+                        if keep[ry] && rule_key(rx) == rule_key(ry) {
+                            keep[ry] = false;
+                            dups += 1;
+                        }
+                    }
+                }
+                i = j;
             }
         }
         if dups > 0 {
@@ -432,9 +549,10 @@ impl ChaseSegment {
         }
 
         // 5. Facts (unique by construction) and handoff.
-        let facts: Vec<AtomId> = self.atoms[..self.num_facts]
+        let facts: Vec<AtomId> = self
+            .fact_seg
             .iter()
-            .map(|sa| sa.atom)
+            .map(|&fs| self.atoms[fs.index()].atom)
             .collect();
         let facts_local: Vec<u32> = facts.iter().map(|f| local_of[f.index()]).collect();
         GroundProgram::from_dense_parts(
@@ -447,6 +565,59 @@ impl ChaseSegment {
             neg_off,
             neg_local,
         )
+    }
+
+    /// Extracts the ground program of a **resumed** segment by extending
+    /// `prev` — the program extracted from the segment this one was
+    /// resumed from — with only the delta's facts, atoms and instances.
+    ///
+    /// Produces exactly what [`ChaseSegment::to_ground_program`] would
+    /// (same atoms, facts, rules, in the same order), but the translation
+    /// work for the inherited bulk collapses to flat remap passes — no
+    /// per-instance sorting or deduplication outside the delta.
+    pub fn to_ground_program_from(&self, prev: &GroundProgram) -> GroundProgram {
+        let first_new_inst = self.inherited_instances;
+        let first_new_fact = prev.facts().len();
+        debug_assert!(first_new_inst <= self.num_instances());
+        debug_assert!(first_new_fact <= self.fact_seg.len());
+
+        let new_facts: Vec<AtomId> = self.fact_seg[first_new_fact..]
+            .iter()
+            .map(|&fs| self.atom_of(fs))
+            .collect();
+        let mut new_rules = Vec::with_capacity(self.num_instances() - first_new_inst);
+        for i in first_new_inst..self.num_instances() {
+            let head = self.atoms[self.inst_head[i].index()].atom;
+            let pos: Vec<AtomId> = self.pos_seg
+                [self.pos_off[i] as usize..self.pos_off[i + 1] as usize]
+                .iter()
+                .map(|&s| self.atoms[s.index()].atom)
+                .collect();
+            let neg: Vec<AtomId> =
+                self.neg_atoms[self.neg_off[i] as usize..self.neg_off[i + 1] as usize].to_vec();
+            new_rules.push(GroundRule::new(head, pos, neg));
+        }
+
+        let mut new_atoms: Vec<AtomId> = Vec::new();
+        {
+            let push = |a: AtomId, out: &mut Vec<AtomId>| {
+                if !prev.mentions(a) {
+                    out.push(a);
+                }
+            };
+            for &f in &new_facts {
+                push(f, &mut new_atoms);
+            }
+            for r in &new_rules {
+                push(r.head, &mut new_atoms);
+                for &b in r.pos.iter().chain(r.neg.iter()) {
+                    push(b, &mut new_atoms);
+                }
+            }
+        }
+        new_atoms.sort_unstable();
+        new_atoms.dedup();
+        prev.extend_with(&new_atoms, &new_facts, &new_rules)
     }
 }
 
@@ -464,7 +635,7 @@ fn dedup_tail(v: &mut Vec<u32>, start: usize) {
 
 /// An instance parked until its side atoms appear, with its body spans in
 /// the pending arenas.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 struct Pending {
     src_rule: u32,
     guard: u32,
@@ -483,9 +654,16 @@ struct Builder<'a> {
     /// Rule indexes per guard predicate (flat, [`wfdl_core::PredId`]-indexed).
     rules_by_guard_pred: Vec<Vec<u32>>,
 
+    /// The segment being resumed, if any: depth/level relaxation over its
+    /// instances walks the finalized body-occurrence CSR instead of the
+    /// (empty for old instances) intrusive lists.
+    old: Option<&'a ChaseSegment>,
+
     // --- final segment state, built in place ---
     atoms: Vec<SegmentAtom>,
     seg_of: Vec<u32>,
+    fact_seg: Vec<SegAtomId>,
+    fact_set: BitSet,
     inst_src_rule: Vec<u32>,
     inst_guard: Vec<SegAtomId>,
     inst_head: Vec<SegAtomId>,
@@ -528,7 +706,6 @@ struct Builder<'a> {
     scratch_neg: Vec<AtomId>,
     scratch_missing: Vec<AtomId>,
 
-    expansion_blocked: bool,
     caps_hit: bool,
 }
 
@@ -548,8 +725,11 @@ impl<'a> Builder<'a> {
             program,
             budget,
             rules_by_guard_pred,
+            old: None,
             atoms: Vec::new(),
             seg_of,
+            fact_seg: Vec::new(),
+            fact_set: BitSet::new(),
             inst_src_rule: Vec::new(),
             inst_guard: Vec::new(),
             inst_head: Vec::new(),
@@ -577,17 +757,92 @@ impl<'a> Builder<'a> {
             scratch_pos: Vec::new(),
             scratch_neg: Vec::new(),
             scratch_missing: Vec::new(),
-            expansion_blocked: false,
             caps_hit: false,
         }
     }
 
+    /// Seeds a builder with the full state of an already-saturated
+    /// segment, so saturation can continue from its frontier.
+    fn from_segment(
+        universe: &'a mut Universe,
+        program: &'a SkolemProgram,
+        old: &'a ChaseSegment,
+    ) -> Self {
+        let mut b = Builder::new(universe, program, old.budget);
+        b.atoms = old.atoms.clone();
+        b.seg_of = old.seg_of.clone();
+        b.fact_seg = old.fact_seg.clone();
+        for &fs in &b.fact_seg {
+            b.fact_set.insert(fs.index());
+        }
+        b.inst_src_rule = old.inst_src_rule.clone();
+        b.inst_guard = old.inst_guard.clone();
+        b.inst_head = old.inst_head.clone();
+        b.pos_off = old.pos_off.clone();
+        b.pos_seg = old.pos_seg.clone();
+        b.neg_off = old.neg_off.clone();
+        b.neg_atoms = old.neg_atoms.clone();
+        let r = &old.resume;
+        b.expanded = r.expanded.clone();
+        b.pending = r.pending.clone();
+        b.pend_pos = r.pend_pos.clone();
+        b.pend_neg = r.pend_neg.clone();
+        b.watch_head = r.watch_head.clone();
+        b.watch_tail = r.watch_tail.clone();
+        b.watch_next = r.watch_next.clone();
+        b.watch_pend = r.watch_pend.clone();
+        b.caps_hit = r.caps_hit;
+        // Intrusive body lists start empty for old atoms: relaxation over
+        // old instances walks `old`'s finalized CSR; only instances fired
+        // during the resume append entries here.
+        b.body_head = vec![NONE; old.atoms.len()];
+        b.body_tail = vec![NONE; old.atoms.len()];
+        b.old = Some(old);
+        b
+    }
+
     fn run(mut self, db: &Database) -> ChaseSegment {
         for &fact in db.facts() {
-            self.add_atom(fact, 0, 0);
+            self.add_fact(fact);
         }
-        let num_facts = self.atoms.len();
+        self.drain();
+        let pending_at_end = self.pending.iter().filter(|p| p.missing > 0).count();
+        let complete = !self.caps_hit && !self.blocked_by_depth();
+        self.finish(pending_at_end, complete)
+    }
 
+    /// Continues a resumed build with the delta facts.
+    fn run_delta(mut self, new_facts: &[AtomId]) -> ChaseSegment {
+        for &fact in new_facts {
+            self.add_fact(fact);
+        }
+        self.drain();
+        let pending_at_end = self.pending.iter().filter(|p| p.missing > 0).count();
+        let complete = !self.caps_hit && !self.blocked_by_depth();
+        self.finish(pending_at_end, complete)
+    }
+
+    /// True iff some atom with applicable rules sits at the depth budget
+    /// unexpanded — it could have children beyond the budgeted depth, so
+    /// the segment is a truncation. Computed from the final depth minima
+    /// (not a sticky in-run flag) so a resume that relaxes a previously
+    /// gated atom below the budget reports completeness exactly.
+    fn blocked_by_depth(&self) -> bool {
+        if self.budget.max_depth == u32::MAX {
+            return false;
+        }
+        self.atoms.iter().enumerate().any(|(i, sa)| {
+            !self.expanded[i]
+                && sa.depth >= self.budget.max_depth
+                && self
+                    .rules_by_guard_pred
+                    .get(self.universe.atoms.pred(sa.atom).index())
+                    .is_some_and(|r| !r.is_empty())
+        })
+    }
+
+    /// The saturation work loop.
+    fn drain(&mut self) {
         while !self.expand_queue.is_empty() || !self.relax_queue.is_empty() {
             if let Some(ai) = self.relax_queue.pop_front() {
                 self.relax(ai);
@@ -597,15 +852,39 @@ impl<'a> Builder<'a> {
                 self.expand(ai);
             }
         }
+    }
 
-        let pending_at_end = self.pending.iter().filter(|p| p.missing > 0).count();
-        let complete = !self.expansion_blocked && !self.caps_hit;
-        self.finish(num_facts, pending_at_end, complete)
+    /// Registers a database fact: a brand-new atom enters at depth and
+    /// level 0; an atom previously *derived* at positive depth is relaxed
+    /// to 0 and the improvement propagated.
+    fn add_fact(&mut self, fact: AtomId) {
+        match self.lookup_seg(fact) {
+            None => {
+                let idx = self.atoms.len();
+                self.add_atom(fact, 0, 0);
+                self.mark_fact(idx);
+            }
+            Some(s) => {
+                self.mark_fact(s as usize);
+                let meta = &mut self.atoms[s as usize];
+                if meta.depth > 0 || meta.level > 0 {
+                    meta.depth = 0;
+                    meta.level = 0;
+                    self.relax_queue.push_back(s);
+                }
+            }
+        }
+    }
+
+    fn mark_fact(&mut self, seg: usize) {
+        if self.fact_set.insert(seg) {
+            self.fact_seg.push(SegAtomId::from_index(seg));
+        }
     }
 
     /// Finalizes the occurrence CSRs (counting sort over the instance
     /// arrays) and assembles the segment.
-    fn finish(mut self, num_facts: usize, pending_at_end: usize, complete: bool) -> ChaseSegment {
+    fn finish(mut self, pending_at_end: usize, complete: bool) -> ChaseSegment {
         let n = self.atoms.len();
         let num_inst = self.inst_src_rule.len();
 
@@ -680,7 +959,7 @@ impl<'a> Builder<'a> {
         ChaseSegment {
             atoms: self.atoms,
             seg_of: self.seg_of,
-            num_facts,
+            fact_seg: self.fact_seg,
             inst_src_rule: self.inst_src_rule,
             inst_guard: self.inst_guard,
             inst_head: self.inst_head,
@@ -698,6 +977,18 @@ impl<'a> Builder<'a> {
             complete,
             pending_at_end,
             budget: self.budget,
+            inherited_instances: self.old.map_or(0, |o| o.num_instances()),
+            resume: ResumeState {
+                expanded: self.expanded,
+                pending: self.pending,
+                pend_pos: self.pend_pos,
+                pend_neg: self.pend_neg,
+                watch_head: self.watch_head,
+                watch_tail: self.watch_tail,
+                watch_next: self.watch_next,
+                watch_pend: self.watch_pend,
+                caps_hit: self.caps_hit,
+            },
         }
     }
 
@@ -785,8 +1076,8 @@ impl<'a> Builder<'a> {
             _ => return,
         };
         if depth >= self.budget.max_depth {
-            // This atom could have children beyond the budgeted depth.
-            self.expansion_blocked = true;
+            // This atom could have children beyond the budgeted depth;
+            // `blocked_by_depth` reads the truncation off the final minima.
             return;
         }
         if self.expanded[ai as usize] {
@@ -943,23 +1234,39 @@ impl<'a> Builder<'a> {
         if depth < self.budget.max_depth {
             self.expand_queue.push_back(ai);
         }
+        // Instances inherited from a resumed segment: their body
+        // occurrences live in the old segment's finalized CSR (the
+        // intrusive lists below only cover instances fired this run).
+        if let Some(old) = self.old {
+            if (ai as usize) < old.atoms.len() {
+                for &iid in old.instances_with_body_seg(SegAtomId::from_index(ai as usize)) {
+                    self.relax_instance(iid.index());
+                }
+            }
+        }
         let mut e = self.body_head[ai as usize];
         while e != NONE {
             let iid = self.body_inst[e as usize] as usize;
             e = self.body_next[e as usize];
-            let child_depth = self.atoms[self.inst_guard[iid].index()].depth + 1;
-            let mut child_level = 0u32;
-            for k in self.pos_off[iid] as usize..self.pos_off[iid + 1] as usize {
-                child_level = child_level.max(self.atoms[self.pos_seg[k].index()].level);
-            }
-            let child_level = child_level + 1;
-            let hi = self.inst_head[iid].index();
-            let meta = &mut self.atoms[hi];
-            if child_depth < meta.depth || child_level < meta.level {
-                meta.depth = meta.depth.min(child_depth);
-                meta.level = meta.level.min(child_level);
-                self.relax_queue.push_back(hi as u32);
-            }
+            self.relax_instance(iid);
+        }
+    }
+
+    /// Re-derives instance `iid`'s head depth/level from its current body
+    /// minima, queueing the head if it improved.
+    fn relax_instance(&mut self, iid: usize) {
+        let child_depth = self.atoms[self.inst_guard[iid].index()].depth + 1;
+        let mut child_level = 0u32;
+        for k in self.pos_off[iid] as usize..self.pos_off[iid + 1] as usize {
+            child_level = child_level.max(self.atoms[self.pos_seg[k].index()].level);
+        }
+        let child_level = child_level + 1;
+        let hi = self.inst_head[iid].index();
+        let meta = &mut self.atoms[hi];
+        if child_depth < meta.depth || child_level < meta.level {
+            meta.depth = meta.depth.min(child_depth);
+            meta.level = meta.level.min(child_level);
+            self.relax_queue.push_back(hi as u32);
         }
     }
 }
@@ -1160,6 +1467,263 @@ mod tests {
         for iid in seg.instance_ids() {
             assert!(seg.head_seg(iid).index() < seg.atoms().len());
         }
+    }
+
+    /// Asserts two segments are equal up to discovery order: same atom set
+    /// with identical depth/level minima, same fact set, same instance
+    /// multiset, same completeness.
+    type InstKey = (u32, AtomId, Vec<AtomId>, Vec<AtomId>, AtomId);
+
+    fn assert_segments_equivalent(u: &Universe, a: &ChaseSegment, b: &ChaseSegment) {
+        let key = |seg: &ChaseSegment| {
+            let mut atoms: Vec<(AtomId, u32, u32)> = seg
+                .atoms()
+                .iter()
+                .map(|sa| (sa.atom, sa.depth, sa.level))
+                .collect();
+            atoms.sort_unstable();
+            let mut facts: Vec<AtomId> = seg.fact_segs().iter().map(|&f| seg.atom_of(f)).collect();
+            facts.sort_unstable();
+            let mut insts: Vec<InstKey> = seg
+                .instance_ids()
+                .map(|i| {
+                    let inst = seg.instance(i);
+                    let mut pos: Vec<AtomId> = inst.pos.to_vec();
+                    pos.sort_unstable();
+                    let mut neg: Vec<AtomId> = inst.neg.to_vec();
+                    neg.sort_unstable();
+                    (inst.src_rule, inst.guard_atom, pos, neg, inst.head)
+                })
+                .collect();
+            insts.sort();
+            (atoms, facts, insts, seg.complete)
+        };
+        let (ka, kb) = (key(a), key(b));
+        assert_eq!(ka.0, kb.0, "atom depth/level minima differ");
+        assert_eq!(ka.1, kb.1, "fact sets differ");
+        assert_eq!(ka.2.len(), kb.2.len(), "instance counts differ");
+        assert_eq!(ka.2, kb.2, "instance multisets differ");
+        assert_eq!(ka.3, kb.3, "completeness differs");
+        let _ = u;
+    }
+
+    #[test]
+    fn resume_equals_fresh_build_on_example4() {
+        // Build with half the seeds, resume with the rest; compare to a
+        // fresh chase over the union (shared universe, so atom ids align).
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let budget = ChaseBudget::depth(4);
+        let base = ChaseSegment::build(&mut u, &db, &prog, budget);
+        assert!(base.can_resume());
+
+        // Delta: a second independent chain seed plus its P-base.
+        let r = u.lookup_pred("R").unwrap();
+        let p = u.lookup_pred("P").unwrap();
+        let c = u.constant("c9");
+        let d = u.constant("d9");
+        let rcd = u.atom(r, vec![c, c, d]).unwrap();
+        let pcc = u.atom(p, vec![c, c]).unwrap();
+
+        let resumed = base.resume_with(&mut u, &prog, &[rcd, pcc]);
+
+        let mut union_db = db.clone();
+        union_db.insert(&u, rcd).unwrap();
+        union_db.insert(&u, pcc).unwrap();
+        let fresh = ChaseSegment::build(&mut u, &union_db, &prog, budget);
+        assert_segments_equivalent(&u, &fresh, &resumed);
+        assert!(resumed.num_instances() > base.num_instances());
+    }
+
+    #[test]
+    fn resume_relaxes_previously_derived_atom_to_fact_depth() {
+        // q(c) is first derived at depth 1; inserting it as a fact must
+        // relax it (and its consequences) to depth 0 — matching a fresh
+        // chase over the union.
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let rr = u.pred("r", 1).unwrap();
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(p, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(q, vec![v(0)])],
+            )
+            .unwrap(),
+        );
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(q, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(rr, vec![v(0)])],
+            )
+            .unwrap(),
+        );
+        let sk = prog.skolemize(&mut u).unwrap();
+        let c = u.constant("c");
+        let pc = u.atom(p, vec![c]).unwrap();
+        let qc = u.atom(q, vec![c]).unwrap();
+        let rc = u.atom(rr, vec![c]).unwrap();
+        let mut db = Database::new();
+        db.insert(&u, pc).unwrap();
+        let base = ChaseSegment::build(&mut u, &db, &sk, ChaseBudget::unbounded());
+        assert_eq!(base.meta(qc).unwrap().depth, 1);
+        assert_eq!(base.meta(rc).unwrap().depth, 2);
+
+        let resumed = base.resume_with(&mut u, &sk, &[qc]);
+        assert_eq!(resumed.meta(qc).unwrap().depth, 0);
+        assert_eq!(resumed.meta(qc).unwrap().level, 0);
+        assert_eq!(resumed.meta(rc).unwrap().depth, 1);
+        assert_eq!(resumed.num_facts(), 2);
+
+        let mut union_db = db.clone();
+        union_db.insert(&u, qc).unwrap();
+        let fresh = ChaseSegment::build(&mut u, &union_db, &sk, ChaseBudget::unbounded());
+        assert_segments_equivalent(&u, &fresh, &resumed);
+    }
+
+    #[test]
+    fn resume_fires_parked_side_conditions() {
+        // guard q(X), side r(X) -> done(X): the instance parks during the
+        // base build and must fire when the resume delivers r(c).
+        let mut u = Universe::new();
+        let q = u.pred("q", 1).unwrap();
+        let rr = u.pred("r", 1).unwrap();
+        let done = u.pred("done", 1).unwrap();
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(q, vec![v(0)]), RuleAtom::new(rr, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(done, vec![v(0)])],
+            )
+            .unwrap(),
+        );
+        let sk = prog.skolemize(&mut u).unwrap();
+        let c = u.constant("c");
+        let qc = u.atom(q, vec![c]).unwrap();
+        let rc = u.atom(rr, vec![c]).unwrap();
+        let donec = u.atom(done, vec![c]).unwrap();
+        let mut db = Database::new();
+        db.insert(&u, qc).unwrap();
+        let base = ChaseSegment::build(&mut u, &db, &sk, ChaseBudget::unbounded());
+        assert_eq!(base.pending_at_end, 1);
+        assert!(!base.contains(donec));
+
+        let resumed = base.resume_with(&mut u, &sk, &[rc]);
+        assert!(resumed.contains(donec), "parked instance fired on resume");
+        assert_eq!(resumed.pending_at_end, 0);
+        assert!(resumed.complete);
+    }
+
+    #[test]
+    fn resume_can_unblock_depth_truncation() {
+        // Base: p(c) at depth limit 1 derives q(c) which sits gated at the
+        // budget boundary (q guards a rule), so the base is truncated.
+        // Inserting q(c) as a fact relaxes it to depth 0, the gate opens,
+        // and the resumed segment is complete — exactly like a fresh build.
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let rr = u.pred("r", 1).unwrap();
+        let mut prog = Program::new();
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(p, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(q, vec![v(0)])],
+            )
+            .unwrap(),
+        );
+        prog.push(
+            Tgd::new(
+                &u,
+                vec![RuleAtom::new(q, vec![v(0)])],
+                vec![],
+                vec![RuleAtom::new(rr, vec![v(0)])],
+            )
+            .unwrap(),
+        );
+        let sk = prog.skolemize(&mut u).unwrap();
+        let c = u.constant("c");
+        let pc = u.atom(p, vec![c]).unwrap();
+        let qc = u.atom(q, vec![c]).unwrap();
+        let rc = u.atom(rr, vec![c]).unwrap();
+        let mut db = Database::new();
+        db.insert(&u, pc).unwrap();
+        let base = ChaseSegment::build(&mut u, &db, &sk, ChaseBudget::depth(1));
+        assert!(!base.complete, "q(c) is gated at depth 1");
+        assert!(!base.contains(rc));
+
+        let resumed = base.resume_with(&mut u, &sk, &[qc]);
+        assert!(resumed.contains(rc));
+        assert!(resumed.complete, "no atom is gated after the relaxation");
+        let mut union_db = db.clone();
+        union_db.insert(&u, qc).unwrap();
+        let fresh = ChaseSegment::build(&mut u, &union_db, &sk, ChaseBudget::depth(1));
+        assert_segments_equivalent(&u, &fresh, &resumed);
+    }
+
+    #[test]
+    fn incremental_grounding_equals_from_scratch() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let budget = ChaseBudget::depth(4);
+        let base = ChaseSegment::build(&mut u, &db, &prog, budget);
+        let base_ground = base.to_ground_program();
+
+        let r = u.lookup_pred("R").unwrap();
+        let p = u.lookup_pred("P").unwrap();
+        let c = u.constant("c9");
+        let d = u.constant("d9");
+        let rcd = u.atom(r, vec![c, c, d]).unwrap();
+        let pcc = u.atom(p, vec![c, c]).unwrap();
+        let resumed = base.resume_with(&mut u, &prog, &[rcd, pcc]);
+
+        let scratch = resumed.to_ground_program();
+        let extended = resumed.to_ground_program_from(&base_ground);
+        assert_eq!(scratch.atoms(), extended.atoms());
+        assert_eq!(scratch.facts(), extended.facts());
+        assert_eq!(scratch.facts_local(), extended.facts_local());
+        assert_eq!(scratch.num_rules(), extended.num_rules());
+        for r in 0..scratch.num_rules() {
+            assert_eq!(scratch.head_local(r), extended.head_local(r), "rule {r}");
+            assert_eq!(scratch.pos_local(r), extended.pos_local(r), "rule {r}");
+            assert_eq!(scratch.neg_local(r), extended.neg_local(r), "rule {r}");
+        }
+        for l in 0..scratch.num_atoms() as u32 {
+            assert_eq!(
+                scratch.rules_with_head_local(l),
+                extended.rules_with_head_local(l)
+            );
+            assert_eq!(
+                scratch.rules_with_pos_local(l),
+                extended.rules_with_pos_local(l)
+            );
+            assert_eq!(
+                scratch.rules_with_neg_local(l),
+                extended.rules_with_neg_local(l)
+            );
+        }
+    }
+
+    #[test]
+    fn cap_truncated_segments_refuse_resume() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(
+            &mut u,
+            &db,
+            &prog,
+            ChaseBudget::depth(64).with_max_atoms(10),
+        );
+        assert!(!seg.can_resume());
     }
 
     #[test]

@@ -53,15 +53,15 @@ impl ExplicitForest {
         // guard lookups and presence tests run on dense ids).
         let mut node_seg: Vec<SegAtomId> = Vec::new();
         // Roots: database facts, level 0, in segment order.
-        for (i, sa) in segment.atoms()[..segment.num_facts()].iter().enumerate() {
+        for &fs in segment.fact_segs() {
             nodes.push(ForestNode {
-                atom: sa.atom,
+                atom: segment.atom_of(fs),
                 parent: None,
                 via: None,
                 depth: 0,
                 level: 0,
             });
-            node_seg.push(SegAtomId::from_index(i));
+            node_seg.push(fs);
         }
         let mut present = BitSet::with_capacity(segment.atoms().len());
         for s in node_seg.iter() {

@@ -13,6 +13,14 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// Multiplicative constant from the Fx algorithm (a truncation of π).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// One word of the Fx mixing step as a standalone function, for callers
+/// that digest plain `u64` streams (rule fingerprints, dedup digests)
+/// without the byte-oriented [`Hasher`] plumbing.
+#[inline]
+pub fn mix64(h: u64, w: u64) -> u64 {
+    (h.rotate_left(5) ^ w).wrapping_mul(SEED)
+}
+
 /// Word-at-a-time multiplicative hasher.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FxHasher {
@@ -22,7 +30,7 @@ pub struct FxHasher {
 impl FxHasher {
     #[inline]
     fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+        self.hash = mix64(self.hash, word);
     }
 }
 

@@ -24,6 +24,7 @@
 pub mod atom;
 pub mod bitset;
 pub mod error;
+pub mod factbatch;
 pub mod fxhash;
 pub mod interp;
 pub mod normalize;
@@ -41,6 +42,7 @@ pub mod universe;
 pub use atom::{AtomId, AtomNode, AtomStore};
 pub use bitset::BitSet;
 pub use error::{CoreError, Result};
+pub use factbatch::{FactBatch, RelationWriter};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interp::Interp;
 pub use program::Program;

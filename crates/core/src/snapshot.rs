@@ -40,6 +40,15 @@ impl UniverseSnapshot {
         UniverseSnapshot(Arc::new(universe))
     }
 
+    /// Freezes an already-shared universe without copying: an O(1)
+    /// refcount bump. The caller promises the usual copy-on-write
+    /// discipline (e.g. `Arc::make_mut`) for any later mutation of its
+    /// own handle, which the type system enforces anyway — `Arc` hands
+    /// out `&mut` only when unshared.
+    pub fn from_arc(universe: Arc<Universe>) -> Self {
+        UniverseSnapshot(universe)
+    }
+
     /// The frozen universe.
     #[inline]
     pub fn universe(&self) -> &Universe {

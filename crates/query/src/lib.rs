@@ -20,5 +20,5 @@ pub mod source;
 
 pub use eval::{answers, answers_indexed, holds, holds3, possible_witness_indexed, AnswerSet};
 pub use nbcq::{Nbcq, QTerm, QVar, QueryAtom, QueryError};
-pub use prepared::PreparedQuery;
+pub use prepared::{PreparedQuery, QueryShape, ShapeAtom, ShapeTerm};
 pub use source::{InterpSource, TruthSource};

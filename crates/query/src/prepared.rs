@@ -19,16 +19,52 @@
 //! many threads without any synchronization.
 
 use crate::eval::{answers_indexed, possible_witness_indexed, AnswerSet};
-use crate::nbcq::Nbcq;
+use crate::nbcq::{Nbcq, QTerm, QueryAtom, QueryError};
 use crate::source::TruthSource;
+use std::sync::Arc;
 use wfdl_core::{Truth, Universe};
 use wfdl_storage::AtomIndex;
+
+/// One term of a [`QueryShape`] literal: a query variable or a constant
+/// kept by **name** (it may not be interned yet).
+#[derive(Clone, Debug)]
+pub enum ShapeTerm {
+    /// A query variable (numbering fixed at parse time).
+    Var(crate::nbcq::QVar),
+    /// A constant, by name.
+    Const(String),
+}
+
+/// One literal of a [`QueryShape`], predicate kept by name.
+#[derive(Clone, Debug)]
+pub struct ShapeAtom {
+    /// True for `not p(…)`.
+    pub negated: bool,
+    /// Predicate name.
+    pub pred: String,
+    /// Arguments.
+    pub args: Vec<ShapeTerm>,
+}
+
+/// The **name-level** form of a query: everything resolution needs, with
+/// no dependence on what the universe happens to have interned. This is
+/// what [`PreparedQuery`] retains when some name failed to resolve, so
+/// [`PreparedQuery::rebind`] can re-resolve after universe growth with
+/// pure lookups — no parser anywhere.
+#[derive(Clone, Debug)]
+pub struct QueryShape {
+    /// Literals in source order.
+    pub atoms: Vec<ShapeAtom>,
+    /// Free (answer) variables.
+    pub answer_vars: Vec<crate::nbcq::QVar>,
+}
 
 /// A query lowered against a frozen universe, ready for repeated
 /// evaluation through `&self`.
 ///
-/// Built by `wfdl_syntax::prepare_query` (text entry point) or
-/// [`PreparedQuery::from_query`] (programmatic entry point).
+/// Built by `wfdl_syntax::prepare_query` (text entry point),
+/// [`PreparedQuery::from_query`] or [`PreparedQuery::resolve`]
+/// (programmatic entry points).
 #[derive(Clone, Debug)]
 pub struct PreparedQuery {
     /// The lowered query; `None` when preparation proved the query can
@@ -37,6 +73,12 @@ pub struct PreparedQuery {
     /// Number of answer variables (shape of the answer tuples even when
     /// the query is definitely empty).
     answer_arity: usize,
+    /// Name-level form, retained **iff** some literal failed to resolve:
+    /// those verdicts depend on what the universe had interned, so a
+    /// [`PreparedQuery::rebind`] against a grown universe may upgrade
+    /// them. Fully-resolved queries carry `None` — their dense ids are
+    /// stable under universe growth and rebinding is the identity.
+    shape: Option<Arc<QueryShape>>,
 }
 
 impl PreparedQuery {
@@ -45,16 +87,121 @@ impl PreparedQuery {
         PreparedQuery {
             answer_arity: query.answer_vars.len(),
             query: Some(query),
+            shape: None,
         }
     }
 
     /// A query whose positive part mentions a predicate or constant the
-    /// universe has never interned: definitely no answers.
+    /// universe has never interned: definitely no answers. (Prefer
+    /// [`PreparedQuery::resolve`], which also retains the shape needed to
+    /// re-resolve later.)
     pub fn definitely_empty(answer_arity: usize) -> Self {
         PreparedQuery {
             query: None,
             answer_arity,
+            shape: None,
         }
+    }
+
+    /// Resolves a name-level query shape against a frozen universe.
+    ///
+    /// Resolution failure is a semantic verdict, not an error (see the
+    /// module docs): an unresolved positive literal makes the query
+    /// definitely empty, an unresolved negated literal is certainly
+    /// satisfied and dropped. Either way the shape is retained so
+    /// [`PreparedQuery::rebind`] can revisit the verdict once the
+    /// universe grows. Errors are reserved for genuine malformations:
+    /// arity mismatch against a *known* predicate, or the structural
+    /// checks `Nbcq::new` performs.
+    pub fn resolve(
+        universe: &Universe,
+        shape: Arc<QueryShape>,
+    ) -> Result<PreparedQuery, QueryError> {
+        let answer_arity = shape.answer_vars.len();
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let mut all_resolved = true;
+        for atom in &shape.atoms {
+            let pred = universe.lookup_pred(&atom.pred);
+            if let Some(p) = pred {
+                if universe.pred_arity(p) != atom.args.len() {
+                    return Err(QueryError::ArityMismatch {
+                        predicate: atom.pred.clone(),
+                    });
+                }
+            }
+            let mut args = Some(Vec::with_capacity(atom.args.len()));
+            for t in &atom.args {
+                match t {
+                    ShapeTerm::Var(v) => {
+                        if let Some(a) = args.as_mut() {
+                            a.push(QTerm::Var(*v));
+                        }
+                    }
+                    ShapeTerm::Const(c) => match universe.lookup_constant(c) {
+                        Some(t) => {
+                            if let Some(a) = args.as_mut() {
+                                a.push(QTerm::Const(t));
+                            }
+                        }
+                        None => args = None,
+                    },
+                }
+            }
+            let resolved = match (pred, args) {
+                (Some(p), Some(a)) => Some(QueryAtom::new(p, a)),
+                _ => None,
+            };
+            if resolved.is_none() {
+                all_resolved = false;
+            }
+            if atom.negated {
+                neg.push(resolved);
+            } else {
+                pos.push(resolved);
+            }
+        }
+        // Unresolved positive literal: no homomorphism can ever match it.
+        if pos.iter().any(Option::is_none) {
+            return Ok(PreparedQuery {
+                query: None,
+                answer_arity,
+                shape: Some(shape),
+            });
+        }
+        let pos: Vec<QueryAtom> = pos.into_iter().flatten().collect();
+        // Unresolved negated literals are certainly satisfied: drop them.
+        let neg: Vec<QueryAtom> = neg.into_iter().flatten().collect();
+        let query = Nbcq::new(universe, pos, neg, shape.answer_vars.clone())?;
+        Ok(PreparedQuery {
+            query: Some(query),
+            answer_arity,
+            shape: if all_resolved { None } else { Some(shape) },
+        })
+    }
+
+    /// Re-resolves this query against a (grown) universe.
+    ///
+    /// Fully-resolved queries return a clone — dense predicate, constant
+    /// and term ids never change once interned, so this is the promised
+    /// id-remap-not-reparse (and the remap is the identity). Queries that
+    /// short-circuited on unknown names at prepare time re-run name
+    /// resolution from the retained [`QueryShape`]: a constant the
+    /// knowledge base has since learned turns a definitely-empty verdict
+    /// back into a live query. Errors only if a previously-unknown
+    /// predicate materialized with a different arity.
+    pub fn rebind(&self, universe: &Universe) -> Result<PreparedQuery, QueryError> {
+        match &self.shape {
+            None => Ok(self.clone()),
+            Some(shape) => PreparedQuery::resolve(universe, Arc::clone(shape)),
+        }
+    }
+
+    /// True iff some literal failed to resolve at preparation time, so a
+    /// [`PreparedQuery::rebind`] against a grown universe could change
+    /// the verdict.
+    pub fn needs_rebind(&self) -> bool {
+        self.shape.is_some()
     }
 
     /// The lowered query, unless preparation short-circuited.
@@ -151,6 +298,96 @@ mod tests {
         assert!(q.answers_with(&u, &src, &certain).is_empty());
         assert!(!q.holds_with(&u, &src, &certain));
         assert_eq!(q.holds3_with(&u, &src, &certain, &possible), Truth::False);
+    }
+
+    #[test]
+    fn rebind_upgrades_short_circuits_after_universe_growth() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        u.constant("c");
+        // ?- p(d). with `d` unknown: definitely empty, but rebindable.
+        let shape = Arc::new(QueryShape {
+            atoms: vec![ShapeAtom {
+                negated: false,
+                pred: "p".into(),
+                args: vec![ShapeTerm::Const("d".into())],
+            }],
+            answer_vars: vec![],
+        });
+        let q = PreparedQuery::resolve(&u, Arc::clone(&shape)).unwrap();
+        assert!(q.is_definitely_empty());
+        assert!(q.needs_rebind());
+
+        // The universe learns `d`; rebinding revives the query.
+        let d = u.constant("d");
+        let pd = u.atom(p, vec![d]).unwrap();
+        let rebound = q.rebind(&u).unwrap();
+        assert!(!rebound.is_definitely_empty());
+        assert!(!rebound.needs_rebind(), "fully resolved now");
+        let mut i = Interp::new();
+        i.set_true(pd);
+        let atoms = vec![pd];
+        let src = InterpSource::new(&i, &atoms);
+        let certain = AtomIndex::build(&u, [pd]);
+        assert!(rebound.holds_with(&u, &src, &certain));
+        // Rebinding a fully-resolved query is the identity.
+        let again = rebound.rebind(&u).unwrap();
+        assert!(!again.is_definitely_empty());
+    }
+
+    #[test]
+    fn rebind_drops_then_restores_negated_literals() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let c = u.constant("c");
+        let pc = u.atom(p, vec![c]).unwrap();
+        // ?- p(X), not q(X). with `q` unknown: the negated literal drops,
+        // but the shape remembers it.
+        let shape = Arc::new(QueryShape {
+            atoms: vec![
+                ShapeAtom {
+                    negated: false,
+                    pred: "p".into(),
+                    args: vec![ShapeTerm::Var(QVar::new(0))],
+                },
+                ShapeAtom {
+                    negated: true,
+                    pred: "q".into(),
+                    args: vec![ShapeTerm::Var(QVar::new(0))],
+                },
+            ],
+            answer_vars: vec![],
+        });
+        let q = PreparedQuery::resolve(&u, shape).unwrap();
+        assert_eq!(q.query().unwrap().neg.len(), 0);
+        assert!(q.needs_rebind());
+
+        u.pred("q", 1).unwrap();
+        let rebound = q.rebind(&u).unwrap();
+        assert_eq!(rebound.query().unwrap().neg.len(), 1, "literal restored");
+        assert!(!rebound.needs_rebind());
+        let _ = pc;
+    }
+
+    #[test]
+    fn rebind_errors_on_conflicting_late_arity() {
+        let mut u = Universe::new();
+        u.pred("p", 1).unwrap();
+        let shape = Arc::new(QueryShape {
+            atoms: vec![ShapeAtom {
+                negated: false,
+                pred: "ghost".into(),
+                args: vec![ShapeTerm::Var(QVar::new(0))],
+            }],
+            answer_vars: vec![],
+        });
+        let q = PreparedQuery::resolve(&u, shape).unwrap();
+        assert!(q.is_definitely_empty());
+        u.pred("ghost", 2).unwrap();
+        assert!(matches!(
+            q.rebind(&u),
+            Err(QueryError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -44,6 +44,30 @@ impl Database {
         true
     }
 
+    /// Removes a batch of facts, returning how many were actually present.
+    ///
+    /// Order of the surviving facts is preserved. One linear pass over the
+    /// database per batch — retraction invalidates every derived
+    /// consequence anyway, so it is never on a hot path.
+    pub fn retract_batch(&mut self, universe: &Universe, atoms: &[AtomId]) -> usize {
+        let mut removed = 0usize;
+        for &a in atoms {
+            if self.set.remove(&a) {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return 0;
+        }
+        self.facts.retain(|f| self.set.contains(f));
+        for &a in atoms {
+            if let Some(row) = self.by_pred.get_mut(&universe.atoms.pred(a)) {
+                row.retain(|f| self.set.contains(f));
+            }
+        }
+        removed
+    }
+
     /// True iff the database contains `atom`.
     #[inline]
     pub fn contains(&self, atom: AtomId) -> bool {
@@ -101,6 +125,28 @@ mod tests {
             db.insert(&u, a),
             Err(CoreError::NonGroundFact { .. })
         ));
+    }
+
+    #[test]
+    fn retract_batch_removes_and_preserves_order() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let c = u.constant("c");
+        let d = u.constant("d");
+        let pc = u.atom(p, vec![c]).unwrap();
+        let pd = u.atom(p, vec![d]).unwrap();
+        let qc = u.atom(q, vec![c]).unwrap();
+        let mut db = Database::new();
+        for a in [pc, pd, qc] {
+            db.insert(&u, a).unwrap();
+        }
+        assert_eq!(db.retract_batch(&u, &[pc, qc, pc]), 2, "pc counted once");
+        assert_eq!(db.facts(), &[pd]);
+        assert_eq!(db.facts_with_pred(p), &[pd]);
+        assert!(db.facts_with_pred(q).is_empty());
+        assert!(!db.contains(pc));
+        assert_eq!(db.retract_batch(&u, &[pc]), 0, "already gone");
     }
 
     #[test]

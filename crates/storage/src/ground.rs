@@ -129,9 +129,13 @@ impl GroundProgramBuilder {
 
 /// An indexed, deduplicated finite ground normal program with dense local
 /// atom ids and CSR occurrence indexes.
+///
+/// Rule structure lives **only** in the flat local-id arrays the fixpoint
+/// engines read; the boxed [`GroundRule`] view is materialized on demand
+/// by [`GroundProgram::rule`] / [`GroundProgram::rules`] for cold paths
+/// (stratified baseline, wcheck cones, tests).
 #[derive(Clone, Debug, Default)]
 pub struct GroundProgram {
-    rules: Vec<GroundRule>,
     facts: Vec<AtomId>,
     /// All atoms appearing anywhere (facts, heads, bodies), sorted. The
     /// **local id** of an atom is its position here; `AtomId`-keyed
@@ -229,7 +233,6 @@ impl GroundProgram {
         }
 
         GroundProgram::finish_with_locals(
-            rules,
             facts,
             atoms,
             facts_local,
@@ -265,25 +268,142 @@ impl GroundProgram {
         debug_assert!(atoms.windows(2).all(|w| w[0] < w[1]), "atoms sorted+dedup");
         debug_assert_eq!(pos_off.len(), head_local.len() + 1);
         debug_assert_eq!(neg_off.len(), head_local.len() + 1);
-        let num_rules = head_local.len();
-        let mut rules = Vec::with_capacity(num_rules);
-        let atom_of = |l: &u32| -> AtomId {
-            debug_assert!((*l as usize) < atoms.len(), "local id in range");
-            atoms[*l as usize]
-        };
-        for r in 0..num_rules {
+        #[cfg(debug_assertions)]
+        for r in 0..head_local.len() {
+            debug_assert!((head_local[r] as usize) < atoms.len(), "local id in range");
             let pos_slice = &pos_local[pos_off[r] as usize..pos_off[r + 1] as usize];
             let neg_slice = &neg_local[neg_off[r] as usize..neg_off[r + 1] as usize];
+            debug_assert!(pos_slice.iter().all(|&l| (l as usize) < atoms.len()));
+            debug_assert!(neg_slice.iter().all(|&l| (l as usize) < atoms.len()));
             debug_assert!(pos_slice.windows(2).all(|w| w[0] < w[1]));
             debug_assert!(neg_slice.windows(2).all(|w| w[0] < w[1]));
-            rules.push(GroundRule {
-                head: atom_of(&head_local[r]),
-                pos: pos_slice.iter().map(atom_of).collect(),
-                neg: neg_slice.iter().map(atom_of).collect(),
-            });
         }
         GroundProgram::finish_with_locals(
-            rules,
+            facts,
+            atoms,
+            facts_local,
+            head_local,
+            pos_off,
+            pos_local,
+            neg_off,
+            neg_local,
+        )
+    }
+
+    /// Extends this program with newly-discovered atoms, facts and rule
+    /// instances — the **incremental grounding** path used after a resumed
+    /// chase, where re-translating the untouched bulk of the program would
+    /// dominate the whole re-solve.
+    ///
+    /// Contract (the chase upholds it): `new_atoms` is sorted, deduplicated
+    /// and disjoint from [`GroundProgram::atoms`]; `new_facts` are the
+    /// facts appended after this program's facts, in insertion order;
+    /// `new_rules` are the candidate instances discovered after this
+    /// program's rules, in discovery order, mentioning only known atoms.
+    /// Duplicate candidates (of existing rules or of each other) are
+    /// dropped, preserving the first-occurrence semantics of a from-scratch
+    /// build — the result is **identical** to re-grounding the grown
+    /// segment from scratch.
+    ///
+    /// Cost: one merge pass over the atom list, one remap pass over the
+    /// existing rule arrays (plain array adds — no sorting, no hashing, no
+    /// per-rule boxing), and per-candidate work for the new rules only.
+    pub fn extend_with(
+        &self,
+        new_atoms: &[AtomId],
+        new_facts: &[AtomId],
+        new_rules: &[GroundRule],
+    ) -> GroundProgram {
+        debug_assert!(new_atoms.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(new_atoms.iter().all(|a| !self.mentions(*a)));
+        let old_n = self.atoms.len();
+
+        // Merge the sorted atom lists; `shift[l]` counts the new atoms
+        // inserted before old local `l`, so remapping is one add.
+        let mut atoms = Vec::with_capacity(old_n + new_atoms.len());
+        let mut shift = Vec::with_capacity(old_n);
+        {
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old_n || j < new_atoms.len() {
+                if j >= new_atoms.len() || (i < old_n && self.atoms[i] < new_atoms[j]) {
+                    shift.push(j as u32);
+                    atoms.push(self.atoms[i]);
+                    i += 1;
+                } else {
+                    atoms.push(new_atoms[j]);
+                    j += 1;
+                }
+            }
+        }
+        let remap = |l: u32| l + shift[l as usize];
+        let local =
+            |a: AtomId| -> u32 { atoms.binary_search(&a).expect("atom is mentioned") as u32 };
+
+        // Existing rule arrays, remapped in place-order (offsets and rule
+        // order unchanged; bodies stay sorted because the remap is
+        // monotone).
+        let num_old_rules = self.head_local.len();
+        let mut head_local: Vec<u32> = self.head_local.iter().map(|&l| remap(l)).collect();
+        let mut pos_off = self.pos_off.clone();
+        let mut neg_off = self.neg_off.clone();
+        let mut pos_local: Vec<u32> = self.pos_local.iter().map(|&l| remap(l)).collect();
+        let mut neg_local: Vec<u32> = self.neg_local.iter().map(|&l| remap(l)).collect();
+        head_local.reserve(new_rules.len());
+
+        // Append the new rules, dropping duplicates. A candidate can only
+        // duplicate a rule with the same head, so the existing per-head
+        // occurrence row (remapped on the fly) plus a scan of the newly
+        // kept rules with that head bounds the comparison work.
+        let mut scratch_pos: Vec<u32> = Vec::new();
+        let mut scratch_neg: Vec<u32> = Vec::new();
+        'candidates: for rule in new_rules {
+            let h = local(rule.head);
+            scratch_pos.clear();
+            scratch_pos.extend(rule.pos.iter().map(|&a| local(a)));
+            scratch_neg.clear();
+            scratch_neg.extend(rule.neg.iter().map(|&a| local(a)));
+            // vs. existing rules with this head (old ids still valid —
+            // old heads keep their rule indexes).
+            if let Some(old_h) = self.atoms.binary_search(&rule.head).ok().map(|l| l as u32) {
+                for &rid in self.rules_with_head_local(old_h) {
+                    let r = rid.index();
+                    let pos =
+                        &self.pos_local[self.pos_off[r] as usize..self.pos_off[r + 1] as usize];
+                    let neg =
+                        &self.neg_local[self.neg_off[r] as usize..self.neg_off[r + 1] as usize];
+                    if pos.len() == scratch_pos.len()
+                        && neg.len() == scratch_neg.len()
+                        && pos.iter().zip(&scratch_pos).all(|(&l, &n)| remap(l) == n)
+                        && neg.iter().zip(&scratch_neg).all(|(&l, &n)| remap(l) == n)
+                    {
+                        continue 'candidates;
+                    }
+                }
+            }
+            // vs. rules appended earlier in this call.
+            for r in num_old_rules..head_local.len() {
+                if head_local[r] != h {
+                    continue;
+                }
+                let pos = &pos_local[pos_off[r] as usize..pos_off[r + 1] as usize];
+                let neg = &neg_local[neg_off[r] as usize..neg_off[r + 1] as usize];
+                if pos == scratch_pos.as_slice() && neg == scratch_neg.as_slice() {
+                    continue 'candidates;
+                }
+            }
+            head_local.push(h);
+            pos_local.extend_from_slice(&scratch_pos);
+            pos_off.push(pos_local.len() as u32);
+            neg_local.extend_from_slice(&scratch_neg);
+            neg_off.push(neg_local.len() as u32);
+        }
+
+        let mut facts = self.facts.clone();
+        facts.extend_from_slice(new_facts);
+        let mut facts_local: Vec<u32> = self.facts_local.iter().map(|&l| remap(l)).collect();
+        facts_local.extend(new_facts.iter().map(|&f| local(f)));
+
+        GroundProgram::finish_with_locals(
             facts,
             atoms,
             facts_local,
@@ -299,7 +419,6 @@ impl GroundProgram {
     /// ready-made local-id rule arrays by counting sort.
     #[allow(clippy::too_many_arguments)]
     fn finish_with_locals(
-        rules: Vec<GroundRule>,
         facts: Vec<AtomId>,
         atoms: Vec<AtomId>,
         facts_local: Vec<u32>,
@@ -310,7 +429,7 @@ impl GroundProgram {
         neg_local: Vec<u32>,
     ) -> Self {
         let n = atoms.len();
-        let num_rules = rules.len();
+        let num_rules = head_local.len();
 
         // Occurrence indexes (CSR over local atom ids): count, prefix-sum,
         // fill. The fill preserves rule order within each atom's row.
@@ -362,7 +481,6 @@ impl GroundProgram {
         }
 
         let mut prog = GroundProgram {
-            rules,
             facts,
             atoms,
             facts_local,
@@ -384,7 +502,6 @@ impl GroundProgram {
 
     /// Releases over-allocated capacity on every index array.
     fn shrink_to_fit(&mut self) {
-        self.rules.shrink_to_fit();
         self.facts.shrink_to_fit();
         self.atoms.shrink_to_fit();
         self.facts_local.shrink_to_fit();
@@ -401,16 +518,28 @@ impl GroundProgram {
         self.neg_occ.shrink_to_fit();
     }
 
-    /// The rules.
-    #[inline]
-    pub fn rules(&self) -> &[GroundRule] {
-        &self.rules
+    /// Iterates the rules as materialized [`GroundRule`]s (allocates two
+    /// boxes per rule; cold-path convenience — hot loops read the local-id
+    /// CSR arrays directly).
+    pub fn rules(&self) -> impl Iterator<Item = GroundRule> + '_ {
+        (0..self.num_rules()).map(|r| self.rule(GroundRuleId::from_index(r)))
     }
 
-    /// A rule by id.
-    #[inline]
-    pub fn rule(&self, id: GroundRuleId) -> &GroundRule {
-        &self.rules[id.index()]
+    /// Materializes a rule by id (allocates; cold-path convenience).
+    pub fn rule(&self, id: GroundRuleId) -> GroundRule {
+        let r = id.index();
+        let atom_of = |l: &u32| self.atoms[*l as usize];
+        GroundRule {
+            head: atom_of(&self.head_local[r]),
+            pos: self.pos_local[self.pos_off[r] as usize..self.pos_off[r + 1] as usize]
+                .iter()
+                .map(atom_of)
+                .collect(),
+            neg: self.neg_local[self.neg_off[r] as usize..self.neg_off[r + 1] as usize]
+                .iter()
+                .map(atom_of)
+                .collect(),
+        }
     }
 
     /// The facts.
@@ -516,7 +645,7 @@ impl GroundProgram {
 
     /// Number of rules.
     pub fn num_rules(&self) -> usize {
-        self.rules.len()
+        self.head_local.len()
     }
 
     /// Number of distinct atoms mentioned.

@@ -11,7 +11,9 @@ use crate::error::{Result, SyntaxError};
 use wfdl_core::{
     Constraint, HeadTerm, Program, RTerm, RuleAtom, SkolemProgram, SkolemRule, Tgd, Universe, Var,
 };
-use wfdl_query::{Nbcq, PreparedQuery, QTerm, QVar, QueryAtom, QueryError};
+use wfdl_query::{
+    Nbcq, PreparedQuery, QTerm, QVar, QueryAtom, QueryError, QueryShape, ShapeAtom, ShapeTerm,
+};
 use wfdl_storage::Database;
 
 /// The result of lowering a source file.
@@ -279,17 +281,6 @@ pub fn lower_query(universe: &mut Universe, q: &AstQuery) -> Result<Nbcq> {
     Nbcq::new(universe, pos, neg, answer_vars).map_err(|e| SyntaxError::new(e.to_string(), q.pos))
 }
 
-/// A query atom whose predicate and constants may or may not resolve
-/// against the frozen universe.
-struct FrozenAtom {
-    /// Fully-resolved atom, or `None` when the predicate or one of the
-    /// constants was never interned.
-    resolved: Option<QueryAtom>,
-    /// Variables occurring in the atom (tracked even when unresolved, so
-    /// range-restriction is validated on the query as written).
-    vars: Vec<QVar>,
-}
-
 /// Lowers a parsed query against a **frozen** universe: predicates and
 /// constants are looked up, never interned, so this works through
 /// `&Universe` and is safe to call concurrently.
@@ -298,7 +289,10 @@ struct FrozenAtom {
 /// materialized atom, so resolution failure is a semantic verdict rather
 /// than an error: an unresolved *positive* literal makes the whole query
 /// [`PreparedQuery::is_definitely_empty`]; an unresolved *negated* literal
-/// is certainly satisfied and dropped. Malformed queries (non-range-
+/// is certainly satisfied and dropped. Either way the name-level
+/// [`QueryShape`] is retained inside the prepared query, so
+/// [`PreparedQuery::rebind`] can revisit those verdicts after the
+/// universe grows — without re-parsing. Malformed queries (non-range-
 /// restricted, arity mismatches against known predicates, function terms)
 /// still error, with the same messages as the interning path.
 pub fn lower_query_frozen(universe: &Universe, q: &AstQuery) -> Result<PreparedQuery> {
@@ -312,9 +306,14 @@ pub fn lower_query_frozen(universe: &Universe, q: &AstQuery) -> Result<PreparedQ
         }
     };
 
-    let lower_atom = |atom: &AstAtom, names: &mut Vec<String>| -> Result<FrozenAtom> {
-        let pred = universe.lookup_pred(&atom.pred);
-        if let Some(p) = pred {
+    // Per-literal variable lists, for validating the query *as written*.
+    let mut atom_vars: Vec<(bool, Vec<QVar>)> = Vec::new();
+    let mut shape_atoms: Vec<ShapeAtom> = Vec::new();
+    for lit in &q.body {
+        let atom = &lit.atom;
+        // Arity against *known* predicates is a genuine error, reported at
+        // the atom's own position.
+        if let Some(p) = universe.lookup_pred(&atom.pred) {
             if universe.pred_arity(p) != atom.args.len() {
                 return Err(SyntaxError::new(
                     QueryError::ArityMismatch {
@@ -326,24 +325,15 @@ pub fn lower_query_frozen(universe: &Universe, q: &AstQuery) -> Result<PreparedQ
             }
         }
         let mut vars = Vec::new();
-        let mut args = Some(Vec::with_capacity(atom.args.len()));
+        let mut args = Vec::with_capacity(atom.args.len());
         for t in &atom.args {
             match t {
                 AstTerm::Var(v) => {
-                    let var = qvar(v, names);
+                    let var = qvar(v, &mut names);
                     vars.push(var);
-                    if let Some(a) = args.as_mut() {
-                        a.push(QTerm::Var(var));
-                    }
+                    args.push(ShapeTerm::Var(var));
                 }
-                AstTerm::Const(c) => match universe.lookup_constant(c) {
-                    Some(t) => {
-                        if let Some(a) = args.as_mut() {
-                            a.push(QTerm::Const(t));
-                        }
-                    }
-                    None => args = None,
-                },
+                AstTerm::Const(c) => args.push(ShapeTerm::Const(c.clone())),
                 AstTerm::Fn(..) => {
                     return Err(SyntaxError::new(
                         "queries cannot mention nulls (function terms)",
@@ -352,36 +342,33 @@ pub fn lower_query_frozen(universe: &Universe, q: &AstQuery) -> Result<PreparedQ
                 }
             }
         }
-        let resolved = match (pred, args) {
-            (Some(p), Some(a)) => Some(QueryAtom::new(p, a)),
-            _ => None,
-        };
-        Ok(FrozenAtom { resolved, vars })
-    };
-
-    let mut pos = Vec::new();
-    let mut neg = Vec::new();
-    for lit in &q.body {
-        let atom = lower_atom(&lit.atom, &mut names)?;
-        if lit.negated {
-            neg.push(atom);
-        } else {
-            pos.push(atom);
-        }
+        atom_vars.push((lit.negated, vars));
+        shape_atoms.push(ShapeAtom {
+            negated: lit.negated,
+            pred: atom.pred.clone(),
+            args,
+        });
     }
     let answer_vars: Vec<QVar> = q.answer_vars.iter().map(|v| qvar(v, &mut names)).collect();
 
     // Validate the query *as written* (resolved or not), mirroring the
     // checks `Nbcq::new` performs on the interning path.
-    if pos.is_empty() {
+    if !atom_vars.iter().any(|(negated, _)| !negated) {
         return Err(SyntaxError::new(
             QueryError::NoPositiveAtom.to_string(),
             q.pos,
         ));
     }
-    let pos_vars: Vec<QVar> = pos.iter().flat_map(|a| a.vars.iter().copied()).collect();
-    for a in &neg {
-        if let Some(&v) = a.vars.iter().find(|v| !pos_vars.contains(v)) {
+    let pos_vars: Vec<QVar> = atom_vars
+        .iter()
+        .filter(|(negated, _)| !negated)
+        .flat_map(|(_, vars)| vars.iter().copied())
+        .collect();
+    for (negated, vars) in &atom_vars {
+        if !negated {
+            continue;
+        }
+        if let Some(&v) = vars.iter().find(|v| !pos_vars.contains(v)) {
             return Err(SyntaxError::new(
                 QueryError::UnsafeVariable(v).to_string(),
                 q.pos,
@@ -397,16 +384,12 @@ pub fn lower_query_frozen(universe: &Universe, q: &AstQuery) -> Result<PreparedQ
         }
     }
 
-    // Unresolved positive literal: no homomorphism can ever match it.
-    if pos.iter().any(|a| a.resolved.is_none()) {
-        return Ok(PreparedQuery::definitely_empty(answer_vars.len()));
-    }
-    let pos: Vec<QueryAtom> = pos.into_iter().map(|a| a.resolved.unwrap()).collect();
-    // Unresolved negated literals are certainly satisfied: drop them.
-    let neg: Vec<QueryAtom> = neg.into_iter().filter_map(|a| a.resolved).collect();
-    let nbcq = Nbcq::new(universe, pos, neg, answer_vars)
-        .map_err(|e| SyntaxError::new(e.to_string(), q.pos))?;
-    Ok(PreparedQuery::from_query(nbcq))
+    let shape = QueryShape {
+        atoms: shape_atoms,
+        answer_vars,
+    };
+    PreparedQuery::resolve(universe, std::sync::Arc::new(shape))
+        .map_err(|e| SyntaxError::new(e.to_string(), q.pos))
 }
 
 /// Parses and lowers a single query against a frozen universe in one step:

@@ -36,7 +36,7 @@
 
 use crate::result::EngineResult;
 use wfdl_chase::{ChaseSegment, InstanceId, SegAtomId};
-use wfdl_core::{AtomId, BitSet, FxHashMap, Interp};
+use wfdl_core::{AtomId, BitSet, Interp};
 
 /// The `Ŵ_P` engine over a chase segment.
 ///
@@ -88,9 +88,9 @@ impl<'a> ForwardEngine<'a> {
             .map(|ii| self.seg.num_distinct_pos(InstanceId::from_index(ii)))
             .collect();
 
-        for i in 0..self.seg.num_facts() {
-            if alive.insert(i) {
-                queue.push(i as u32);
+        for &fs in self.seg.fact_segs() {
+            if alive.insert(fs.index()) {
+                queue.push(fs.index() as u32);
             }
         }
         // Instances with empty positive bodies cannot exist (guarded rules
@@ -137,7 +137,7 @@ impl<'a> ForwardEngine<'a> {
     /// Iterates `Ŵ_P` from `∅` to its least fixpoint, counting stages.
     pub fn solve(&self) -> EngineResult {
         let mut interp = Interp::new();
-        let mut decided_stage: FxHashMap<AtomId, u32> = FxHashMap::default();
+        let mut decided_stage = crate::result::StageMap::default();
         let mut stage = 0u32;
         loop {
             stage += 1;
@@ -163,6 +163,7 @@ impl<'a> ForwardEngine<'a> {
             decided_stage,
             stages: stage,
             stats: None,
+            memo: None,
         }
     }
 

@@ -1,8 +1,56 @@
 //! Common output type of the fixpoint engines.
 
-use crate::scc::ModularStats;
-use wfdl_core::{AtomId, BitSet, FxHashMap, Interp, Truth};
+use crate::scc::{ModularMemo, ModularStats};
+use wfdl_core::{AtomId, BitSet, Interp, Truth};
 use wfdl_storage::GroundProgram;
+
+/// Per-atom decision stages as a flat array indexed by [`AtomId`]
+/// (universe atom ids are dense, so this beats a hash map by an order of
+/// magnitude on the assemble-result path every solve takes).
+#[derive(Clone, Debug, Default)]
+pub struct StageMap {
+    /// `u32::MAX` = undecided.
+    stages: Vec<u32>,
+}
+
+impl StageMap {
+    const UNDECIDED: u32 = u32::MAX;
+
+    /// An empty map pre-sized for atom ids below `n`.
+    pub fn with_capacity(n: usize) -> Self {
+        StageMap {
+            stages: vec![Self::UNDECIDED; n],
+        }
+    }
+
+    /// Records the decision stage of an atom.
+    pub fn insert(&mut self, atom: AtomId, stage: u32) {
+        debug_assert_ne!(stage, Self::UNDECIDED);
+        let i = atom.index();
+        if self.stages.len() <= i {
+            self.stages.resize(i + 1, Self::UNDECIDED);
+        }
+        self.stages[i] = stage;
+    }
+
+    /// Decision stage of an atom, if decided.
+    #[inline]
+    pub fn get(&self, atom: AtomId) -> Option<u32> {
+        match self.stages.get(atom.index()) {
+            Some(&s) if s != Self::UNDECIDED => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(atom, stage)` over decided atoms, in atom-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, u32)> + '_ {
+        self.stages
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s != Self::UNDECIDED)
+            .map(|(i, &s)| (AtomId::from_index(i), s))
+    }
+}
 
 /// The three-valued model computed by an engine over the atoms of a ground
 /// program, with per-atom decision stages.
@@ -11,11 +59,15 @@ pub struct EngineResult {
     /// Truth values over the program's atom universe.
     pub interp: Interp,
     /// Stage at which each decided atom obtained its value.
-    pub decided_stage: FxHashMap<AtomId, u32>,
+    pub decided_stage: StageMap,
     /// Number of productive stages until the fixpoint.
     pub stages: u32,
     /// Per-component statistics (populated by the SCC-modular engine).
     pub stats: Option<ModularStats>,
+    /// Condensation + per-component input fingerprints (populated by the
+    /// SCC-modular engine), the basis for verdict reuse on the next
+    /// incremental solve.
+    pub memo: Option<ModularMemo>,
 }
 
 impl EngineResult {
@@ -27,7 +79,8 @@ impl EngineResult {
         stages: u32,
     ) -> Self {
         let mut interp = Interp::with_capacity(prog.num_atoms());
-        let mut decided_stage = FxHashMap::default();
+        let cap = prog.atoms().last().map_or(0, |a| a.index() + 1);
+        let mut decided_stage = StageMap::with_capacity(cap);
         for (i, &atom) in prog.atoms().iter().enumerate() {
             if truth_true.contains(i) {
                 interp.set_true(atom);
@@ -42,6 +95,7 @@ impl EngineResult {
             decided_stage,
             stages,
             stats: None,
+            memo: None,
         }
     }
 
@@ -53,6 +107,6 @@ impl EngineResult {
 
     /// Decision stage of an atom, if decided.
     pub fn stage_of(&self, atom: AtomId) -> Option<u32> {
-        self.decided_stage.get(&atom).copied()
+        self.decided_stage.get(atom)
     }
 }

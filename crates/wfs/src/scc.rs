@@ -32,7 +32,8 @@
 
 use crate::result::EngineResult;
 use crate::wp::{StepMode, WpEngine};
-use wfdl_core::{BitSet, FxHashMap, Interp, Truth};
+use wfdl_core::fxhash::mix64 as mix;
+use wfdl_core::{BitSet, Interp, Truth};
 use wfdl_storage::{GroundProgram, GroundRule};
 
 /// Per-run statistics of the modular evaluation, exposed through
@@ -51,6 +52,29 @@ pub struct ModularStats {
     pub atoms_in_recursive: usize,
     /// Atoms left undefined by the run.
     pub unknown_atoms: usize,
+    /// Components whose verdicts were copied from a previous solve
+    /// (incremental runs only; see [`ModularMemo`]).
+    pub components_reused: usize,
+}
+
+/// The condensation and per-component **input fingerprints** of one
+/// modular solve, retained inside [`EngineResult::memo`] so the *next*
+/// solve over a grown program can recognize unchanged components and copy
+/// their verdicts instead of re-evaluating them.
+///
+/// A component's fingerprint digests everything its verdicts depend on:
+/// its atom set (as universe [`wfdl_core::AtomId`]s, which are stable
+/// across solves), fact membership, every rule heading one of its atoms
+/// (bodies in atom-id space), and — for body atoms outside the component —
+/// their already-decided truth values. Verdict reuse additionally requires
+/// the exact atom sets to coincide, so a 64-bit collision can only confuse
+/// two states of the *same* component's rules or inputs.
+#[derive(Clone, Debug)]
+pub struct ModularMemo {
+    /// The condensation the solve ran over.
+    pub condensation: Condensation,
+    /// Per-component input fingerprint, indexed by emission ordinal.
+    pub fingerprints: Vec<u64>,
 }
 
 /// The SCC-modular WFS engine.
@@ -66,10 +90,43 @@ impl<'a> ModularEngine<'a> {
 
     /// Computes the well-founded model component by component.
     pub fn solve(&self) -> EngineResult {
+        self.solve_incremental(None)
+    }
+
+    /// Computes the well-founded model, reusing verdicts from a previous
+    /// solve where possible.
+    ///
+    /// `prev` is the ground program and engine result of the previous
+    /// solve over the **same universe** (so atom ids align); it must carry
+    /// a [`ModularMemo`] (i.e. come from this engine) for any reuse to
+    /// happen. A component of the current program whose input fingerprint
+    /// and atom set match a previous component has, by the modularity
+    /// (splitting) property of the well-founded semantics, the same
+    /// verdicts — they are copied and the component's evaluation skipped
+    /// entirely. Everything else (new components, components with new
+    /// rules or facts, components whose lower inputs changed) is evaluated
+    /// normally. The number of reused components is reported in
+    /// [`ModularStats::components_reused`].
+    pub fn solve_incremental(&self, prev: Option<(&GroundProgram, &EngineResult)>) -> EngineResult {
         let prog = self.prog;
         let n = prog.num_atoms();
         let cond = condensation(prog);
         let comp_of = &cond.comp_of;
+        let prev_memo = prev.and_then(|(pg, pr)| pr.memo.as_ref().map(|m| (pg, pr, m)));
+        // Dense AtomId → previous-local-id map, built once so reuse probes
+        // are single array reads instead of binary searches per atom.
+        const ABSENT: u32 = u32::MAX;
+        let prev_local: Vec<u32> = match prev_memo {
+            Some((pg, _, _)) => {
+                let size = pg.atoms().last().map_or(0, |a| a.index() + 1);
+                let mut map = vec![ABSENT; size];
+                for (i, &a) in pg.atoms().iter().enumerate() {
+                    map[a.index()] = i as u32;
+                }
+                map
+            }
+            None => Vec::new(),
+        };
 
         // Local truth state; Truth::Unknown doubles as "not yet decided"
         // (sound because components are decided strictly bottom-up).
@@ -84,6 +141,7 @@ impl<'a> ModularEngine<'a> {
             components: cond.num_components(),
             ..Default::default()
         };
+        let mut fingerprints: Vec<u64> = Vec::with_capacity(cond.num_components());
 
         // Scratch buffers reused across components (most components are
         // singletons, so per-component allocation would dominate).
@@ -91,6 +149,7 @@ impl<'a> ModularEngine<'a> {
         let mut rules: Vec<u32> = Vec::new();
         let mut missing: Vec<u32> = Vec::new();
         let mut queue: Vec<u32> = Vec::new();
+        let mut sorted_comp: Vec<u32> = Vec::new();
 
         for (ordinal, comp) in cond.iter().enumerate() {
             let ord = ordinal as u32;
@@ -118,6 +177,34 @@ impl<'a> ModularEngine<'a> {
                             definite = false; // undefined lower input
                         }
                     }
+                }
+            }
+
+            // Fingerprint this component's inputs; try to reuse the
+            // previous solve's verdicts before evaluating anything.
+            let fp =
+                fingerprint_component(prog, comp, ord, comp_of, &truth, &is_fact, &mut sorted_comp);
+            fingerprints.push(fp);
+            if let Some((_, prev_result, memo)) = prev_memo {
+                if try_reuse(
+                    prog,
+                    comp,
+                    fp,
+                    &prev_local,
+                    prev_result,
+                    memo,
+                    stage,
+                    &mut truth,
+                    &mut stage_of,
+                ) {
+                    stats.components_reused += 1;
+                    if definite {
+                        stats.definite_components += 1;
+                    } else {
+                        stats.recursive_components += 1;
+                        stats.atoms_in_recursive += comp.len();
+                    }
+                    continue;
                 }
             }
 
@@ -154,7 +241,8 @@ impl<'a> ModularEngine<'a> {
 
         // Assemble the EngineResult over original atom ids.
         let mut interp = Interp::with_capacity(n);
-        let mut decided_stage = FxHashMap::default();
+        let cap = prog.atoms().last().map_or(0, |a| a.index() + 1);
+        let mut decided_stage = crate::result::StageMap::with_capacity(cap);
         for a in 0..n {
             let atom = prog.atom_of_local(a as u32);
             match truth[a] {
@@ -174,6 +262,10 @@ impl<'a> ModularEngine<'a> {
             decided_stage,
             stages: cond.num_components() as u32,
             stats: Some(stats),
+            memo: Some(ModularMemo {
+                condensation: cond,
+                fingerprints,
+            }),
         }
     }
 
@@ -367,6 +459,105 @@ impl<'a> ModularEngine<'a> {
             }
         }
     }
+}
+
+/// Digests a component's inputs into a 64-bit fingerprint: atom ids and
+/// fact bits in ascending-id order, every rule heading a component atom
+/// (bodies in atom-id space), and the decided truth of each external body
+/// atom. Deterministic across solves because universe atom ids are stable
+/// and ground-rule bodies are stored sorted.
+fn fingerprint_component(
+    prog: &GroundProgram,
+    comp: &[u32],
+    ord: u32,
+    comp_of: &[u32],
+    truth: &[Truth],
+    is_fact: &BitSet,
+    sorted_comp: &mut Vec<u32>,
+) -> u64 {
+    sorted_comp.clear();
+    sorted_comp.extend_from_slice(comp);
+    // Local ids increase with atom ids, so this visits atoms in a
+    // solve-independent order even though Tarjan's emission order within
+    // the component is not.
+    sorted_comp.sort_unstable();
+    let mut h = mix(0, comp.len() as u64);
+    let body = |mut h: u64, atoms: &[u32]| {
+        h = mix(h, atoms.len() as u64);
+        for &b in atoms {
+            h = mix(h, prog.atom_of_local(b).index() as u64);
+            let tag = if comp_of[b as usize] == ord {
+                3 // internal: undecided by construction
+            } else {
+                match truth[b as usize] {
+                    Truth::False => 0,
+                    Truth::Unknown => 1,
+                    Truth::True => 2,
+                }
+            };
+            h = mix(h, tag);
+        }
+        h
+    };
+    for &a in sorted_comp.iter() {
+        h = mix(h, prog.atom_of_local(a).index() as u64);
+        h = mix(h, is_fact.contains(a as usize) as u64);
+        let heading = prog.rules_with_head_local(a);
+        h = mix(h, heading.len() as u64);
+        for &rid in heading {
+            let r = rid.index();
+            h = body(h, prog.pos_local(r));
+            h = body(h, prog.neg_local(r));
+        }
+    }
+    h
+}
+
+/// Copies the previous solve's verdicts for `comp` if it is provably the
+/// same component with the same inputs: every atom must map into one
+/// previous component of identical size, and the input fingerprints must
+/// agree. Returns whether the reuse happened.
+#[allow(clippy::too_many_arguments)]
+fn try_reuse(
+    prog: &GroundProgram,
+    comp: &[u32],
+    fp: u64,
+    prev_local: &[u32],
+    prev_result: &EngineResult,
+    memo: &ModularMemo,
+    stage: u32,
+    truth: &mut [Truth],
+    stage_of: &mut [u32],
+) -> bool {
+    const ABSENT: u32 = u32::MAX;
+    let lookup = |local: u32| -> Option<u32> {
+        match prev_local.get(prog.atom_of_local(local).index()) {
+            Some(&l) if l != ABSENT => Some(l),
+            _ => None,
+        }
+    };
+    let Some(first_old) = lookup(comp[0]) else {
+        return false; // atom is new: the component cannot be a reuse
+    };
+    let old_ord = memo.condensation.comp_of[first_old as usize] as usize;
+    if memo.fingerprints[old_ord] != fp || memo.condensation.component(old_ord).len() != comp.len()
+    {
+        return false;
+    }
+    for &a in comp {
+        match lookup(a) {
+            Some(l) if memo.condensation.comp_of[l as usize] as usize == old_ord => {}
+            _ => return false,
+        }
+    }
+    for &a in comp {
+        let verdict = prev_result.value(prog.atom_of_local(a));
+        truth[a as usize] = verdict;
+        if verdict != Truth::Unknown {
+            stage_of[a as usize] = stage;
+        }
+    }
+    true
 }
 
 /// Tarjan's strongly-connected-components algorithm (iterative) over the
@@ -661,6 +852,57 @@ mod tests {
         assert_eq!(res.value(a(0)), Truth::True);
         assert_eq!(res.value(a(1)), Truth::False);
         agree_with_global(&b);
+    }
+
+    #[test]
+    fn incremental_reuse_copies_unchanged_component_verdicts() {
+        // Base: a fact chain plus a draw cycle (genuinely unknown). Grow
+        // the program with an independent chain; every untouched component
+        // must be reused verbatim and the model must agree with a fresh
+        // solve — including the reused Unknowns.
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        b.add_rule(GroundRule::new(a(1), vec![a(0)], vec![]));
+        b.add_rule(GroundRule::new(a(2), vec![], vec![a(3)]));
+        b.add_rule(GroundRule::new(a(3), vec![], vec![a(2)]));
+        let base = b.clone().finish();
+        let base_res = ModularEngine::new(&base).solve();
+        assert!(base_res.memo.is_some(), "modular solves carry a memo");
+
+        b.add_fact(a(4));
+        b.add_rule(GroundRule::new(a(5), vec![a(4)], vec![a(1)]));
+        let grown = b.finish();
+        let inc = ModularEngine::new(&grown).solve_incremental(Some((&base, &base_res)));
+        let fresh = ModularEngine::new(&grown).solve();
+        for &atom in grown.atoms() {
+            assert_eq!(inc.value(atom), fresh.value(atom), "on {atom:?}");
+        }
+        // {a0}, {a1} and the {a2,a3} cycle are untouched: all reused.
+        let stats = inc.stats.unwrap();
+        assert_eq!(stats.components_reused, 3, "{stats:?}");
+        assert_eq!(inc.value(a(2)), Truth::Unknown, "reused unknown survives");
+        assert_eq!(inc.value(a(5)), Truth::False, "new rule evaluated fresh");
+    }
+
+    #[test]
+    fn incremental_reuse_rejects_components_with_changed_inputs() {
+        // Base (no facts): a(1) ← a(0) ← a(2), everything false. Growing
+        // the program with the fact a(0) changes a(0)'s own fingerprint
+        // (fact bit) and a(1)'s external input — neither may be reused.
+        let mut b = GroundProgramBuilder::new();
+        b.add_rule(GroundRule::new(a(1), vec![a(0)], vec![]));
+        b.add_rule(GroundRule::new(a(0), vec![a(2)], vec![]));
+        let base = b.clone().finish();
+        let base_res = ModularEngine::new(&base).solve();
+        assert_eq!(base_res.value(a(1)), Truth::False);
+
+        b.add_fact(a(0));
+        let grown = b.finish();
+        let inc = ModularEngine::new(&grown).solve_incremental(Some((&base, &base_res)));
+        assert_eq!(inc.value(a(0)), Truth::True);
+        assert_eq!(inc.value(a(1)), Truth::True, "stale False must not leak");
+        // Only {a2} (no rules, no facts, unchanged) can be reused.
+        assert_eq!(inc.stats.unwrap().components_reused, 1);
     }
 
     #[test]

@@ -176,6 +176,18 @@ impl wfdl_query::TruthSource for WellFoundedModel {
     }
 }
 
+/// How a solve was produced — observability for the incremental re-solve
+/// path of the compile → solve → serve lifecycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// True iff the chase was resumed from a previous model's segment
+    /// instead of rebuilt from scratch.
+    pub incremental: bool,
+    /// Dependency components whose verdicts were copied from the previous
+    /// solve (only [`EngineKind::Modular`] reuses verdicts).
+    pub components_reused: usize,
+}
+
 /// Computes `WFS(D, Σf)` on a budgeted chase segment.
 pub fn solve(
     universe: &mut Universe,
@@ -184,9 +196,57 @@ pub fn solve(
     options: WfsOptions,
 ) -> WellFoundedModel {
     let segment = ChaseSegment::build(universe, db, program, options.budget);
-    let ground = segment.to_ground_program();
+    finish_model(segment, options, None)
+}
+
+/// Computes `WFS(D ∪ Δ, Σf)` by **resuming** a previous model's chase
+/// segment with the new facts `Δ` instead of re-chasing from scratch, and
+/// (for [`EngineKind::Modular`]) reusing the previous solve's verdicts for
+/// every dependency component whose inputs did not change.
+///
+/// Preconditions (the façade's `KnowledgeBase` enforces them): `prev` was
+/// solved over the same universe with the same `program` and the same
+/// options, the delta is insert-only (`new_facts` are ground, null-free
+/// and were not database facts before), and
+/// `prev.segment.can_resume()` holds.
+pub fn solve_resumed(
+    universe: &mut Universe,
+    prev: &WellFoundedModel,
+    program: &SkolemProgram,
+    new_facts: &[wfdl_core::AtomId],
+    options: WfsOptions,
+) -> (WellFoundedModel, SolveStats) {
+    let segment = prev.segment.resume_with(universe, program, new_facts);
+    let model = finish_model(segment, options, Some(prev));
+    let components_reused = model.result.stats.map_or(0, |s| s.components_reused);
+    (
+        model,
+        SolveStats {
+            incremental: true,
+            components_reused,
+        },
+    )
+}
+
+/// Shared tail of [`solve`] and [`solve_resumed`]: ground the segment and
+/// run the selected engine (with verdict reuse when a previous modular
+/// solve is available).
+fn finish_model(
+    segment: ChaseSegment,
+    options: WfsOptions,
+    prev: Option<&WellFoundedModel>,
+) -> WellFoundedModel {
+    // Resumed solves ground incrementally: the previous program is
+    // extended with the delta's atoms/facts/instances instead of
+    // re-translating the inherited bulk.
+    let ground = match prev {
+        Some(p) => segment.to_ground_program_from(&p.ground),
+        None => segment.to_ground_program(),
+    };
     let result = match options.engine {
-        EngineKind::Modular => ModularEngine::new(&ground).solve(),
+        EngineKind::Modular => {
+            ModularEngine::new(&ground).solve_incremental(prev.map(|p| (&p.ground, &p.result)))
+        }
         EngineKind::Wp => WpEngine::new(&ground).solve(StepMode::Accelerated),
         EngineKind::WpLiteral => WpEngine::new(&ground).solve(StepMode::Literal),
         EngineKind::Alternating => AlternatingEngine::new(&ground).solve(),
@@ -213,6 +273,8 @@ pub struct SolveOutput {
     pub model: WellFoundedModel,
     /// Truth of each constraint's violation marker, in `violations` order.
     pub constraint_status: Vec<Truth>,
+    /// How the model was produced (full vs incremental).
+    pub stats: SolveStats,
 }
 
 /// [`solve`] plus constraint-status evaluation in one call — the solve
@@ -229,6 +291,26 @@ pub fn solve_packaged(
     SolveOutput {
         model,
         constraint_status,
+        stats: SolveStats::default(),
+    }
+}
+
+/// [`solve_resumed`] plus constraint-status evaluation in one call — the
+/// incremental solve stage after an insert-only delta.
+pub fn solve_packaged_resumed(
+    universe: &mut Universe,
+    prev: &WellFoundedModel,
+    program: &SkolemProgram,
+    new_facts: &[wfdl_core::AtomId],
+    options: WfsOptions,
+    violations: &[PredId],
+) -> SolveOutput {
+    let (model, stats) = solve_resumed(universe, prev, program, new_facts, options);
+    let constraint_status = constraint_status(universe, &model, violations);
+    SolveOutput {
+        model,
+        constraint_status,
+        stats,
     }
 }
 

@@ -171,22 +171,24 @@ pub fn perfect_model(
         mark(f, &mut derived, &index);
     }
 
+    // Materialize the rules once (cold path: the WFS engines carry the
+    // optimized machinery; this baseline favours clarity).
+    let all_rules: Vec<_> = ground.rules().collect();
     for s in 0..strat.num_strata {
         // Rules of this stratum.
-        let rules: Vec<usize> = ground
-            .rules()
+        let rules: Vec<usize> = all_rules
             .iter()
             .enumerate()
             .filter(|(_, r)| strat.stratum(universe.atoms.pred(r.head)) == s)
             .map(|(i, _)| i)
             .collect();
         // Naive per-stratum closure (rule sets per stratum are small in the
-        // workloads; the WFS engines carry the optimized machinery).
+        // workloads).
         let mut changed = true;
         while changed {
             changed = false;
             for &ri in &rules {
-                let rule = &ground.rules()[ri];
+                let rule = &all_rules[ri];
                 if derived[index[&rule.head]] {
                     continue;
                 }

@@ -34,7 +34,7 @@ impl StageTrace {
         let mut entries: Vec<TraceEntry> = result
             .decided_stage
             .iter()
-            .map(|(&atom, &stage)| TraceEntry {
+            .map(|(atom, stage)| TraceEntry {
                 stage,
                 atom,
                 value: result.value(atom),

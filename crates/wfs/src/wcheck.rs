@@ -113,9 +113,9 @@ pub fn certify(seg: &ChaseSegment, interp: &Interp, atom: AtomId) -> Option<Cert
     let mut order: Vec<u32> = vec![NONE; n];
     let mut derived = BitSet::with_capacity(n);
     let mut tick = 0u32;
-    for (i, o) in order.iter_mut().enumerate().take(seg.num_facts()) {
-        derived.insert(i);
-        *o = tick;
+    for &fs in seg.fact_segs() {
+        derived.insert(fs.index());
+        order[fs.index()] = tick;
         tick += 1;
     }
     // Fixpoint: fire instances whose positive bodies are derived and whose
@@ -222,10 +222,7 @@ fn verify_inner(
     }
     // Root must be a database fact.
     let root = cert.path[0];
-    if !seg.atoms()[..seg.num_facts()]
-        .iter()
-        .any(|sa| sa.atom == root)
-    {
+    if !seg.fact_segs().iter().any(|&fs| seg.atom_of(fs) == root) {
         return false;
     }
     for (k, &iid) in cert.steps.iter().enumerate() {

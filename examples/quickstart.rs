@@ -1,11 +1,13 @@
 //! Quickstart: compile a guarded normal Datalog± program, solve its
-//! well-founded model once, and serve queries from the immutable artifact.
+//! well-founded model once, serve queries from the immutable artifact —
+//! then grow the database through the typed, parser-free ingestion path
+//! and re-solve incrementally.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use wfdatalog::KnowledgeBase;
+use wfdatalog::{FactBatch, KnowledgeBase};
 
 fn main() -> Result<(), wfdatalog::Error> {
     // Compile: the KnowledgeBase owns all mutable state.
@@ -50,5 +52,36 @@ fn main() -> Result<(), wfdatalog::Error> {
 
     println!("constraint violations: {:?}", model.constraint_status());
     println!("model exact: {}", model.exact());
+
+    // Mutate: bulk data goes through the typed path — the predicate is
+    // resolved once per relation, every row interns directly, and no
+    // datalog text is parsed.
+    let mut batch = FactBatch::new();
+    {
+        let mut employees = batch.relation(kb.universe_mut(), "employee", 1)?;
+        employees.push(&["barbara"])?;
+        employees.push(&["edsger"])?;
+    }
+    batch
+        .relation(kb.universe_mut(), "blocked", 1)?
+        .push(&["edsger"])?;
+    kb.insert(batch)?;
+
+    // Re-solve: the insert-only delta resumes the previous chase and
+    // reuses every dependency component whose inputs did not change.
+    let model2 = kb.solve();
+    let stats = model2.solve_stats();
+    println!(
+        "\nre-solve after insert: incremental = {}, components reused = {}",
+        stats.incremental, stats.components_reused
+    );
+
+    // Prepared queries survive universe growth: rebinding is a lookup
+    // remap (and a clone for fully-resolved ones), never a re-parse.
+    let available2 = model2.rebind(&available)?;
+    println!(
+        "available staff now: {}",
+        model2.answers_prepared(&available2).len()
+    );
     Ok(())
 }

@@ -1,11 +1,11 @@
 //! `wfdl` — command-line well-founded reasoner for guarded normal Datalog±.
 //!
 //! ```text
-//! wfdl run program.dl   [--depth N]
+//! wfdl run program.dl   [--facts data.tsv …] [--depth N]
 //!                       [--engine modular|wp|wp-literal|alternating|forward]
 //!                       [--model] [--hidden] [--forest N] [--stats]
 //! wfdl query program.dl --q '?- win(a).' [--q '?(X) win(X).' …]
-//!                       [--depth N] [--engine …]
+//!                       [--facts data.tsv …] [--depth N] [--engine …]
 //! wfdl check program.dl            # parse + validate only
 //! ```
 //!
@@ -15,6 +15,18 @@
 //! own queries against the computed model; `query` solves once and answers
 //! ad-hoc queries given with `--q` (repeatable) without editing the file,
 //! via prepared queries against the frozen model.
+//!
+//! `--facts <file>` (repeatable) bulk-loads extensional data through the
+//! typed, parser-free ingestion path. The format is one fact per line —
+//! predicate name then constant arguments, tab-separated (comma-separated
+//! on lines without tabs); blank lines and `#`/`%` comment lines are
+//! skipped, and a bare predicate name is a nullary fact:
+//!
+//! ```text
+//! # people.tsv (fields tab-separated, or comma-separated as here)
+//! person,alice
+//! employs,acme,alice
+//! ```
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -58,15 +70,17 @@ struct Options {
     stats: bool,
     /// Ad-hoc queries for `wfdl query` (repeatable `--q`).
     adhoc_queries: Vec<String>,
+    /// Bulk fact files (repeatable `--facts`), loaded via the typed path.
+    fact_files: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wfdl run <file>   [--depth N]\n\
+        "usage: wfdl run <file>   [--facts data.tsv …] [--depth N]\n\
          \x20                     [--engine modular|wp|wp-literal|alternating|forward]\n\
          \x20                     [--model] [--hidden] [--forest N] [--stats]\n\
          \x20      wfdl query <file> --q '?- ….' [--q '?(X) … .' …]\n\
-         \x20                     [--depth N] [--engine …]\n\
+         \x20                     [--facts data.tsv …] [--depth N] [--engine …]\n\
          \x20      wfdl check <file>"
     );
     std::process::exit(2)
@@ -86,6 +100,7 @@ fn parse_args() -> Options {
         forest_depth: None,
         stats: false,
         adhoc_queries: Vec::new(),
+        fact_files: Vec::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -115,6 +130,10 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.adhoc_queries.push(v);
             }
+            "--facts" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.fact_files.push(v);
+            }
             _ => usage(),
         }
     }
@@ -141,6 +160,7 @@ fn main() -> ExitCode {
                 || opts.stats
                 || opts.forest_depth.is_some()
                 || !opts.adhoc_queries.is_empty()
+                || !opts.fact_files.is_empty()
             {
                 eprintln!("wfdl check: takes no flags (it parses and validates only)");
                 usage()
@@ -161,13 +181,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let kb = match KnowledgeBase::from_source(&source) {
+    let mut kb = match KnowledgeBase::from_source(&source) {
         Ok(kb) => kb,
         Err(e) => {
             eprintln!("{}: {e}", opts.file);
             return ExitCode::FAILURE;
         }
     };
+
+    // Bulk-load extensional data through the typed, parser-free path.
+    for path in &opts.fact_files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = kb.insert_tsv(&text) {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     match opts.command.as_str() {
         "check" => {

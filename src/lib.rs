@@ -8,19 +8,25 @@
 //!
 //! ## The compile → solve → serve lifecycle
 //!
-//! The paper's workload shape is *reason once, query many times*: the
-//! well-founded model is fixed per knowledge base while certain-answer
-//! queries arrive continuously. The API mirrors that in three stages:
+//! The paper's workload shape is an ontological KB = a **large, fast-
+//! changing extensional database** + a **small, stable rule set**, queried
+//! continuously. The API mirrors that in three stages, with data mutation
+//! as a first-class, parser-free citizen:
 //!
-//! 1. **Compile** — a [`KnowledgeBase`] owns the mutable interning context
-//!    and accumulates sources ([`KnowledgeBase::from_source`],
-//!    [`KnowledgeBase::add_source`], [`KnowledgeBase::from_ontology`]) with
-//!    fluent solver options.
-//! 2. **Solve** — [`KnowledgeBase::solve`] runs chase + engine once and
-//!    packages everything the serving path needs (model, constraint
-//!    verdicts, a frozen universe snapshot) into an immutable
-//!    [`SolvedModel`]. Solving again without mutation returns the cached
-//!    artifact.
+//! 1. **Compile** — a [`KnowledgeBase`] owns the mutable interning context.
+//!    Rules and constraints come from datalog text
+//!    ([`KnowledgeBase::from_source`], [`KnowledgeBase::add_source`]) or an
+//!    ontology ([`KnowledgeBase::from_ontology`]); *data* goes through the
+//!    typed path — build a [`FactBatch`] with per-relation
+//!    [`RelationWriter`]s (predicate resolved once, arity checked once,
+//!    rows interned directly) and [`KnowledgeBase::insert`] it, or bulk-load
+//!    TSV/CSV with [`KnowledgeBase::insert_tsv`]. [`KnowledgeBase::retract`]
+//!    removes facts.
+//! 2. **Solve** — [`KnowledgeBase::solve`] runs chase + engine and packages
+//!    everything the serving path needs (model, constraint verdicts, a
+//!    frozen universe snapshot) into an immutable [`SolvedModel`]. Solving
+//!    again without mutation returns the cached artifact; solving after an
+//!    **insert-only** delta re-solves *incrementally* (see below).
 //! 3. **Serve** — [`SolvedModel`] is `Send + Sync` and answers every query
 //!    through `&self`: share one model across threads via [`Arc`] and call
 //!    [`SolvedModel::ask`]/[`SolvedModel::answers`] freely, or
@@ -28,15 +34,20 @@
 //!    with [`SolvedModel::ask_prepared`] at index-probe cost.
 //!
 //! ```
-//! use wfdatalog::KnowledgeBase;
+//! use wfdatalog::{FactBatch, KnowledgeBase};
 //!
-//! // Compile.
+//! // Compile: rules as text, data through the typed path.
 //! let mut kb = KnowledgeBase::from_source(r#"
 //!     % Example 1 of the paper.
-//!     scientist(john).
 //!     scientist(X) -> isAuthorOf(X, Y).
 //!     conferencePaper(X) -> article(X).
 //! "#).unwrap();
+//! let mut batch = FactBatch::new();
+//! batch.relation(kb.universe_mut(), "scientist", 1)
+//!     .unwrap()
+//!     .push(&["john"])
+//!     .unwrap();
+//! kb.insert(batch).unwrap();
 //! // Solve (once).
 //! let model = kb.solve();
 //! // Serve (any number of times, from any thread, through &self).
@@ -49,6 +60,34 @@
 //! assert!(model.ask_prepared(&q));
 //! ```
 //!
+//! ## Incremental re-solve after data changes
+//!
+//! Inserting facts and solving again does **not** recompute from scratch:
+//! the chase resumes from the previous segment's frontier
+//! ([`ChaseSegment::resume_with`]), and the SCC-modular engine re-evaluates
+//! only dependency components whose inputs changed — unchanged components
+//! reuse their verdicts from the previous model via per-component input
+//! fingerprints. [`SolvedModel::solve_stats`] reports what happened.
+//! Retractions and rule changes fall back to a full recompute.
+//!
+//! ```
+//! use wfdatalog::{FactBatch, KnowledgeBase};
+//! let mut kb = KnowledgeBase::from_source("edge(X,Y) -> reach(X,Y). edge(a,b).").unwrap();
+//! let first = kb.solve();
+//! let mut delta = FactBatch::new();
+//! delta.relation(kb.universe_mut(), "edge", 2).unwrap().push(&["b", "c"]).unwrap();
+//! kb.insert(delta).unwrap();
+//! let second = kb.solve();
+//! assert!(second.solve_stats().incremental);
+//! assert!(second.ask("?- reach(b, c).").unwrap());
+//! ```
+//!
+//! Prepared queries **survive universe growth**: dense ids are stable, so
+//! a query prepared against an older model evaluates unchanged against a
+//! newer one, and [`SolvedModel::rebind`] re-resolves any literal that
+//! short-circuited on a then-unknown name — a lookup remap, never a
+//! re-parse.
+//!
 //! Queries are resolved against the model's **frozen** universe snapshot:
 //! nothing on the serving path interns, so a constant the knowledge base
 //! has never seen short-circuits to a definite verdict (the atom can have
@@ -60,26 +99,6 @@
 //! # let model = kb.solve();
 //! assert!(!model.ask("?- p(brand_new_constant).").unwrap());
 //! ```
-//!
-//! ## Migrating from the deprecated [`Reasoner`] façade
-//!
-//! | old (`Reasoner`, `&mut self` everywhere)      | new (compile → solve → serve)              |
-//! |-----------------------------------------------|--------------------------------------------|
-//! | `Reasoner::from_source(src)?`                 | [`KnowledgeBase::from_source`]`(src)?`     |
-//! | `Reasoner::from_ontology(&onto)?`             | [`KnowledgeBase::from_ontology`]`(&onto)?` |
-//! | `r.add_source(src)?`                          | [`KnowledgeBase::add_source`]`(src)?`      |
-//! | `r.solve_default()?`                          | [`KnowledgeBase::solve`]`()`               |
-//! | `r.solve(options)?`                           | [`KnowledgeBase::solve_with`]`(options)`   |
-//! | `r.ask(&model, "?- q(X).")?`                  | `model.`[`ask`](SolvedModel::ask)`("?- q(X).")?` |
-//! | `r.ask3(&model, "?- q(X).")?`                 | `model.`[`ask3`](SolvedModel::ask3)`("?- q(X).")?` |
-//! | `r.answers(&model, "?(X) q(X).")?`            | `model.`[`answers`](SolvedModel::answers)`("?(X) q(X).")?` |
-//! | `r.parse_query(src)?` + `query::holds(…)`     | `model.`[`prepare`](SolvedModel::prepare)`(src)?` + [`ask_prepared`](SolvedModel::ask_prepared) |
-//! | `r.constraint_status(&model)`                 | `model.`[`constraint_status`](SolvedModel::constraint_status)`()` |
-//! | `r.lookup_atom("p", &["a"])`                  | `model.`[`lookup_atom`](SolvedModel::lookup_atom)`("p", &["a"])` |
-//! | `r.universe` (mutable field)                  | [`KnowledgeBase::universe`]` / `[`SolvedModel::universe`]` (read-only)` |
-//! | `model.render_true(&r.universe)`              | `model.`[`render_true`](SolvedModel::render_true)`()` |
-//!
-//! The old [`Reasoner`] remains for one release as a thin deprecated shim.
 //!
 //! ## Crate map
 //!
@@ -131,10 +150,13 @@ pub use wfdl_syntax as syntax;
 pub use wfdl_wfs as wfs;
 
 pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest};
-pub use wfdl_core::{AtomId, Interp, Program, SkolemProgram, Truth, Universe, UniverseSnapshot};
+pub use wfdl_core::{
+    AtomId, FactBatch, Interp, Program, RelationWriter, SkolemProgram, Truth, Universe,
+    UniverseSnapshot,
+};
 pub use wfdl_query::{AnswerSet, Nbcq, PreparedQuery, TruthSource};
 pub use wfdl_storage::Database;
-pub use wfdl_wfs::{EngineKind, ModularStats, WellFoundedModel, WfsOptions};
+pub use wfdl_wfs::{EngineKind, ModularStats, SolveStats, WellFoundedModel, WfsOptions};
 
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -186,14 +208,22 @@ impl From<wfdl_query::QueryError> for Error {
 // ======================================================================
 
 /// The compile stage: owns the mutable universe, database and skolemized
-/// program while sources accumulate, and produces immutable
-/// [`SolvedModel`]s on demand.
+/// program while sources and fact batches accumulate, and produces
+/// immutable [`SolvedModel`]s on demand.
 ///
-/// All mutation (interning, fact insertion, rule lowering) happens here;
-/// once [`KnowledgeBase::solve`] returns, the resulting [`SolvedModel`]
-/// never needs `&mut` again.
+/// All mutation (interning, fact insertion/retraction, rule lowering)
+/// happens here; once [`KnowledgeBase::solve`] returns, the resulting
+/// [`SolvedModel`] never needs `&mut` again. Between solves the knowledge
+/// base tracks *how* it was mutated: an insert-only fact delta keeps the
+/// next [`KnowledgeBase::solve`] incremental (resumed chase + component
+/// verdict reuse), while retractions or rule changes force a full
+/// recompute.
 pub struct KnowledgeBase {
-    universe: Universe,
+    /// Copy-on-write interning context: shared with every `SolvedModel`
+    /// snapshot, cloned lazily (`Arc::make_mut`) on the first mutation
+    /// after a solve — so freezing a snapshot is O(1) and re-solves never
+    /// pay for a universe copy.
+    universe: Arc<Universe>,
     database: Database,
     sigma: SkolemProgram,
     violations: Vec<wfdl_core::PredId>,
@@ -203,7 +233,17 @@ pub struct KnowledgeBase {
     budget: Option<ChaseBudget>,
     /// Configured engine; `None` = the default engine.
     engine: Option<EngineKind>,
-    cache: Option<(WfsOptions, Arc<SolvedModel>)>,
+    /// Artifact of the most recent solve: the cached fast path when
+    /// nothing changed, and the resume basis when only facts were added.
+    last: Option<(WfsOptions, Arc<SolvedModel>)>,
+    /// Facts inserted since `last` was computed (the insert-only delta).
+    delta: Vec<AtomId>,
+    /// Rules changed or facts retracted since `last`: resuming would be
+    /// unsound, so the next solve recomputes from scratch.
+    needs_full: bool,
+    /// Queries appeared since `last`: the cached model must be
+    /// re-packaged (its `source_queries` are stale) even with no delta.
+    queries_dirty: bool,
 }
 
 impl KnowledgeBase {
@@ -215,14 +255,17 @@ impl KnowledgeBase {
             wfdl_wfs::lower_with_constraints(&mut universe, &lowered.program)?;
         sigma.rules.extend(lowered.functional.iter().cloned());
         Ok(KnowledgeBase {
-            universe,
+            universe: Arc::new(universe),
             database: lowered.database,
             sigma,
             violations,
             queries: lowered.queries,
             budget: None,
             engine: None,
-            cache: None,
+            last: None,
+            delta: Vec::new(),
+            needs_full: false,
+            queries_dirty: false,
         })
     }
 
@@ -233,32 +276,110 @@ impl KnowledgeBase {
         let (sigma, violations) =
             wfdl_wfs::lower_with_constraints(&mut universe, &translated.program)?;
         Ok(KnowledgeBase {
-            universe,
+            universe: Arc::new(universe),
             database: translated.database,
             sigma,
             violations,
             queries: Vec::new(),
             budget: None,
             engine: None,
-            cache: None,
+            last: None,
+            delta: Vec::new(),
+            needs_full: false,
+            queries_dirty: false,
         })
     }
 
     /// Adds more source text (facts/rules/constraints/queries).
-    /// Invalidates any cached solve.
+    ///
+    /// Implemented on top of the typed mutation API: facts in the text go
+    /// through the same insert path as [`KnowledgeBase::insert`] (so a
+    /// facts-only source keeps the next solve incremental), while rules or
+    /// constraints mark the knowledge base for a full recompute.
     pub fn add_source(&mut self, src: &str) -> Result<(), Error> {
-        let lowered = wfdl_syntax::load(&mut self.universe, src)?;
-        let (sigma, violations) =
-            wfdl_wfs::lower_with_constraints(&mut self.universe, &lowered.program)?;
-        self.sigma.rules.extend(sigma.rules);
-        self.sigma.rules.extend(lowered.functional.iter().cloned());
-        self.violations.extend(violations);
-        for &f in lowered.database.facts() {
-            self.database.insert_unchecked(&self.universe, f);
+        let universe = Arc::make_mut(&mut self.universe);
+        let lowered = wfdl_syntax::load(universe, src)?;
+        let has_rules = !lowered.program.tgds.is_empty()
+            || !lowered.program.constraints.is_empty()
+            || !lowered.functional.is_empty();
+        if has_rules {
+            let (sigma, violations) = wfdl_wfs::lower_with_constraints(universe, &lowered.program)?;
+            self.sigma.rules.extend(sigma.rules);
+            self.sigma.rules.extend(lowered.functional.iter().cloned());
+            self.violations.extend(violations);
+            self.needs_full = true;
         }
-        self.queries.extend(lowered.queries);
-        self.cache = None;
+        for &f in lowered.database.facts() {
+            if self.database.insert_unchecked(&self.universe, f) {
+                self.delta.push(f);
+            }
+        }
+        if !lowered.queries.is_empty() {
+            self.queries.extend(lowered.queries);
+            self.queries_dirty = true;
+        }
         Ok(())
+    }
+
+    // ----- typed, parser-free mutation --------------------------------
+
+    /// The mutable interning context, for building typed [`FactBatch`]es
+    /// against this knowledge base:
+    ///
+    /// ```
+    /// # use wfdatalog::{FactBatch, KnowledgeBase};
+    /// # let mut kb = KnowledgeBase::from_source("edge(a,b).").unwrap();
+    /// let mut batch = FactBatch::new();
+    /// batch.relation(kb.universe_mut(), "edge", 2)
+    ///     .unwrap()
+    ///     .push(&["b", "c"])
+    ///     .unwrap();
+    /// kb.insert(batch).unwrap();
+    /// ```
+    ///
+    /// Interning alone never changes the model — facts only take effect
+    /// through [`KnowledgeBase::insert`] / [`KnowledgeBase::retract`] —
+    /// so handing out `&mut Universe` here is safe.
+    pub fn universe_mut(&mut self) -> &mut Universe {
+        Arc::make_mut(&mut self.universe)
+    }
+
+    /// Inserts a batch of typed facts, returning how many were new
+    /// (duplicates of existing database facts are ignored).
+    ///
+    /// The batch must have been built against **this** knowledge base's
+    /// universe ([`KnowledgeBase::universe_mut`]). An insert-only delta
+    /// keeps the next [`KnowledgeBase::solve`] on the incremental path.
+    pub fn insert(&mut self, batch: FactBatch) -> Result<usize, Error> {
+        let mut added = 0usize;
+        for &atom in batch.atoms() {
+            if self.database.insert(&self.universe, atom)? {
+                self.delta.push(atom);
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Retracts a batch of facts, returning how many were actually
+    /// present. Retraction invalidates derived consequences wholesale, so
+    /// the next [`KnowledgeBase::solve`] recomputes from scratch.
+    pub fn retract(&mut self, batch: FactBatch) -> usize {
+        let removed = self.database.retract_batch(&self.universe, batch.atoms());
+        if removed > 0 {
+            self.needs_full = true;
+            // Inserted-this-epoch facts that were retracted again must not
+            // linger in the delta (hygiene; the full solve ignores it).
+            self.delta.retain(|a| self.database.contains(*a));
+        }
+        removed
+    }
+
+    /// Bulk-loads facts from the tab/comma-separated text format (see
+    /// [`fact_batch_from_separated`]), returning how many were new.
+    pub fn insert_tsv(&mut self, text: &str) -> Result<usize, Error> {
+        let batch = fact_batch_from_separated(Arc::make_mut(&mut self.universe), text)?;
+        self.insert(batch)
     }
 
     /// Replaces the solver options used by [`KnowledgeBase::solve`]
@@ -310,29 +431,95 @@ impl KnowledgeBase {
     /// thread-shareable [`SolvedModel`].
     ///
     /// Solving twice without intervening mutation returns the cached
-    /// artifact (an `Arc` clone) instead of recomputing chase, grounding
-    /// and fixpoint.
+    /// artifact (an `Arc` clone). Solving after an **insert-only** fact
+    /// delta resumes the previous chase from its frontier and reuses the
+    /// verdicts of every dependency component whose inputs did not change
+    /// — cost proportional to the delta's consequences, not the database.
+    /// Retractions, rule changes, or changed options recompute in full.
     pub fn solve(&mut self) -> Arc<SolvedModel> {
         self.solve_with(self.effective_options())
     }
 
-    /// Solves with explicit options (cached under the same rule).
+    /// Solves with explicit options (cached and resumed under the same
+    /// rules as [`KnowledgeBase::solve`]).
     pub fn solve_with(&mut self, options: WfsOptions) -> Arc<SolvedModel> {
-        if let Some((cached_options, model)) = &self.cache {
-            if *cached_options == options {
+        if let Some((cached_options, model)) = &self.last {
+            if *cached_options == options
+                && !self.needs_full
+                && self.delta.is_empty()
+                && !self.queries_dirty
+            {
                 return Arc::clone(model);
             }
         }
-        let output = wfdl_wfs::solve_packaged(
-            &mut self.universe,
-            &self.database,
-            &self.sigma,
-            options,
-            &self.violations,
-        );
+        // Queries-only change (no delta, no rule change, same options):
+        // the model is provably identical — share it and its indexes, and
+        // only re-prepare the source queries against a fresh snapshot.
+        if let Some((cached_options, m)) = &self.last {
+            if *cached_options == options && !self.needs_full && self.delta.is_empty() {
+                let source_queries = self
+                    .queries
+                    .iter()
+                    .cloned()
+                    .map(PreparedQuery::from_query)
+                    .collect();
+                let model = Arc::new(SolvedModel {
+                    // Current universe: query text may have interned new
+                    // names during `add_source`.
+                    universe: UniverseSnapshot::from_arc(Arc::clone(&self.universe)),
+                    model: Arc::clone(&m.model),
+                    constraint_status: m.constraint_status.clone(),
+                    source_queries,
+                    certain_index: Arc::clone(&m.certain_index),
+                    possible_index: Arc::clone(&m.possible_index),
+                    solve_stats: m.solve_stats,
+                });
+                self.last = Some((options, Arc::clone(&model)));
+                self.queries_dirty = false;
+                return model;
+            }
+        }
+        // Insert-only delta with unchanged options: resume the previous
+        // solve instead of recomputing (requires a resumable segment —
+        // cap-truncated chases are discovery-order dependent).
+        let resume_from = match &self.last {
+            Some((last_options, model))
+                if *last_options == options
+                    && !self.needs_full
+                    && model.model().segment.can_resume() =>
+            {
+                Some(Arc::clone(model))
+            }
+            _ => None,
+        };
+        // Get sole ownership of the universe before the chase interns its
+        // nulls (a no-op clone unless a previous snapshot still shares it
+        // and nothing was ingested since — ingestion already unshared it).
+        let universe = Arc::make_mut(&mut self.universe);
+        let output = match &resume_from {
+            Some(prev) => {
+                let delta = std::mem::take(&mut self.delta);
+                wfdl_wfs::solve_packaged_resumed(
+                    universe,
+                    prev.model(),
+                    &self.sigma,
+                    &delta,
+                    options,
+                    &self.violations,
+                )
+            }
+            None => wfdl_wfs::solve_packaged(
+                universe,
+                &self.database,
+                &self.sigma,
+                options,
+                &self.violations,
+            ),
+        };
         // Freeze the universe *after* the chase interned its nulls: the
-        // snapshot sees every atom the model mentions.
-        let snapshot = UniverseSnapshot::new(self.universe.clone());
+        // snapshot sees every atom the model mentions. Sharing the Arc is
+        // O(1); the next mutation will copy-on-write.
+        let snapshot = UniverseSnapshot::from_arc(Arc::clone(&self.universe));
         let certain_index = AtomIndex::build(&snapshot, TruthSource::certain_atoms(&output.model));
         let source_queries = self
             .queries
@@ -342,13 +529,17 @@ impl KnowledgeBase {
             .collect();
         let model = Arc::new(SolvedModel {
             universe: snapshot,
-            model: output.model,
+            model: Arc::new(output.model),
             constraint_status: output.constraint_status,
             source_queries,
-            certain_index,
-            possible_index: OnceLock::new(),
+            certain_index: Arc::new(certain_index),
+            possible_index: Arc::new(OnceLock::new()),
+            solve_stats: output.stats,
         });
-        self.cache = Some((options, Arc::clone(&model)));
+        self.last = Some((options, Arc::clone(&model)));
+        self.delta.clear();
+        self.needs_full = false;
+        self.queries_dirty = false;
         model
     }
 
@@ -396,11 +587,14 @@ impl KnowledgeBase {
 #[derive(Debug)]
 pub struct SolvedModel {
     universe: UniverseSnapshot,
-    model: WellFoundedModel,
+    /// Shared with sibling packagings of the same solve: a queries-only
+    /// change re-wraps the identical model instead of re-solving.
+    model: Arc<WellFoundedModel>,
     constraint_status: Vec<Truth>,
     source_queries: Vec<PreparedQuery>,
-    certain_index: AtomIndex,
-    possible_index: OnceLock<AtomIndex>,
+    certain_index: Arc<AtomIndex>,
+    possible_index: Arc<OnceLock<AtomIndex>>,
+    solve_stats: SolveStats,
 }
 
 impl SolvedModel {
@@ -412,6 +606,19 @@ impl SolvedModel {
     /// [`PreparedQuery`]).
     pub fn prepare(&self, query_src: &str) -> Result<PreparedQuery, Error> {
         Ok(wfdl_syntax::prepare_query(&self.universe, query_src)?)
+    }
+
+    /// Re-resolves a query prepared against an **older** model of the same
+    /// knowledge base.
+    ///
+    /// Dense ids are stable under universe growth, so a fully-resolved
+    /// prepared query is returned as a cheap clone; only queries that
+    /// short-circuited on a then-unknown predicate or constant re-run
+    /// name resolution from their retained shape (a lookup remap — no
+    /// parser involved). Errors only if a previously-unknown predicate
+    /// has since been declared with a conflicting arity.
+    pub fn rebind(&self, query: &PreparedQuery) -> Result<PreparedQuery, Error> {
+        Ok(query.rebind(&self.universe)?)
     }
 
     /// Parses and evaluates a Boolean query (e.g. `"?- p(X), not q(X)."`).
@@ -438,14 +645,14 @@ impl SolvedModel {
 
     /// Evaluates a prepared Boolean query (certain-answer semantics).
     pub fn ask_prepared(&self, query: &PreparedQuery) -> bool {
-        query.holds_with(&self.universe, &self.model, &self.certain_index)
+        query.holds_with(&self.universe, &*self.model, &self.certain_index)
     }
 
     /// Three-valued evaluation of a prepared query.
     pub fn ask3_prepared(&self, query: &PreparedQuery) -> Truth {
         query.holds3_with(
             &self.universe,
-            &self.model,
+            &*self.model,
             &self.certain_index,
             self.possible_index(),
         )
@@ -453,7 +660,7 @@ impl SolvedModel {
 
     /// Certain answers of a prepared query.
     pub fn answers_prepared(&self, query: &PreparedQuery) -> AnswerSet {
-        query.answers_with(&self.universe, &self.model, &self.certain_index)
+        query.answers_with(&self.universe, &*self.model, &self.certain_index)
     }
 
     /// Evaluates a batch of prepared queries, returning one answer set per
@@ -496,6 +703,12 @@ impl SolvedModel {
         self.model.exact
     }
 
+    /// How this model was produced: whether the solve was incremental and
+    /// how many dependency components reused their previous verdicts.
+    pub fn solve_stats(&self) -> SolveStats {
+        self.solve_stats
+    }
+
     /// Truth of each constraint's violation marker, in source order:
     /// `True` = surely violated, `Unknown` = possibly violated,
     /// `False` = safe.
@@ -503,15 +716,33 @@ impl SolvedModel {
         &self.constraint_status
     }
 
-    /// Looks up a ground atom `pred(constants…)` by names; `None` if the
-    /// atom was never materialized (its value is then `False`).
-    pub fn lookup_atom(&self, pred: &str, args: &[&str]) -> Option<AtomId> {
-        let p = self.universe.lookup_pred(pred)?;
-        let ts: Option<Vec<_>> = args
-            .iter()
-            .map(|a| self.universe.lookup_constant(a))
-            .collect();
-        self.universe.atoms.lookup(p, &ts?)
+    /// Looks up a ground atom `pred(constants…)` by names.
+    ///
+    /// `Ok(None)` means a genuine miss — an unknown predicate, an unknown
+    /// constant, or an atom that was never materialized (its value is then
+    /// `False`). Using a **known** predicate with the wrong number of
+    /// arguments is a schema bug, not a miss, and errors with the same
+    /// arity mismatch the typed [`RelationWriter`] ingestion path reports.
+    pub fn lookup_atom(&self, pred: &str, args: &[&str]) -> Result<Option<AtomId>, Error> {
+        let Some(p) = self.universe.lookup_pred(pred) else {
+            return Ok(None);
+        };
+        let declared = self.universe.pred_arity(p);
+        if declared != args.len() {
+            return Err(Error::Core(wfdl_core::CoreError::ArityMismatch {
+                predicate: pred.to_owned(),
+                declared,
+                used: args.len(),
+            }));
+        }
+        let mut ts = Vec::with_capacity(args.len());
+        for a in args {
+            match self.universe.lookup_constant(a) {
+                Some(t) => ts.push(t),
+                None => return Ok(None),
+            }
+        }
+        Ok(self.universe.atoms.lookup(p, &ts))
     }
 
     /// Renders the true atoms (non-auxiliary predicates) sorted, one per
@@ -522,148 +753,79 @@ impl SolvedModel {
 
     fn possible_index(&self) -> &AtomIndex {
         self.possible_index.get_or_init(|| {
-            AtomIndex::build(&self.universe, TruthSource::possible_atoms(&self.model))
+            AtomIndex::build(&self.universe, TruthSource::possible_atoms(&*self.model))
         })
     }
 }
 
 // ======================================================================
-// Deprecated shim
+// Bulk fact loading
 // ======================================================================
 
-/// High-level façade: owns the universe, database, program and queries.
+/// Parses the parser-free bulk fact format into a typed [`FactBatch`].
 ///
-/// Deprecated in favour of the compile → solve → serve lifecycle
-/// ([`KnowledgeBase`] → [`SolvedModel`]), which separates mutation from
-/// serving and is shareable across threads. See the crate-root migration
-/// table. This shim remains for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use KnowledgeBase (compile) → SolvedModel (solve/serve); see the crate-root migration table"
-)]
-pub struct Reasoner {
-    /// The interning context (public: power users mix APIs freely).
-    pub universe: Universe,
-    /// The database `D`.
-    pub database: Database,
-    /// The skolemized program `Σf` (constraints already lowered).
-    pub sigma: SkolemProgram,
-    /// Violation predicates of the lowered constraints, in source order.
-    pub violations: Vec<wfdl_core::PredId>,
-    /// Queries that appeared in the source, in order.
-    pub queries: Vec<Nbcq>,
-}
-
-#[allow(deprecated)]
-impl Reasoner {
-    /// Parses a program text (facts, rules, constraints, queries).
-    pub fn from_source(src: &str) -> Result<Self, Error> {
-        let kb = KnowledgeBase::from_source(src)?;
-        Ok(Reasoner::from_kb(kb))
-    }
-
-    /// Builds a reasoner from a DL-Lite ontology (Examples 1 and 2).
-    pub fn from_ontology(onto: &wfdl_ontology::Ontology) -> Result<Self, Error> {
-        let kb = KnowledgeBase::from_ontology(onto)?;
-        Ok(Reasoner::from_kb(kb))
-    }
-
-    fn from_kb(kb: KnowledgeBase) -> Self {
-        Reasoner {
-            universe: kb.universe,
-            database: kb.database,
-            sigma: kb.sigma,
-            violations: kb.violations,
-            queries: kb.queries,
-        }
-    }
-
-    /// Adds more source text (facts/rules/queries) to the reasoner.
-    pub fn add_source(&mut self, src: &str) -> Result<(), Error> {
-        let lowered = wfdl_syntax::load(&mut self.universe, src)?;
-        let (sigma, violations) =
-            wfdl_wfs::lower_with_constraints(&mut self.universe, &lowered.program)?;
-        self.sigma.rules.extend(sigma.rules);
-        self.sigma.rules.extend(lowered.functional.iter().cloned());
-        self.violations.extend(violations);
-        for &f in lowered.database.facts() {
-            self.database.insert_unchecked(&self.universe, f);
-        }
-        self.queries.extend(lowered.queries);
-        Ok(())
-    }
-
-    /// Computes the well-founded model with explicit options.
-    pub fn solve(&mut self, options: WfsOptions) -> Result<WellFoundedModel, Error> {
-        Ok(wfdl_wfs::solve(
-            &mut self.universe,
-            &self.database,
-            &self.sigma,
-            options,
-        ))
-    }
-
-    /// Computes the well-founded model with a sensible default budget
-    /// (unbounded for terminating programs, depth 12 otherwise).
-    pub fn solve_default(&mut self) -> Result<WellFoundedModel, Error> {
-        let has_existentials = self.sigma.rules.iter().any(|r| {
-            r.head_args
-                .iter()
-                .any(|t| matches!(t, wfdl_core::HeadTerm::Skolem(..)))
-        });
-        let options = if has_existentials {
-            WfsOptions::depth(12)
-        } else {
-            WfsOptions::unbounded()
+/// One fact per line: the predicate name, then the constant arguments,
+/// separated by tabs (or commas on lines containing no tab). Leading and
+/// trailing whitespace per field is trimmed; blank lines and lines
+/// starting with `#` or `%` are skipped. A bare predicate name is a
+/// nullary fact. The first line mentioning a predicate fixes its arity
+/// (consistent with any declaration the rules already made); later lines
+/// and rules must agree or error with the usual arity mismatch.
+///
+/// ```text
+/// # persons.tsv (fields tab-separated, or comma-separated as here)
+/// person,alice
+/// person,bob
+/// employs,acme,alice
+/// ```
+pub fn fact_batch_from_separated(universe: &mut Universe, text: &str) -> Result<FactBatch, Error> {
+    let mut batch = FactBatch::new();
+    let mut fields: Vec<&str> = Vec::new();
+    let mut args: Vec<wfdl_core::TermId> = Vec::new();
+    // Fact files are typically grouped by relation; remembering the last
+    // resolved predicate keeps the per-row work to constant interning,
+    // matching the `RelationWriter` resolved-once contract.
+    let mut current: Option<(String, wfdl_core::PredId, usize)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let positioned = |message: String| {
+            Error::Syntax(wfdl_syntax::SyntaxError::new(
+                message,
+                wfdl_syntax::Pos {
+                    line: (i + 1) as u32,
+                    col: 1,
+                },
+            ))
         };
-        self.solve(options)
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let sep = if line.contains('\t') { '\t' } else { ',' };
+        fields.clear();
+        fields.extend(line.split(sep).map(str::trim));
+        let pred = fields[0];
+        if pred.is_empty() || fields.iter().any(|f| f.is_empty()) {
+            return Err(positioned(format!("empty field in fact line `{line}`")));
+        }
+        let arity = fields.len() - 1;
+        let pred_id = match &current {
+            Some((name, id, ar)) if name == pred && *ar == arity => *id,
+            _ => {
+                let id = universe
+                    .pred(pred, arity)
+                    .map_err(|e| positioned(e.to_string()))?;
+                current = Some((pred.to_owned(), id, arity));
+                id
+            }
+        };
+        args.clear();
+        args.extend(fields[1..].iter().map(|c| universe.constant(c)));
+        let atom = universe.atoms.intern_ref(pred_id, &args);
+        batch
+            .push_atom(universe, atom)
+            .map_err(|e| positioned(e.to_string()))?;
     }
-
-    /// Parses and evaluates a Boolean query (e.g. `"?- p(X), not q(X)."`)
-    /// against a model.
-    pub fn ask(&mut self, model: &WellFoundedModel, query_src: &str) -> Result<bool, Error> {
-        let q = self.parse_query(query_src)?;
-        Ok(wfdl_query::holds(&self.universe, model, &q))
-    }
-
-    /// Parses and evaluates a query with answer variables
-    /// (e.g. `"?(X) p(X, Y)."`), returning the constant tuples.
-    pub fn answers(
-        &mut self,
-        model: &WellFoundedModel,
-        query_src: &str,
-    ) -> Result<AnswerSet, Error> {
-        let q = self.parse_query(query_src)?;
-        Ok(wfdl_query::answers(&self.universe, model, &q))
-    }
-
-    /// Three-valued satisfaction of a Boolean query.
-    pub fn ask3(&mut self, model: &WellFoundedModel, query_src: &str) -> Result<Truth, Error> {
-        let q = self.parse_query(query_src)?;
-        Ok(wfdl_query::holds3(&self.universe, model, &q))
-    }
-
-    /// Parses a single query statement.
-    pub fn parse_query(&mut self, src: &str) -> Result<Nbcq, Error> {
-        let ast = wfdl_syntax::parse_single_query(src)?;
-        Ok(wfdl_syntax::lower_query(&mut self.universe, &ast)?)
-    }
-
-    /// Truth of each constraint's violation marker in the model.
-    pub fn constraint_status(&mut self, model: &WellFoundedModel) -> Vec<Truth> {
-        wfdl_wfs::constraint_status(&mut self.universe, model, &self.violations)
-    }
-
-    /// Looks up a ground atom `pred(constants…)` by names; `None` if the
-    /// atom was never materialized (its value is then `False`).
-    pub fn lookup_atom(&self, pred: &str, args: &[&str]) -> Option<AtomId> {
-        let p = self.universe.lookup_pred(pred)?;
-        let ts: Option<Vec<_>> = args
-            .iter()
-            .map(|a| self.universe.lookup_constant(a))
-            .collect();
-        self.universe.atoms.lookup(p, &ts?)
-    }
+    Ok(batch)
 }
 
 #[cfg(test)]
@@ -805,25 +967,210 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn reasoner_shim_still_works() {
-        let mut r = Reasoner::from_source(
-            r#"
-            scientist(john).
-            scientist(X) -> isAuthorOf(X, Y).
-            "#,
-        )
-        .unwrap();
-        let model = r.solve_default().unwrap();
-        assert!(r.ask(&model, "?- isAuthorOf(john, X).").unwrap());
-        assert!(!r.ask(&model, "?- isAuthorOf(X, john).").unwrap());
-        // Satellite fix: the "expected a query" error carries the real
-        // source position, not a hardcoded 1:1.
-        let err = r.parse_query("\n\n   scientist(ada).").unwrap_err();
+    fn prepare_errors_carry_real_source_positions() {
+        let mut kb = KnowledgeBase::from_source("scientist(john).").unwrap();
+        let model = kb.solve();
+        let err = model.prepare("\n\n   scientist(ada).").unwrap_err();
         let Error::Syntax(e) = err else {
             panic!("expected a syntax error")
         };
         assert!(e.message.contains("expected a query"), "{e}");
         assert_eq!((e.pos.line, e.pos.col), (3, 4), "{e}");
+    }
+
+    // ---- typed ingestion + delta-aware re-solve --------------------------
+
+    #[test]
+    fn typed_insert_takes_incremental_path_and_agrees_with_scratch() {
+        const RULES: &str = "edge(X,Y) -> reach(X,Y).
+             reach(X,Y) -> covered(Y).
+             node(X), not covered(X) -> isolated(X).";
+        let mut kb = KnowledgeBase::from_source(RULES).unwrap();
+        let mut base = FactBatch::new();
+        {
+            let mut edges = base.relation(kb.universe_mut(), "edge", 2).unwrap();
+            edges.push(&["a", "b"]).unwrap();
+            edges.push(&["b", "c"]).unwrap();
+        }
+        {
+            let mut nodes = base.relation(kb.universe_mut(), "node", 1).unwrap();
+            for n in ["a", "b", "c", "d"] {
+                nodes.push(&[n]).unwrap();
+            }
+        }
+        kb.insert(base).unwrap();
+        let first = kb.solve();
+        assert!(!first.solve_stats().incremental, "first solve is full");
+        assert!(first.ask("?- isolated(d).").unwrap());
+
+        let mut delta = FactBatch::new();
+        delta
+            .relation(kb.universe_mut(), "edge", 2)
+            .unwrap()
+            .push(&["c", "d"])
+            .unwrap();
+        kb.insert(delta).unwrap();
+        let second = kb.solve();
+        let stats = second.solve_stats();
+        assert!(stats.incremental, "insert-only delta resumes");
+        assert!(stats.components_reused > 0, "{stats:?}");
+        assert!(second.ask("?- covered(d).").unwrap());
+        assert!(!second.ask("?- isolated(d).").unwrap());
+
+        // Bit-for-bit agreement with a from-scratch KB over the union.
+        let mut scratch = KnowledgeBase::from_source(RULES).unwrap();
+        let mut all = FactBatch::new();
+        {
+            let mut edges = all.relation(scratch.universe_mut(), "edge", 2).unwrap();
+            for (x, y) in [("a", "b"), ("b", "c"), ("c", "d")] {
+                edges.push(&[x, y]).unwrap();
+            }
+        }
+        {
+            let mut nodes = all.relation(scratch.universe_mut(), "node", 1).unwrap();
+            for n in ["a", "b", "c", "d"] {
+                nodes.push(&[n]).unwrap();
+            }
+        }
+        scratch.insert(all).unwrap();
+        let reference = scratch.solve();
+        assert_eq!(reference.render_true(), second.render_true());
+    }
+
+    #[test]
+    fn retraction_falls_back_to_full_recompute() {
+        let mut kb = KnowledgeBase::from_source("p(a). p(b). p(X), not q(X) -> r(X).").unwrap();
+        let first = kb.solve();
+        assert!(first.ask("?- r(a).").unwrap());
+        let mut batch = FactBatch::new();
+        batch
+            .relation(kb.universe_mut(), "p", 1)
+            .unwrap()
+            .push(&["a"])
+            .unwrap();
+        assert_eq!(kb.retract(batch), 1);
+        let second = kb.solve();
+        assert!(!second.solve_stats().incremental, "retraction → full");
+        assert!(!second.ask("?- r(a).").unwrap());
+        assert!(second.ask("?- r(b).").unwrap());
+    }
+
+    #[test]
+    fn rule_changes_fall_back_to_full_recompute() {
+        let mut kb = KnowledgeBase::from_source("p(a).").unwrap();
+        kb.solve();
+        kb.add_source("p(X) -> q(X).").unwrap();
+        let model = kb.solve();
+        assert!(!model.solve_stats().incremental);
+        assert!(model.ask("?- q(a).").unwrap());
+    }
+
+    #[test]
+    fn facts_only_add_source_stays_incremental() {
+        let mut kb = KnowledgeBase::from_source("p(X) -> q(X). p(a).").unwrap();
+        kb.solve();
+        kb.add_source("p(b).").unwrap();
+        let model = kb.solve();
+        assert!(model.solve_stats().incremental, "facts-only source text");
+        assert!(model.ask("?- q(b).").unwrap());
+    }
+
+    #[test]
+    fn tsv_bulk_load_roundtrip() {
+        let mut kb = KnowledgeBase::from_source("edge(X,Y) -> reach(X,Y).").unwrap();
+        let added = kb
+            .insert_tsv(
+                "# comment line\n\
+                 edge\ta\tb\n\
+                 edge\tb\tc\n\
+                 \n\
+                 mark, a\n",
+            )
+            .unwrap();
+        assert_eq!(added, 3);
+        let model = kb.solve();
+        assert!(model.ask("?- reach(a, b).").unwrap());
+        assert!(model.ask("?- mark(a).").unwrap());
+        // Arity mismatches carry the offending line number.
+        let err = kb.insert_tsv("edge\ta\n").unwrap_err();
+        let Error::Syntax(e) = err else {
+            panic!("expected a positioned error")
+        };
+        assert!(e.message.contains("arity"), "{e}");
+        assert_eq!(e.pos.line, 1);
+    }
+
+    #[test]
+    fn lookup_atom_distinguishes_miss_from_arity_bug() {
+        let mut kb = KnowledgeBase::from_source("edge(a,b).").unwrap();
+        let model = kb.solve();
+        assert!(model.lookup_atom("edge", &["a", "b"]).unwrap().is_some());
+        // Genuine misses: unknown predicate, unknown constant, or an
+        // unmaterialized atom.
+        assert!(model.lookup_atom("ghost", &["a"]).unwrap().is_none());
+        assert!(model
+            .lookup_atom("edge", &["a", "zebra"])
+            .unwrap()
+            .is_none());
+        assert!(model.lookup_atom("edge", &["b", "a"]).unwrap().is_none());
+        // Known predicate, wrong width: a schema bug, not a miss.
+        let err = model.lookup_atom("edge", &["a"]).unwrap_err();
+        let Error::Core(wfdl_core::CoreError::ArityMismatch { declared, used, .. }) = err else {
+            panic!("expected an arity mismatch")
+        };
+        assert_eq!((declared, used), (2, 1));
+    }
+
+    #[test]
+    fn prepared_queries_survive_universe_growth_via_rebind() {
+        let mut kb = KnowledgeBase::from_source("p(X) -> q(X). p(a).").unwrap();
+        let first = kb.solve();
+        // `b` is unknown at prepare time: definitely empty, shape retained.
+        let stale = first.prepare("?- q(b).").unwrap();
+        assert!(stale.is_definitely_empty());
+        assert!(stale.needs_rebind());
+
+        let mut delta = FactBatch::new();
+        delta
+            .relation(kb.universe_mut(), "p", 1)
+            .unwrap()
+            .push(&["b"])
+            .unwrap();
+        kb.insert(delta).unwrap();
+        let second = kb.solve();
+        assert!(second.solve_stats().incremental);
+        // Un-rebound, the stale short-circuit still answers false…
+        assert!(!second.ask_prepared(&stale));
+        // …rebinding re-resolves the constant without re-parsing.
+        let live = second.rebind(&stale).unwrap();
+        assert!(second.ask_prepared(&live));
+        // A fully-resolved query needs no rebind and evaluates unchanged
+        // against the newer model (dense ids are stable).
+        let qa = first.prepare("?- q(a).").unwrap();
+        assert!(!qa.needs_rebind());
+        assert!(second.ask_prepared(&second.rebind(&qa).unwrap()));
+    }
+
+    #[test]
+    fn queries_only_change_repackages_without_resolving() {
+        let mut kb = KnowledgeBase::from_source("p(a). ?- p(a).").unwrap();
+        let first = kb.solve();
+        // New query text only: the model is provably unchanged, so the
+        // new artifact shares it (and its indexes) instead of re-solving.
+        kb.add_source("?- p(b).").unwrap();
+        let second = kb.solve();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(second.source_queries().len(), 2);
+        assert!(
+            std::ptr::eq(first.model(), second.model()),
+            "underlying WellFoundedModel is shared, not recomputed"
+        );
+        assert!(second.ask_prepared(&second.source_queries()[0]));
+        // The query's constant `b` was interned by `add_source`, so the
+        // repackaged snapshot resolves it (to a definite miss).
+        assert!(!second.ask_prepared(&second.source_queries()[1]));
+        // A third solve with nothing new is a plain cache hit.
+        let third = kb.solve();
+        assert!(Arc::ptr_eq(&second, &third));
     }
 }
