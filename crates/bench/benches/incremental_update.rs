@@ -238,9 +238,5 @@ fn main() {
     writeln!(json, "  \"facade_speedup\": {f_speedup:.2}").unwrap();
     json.push_str("}\n");
 
-    let path = std::env::var("WFDL_BENCH_JSON").unwrap_or_else(|_| "BENCH_incremental.json".into());
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("incremental_update: wrote {path}"),
-        Err(e) => eprintln!("incremental_update: cannot write {path}: {e}"),
-    }
+    wfdl_bench::write_bench_json("BENCH_incremental.json", &json);
 }

@@ -1,0 +1,227 @@
+//! Parallel modular solve: serial vs 2/4/8 worker threads, engine time
+//! only (the ground program is built once per workload).
+//!
+//! Workloads, chosen to span the shapes the wavefront scheduler meets:
+//!
+//! * `winmove2048` — the win–move game on a 2048-node random graph with
+//!   draw cycles: a deep condensation with recursive components scattered
+//!   through it;
+//! * `chain256` — the Example 4 chain workload at 256 seeds, depth 8:
+//!   thousands of independent per-seed cones (the incremental bench's
+//!   base workload);
+//! * `fanout8192` — `wfdl_gen::fanout`'s 8192 independent shallow groups:
+//!   tiny components in huge wavefronts, built specifically to expose
+//!   scheduling overhead.
+//!
+//! Every thread count is asserted to produce the exact serial model
+//! before anything is timed. Output mirrors the other benches:
+//! human-readable medians on stdout, machine-readable
+//! `BENCH_parallel.json` (override with `WFDL_BENCH_JSON`, sample count
+//! with `WFDL_BENCH_SAMPLES`). The JSON records
+//! `available_parallelism`: on a single-core host the multi-thread legs
+//! only measure scheduler overhead — real scaling numbers come from the
+//! multicore CI runner, where the bench job asserts `scaling > 1`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wfdl_core::Universe;
+use wfdl_gen::{
+    chain_database, example4_sigma, fanout_database, fanout_sigma, winmove_database, winmove_sigma,
+    FanoutConfig, WinMoveConfig,
+};
+use wfdl_storage::GroundProgram;
+use wfdl_wfs::{solve, ModularEngine, WfsOptions};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn sample_count() -> usize {
+    std::env::var("WFDL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(30)
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn winmove_ground(nodes: usize) -> GroundProgram {
+    let mut u = Universe::new();
+    let sigma = winmove_sigma(&mut u);
+    let db = winmove_database(
+        &mut u,
+        &WinMoveConfig {
+            nodes,
+            out_degree: 2.0,
+            forward_bias: 0.8,
+            seed: 3,
+        },
+    );
+    solve(&mut u, &db, &sigma, WfsOptions::unbounded()).ground
+}
+
+fn chain_ground(seeds: usize) -> GroundProgram {
+    let mut u = Universe::new();
+    let sigma = example4_sigma(&mut u);
+    let db = chain_database(&mut u, seeds);
+    solve(&mut u, &db, &sigma, WfsOptions::depth(8)).ground
+}
+
+fn fanout_ground(groups: usize) -> GroundProgram {
+    let mut u = Universe::new();
+    let sigma = fanout_sigma(&mut u);
+    let db = fanout_database(
+        &mut u,
+        &FanoutConfig {
+            groups,
+            recursive_fraction: 0.25,
+            seed: 2013,
+        },
+    );
+    solve(&mut u, &db, &sigma, WfsOptions::unbounded()).ground
+}
+
+struct Leg {
+    threads: usize,
+    median_ns: u64,
+    /// Serial median / this leg's median: the parallel speedup.
+    scaling: f64,
+}
+
+struct Outcome {
+    name: &'static str,
+    atoms: usize,
+    components: usize,
+    wavefronts: usize,
+    max_wavefront: usize,
+    legs: Vec<Leg>,
+}
+
+fn run_workload(name: &'static str, ground: &GroundProgram, samples: usize) -> Outcome {
+    // Correctness first: every thread count must reproduce the serial
+    // model bit for bit before anything is timed.
+    let serial = ModularEngine::new(ground).solve();
+    let mut shape = (0usize, 0usize);
+    for &t in &THREADS[1..] {
+        let par = ModularEngine::new(ground).with_threads(t).solve();
+        for &atom in ground.atoms() {
+            assert_eq!(
+                par.value(atom),
+                serial.value(atom),
+                "{name}: {t}-thread solve diverged on {atom:?}"
+            );
+        }
+        let stats = par.stats.expect("modular stats");
+        shape = (stats.wavefronts, stats.max_wavefront);
+    }
+    let stats = serial.stats.expect("modular stats");
+
+    let mut legs = Vec::with_capacity(THREADS.len());
+    let mut serial_median = 0u64;
+    for &t in &THREADS {
+        let engine = ModularEngine::new(ground).with_threads(t);
+        let _ = engine.solve(); // untimed warm-up per thread count
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            let res = engine.solve();
+            times.push(start.elapsed().as_nanos() as u64);
+            std::hint::black_box(res);
+        }
+        let m = median(times);
+        if t == 1 {
+            serial_median = m;
+        }
+        let scaling = serial_median as f64 / m as f64;
+        println!(
+            "parallel_scaling/{name}/threads{t}: median {} — {scaling:.2}x vs serial ({samples} samples)",
+            fmt_ns(m)
+        );
+        legs.push(Leg {
+            threads: t,
+            median_ns: m,
+            scaling,
+        });
+    }
+    Outcome {
+        name,
+        atoms: ground.num_atoms(),
+        components: stats.components,
+        wavefronts: shape.0,
+        max_wavefront: shape.1,
+        legs,
+    }
+}
+
+fn main() {
+    let samples = sample_count();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("parallel_scaling: {cores} core(s) available, {samples} samples");
+
+    let workloads = [
+        ("winmove2048", winmove_ground(2048)),
+        ("chain256", chain_ground(256)),
+        ("fanout8192", fanout_ground(8192)),
+    ];
+    let outcomes: Vec<Outcome> = workloads
+        .iter()
+        .map(|(name, g)| run_workload(name, g, samples))
+        .collect();
+
+    let best = outcomes
+        .iter()
+        .flat_map(|o| o.legs.iter())
+        .map(|l| l.scaling)
+        .fold(0.0f64, f64::max);
+    println!("parallel_scaling/best_scaling: {best:.2}x");
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"samples\": {samples},").unwrap();
+    writeln!(json, "  \"available_parallelism\": {cores},").unwrap();
+    writeln!(json, "  \"best_scaling\": {best:.2},").unwrap();
+    json.push_str("  \"workloads\": [\n");
+    for (wi, o) in outcomes.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", o.name).unwrap();
+        writeln!(json, "      \"atoms\": {},", o.atoms).unwrap();
+        writeln!(json, "      \"components\": {},", o.components).unwrap();
+        writeln!(json, "      \"wavefronts\": {},", o.wavefronts).unwrap();
+        writeln!(json, "      \"max_wavefront\": {},", o.max_wavefront).unwrap();
+        json.push_str("      \"legs\": [\n");
+        for (li, l) in o.legs.iter().enumerate() {
+            writeln!(
+                json,
+                "        {{\"threads\": {}, \"median_ns\": {}, \"scaling\": {:.2}}}{}",
+                l.threads,
+                l.median_ns,
+                l.scaling,
+                if li + 1 == o.legs.len() { "" } else { "," }
+            )
+            .unwrap();
+        }
+        json.push_str("      ]\n");
+        writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 == outcomes.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+
+    wfdl_bench::write_bench_json("BENCH_parallel.json", &json);
+}

@@ -215,11 +215,7 @@ fn report(outcomes: &[Outcome], samples: usize) {
     }
     json.push_str("  ]\n}\n");
 
-    let path = std::env::var("WFDL_BENCH_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".into());
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("pipeline_end_to_end: wrote {path}"),
-        Err(e) => eprintln!("pipeline_end_to_end: cannot write {path}: {e}"),
-    }
+    wfdl_bench::write_bench_json("BENCH_pipeline.json", &json);
 }
 
 fn main() {

@@ -11,6 +11,8 @@
 //!   experiment.
 
 pub mod experiments;
+pub mod output;
 pub mod timing;
 
+pub use output::write_bench_json;
 pub use timing::{fit_loglog_slope, median_time, Series};

@@ -6,7 +6,9 @@
 //!   three-valued models);
 //! * [`random`] — random guarded normal programs (guarded by construction)
 //!   with a stratified variant;
-//! * [`employment`] — the Example 2 DL-Lite ontology at scale.
+//! * [`employment`] — the Example 2 DL-Lite ontology at scale;
+//! * [`fanout`] — thousands of shallow independent components (the
+//!   parallel-scheduler stress shape).
 //!
 //! All generators are deterministic per seed.
 
@@ -14,12 +16,14 @@
 
 pub mod chain;
 pub mod employment;
+pub mod fanout;
 pub mod ontogen;
 pub mod random;
 pub mod winmove;
 
 pub use chain::{chain_database, example4_sigma};
 pub use employment::{employment_ontology, EmploymentConfig};
+pub use fanout::{fanout_database, fanout_sigma, FanoutConfig};
 pub use ontogen::{random_ontology, OntologyConfig};
 pub use random::{
     random_database, random_program, random_stratified_program, RandomConfig, RandomDbConfig,

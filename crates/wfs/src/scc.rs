@@ -1,4 +1,4 @@
-//! SCC-modular well-founded evaluation.
+//! SCC-modular well-founded evaluation, serial and parallel.
 //!
 //! The global fixpoint engines ([`crate::wp`], [`crate::alternating`])
 //! re-solve the entire ground program every stage, even when negation is
@@ -24,6 +24,21 @@
 //! whole model is computed in a single linear sweep — the measured speedups
 //! in `benches/modular_vs_global.rs` come from exactly this.
 //!
+//! ## Parallel evaluation
+//!
+//! Components on the same topological wavefront of the condensation are
+//! independent, so [`ModularEngine::with_threads`] evaluates them
+//! concurrently: a dependency-counting work queue over the component DAG,
+//! executed by `std::thread::scope` workers against the shared read-only
+//! [`GroundProgram`]. Each worker publishes a component's verdicts into
+//! per-atom slots before decrementing its dependents' counters
+//! (release/acquire), so every component still observes exactly the lower
+//! verdicts the serial engine would have substituted. Because a
+//! component's verdicts and its decision stage depend only on the
+//! condensation (stage = emission ordinal + 1), the merged model is
+//! **bit-identical to the serial engine regardless of thread count or
+//! completion order** — pinned by `tests/parallel_agreement.rs`.
+//!
 //! The per-atom decision *stage* reported by this engine is the 1-based
 //! ordinal of the component that decided it, which preserves the invariant
 //! that stages are monotone along derivations but is **not** comparable to
@@ -32,9 +47,22 @@
 
 use crate::result::EngineResult;
 use crate::wp::{StepMode, WpEngine};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use wfdl_core::fxhash::mix64 as mix;
 use wfdl_core::{BitSet, Interp, Truth};
 use wfdl_storage::{GroundProgram, GroundRule};
+
+/// Below this much total work (`num_atoms + num_rules`), the automatic
+/// thread count ([`ModularEngine::with_threads`] with `0`) stays serial: a
+/// small program solves in well under a millisecond, less than the cost of
+/// spawning workers.
+const AUTO_PARALLEL_MIN_WORK: usize = 16_384;
+
+/// Hard ceiling on the worker count, whatever the caller requested: wide
+/// condensations can have tens of thousands of components, and an
+/// unclamped `--threads` would try to spawn that many OS threads.
+const MAX_THREADS: usize = 256;
 
 /// Per-run statistics of the modular evaluation, exposed through
 /// [`EngineResult::stats`] and the `wfdl` CLI's `--stats` flag.
@@ -55,6 +83,24 @@ pub struct ModularStats {
     /// Components whose verdicts were copied from a previous solve
     /// (incremental runs only; see [`ModularMemo`]).
     pub components_reused: usize,
+    /// Worker threads the solve ran with (`1` = the serial path).
+    pub threads: usize,
+    /// Topological wavefronts (levels) of the component DAG — the
+    /// critical-path length in components. Computed on parallel runs only
+    /// (`0` on the serial path, which never builds the component DAG).
+    pub wavefronts: usize,
+    /// Components on the widest wavefront — the peak parallelism the
+    /// condensation offers. `0` on the serial path.
+    pub max_wavefront: usize,
+    /// Components that went through the shared work queue (parallel runs):
+    /// wavefront roots plus components whose completion unblocked more
+    /// than one dependent.
+    pub queued_components: usize,
+    /// Components executed directly by the worker that made them ready,
+    /// without a queue round-trip (parallel runs). Chains of singleton
+    /// components — including memo-reused ones — run back-to-back this
+    /// way.
+    pub inline_components: usize,
 }
 
 /// The condensation and per-component **input fingerprints** of one
@@ -77,20 +123,157 @@ pub struct ModularMemo {
     pub fingerprints: Vec<u64>,
 }
 
+/// Shared per-atom verdict slots. Each component's verdicts are written by
+/// exactly one worker (components partition the atoms) and read by the
+/// workers of higher components only after the writer released the
+/// dependency edge, so relaxed element accesses are race-free; the
+/// ordering lives in the scheduler's counters. On the serial path the
+/// relaxed atomic ops compile to plain loads and stores.
+///
+/// `Truth::Unknown` doubles as "not yet decided", exactly like the former
+/// `Vec<Truth>` state (sound because components are decided strictly
+/// bottom-up).
+struct TruthSlots(Vec<AtomicU8>);
+
+impl TruthSlots {
+    fn new(n: usize) -> Self {
+        TruthSlots(
+            (0..n)
+                .map(|_| AtomicU8::new(encode(Truth::Unknown)))
+                .collect(),
+        )
+    }
+
+    #[inline]
+    fn get(&self, local: usize) -> Truth {
+        decode(self.0[local].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn set(&self, local: usize, t: Truth) {
+        self.0[local].store(encode(t), Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn encode(t: Truth) -> u8 {
+    match t {
+        Truth::False => 0,
+        Truth::Unknown => 1,
+        Truth::True => 2,
+    }
+}
+
+#[inline]
+fn decode(v: u8) -> Truth {
+    match v {
+        0 => Truth::False,
+        1 => Truth::Unknown,
+        _ => Truth::True,
+    }
+}
+
+/// Per-worker scratch buffers, reused across components (most components
+/// are singletons, so per-component allocation would dominate).
+struct Scratch {
+    /// rule id → slot in `missing` while a component is evaluated;
+    /// `u32::MAX` elsewhere (reset after each component).
+    rule_slot: Vec<u32>,
+    rules: Vec<u32>,
+    missing: Vec<u32>,
+    queue: Vec<u32>,
+    sorted_comp: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(num_rules: usize) -> Self {
+        Scratch {
+            rule_slot: vec![u32::MAX; num_rules],
+            rules: Vec::new(),
+            missing: Vec::new(),
+            queue: Vec::new(),
+            sorted_comp: Vec::new(),
+        }
+    }
+}
+
+/// The previous solve's artifacts, prepared for constant-time reuse
+/// probes.
+struct PrevSolve<'a> {
+    result: &'a EngineResult,
+    memo: &'a ModularMemo,
+    /// Dense AtomId → previous-local-id map (`u32::MAX` = absent), built
+    /// once so reuse probes are single array reads.
+    local: Vec<u32>,
+}
+
+/// Everything a worker needs to evaluate components, all borrowed and
+/// `Sync`: the program and condensation are read-only, verdicts go through
+/// [`TruthSlots`], and each component owns its own fingerprint slot.
+struct EvalCtx<'a> {
+    prog: &'a GroundProgram,
+    cond: &'a Condensation,
+    is_fact: &'a BitSet,
+    truth: &'a TruthSlots,
+    fingerprints: &'a [AtomicU64],
+    prev: Option<PrevSolve<'a>>,
+}
+
+/// What one component's evaluation contributed, merged into
+/// [`ModularStats`] by the caller.
+struct CompOutcome {
+    definite: bool,
+    reused: bool,
+}
+
 /// The SCC-modular WFS engine.
 pub struct ModularEngine<'a> {
     prog: &'a GroundProgram,
+    /// Requested worker count: `1` = serial (the default for direct engine
+    /// users), `0` = auto, `n` = exactly `n` workers (capped at the
+    /// component count).
+    threads: usize,
 }
 
 impl<'a> ModularEngine<'a> {
-    /// Prepares the engine for a ground program.
+    /// Prepares the engine for a ground program (serial evaluation).
     pub fn new(prog: &'a GroundProgram) -> Self {
-        ModularEngine { prog }
+        ModularEngine { prog, threads: 1 }
+    }
+
+    /// Selects the worker count for [`ModularEngine::solve`]: `1` forces
+    /// the serial path, `0` picks automatically
+    /// (`std::thread::available_parallelism` for large programs, serial
+    /// for small ones where spawn cost would dominate), any other `n`
+    /// spawns `n` workers (capped at the component count and a hard
+    /// ceiling of 256 — thread counts are a performance knob, not a
+    /// resource grant). The computed model is bit-identical for every
+    /// setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Computes the well-founded model component by component.
     pub fn solve(&self) -> EngineResult {
         self.solve_incremental(None)
+    }
+
+    fn resolve_threads(&self, num_components: usize) -> usize {
+        if num_components == 0 {
+            return 1;
+        }
+        let requested = match self.threads {
+            0 => {
+                if self.prog.num_atoms() + self.prog.num_rules() < AUTO_PARALLEL_MIN_WORK {
+                    1
+                } else {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                }
+            }
+            n => n,
+        };
+        requested.clamp(1, num_components).min(MAX_THREADS)
     }
 
     /// Computes the well-founded model, reusing verdicts from a previous
@@ -107,152 +290,85 @@ impl<'a> ModularEngine<'a> {
     /// rules or facts, components whose lower inputs changed) is evaluated
     /// normally. The number of reused components is reported in
     /// [`ModularStats::components_reused`].
+    ///
+    /// Verdict reuse composes with parallel evaluation: dirty components
+    /// fan out across the workers while reused ones are a copy in the
+    /// worker that reaches them (typically inline, without a queue
+    /// round-trip).
     pub fn solve_incremental(&self, prev: Option<(&GroundProgram, &EngineResult)>) -> EngineResult {
         let prog = self.prog;
         let n = prog.num_atoms();
         let cond = condensation(prog);
-        let comp_of = &cond.comp_of;
-        let prev_memo = prev.and_then(|(pg, pr)| pr.memo.as_ref().map(|m| (pg, pr, m)));
-        // Dense AtomId → previous-local-id map, built once so reuse probes
-        // are single array reads instead of binary searches per atom.
-        const ABSENT: u32 = u32::MAX;
-        let prev_local: Vec<u32> = match prev_memo {
-            Some((pg, _, _)) => {
-                let size = pg.atoms().last().map_or(0, |a| a.index() + 1);
-                let mut map = vec![ABSENT; size];
-                for (i, &a) in pg.atoms().iter().enumerate() {
-                    map[a.index()] = i as u32;
-                }
-                map
-            }
-            None => Vec::new(),
-        };
+        let num_components = cond.num_components();
 
-        // Local truth state; Truth::Unknown doubles as "not yet decided"
-        // (sound because components are decided strictly bottom-up).
-        let mut truth = vec![Truth::Unknown; n];
-        let mut stage_of = vec![0u32; n];
+        const ABSENT: u32 = u32::MAX;
+        let prev = prev.and_then(|(pg, pr)| {
+            let memo = pr.memo.as_ref()?;
+            let size = pg.atoms().last().map_or(0, |a| a.index() + 1);
+            let mut local = vec![ABSENT; size];
+            for (i, &a) in pg.atoms().iter().enumerate() {
+                local[a.index()] = i as u32;
+            }
+            Some(PrevSolve {
+                result: pr,
+                memo,
+                local,
+            })
+        });
+
+        let truth = TruthSlots::new(n);
         let mut is_fact = BitSet::with_capacity(n);
         for &f in prog.facts_local() {
             is_fact.insert(f as usize);
         }
+        let fingerprints: Vec<AtomicU64> = (0..num_components).map(|_| AtomicU64::new(0)).collect();
 
+        let ctx = EvalCtx {
+            prog,
+            cond: &cond,
+            is_fact: &is_fact,
+            truth: &truth,
+            fingerprints: &fingerprints,
+            prev,
+        };
+
+        let threads = self.resolve_threads(num_components);
         let mut stats = ModularStats {
-            components: cond.num_components(),
+            components: num_components,
+            largest_component: cond.iter().map(<[u32]>::len).max().unwrap_or(0),
+            threads,
             ..Default::default()
         };
-        let mut fingerprints: Vec<u64> = Vec::with_capacity(cond.num_components());
 
-        // Scratch buffers reused across components (most components are
-        // singletons, so per-component allocation would dominate).
-        let mut rule_slot: Vec<u32> = vec![u32::MAX; prog.num_rules()];
-        let mut rules: Vec<u32> = Vec::new();
-        let mut missing: Vec<u32> = Vec::new();
-        let mut queue: Vec<u32> = Vec::new();
-        let mut sorted_comp: Vec<u32> = Vec::new();
-
-        for (ordinal, comp) in cond.iter().enumerate() {
-            let ord = ordinal as u32;
-            let stage = ord + 1;
-            stats.largest_component = stats.largest_component.max(comp.len());
-
-            // Collect the component's rules and classify the component.
-            // Tarjan assigned component ordinals in emission order, so
-            // `comp_of[b] == ord` tests membership in this component.
-            rules.clear();
-            let mut definite = true;
-            for &a in comp {
-                for &rid in prog.rules_with_head_local(a) {
-                    let r = rid.index();
-                    rules.push(r as u32);
-                    for &b in prog.neg_local(r) {
-                        if comp_of[b as usize] == ord {
-                            definite = false; // internal negation
-                        } else if truth[b as usize] == Truth::Unknown {
-                            definite = false; // undefined lower input
-                        }
-                    }
-                    for &b in prog.pos_local(r) {
-                        if comp_of[b as usize] != ord && truth[b as usize] == Truth::Unknown {
-                            definite = false; // undefined lower input
-                        }
-                    }
-                }
+        if threads == 1 {
+            // Serial path: emission order visits dependencies first, so a
+            // plain sweep needs no scheduling state at all.
+            let mut scratch = Scratch::new(prog.num_rules());
+            for ord in 0..num_components as u32 {
+                let out = process_component(&ctx, ord, &mut scratch);
+                merge_outcome(&mut stats, &out, cond.component(ord as usize).len());
             }
-
-            // Fingerprint this component's inputs; try to reuse the
-            // previous solve's verdicts before evaluating anything.
-            let fp =
-                fingerprint_component(prog, comp, ord, comp_of, &truth, &is_fact, &mut sorted_comp);
-            fingerprints.push(fp);
-            if let Some((_, prev_result, memo)) = prev_memo {
-                if try_reuse(
-                    prog,
-                    comp,
-                    fp,
-                    &prev_local,
-                    prev_result,
-                    memo,
-                    stage,
-                    &mut truth,
-                    &mut stage_of,
-                ) {
-                    stats.components_reused += 1;
-                    if definite {
-                        stats.definite_components += 1;
-                    } else {
-                        stats.recursive_components += 1;
-                        stats.atoms_in_recursive += comp.len();
-                    }
-                    continue;
-                }
-            }
-
-            if definite {
-                stats.definite_components += 1;
-                self.solve_definite(
-                    comp,
-                    ord,
-                    stage,
-                    comp_of,
-                    &rules,
-                    &mut rule_slot,
-                    &mut missing,
-                    &mut queue,
-                    &is_fact,
-                    &mut truth,
-                    &mut stage_of,
-                );
-            } else {
-                stats.recursive_components += 1;
-                stats.atoms_in_recursive += comp.len();
-                self.solve_recursive(
-                    comp,
-                    ord,
-                    stage,
-                    comp_of,
-                    &rules,
-                    &is_fact,
-                    &mut truth,
-                    &mut stage_of,
-                );
-            }
+        } else {
+            solve_parallel(&ctx, threads, &mut stats);
         }
 
-        // Assemble the EngineResult over original atom ids.
+        // Assemble the EngineResult over original atom ids. The decision
+        // stage of a decided atom is its component's 1-based emission
+        // ordinal — a function of the condensation alone, which is what
+        // makes the parallel result bit-identical to the serial one.
         let mut interp = Interp::with_capacity(n);
         let cap = prog.atoms().last().map_or(0, |a| a.index() + 1);
         let mut decided_stage = crate::result::StageMap::with_capacity(cap);
         for a in 0..n {
             let atom = prog.atom_of_local(a as u32);
-            match truth[a] {
+            match truth.get(a) {
                 Truth::True => {
                     interp.set_true(atom);
-                    decided_stage.insert(atom, stage_of[a]);
+                    decided_stage.insert(atom, cond.comp_of[a] + 1);
                 }
                 Truth::False => {
                     interp.set_false(atom);
-                    decided_stage.insert(atom, stage_of[a]);
+                    decided_stage.insert(atom, cond.comp_of[a] + 1);
                 }
                 Truth::Unknown => stats.unknown_atoms += 1,
             }
@@ -260,204 +376,276 @@ impl<'a> ModularEngine<'a> {
         EngineResult {
             interp,
             decided_stage,
-            stages: cond.num_components() as u32,
+            stages: num_components as u32,
             stats: Some(stats),
             memo: Some(ModularMemo {
                 condensation: cond,
-                fingerprints,
+                fingerprints: fingerprints
+                    .into_iter()
+                    .map(AtomicU64::into_inner)
+                    .collect(),
             }),
         }
     }
+}
 
-    /// Flat semi-naive evaluation of a negation-free (after substitution)
-    /// component: derivable atoms are true, the rest are false.
-    #[allow(clippy::too_many_arguments)]
-    fn solve_definite(
-        &self,
-        comp: &[u32],
-        ordinal: u32,
-        stage: u32,
-        comp_of: &[u32],
-        rules: &[u32],
-        rule_slot: &mut [u32],
-        missing: &mut Vec<u32>,
-        queue: &mut Vec<u32>,
-        is_fact: &BitSet,
-        truth: &mut [Truth],
-        stage_of: &mut [u32],
-    ) {
-        let prog = self.prog;
-        // missing[i] = internal positive atoms of rules[i] not yet true;
-        // u32::MAX marks a dead rule (an external literal is unsatisfied).
-        missing.clear();
-        queue.clear();
+fn merge_outcome(stats: &mut ModularStats, out: &CompOutcome, comp_len: usize) {
+    if out.reused {
+        stats.components_reused += 1;
+    }
+    if out.definite {
+        stats.definite_components += 1;
+    } else {
+        stats.recursive_components += 1;
+        stats.atoms_in_recursive += comp_len;
+    }
+}
 
-        let mut derive = |a: u32, truth: &mut [Truth], queue: &mut Vec<u32>| {
-            if truth[a as usize] != Truth::True {
-                truth[a as usize] = Truth::True;
-                stage_of[a as usize] = stage;
-                queue.push(a);
+/// Evaluates one component whose dependencies are all decided: classify,
+/// fingerprint, try memo reuse, then run the definite or recursive
+/// evaluator. Publishes verdicts into `ctx.truth` and the fingerprint into
+/// the component's slot. Free of `&mut` engine state — safe to call from
+/// any worker as long as the scheduler ordered it after its dependencies.
+fn process_component(ctx: &EvalCtx<'_>, ord: u32, scratch: &mut Scratch) -> CompOutcome {
+    let prog = ctx.prog;
+    let comp_of = &ctx.cond.comp_of;
+    let comp = ctx.cond.component(ord as usize);
+    let truth = ctx.truth;
+
+    // Collect the component's rules and classify the component. Tarjan
+    // assigned component ordinals in emission order, so `comp_of[b] == ord`
+    // tests membership in this component.
+    scratch.rules.clear();
+    let mut definite = true;
+    for &a in comp {
+        for &rid in prog.rules_with_head_local(a) {
+            let r = rid.index();
+            scratch.rules.push(r as u32);
+            for &b in prog.neg_local(r) {
+                if comp_of[b as usize] == ord {
+                    definite = false; // internal negation
+                } else if truth.get(b as usize) == Truth::Unknown {
+                    definite = false; // undefined lower input
+                }
             }
-        };
-
-        // Phase 1: count every rule's missing internal atoms BEFORE any
-        // derivation. Internal atoms are all undecided at this point, so
-        // the counts are consistent; firing while counting would let a
-        // later rule see an already-derived atom and then receive a queue
-        // decrement for the same atom — deriving unfounded atoms.
-        for (i, &r) in rules.iter().enumerate() {
-            rule_slot[r as usize] = i as u32;
-            let r = r as usize;
-            let mut m = 0u32;
-            let mut dead = false;
             for &b in prog.pos_local(r) {
-                if comp_of[b as usize] == ordinal {
-                    m += 1; // internal: wait for derivation
-                } else if truth[b as usize] != Truth::True {
-                    dead = true; // external and not true ⇒ false here
+                if comp_of[b as usize] != ord && truth.get(b as usize) == Truth::Unknown {
+                    definite = false; // undefined lower input
                 }
             }
-            // All negative atoms are external (definite components have no
-            // internal negation) and decided: true kills the rule.
-            if prog
-                .neg_local(r)
-                .iter()
-                .any(|&b| truth[b as usize] == Truth::True)
-            {
-                dead = true;
-            }
-            missing.push(if dead { u32::MAX } else { m });
-        }
-        // Phase 2: fire rules with no internal prerequisites, seed facts,
-        // then propagate.
-        for (i, &r) in rules.iter().enumerate() {
-            if missing[i] == 0 {
-                derive(prog.head_local(r as usize), truth, queue);
-            }
-        }
-        for &a in comp {
-            if is_fact.contains(a as usize) {
-                derive(a, truth, queue);
-            }
-        }
-        while let Some(a) = queue.pop() {
-            for &rid in prog.rules_with_pos_local(a) {
-                let slot = rule_slot[rid.index()];
-                if slot == u32::MAX {
-                    continue; // rule belongs to a later component
-                }
-                let m = &mut missing[slot as usize];
-                if *m == u32::MAX || *m == 0 {
-                    continue;
-                }
-                // An atom may occur only once per body (GroundRule dedups).
-                *m -= 1;
-                if *m == 0 {
-                    derive(prog.head_local(rid.index()), truth, queue);
-                }
-            }
-        }
-        for &a in comp {
-            if truth[a as usize] != Truth::True {
-                truth[a as usize] = Truth::False;
-                stage_of[a as usize] = stage;
-            }
-        }
-        for &r in rules {
-            rule_slot[r as usize] = u32::MAX;
         }
     }
 
-    /// Full `W_P` evaluation of a component whose verdicts may be mutually
-    /// recursive through negation (or depend on undefined lower atoms).
-    #[allow(clippy::too_many_arguments)]
-    fn solve_recursive(
-        &self,
-        comp: &[u32],
-        ordinal: u32,
-        stage: u32,
-        comp_of: &[u32],
-        rules: &[u32],
-        is_fact: &BitSet,
-        truth: &mut [Truth],
-        stage_of: &mut [u32],
-    ) {
-        let prog = self.prog;
-        // Subprogram atoms: the component plus every undefined external
-        // atom its rules mention (carried as assumed-unknown inputs).
-        // Local ids are sorted, so sorting them sorts the atom ids too.
-        let mut sub_atoms: Vec<u32> = comp.to_vec();
-        for &r in rules {
-            let r = r as usize;
-            for &b in prog.pos_local(r).iter().chain(prog.neg_local(r)) {
-                if comp_of[b as usize] != ordinal && truth[b as usize] == Truth::Unknown {
-                    sub_atoms.push(b);
-                }
+    // Fingerprint this component's inputs; try to reuse the previous
+    // solve's verdicts before evaluating anything.
+    let fp = fingerprint_component(
+        prog,
+        comp,
+        ord,
+        comp_of,
+        truth,
+        ctx.is_fact,
+        &mut scratch.sorted_comp,
+    );
+    ctx.fingerprints[ord as usize].store(fp, Ordering::Relaxed);
+    if let Some(prev) = &ctx.prev {
+        if try_reuse(prog, comp, fp, prev, truth) {
+            return CompOutcome {
+                definite,
+                reused: true,
+            };
+        }
+    }
+
+    if definite {
+        eval_definite(prog, comp, ord, comp_of, ctx.is_fact, truth, scratch);
+    } else {
+        eval_recursive(prog, comp, ord, comp_of, ctx.is_fact, truth, &scratch.rules);
+    }
+    CompOutcome {
+        definite,
+        reused: false,
+    }
+}
+
+/// Flat semi-naive evaluation of a negation-free (after substitution)
+/// component: derivable atoms are true, the rest are false.
+fn eval_definite(
+    prog: &GroundProgram,
+    comp: &[u32],
+    ordinal: u32,
+    comp_of: &[u32],
+    is_fact: &BitSet,
+    truth: &TruthSlots,
+    scratch: &mut Scratch,
+) {
+    // missing[i] = internal positive atoms of rules[i] not yet true;
+    // u32::MAX marks a dead rule (an external literal is unsatisfied).
+    let Scratch {
+        rule_slot,
+        rules,
+        missing,
+        queue,
+        ..
+    } = scratch;
+    missing.clear();
+    queue.clear();
+
+    let derive = |a: u32, queue: &mut Vec<u32>| {
+        if truth.get(a as usize) != Truth::True {
+            truth.set(a as usize, Truth::True);
+            queue.push(a);
+        }
+    };
+
+    // Phase 1: count every rule's missing internal atoms BEFORE any
+    // derivation. Internal atoms are all undecided at this point, so
+    // the counts are consistent; firing while counting would let a
+    // later rule see an already-derived atom and then receive a queue
+    // decrement for the same atom — deriving unfounded atoms.
+    for (i, &r) in rules.iter().enumerate() {
+        rule_slot[r as usize] = i as u32;
+        let r = r as usize;
+        let mut m = 0u32;
+        let mut dead = false;
+        for &b in prog.pos_local(r) {
+            if comp_of[b as usize] == ordinal {
+                m += 1; // internal: wait for derivation
+            } else if truth.get(b as usize) != Truth::True {
+                dead = true; // external and not true ⇒ false here
             }
         }
-        sub_atoms.sort_unstable();
-        sub_atoms.dedup();
-
-        // Partially evaluate the component's rules against the decided
-        // lower verdicts, building a standalone sub-GroundProgram whose
-        // atom universe is `sub_atoms` (local ids are ascending, so the
-        // sub program's local numbering is the position in `sub_atoms`).
-        let atom_id = |b: u32| prog.atom_of_local(b);
-        let mut sub_rules: Vec<GroundRule> = Vec::with_capacity(rules.len());
-        'rules: for &r in rules {
-            let r = r as usize;
-            let mut pos = Vec::new();
-            for &b in prog.pos_local(r) {
-                if comp_of[b as usize] == ordinal {
-                    pos.push(atom_id(b));
-                } else {
-                    match truth[b as usize] {
-                        Truth::True => {}                       // satisfied: drop
-                        Truth::False => continue 'rules,        // dead rule
-                        Truth::Unknown => pos.push(atom_id(b)), // assumed input
-                    }
-                }
-            }
-            let mut neg = Vec::new();
-            for &b in prog.neg_local(r) {
-                if comp_of[b as usize] == ordinal {
-                    neg.push(atom_id(b));
-                } else {
-                    match truth[b as usize] {
-                        Truth::False => {}                      // satisfied: drop
-                        Truth::True => continue 'rules,         // dead rule
-                        Truth::Unknown => neg.push(atom_id(b)), // assumed input
-                    }
-                }
-            }
-            sub_rules.push(GroundRule::new(atom_id(prog.head_local(r)), pos, neg));
-        }
-
-        let fact_ids: Vec<_> = comp
+        // All negative atoms are external (definite components have no
+        // internal negation) and decided: true kills the rule.
+        if prog
+            .neg_local(r)
             .iter()
-            .filter(|&&a| is_fact.contains(a as usize))
-            .map(|&a| atom_id(a))
-            .collect();
-        let assumed: Vec<u32> = sub_atoms
-            .iter()
-            .enumerate()
-            .filter(|&(_, &b)| comp_of[b as usize] != ordinal)
-            .map(|(i, _)| i as u32)
-            .collect();
-
-        let atom_ids: Vec<_> = sub_atoms.iter().map(|&b| atom_id(b)).collect();
-        let sub = GroundProgram::build_with_atom_universe(sub_rules, fact_ids, atom_ids);
-        let result = WpEngine::new(&sub)
-            .with_assumed_unknown(assumed)
-            .solve(StepMode::Accelerated);
-
-        for &a in comp {
-            let verdict = result.value(prog.atom_of_local(a));
-            truth[a as usize] = verdict;
-            if verdict != Truth::Unknown {
-                stage_of[a as usize] = stage;
+            .any(|&b| truth.get(b as usize) == Truth::True)
+        {
+            dead = true;
+        }
+        missing.push(if dead { u32::MAX } else { m });
+    }
+    // Phase 2: fire rules with no internal prerequisites, seed facts,
+    // then propagate.
+    for (i, &r) in rules.iter().enumerate() {
+        if missing[i] == 0 {
+            derive(prog.head_local(r as usize), queue);
+        }
+    }
+    for &a in comp {
+        if is_fact.contains(a as usize) {
+            derive(a, queue);
+        }
+    }
+    while let Some(a) = queue.pop() {
+        for &rid in prog.rules_with_pos_local(a) {
+            let slot = rule_slot[rid.index()];
+            if slot == u32::MAX {
+                continue; // rule belongs to a different component
+            }
+            let m = &mut missing[slot as usize];
+            if *m == u32::MAX || *m == 0 {
+                continue;
+            }
+            // An atom may occur only once per body (GroundRule dedups).
+            *m -= 1;
+            if *m == 0 {
+                derive(prog.head_local(rid.index()), queue);
             }
         }
+    }
+    for &a in comp {
+        if truth.get(a as usize) != Truth::True {
+            truth.set(a as usize, Truth::False);
+        }
+    }
+    for &r in rules.iter() {
+        rule_slot[r as usize] = u32::MAX;
+    }
+}
+
+/// Full `W_P` evaluation of a component whose verdicts may be mutually
+/// recursive through negation (or depend on undefined lower atoms).
+fn eval_recursive(
+    prog: &GroundProgram,
+    comp: &[u32],
+    ordinal: u32,
+    comp_of: &[u32],
+    is_fact: &BitSet,
+    truth: &TruthSlots,
+    rules: &[u32],
+) {
+    // Subprogram atoms: the component plus every undefined external
+    // atom its rules mention (carried as assumed-unknown inputs).
+    // Local ids are sorted, so sorting them sorts the atom ids too.
+    let mut sub_atoms: Vec<u32> = comp.to_vec();
+    for &r in rules {
+        let r = r as usize;
+        for &b in prog.pos_local(r).iter().chain(prog.neg_local(r)) {
+            if comp_of[b as usize] != ordinal && truth.get(b as usize) == Truth::Unknown {
+                sub_atoms.push(b);
+            }
+        }
+    }
+    sub_atoms.sort_unstable();
+    sub_atoms.dedup();
+
+    // Partially evaluate the component's rules against the decided
+    // lower verdicts, building a standalone sub-GroundProgram whose
+    // atom universe is `sub_atoms` (local ids are ascending, so the
+    // sub program's local numbering is the position in `sub_atoms`).
+    let atom_id = |b: u32| prog.atom_of_local(b);
+    let mut sub_rules: Vec<GroundRule> = Vec::with_capacity(rules.len());
+    'rules: for &r in rules {
+        let r = r as usize;
+        let mut pos = Vec::new();
+        for &b in prog.pos_local(r) {
+            if comp_of[b as usize] == ordinal {
+                pos.push(atom_id(b));
+            } else {
+                match truth.get(b as usize) {
+                    Truth::True => {}                       // satisfied: drop
+                    Truth::False => continue 'rules,        // dead rule
+                    Truth::Unknown => pos.push(atom_id(b)), // assumed input
+                }
+            }
+        }
+        let mut neg = Vec::new();
+        for &b in prog.neg_local(r) {
+            if comp_of[b as usize] == ordinal {
+                neg.push(atom_id(b));
+            } else {
+                match truth.get(b as usize) {
+                    Truth::False => {}                      // satisfied: drop
+                    Truth::True => continue 'rules,         // dead rule
+                    Truth::Unknown => neg.push(atom_id(b)), // assumed input
+                }
+            }
+        }
+        sub_rules.push(GroundRule::new(atom_id(prog.head_local(r)), pos, neg));
+    }
+
+    let fact_ids: Vec<_> = comp
+        .iter()
+        .filter(|&&a| is_fact.contains(a as usize))
+        .map(|&a| atom_id(a))
+        .collect();
+    let assumed: Vec<u32> = sub_atoms
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| comp_of[b as usize] != ordinal)
+        .map(|(i, _)| i as u32)
+        .collect();
+
+    let atom_ids: Vec<_> = sub_atoms.iter().map(|&b| atom_id(b)).collect();
+    let sub = GroundProgram::build_with_atom_universe(sub_rules, fact_ids, atom_ids);
+    let result = WpEngine::new(&sub)
+        .with_assumed_unknown(assumed)
+        .solve(StepMode::Accelerated);
+
+    for &a in comp {
+        truth.set(a as usize, result.value(prog.atom_of_local(a)));
     }
 }
 
@@ -471,7 +659,7 @@ fn fingerprint_component(
     comp: &[u32],
     ord: u32,
     comp_of: &[u32],
-    truth: &[Truth],
+    truth: &TruthSlots,
     is_fact: &BitSet,
     sorted_comp: &mut Vec<u32>,
 ) -> u64 {
@@ -489,7 +677,7 @@ fn fingerprint_component(
             let tag = if comp_of[b as usize] == ord {
                 3 // internal: undecided by construction
             } else {
-                match truth[b as usize] {
+                match truth.get(b as usize) {
                     Truth::False => 0,
                     Truth::Unknown => 1,
                     Truth::True => 2,
@@ -517,21 +705,17 @@ fn fingerprint_component(
 /// same component with the same inputs: every atom must map into one
 /// previous component of identical size, and the input fingerprints must
 /// agree. Returns whether the reuse happened.
-#[allow(clippy::too_many_arguments)]
 fn try_reuse(
     prog: &GroundProgram,
     comp: &[u32],
     fp: u64,
-    prev_local: &[u32],
-    prev_result: &EngineResult,
-    memo: &ModularMemo,
-    stage: u32,
-    truth: &mut [Truth],
-    stage_of: &mut [u32],
+    prev: &PrevSolve<'_>,
+    truth: &TruthSlots,
 ) -> bool {
     const ABSENT: u32 = u32::MAX;
+    let memo = prev.memo;
     let lookup = |local: u32| -> Option<u32> {
-        match prev_local.get(prog.atom_of_local(local).index()) {
+        match prev.local.get(prog.atom_of_local(local).index()) {
             Some(&l) if l != ABSENT => Some(l),
             _ => None,
         }
@@ -551,13 +735,298 @@ fn try_reuse(
         }
     }
     for &a in comp {
-        let verdict = prev_result.value(prog.atom_of_local(a));
-        truth[a as usize] = verdict;
-        if verdict != Truth::Unknown {
-            stage_of[a as usize] = stage;
-        }
+        truth.set(a as usize, prev.result.value(prog.atom_of_local(a)));
     }
     true
+}
+
+// ======================================================================
+// Parallel scheduler
+// ======================================================================
+
+/// The condensation's component-level DAG: deduplicated dependency edges
+/// in CSR form (`successors(d)` = components that depend on `d`), the
+/// in-degree of every component, and the topological wavefront profile.
+struct CompGraph {
+    succ_off: Vec<u32>,
+    succ: Vec<u32>,
+    indegree: Vec<u32>,
+    /// Number of wavefronts (levels); the critical path in components.
+    levels: usize,
+    /// Components on the widest wavefront.
+    max_width: usize,
+}
+
+impl CompGraph {
+    fn successors(&self, ord: u32) -> &[u32] {
+        let o = ord as usize;
+        &self.succ[self.succ_off[o] as usize..self.succ_off[o + 1] as usize]
+    }
+}
+
+/// Calls `f(d)` once per **distinct** lower component `d` that component
+/// `c` depends on. `stamp[d] == c` marks `d` as already reported for this
+/// `c`; since callers visit ordinals in strictly increasing order, one
+/// stamp array serves a whole sweep without resets.
+fn for_each_dep(
+    prog: &GroundProgram,
+    cond: &Condensation,
+    c: u32,
+    stamp: &mut [u32],
+    mut f: impl FnMut(u32),
+) {
+    for &a in cond.component(c as usize) {
+        for &rid in prog.rules_with_head_local(a) {
+            let r = rid.index();
+            for &b in prog.pos_local(r).iter().chain(prog.neg_local(r)) {
+                let d = cond.comp_of[b as usize];
+                if d != c && stamp[d as usize] != c {
+                    stamp[d as usize] = c;
+                    f(d);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the [`CompGraph`] by scanning every rule body once per pass.
+/// Emission ordinals are topological (dependencies get smaller ordinals),
+/// so stamping with the dependent's ordinal dedups edges without a sort
+/// and wavefront levels resolve in one ascending sweep.
+fn comp_graph(prog: &GroundProgram, cond: &Condensation) -> CompGraph {
+    let ncomp = cond.num_components();
+    let mut succ_count = vec![0u32; ncomp];
+    let mut indegree = vec![0u32; ncomp];
+    let mut level = vec![0u32; ncomp];
+    const UNSEEN: u32 = u32::MAX;
+    let mut stamp = vec![UNSEEN; ncomp];
+
+    // One body scan collects the deduped edge list; the successor CSR is
+    // then a counting-sort of that (much smaller) list by dependency.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for c in 0..ncomp as u32 {
+        let mut deg = 0u32;
+        let mut lvl = 0u32;
+        for_each_dep(prog, cond, c, &mut stamp, |d| {
+            deg += 1;
+            succ_count[d as usize] += 1;
+            lvl = lvl.max(level[d as usize] + 1);
+            edges.push((d, c));
+        });
+        indegree[c as usize] = deg;
+        level[c as usize] = lvl;
+    }
+
+    let mut succ_off = Vec::with_capacity(ncomp + 1);
+    let mut acc = 0u32;
+    succ_off.push(0);
+    for &c in &succ_count {
+        acc += c;
+        succ_off.push(acc);
+    }
+    let mut succ = vec![0u32; acc as usize];
+    let mut fill: Vec<u32> = succ_off[..ncomp].to_vec();
+    for (d, c) in edges {
+        succ[fill[d as usize] as usize] = c;
+        fill[d as usize] += 1;
+    }
+
+    let levels = level.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut width = vec![0usize; levels];
+    for &l in &level {
+        width[l as usize] += 1;
+    }
+    CompGraph {
+        succ_off,
+        succ,
+        indegree,
+        levels,
+        max_width: width.into_iter().max().unwrap_or(0),
+    }
+}
+
+/// Shared scheduler state of one parallel solve.
+struct Scheduler<'a> {
+    graph: &'a CompGraph,
+    /// Ready components that no worker has claimed inline. Order is
+    /// irrelevant for the result (verdicts land in per-component slots).
+    queue: Mutex<Vec<u32>>,
+    ready: Condvar,
+    /// Components not yet evaluated; `0` wakes and terminates everyone.
+    remaining: AtomicUsize,
+    /// Live dependency counters, seeded from `graph.indegree`.
+    indegree: Vec<AtomicU32>,
+    queued: AtomicUsize,
+    /// Set by [`AbortOnPanic`] when a worker unwinds: tells everyone
+    /// else to stop waiting for components that will never complete.
+    aborted: AtomicBool,
+}
+
+impl Scheduler<'_> {
+    /// Shares a batch of ready components with the other workers — one
+    /// lock acquisition regardless of batch size.
+    fn push_batch(&self, items: &[u32]) {
+        if items.is_empty() {
+            return;
+        }
+        let mut q = self.queue.lock().unwrap();
+        q.extend_from_slice(items);
+        drop(q);
+        self.queued.fetch_add(items.len(), Ordering::Relaxed);
+        if items.len() == 1 {
+            self.ready.notify_one();
+        } else {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Blocks until work is ready or everything is done. Returns one
+    /// component and moves a fair share of the remaining ready work into
+    /// the caller's private `backlog`, so tiny-component cascades don't
+    /// take the lock once per component.
+    fn pop_batch(&self, threads: usize, backlog: &mut Vec<u32>) -> Option<u32> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(ord) = q.pop() {
+                let extra = (q.len() / threads).min(64);
+                let at = q.len() - extra;
+                backlog.extend(q.drain(at..));
+                return Some(ord);
+            }
+            if self.remaining.load(Ordering::Acquire) == 0 || self.aborted.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+}
+
+/// Unblocks every idle worker if its thread unwinds: without this, a
+/// panic inside one component's evaluation would leave `remaining`
+/// nonzero forever, the other workers asleep on the condvar, and
+/// `std::thread::scope` joining a deadlock instead of propagating the
+/// panic.
+struct AbortOnPanic<'a, 'b>(&'a Scheduler<'b>);
+
+impl Drop for AbortOnPanic<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.aborted.store(true, Ordering::Release);
+            // The queue mutex may be poisoned by the same panic; waking
+            // the sleepers matters, the guard does not.
+            let _q = self.0.queue.lock();
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+/// Worker-side partial stats, merged under a mutex once per worker.
+#[derive(Default)]
+struct PartialStats {
+    definite: usize,
+    recursive: usize,
+    atoms_in_recursive: usize,
+    reused: usize,
+    inline_run: usize,
+}
+
+/// Evaluates all components with `threads` scoped workers over a
+/// dependency-counting topological wavefront queue. Verdict publication
+/// order: a worker's relaxed truth stores happen-before any dependent's
+/// reads because every edge is released by `fetch_sub(AcqRel)` on the
+/// dependent's counter (and queue handoffs add a mutex in between).
+fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
+    let graph = comp_graph(ctx.prog, ctx.cond);
+    let ncomp = ctx.cond.num_components();
+    let sched = Scheduler {
+        graph: &graph,
+        queue: Mutex::new(Vec::new()),
+        ready: Condvar::new(),
+        remaining: AtomicUsize::new(ncomp),
+        indegree: graph.indegree.iter().map(|&d| AtomicU32::new(d)).collect(),
+        queued: AtomicUsize::new(0),
+        aborted: AtomicBool::new(false),
+    };
+    // Seed the wavefront roots in one batch.
+    let roots: Vec<u32> = (0..ncomp as u32)
+        .filter(|&c| graph.indegree[c as usize] == 0)
+        .collect();
+    sched.push_batch(&roots);
+
+    let totals: Mutex<PartialStats> = Mutex::new(PartialStats::default());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let _abort_guard = AbortOnPanic(&sched);
+                let mut scratch = Scratch::new(ctx.prog.num_rules());
+                let mut local = PartialStats::default();
+                // Components this worker may run without touching the
+                // shared queue: one chained dependent per processed
+                // component plus the fair share `pop_batch` handed over.
+                let mut backlog: Vec<u32> = Vec::new();
+                let mut share: Vec<u32> = Vec::new();
+                loop {
+                    let ord = match backlog.pop() {
+                        Some(o) => o,
+                        None => match sched.pop_batch(threads, &mut backlog) {
+                            Some(o) => o,
+                            None => break,
+                        },
+                    };
+                    let out = process_component(ctx, ord, &mut scratch);
+                    if out.reused {
+                        local.reused += 1;
+                    }
+                    if out.definite {
+                        local.definite += 1;
+                    } else {
+                        local.recursive += 1;
+                        local.atoms_in_recursive += ctx.cond.component(ord as usize).len();
+                    }
+                    // Publish: release this component's out-edges. The
+                    // first dependent that becomes ready is chained
+                    // inline; the rest go to the shared queue in one
+                    // batch.
+                    share.clear();
+                    let mut chained = false;
+                    for &succ in sched.graph.successors(ord) {
+                        if sched.indegree[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            if chained {
+                                share.push(succ);
+                            } else {
+                                chained = true;
+                                backlog.push(succ);
+                                local.inline_run += 1;
+                            }
+                        }
+                    }
+                    sched.push_batch(&share);
+                    if sched.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last component: wake every idle worker so the
+                        // scope can join.
+                        let _q = sched.queue.lock().unwrap();
+                        sched.ready.notify_all();
+                    }
+                }
+                let mut t = totals.lock().unwrap();
+                t.definite += local.definite;
+                t.recursive += local.recursive;
+                t.atoms_in_recursive += local.atoms_in_recursive;
+                t.reused += local.reused;
+                t.inline_run += local.inline_run;
+            });
+        }
+    });
+
+    let totals = totals.into_inner().unwrap();
+    stats.definite_components = totals.definite;
+    stats.recursive_components = totals.recursive;
+    stats.atoms_in_recursive = totals.atoms_in_recursive;
+    stats.components_reused = totals.reused;
+    stats.inline_components = totals.inline_run;
+    stats.queued_components = sched.queued.load(Ordering::Relaxed);
+    stats.wavefronts = graph.levels;
+    stats.max_wavefront = graph.max_width;
 }
 
 /// Tarjan's strongly-connected-components algorithm (iterative) over the
@@ -716,6 +1185,38 @@ mod tests {
             assert_eq!(modular.value(atom), wp.value(atom), "vs Wp on {atom:?}");
             assert_eq!(modular.value(atom), alt.value(atom), "vs Alt on {atom:?}");
         }
+        agree_with_parallel(&p, &modular);
+    }
+
+    /// Parallel runs at several worker counts must reproduce the serial
+    /// result bit for bit: values, decision stages, stage count and the
+    /// semantic (scheduling-independent) stats.
+    fn agree_with_parallel(p: &GroundProgram, serial: &EngineResult) {
+        for threads in [2usize, 3, 8] {
+            let par = ModularEngine::new(p).with_threads(threads).solve();
+            assert_eq!(par.stages, serial.stages, "{threads} threads");
+            for &atom in p.atoms() {
+                assert_eq!(
+                    par.value(atom),
+                    serial.value(atom),
+                    "{threads} threads, value of {atom:?}"
+                );
+                assert_eq!(
+                    par.stage_of(atom),
+                    serial.stage_of(atom),
+                    "{threads} threads, stage of {atom:?}"
+                );
+            }
+            let (ps, ss) = (par.stats.unwrap(), serial.stats.unwrap());
+            assert_eq!(ps.components, ss.components);
+            assert_eq!(ps.definite_components, ss.definite_components);
+            assert_eq!(ps.recursive_components, ss.recursive_components);
+            assert_eq!(ps.unknown_atoms, ss.unknown_atoms);
+            assert_eq!(ps.components_reused, ss.components_reused);
+            let pm = par.memo.as_ref().unwrap();
+            let sm = serial.memo.as_ref().unwrap();
+            assert_eq!(pm.fingerprints, sm.fingerprints, "{threads} threads");
+        }
     }
 
     #[test]
@@ -743,6 +1244,29 @@ mod tests {
                 assert_eq!(cond.comp_of[atom as usize] as usize, c);
             }
         }
+    }
+
+    #[test]
+    fn comp_graph_dedups_edges_and_levels_wavefronts() {
+        // a0 (fact); a1 ← a0, a0 (dup body refs collapse to one edge);
+        // a2 ← a0; a3 ← a1, a2.
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        b.add_rule(GroundRule::new(a(1), vec![a(0)], vec![a(0)]));
+        b.add_rule(GroundRule::new(a(2), vec![a(0)], vec![]));
+        b.add_rule(GroundRule::new(a(3), vec![a(1), a(2)], vec![]));
+        let p = b.finish();
+        let cond = condensation(&p);
+        let g = comp_graph(&p, &cond);
+        let ord = |l: u32| cond.comp_of[l as usize];
+        // a0's component has two dependents (a1, a2) — the duplicated
+        // body occurrence of a0 in a1's rule must not double the edge.
+        assert_eq!(g.successors(ord(0)).len(), 2);
+        assert_eq!(g.indegree[ord(1) as usize], 1);
+        assert_eq!(g.indegree[ord(3) as usize], 2);
+        // Wavefronts: {a0}, {a1, a2}, {a3}.
+        assert_eq!(g.levels, 3);
+        assert_eq!(g.max_width, 2);
     }
 
     #[test]
@@ -882,6 +1406,20 @@ mod tests {
         assert_eq!(stats.components_reused, 3, "{stats:?}");
         assert_eq!(inc.value(a(2)), Truth::Unknown, "reused unknown survives");
         assert_eq!(inc.value(a(5)), Truth::False, "new rule evaluated fresh");
+
+        // The incremental path composes with parallel evaluation:
+        // memo-reused components skip evaluation on every worker count and
+        // the result stays bit-identical.
+        for threads in [2usize, 4, 8] {
+            let par = ModularEngine::new(&grown)
+                .with_threads(threads)
+                .solve_incremental(Some((&base, &base_res)));
+            for &atom in grown.atoms() {
+                assert_eq!(par.value(atom), inc.value(atom), "on {atom:?}");
+                assert_eq!(par.stage_of(atom), inc.stage_of(atom), "on {atom:?}");
+            }
+            assert_eq!(par.stats.unwrap().components_reused, 3);
+        }
     }
 
     #[test]
@@ -906,10 +1444,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_counters_cover_every_component() {
+        // A two-level diamond fanout: every component is either seeded
+        // into the queue or chained inline, and together they cover all.
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        for i in 1..64 {
+            b.add_rule(GroundRule::new(a(i), vec![a(0)], vec![]));
+            b.add_rule(GroundRule::new(a(64 + i), vec![a(i)], vec![]));
+        }
+        let p = b.finish();
+        let res = ModularEngine::new(&p).with_threads(4).solve();
+        let stats = res.stats.unwrap();
+        assert_eq!(stats.threads, 4.min(stats.components));
+        assert_eq!(
+            stats.queued_components + stats.inline_components,
+            stats.components,
+            "{stats:?}"
+        );
+        assert!(stats.wavefronts >= 3, "{stats:?}");
+        assert!(stats.max_wavefront >= 63, "{stats:?}");
+        // Serial runs never build the component DAG.
+        let serial = ModularEngine::new(&p).solve().stats.unwrap();
+        assert_eq!(serial.threads, 1);
+        assert_eq!(serial.wavefronts, 0);
+        assert_eq!(serial.queued_components + serial.inline_components, 0);
+    }
+
+    #[test]
     fn empty_program() {
         let p = GroundProgramBuilder::new().finish();
         let res = ModularEngine::new(&p).solve();
         assert_eq!(res.stages, 0);
         assert_eq!(res.stats.unwrap().components, 0);
+        // Degenerate thread counts are fine too.
+        let res = ModularEngine::new(&p).with_threads(8).solve();
+        assert_eq!(res.stats.unwrap().threads, 1);
     }
 }

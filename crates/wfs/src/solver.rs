@@ -37,6 +37,13 @@ pub struct WfsOptions {
     pub budget: ChaseBudget,
     /// Engine selection.
     pub engine: EngineKind,
+    /// Worker threads for [`EngineKind::Modular`]: `0` (the default)
+    /// decides automatically — `std::thread::available_parallelism` for
+    /// large ground programs, serial for small ones; `1` forces the serial
+    /// path; any other `n` spawns exactly `n` workers. The model is
+    /// bit-identical for every setting (see [`crate::scc`]); the global
+    /// engines ignore this field.
+    pub threads: usize,
 }
 
 impl WfsOptions {
@@ -44,7 +51,7 @@ impl WfsOptions {
     pub fn depth(depth: u32) -> Self {
         WfsOptions {
             budget: ChaseBudget::depth(depth),
-            engine: EngineKind::default(),
+            ..Default::default()
         }
     }
 
@@ -52,13 +59,19 @@ impl WfsOptions {
     pub fn unbounded() -> Self {
         WfsOptions {
             budget: ChaseBudget::unbounded(),
-            engine: EngineKind::default(),
+            ..Default::default()
         }
     }
 
     /// Replaces the engine.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Replaces the worker-thread count (`0` = auto, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -186,6 +199,18 @@ pub struct SolveStats {
     /// Dependency components whose verdicts were copied from the previous
     /// solve (only [`EngineKind::Modular`] reuses verdicts).
     pub components_reused: usize,
+    /// Worker threads the engine ran with (`1` = serial; always `1` for
+    /// the global engines, which have no parallel path).
+    pub threads: usize,
+}
+
+/// Reads the observable solve statistics out of a finished model.
+fn stats_of(model: &WellFoundedModel, incremental: bool) -> SolveStats {
+    SolveStats {
+        incremental,
+        components_reused: model.result.stats.map_or(0, |s| s.components_reused),
+        threads: model.result.stats.map_or(1, |s| s.threads.max(1)),
+    }
 }
 
 /// Computes `WFS(D, Σf)` on a budgeted chase segment.
@@ -218,14 +243,8 @@ pub fn solve_resumed(
 ) -> (WellFoundedModel, SolveStats) {
     let segment = prev.segment.resume_with(universe, program, new_facts);
     let model = finish_model(segment, options, Some(prev));
-    let components_reused = model.result.stats.map_or(0, |s| s.components_reused);
-    (
-        model,
-        SolveStats {
-            incremental: true,
-            components_reused,
-        },
-    )
+    let stats = stats_of(&model, true);
+    (model, stats)
 }
 
 /// Shared tail of [`solve`] and [`solve_resumed`]: ground the segment and
@@ -244,9 +263,9 @@ fn finish_model(
         None => segment.to_ground_program(),
     };
     let result = match options.engine {
-        EngineKind::Modular => {
-            ModularEngine::new(&ground).solve_incremental(prev.map(|p| (&p.ground, &p.result)))
-        }
+        EngineKind::Modular => ModularEngine::new(&ground)
+            .with_threads(options.threads)
+            .solve_incremental(prev.map(|p| (&p.ground, &p.result))),
         EngineKind::Wp => WpEngine::new(&ground).solve(StepMode::Accelerated),
         EngineKind::WpLiteral => WpEngine::new(&ground).solve(StepMode::Literal),
         EngineKind::Alternating => AlternatingEngine::new(&ground).solve(),
@@ -288,10 +307,11 @@ pub fn solve_packaged(
 ) -> SolveOutput {
     let model = solve(universe, db, program, options);
     let constraint_status = constraint_status(universe, &model, violations);
+    let stats = stats_of(&model, false);
     SolveOutput {
         model,
         constraint_status,
-        stats: SolveStats::default(),
+        stats,
     }
 }
 
@@ -433,6 +453,7 @@ pub fn solve_stable(
         WfsOptions {
             budget: ChaseBudget::depth(depth),
             engine,
+            ..Default::default()
         },
     );
     let mut stable_rounds = 0u32;
@@ -446,6 +467,7 @@ pub fn solve_stable(
             WfsOptions {
                 budget: ChaseBudget::depth(depth),
                 engine,
+                ..Default::default()
             },
         );
         let agree = model

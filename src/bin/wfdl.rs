@@ -1,13 +1,17 @@
 //! `wfdl` — command-line well-founded reasoner for guarded normal Datalog±.
 //!
 //! ```text
-//! wfdl run program.dl   [--facts data.tsv …] [--depth N]
+//! wfdl run program.dl   [--facts data.tsv …] [--depth N] [--threads N]
 //!                       [--engine modular|wp|wp-literal|alternating|forward]
 //!                       [--model] [--hidden] [--forest N] [--stats]
 //! wfdl query program.dl --q '?- win(a).' [--q '?(X) win(X).' …]
-//!                       [--facts data.tsv …] [--depth N] [--engine …]
+//!                       [--facts data.tsv …] [--depth N] [--threads N] [--engine …]
 //! wfdl check program.dl            # parse + validate only
 //! ```
+//!
+//! `--threads N` sets the modular engine's worker count (`0` = auto-detect
+//! from the machine, `1` = serial; the default is auto). The computed
+//! model is bit-identical for every setting.
 //!
 //! The program file may contain facts, guarded NTGDs (head-only variables
 //! are existential), rules with explicit Skolem terms, negative constraints
@@ -64,6 +68,8 @@ struct Options {
     file: String,
     depth: Option<u32>,
     engine: EngineKind,
+    /// Worker threads for the modular engine (`0` = auto, `1` = serial).
+    threads: Option<usize>,
     show_model: bool,
     show_hidden: bool,
     forest_depth: Option<u32>,
@@ -76,12 +82,13 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wfdl run <file>   [--facts data.tsv …] [--depth N]\n\
+        "usage: wfdl run <file>   [--facts data.tsv …] [--depth N] [--threads N]\n\
          \x20                     [--engine modular|wp|wp-literal|alternating|forward]\n\
          \x20                     [--model] [--hidden] [--forest N] [--stats]\n\
          \x20      wfdl query <file> --q '?- ….' [--q '?(X) … .' …]\n\
-         \x20                     [--facts data.tsv …] [--depth N] [--engine …]\n\
-         \x20      wfdl check <file>"
+         \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
+         \x20      wfdl check <file>\n\
+         \x20      (--threads: 0 = auto, 1 = serial, N = N workers)"
     );
     std::process::exit(2)
 }
@@ -95,6 +102,7 @@ fn parse_args() -> Options {
         file,
         depth: None,
         engine: EngineKind::Modular,
+        threads: None,
         show_model: false,
         show_hidden: false,
         forest_depth: None,
@@ -107,6 +115,10 @@ fn parse_args() -> Options {
             "--depth" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.depth = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.threads = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--engine" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -154,6 +166,7 @@ fn main() -> ExitCode {
         }
         "check" => {
             if opts.depth.is_some()
+                || opts.threads.is_some()
                 || opts.engine != EngineKind::Modular
                 || opts.show_model
                 || opts.show_hidden
@@ -224,12 +237,15 @@ fn main() -> ExitCode {
 
 /// Solves the knowledge base with the CLI's depth/engine options.
 fn solve(opts: &Options, mut kb: KnowledgeBase) -> std::sync::Arc<SolvedModel> {
-    let wfs_options = match opts.depth {
+    let mut wfs_options = match opts.depth {
         Some(d) => WfsOptions::depth(d).with_engine(opts.engine),
         // Auto: unbounded when the program has no existentials, else
         // depth 12 (the KnowledgeBase default).
         None => kb.effective_options().with_engine(opts.engine),
     };
+    if let Some(t) = opts.threads {
+        wfs_options = wfs_options.with_threads(t);
+    }
     kb.solve_with(wfs_options)
 }
 
@@ -299,6 +315,17 @@ fn run(opts: Options, kb: KnowledgeBase) -> ExitCode {
                 s.largest_component,
                 s.atoms_in_recursive
             );
+            if s.threads > 1 {
+                outln!(
+                    "% parallel: {} threads, {} wavefronts (widest {}), \
+                     {} components queued, {} chained inline",
+                    s.threads,
+                    s.wavefronts,
+                    s.max_wavefront,
+                    s.queued_components,
+                    s.inline_components
+                );
+            }
         }
     }
 

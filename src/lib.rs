@@ -22,7 +22,9 @@
 //!    rows interned directly) and [`KnowledgeBase::insert`] it, or bulk-load
 //!    TSV/CSV with [`KnowledgeBase::insert_tsv`]. [`KnowledgeBase::retract`]
 //!    removes facts.
-//! 2. **Solve** — [`KnowledgeBase::solve`] runs chase + engine and packages
+//! 2. **Solve** — [`KnowledgeBase::solve`] runs chase + engine (across
+//!    worker threads when [`KnowledgeBase::with_threads`] asks for them —
+//!    the model is bit-identical either way) and packages
 //!    everything the serving path needs (model, constraint verdicts, a
 //!    frozen universe snapshot) into an immutable [`SolvedModel`]. Solving
 //!    again without mutation returns the cached artifact; solving after an
@@ -128,8 +130,14 @@
 //!   components without internal negation get one flat semi-naive pass,
 //!   and only components that are genuinely recursive through negation
 //!   (e.g. win–move draw cycles) invoke the `W_P` unfounded-set machinery
-//!   on their own (usually tiny) subprogram. Per-component counters are
-//!   returned as [`ModularStats`] via
+//!   on their own (usually tiny) subprogram. Components on the same
+//!   topological wavefront are independent, and the engine evaluates them
+//!   **in parallel** when asked: set the worker count with
+//!   [`KnowledgeBase::with_threads`] / [`WfsOptions::threads`] (`wfdl run
+//!   --threads N` on the CLI) — `0` (the default) picks automatically,
+//!   `1` forces the serial path, and the computed model is bit-identical
+//!   for every setting. Per-component counters are returned as
+//!   [`ModularStats`] via
 //!   [`WellFoundedModel::component_stats`](wfdl_wfs::WellFoundedModel::component_stats)
 //!   and printed by `wfdl run --stats`.
 //! * [`EngineKind::Wp`], [`EngineKind::WpLiteral`],
@@ -233,6 +241,9 @@ pub struct KnowledgeBase {
     budget: Option<ChaseBudget>,
     /// Configured engine; `None` = the default engine.
     engine: Option<EngineKind>,
+    /// Configured worker-thread count; `None` = auto (see
+    /// [`WfsOptions::threads`]).
+    threads: Option<usize>,
     /// Artifact of the most recent solve: the cached fast path when
     /// nothing changed, and the resume basis when only facts were added.
     last: Option<(WfsOptions, Arc<SolvedModel>)>,
@@ -262,6 +273,7 @@ impl KnowledgeBase {
             queries: lowered.queries,
             budget: None,
             engine: None,
+            threads: None,
             last: None,
             delta: Vec::new(),
             needs_full: false,
@@ -283,6 +295,7 @@ impl KnowledgeBase {
             queries: Vec::new(),
             budget: None,
             engine: None,
+            threads: None,
             last: None,
             delta: Vec::new(),
             needs_full: false,
@@ -387,6 +400,7 @@ impl KnowledgeBase {
     pub fn with_options(mut self, options: WfsOptions) -> Self {
         self.budget = Some(options.budget);
         self.engine = Some(options.engine);
+        self.threads = Some(options.threads);
         self
     }
 
@@ -402,6 +416,15 @@ impl KnowledgeBase {
         self
     }
 
+    /// Sets the solver's worker-thread count (`0` = auto, `1` = serial,
+    /// `n` = exactly `n` workers), keeping budget and engine. The model is
+    /// bit-identical for every setting — threads only change how fast the
+    /// solve gets there.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// The options [`KnowledgeBase::solve`] will use: the configured
     /// budget and engine, with unset parts decided **at call time** — the
     /// automatic budget (unbounded chase for programs without
@@ -411,6 +434,7 @@ impl KnowledgeBase {
         WfsOptions {
             budget: self.budget.unwrap_or_else(|| self.auto_budget()),
             engine: self.engine.unwrap_or_default(),
+            threads: self.threads.unwrap_or(0),
         }
     }
 
