@@ -13,6 +13,12 @@
 //!   tiny components in huge wavefronts, built specifically to expose
 //!   scheduling overhead.
 //!
+//! A fourth leg, `parallel_chase`, times **saturation** rather than
+//! evaluation: `ChaseSegment::build` over the chain-256 workload at the
+//! same thread counts, with a fresh universe per sample (the chase
+//! interns into its universe, and the sharded match phase is specified
+//! to be bit-identical at every worker count — asserted before timing).
+//!
 //! Every thread count is asserted to produce the exact serial model
 //! before anything is timed. Output mirrors the other benches:
 //! human-readable medians on stdout, machine-readable
@@ -24,6 +30,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
+use wfdl_chase::{ChaseBudget, ChaseSegment};
 use wfdl_core::Universe;
 use wfdl_gen::{
     chain_database, example4_sigma, fanout_database, fanout_sigma, winmove_database, winmove_sigma,
@@ -167,6 +174,99 @@ fn run_workload(name: &'static str, ground: &GroundProgram, samples: usize) -> O
     }
 }
 
+struct ChaseOutcome {
+    atoms: usize,
+    instances: usize,
+    legs: Vec<Leg>,
+}
+
+/// Times `ChaseSegment::build` (saturation only; universe/database
+/// construction is untimed setup) over the chain-256 workload at every
+/// thread count. Each sample gets a fresh universe — the deterministic
+/// interning order is what makes the runs comparable, and is asserted
+/// across thread counts before anything is timed.
+fn run_chase_workload(samples: usize) -> ChaseOutcome {
+    const SEEDS: usize = 256;
+    const DEPTH: u32 = 8;
+    let build = |threads: usize| -> (Universe, ChaseSegment) {
+        let mut u = Universe::new();
+        let sigma = example4_sigma(&mut u);
+        let db = chain_database(&mut u, SEEDS);
+        let seg = ChaseSegment::build(
+            &mut u,
+            &db,
+            &sigma,
+            ChaseBudget::depth(DEPTH).with_threads(threads),
+        );
+        (u, seg)
+    };
+
+    let (u1, s1) = build(1);
+    for &t in &THREADS[1..] {
+        let (u2, s2) = build(t);
+        assert_eq!(
+            s2.atoms().len(),
+            s1.atoms().len(),
+            "parallel_chase: {t}-thread saturation changed the atom count"
+        );
+        for (a2, a1) in s2.atoms().iter().zip(s1.atoms()) {
+            assert_eq!(
+                (u2.display_atom(a2.atom).to_string(), a2.depth, a2.level),
+                (u1.display_atom(a1.atom).to_string(), a1.depth, a1.level),
+                "parallel_chase: {t}-thread saturation diverged"
+            );
+        }
+        assert_eq!(
+            s2.instance_ids().count(),
+            s1.instance_ids().count(),
+            "parallel_chase: {t}-thread saturation changed the instance count"
+        );
+    }
+
+    let mut legs = Vec::with_capacity(THREADS.len());
+    let mut serial_median = 0u64;
+    for &t in &THREADS {
+        let mut times = Vec::with_capacity(samples);
+        // First iteration is an untimed warm-up per thread count.
+        for i in 0..=samples {
+            let mut u = Universe::new();
+            let sigma = example4_sigma(&mut u);
+            let db = chain_database(&mut u, SEEDS);
+            let start = Instant::now();
+            let seg = ChaseSegment::build(
+                &mut u,
+                &db,
+                &sigma,
+                ChaseBudget::depth(DEPTH).with_threads(t),
+            );
+            let elapsed = start.elapsed().as_nanos() as u64;
+            std::hint::black_box(&seg);
+            if i > 0 {
+                times.push(elapsed);
+            }
+        }
+        let m = median(times);
+        if t == 1 {
+            serial_median = m;
+        }
+        let scaling = serial_median as f64 / m as f64;
+        println!(
+            "parallel_scaling/parallel_chase/threads{t}: median {} — {scaling:.2}x vs serial ({samples} samples)",
+            fmt_ns(m)
+        );
+        legs.push(Leg {
+            threads: t,
+            median_ns: m,
+            scaling,
+        });
+    }
+    ChaseOutcome {
+        atoms: s1.atoms().len(),
+        instances: s1.instance_ids().count(),
+        legs,
+    }
+}
+
 fn main() {
     let samples = sample_count();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -181,10 +281,12 @@ fn main() {
         .iter()
         .map(|(name, g)| run_workload(name, g, samples))
         .collect();
+    let chase = run_chase_workload(samples);
 
     let best = outcomes
         .iter()
         .flat_map(|o| o.legs.iter())
+        .chain(chase.legs.iter())
         .map(|l| l.scaling)
         .fold(0.0f64, f64::max);
     println!("parallel_scaling/best_scaling: {best:.2}x");
@@ -193,6 +295,29 @@ fn main() {
     writeln!(json, "  \"samples\": {samples},").unwrap();
     writeln!(json, "  \"available_parallelism\": {cores},").unwrap();
     writeln!(json, "  \"best_scaling\": {best:.2},").unwrap();
+    writeln!(
+        json,
+        "  \"chase_threads\": [{}],",
+        THREADS.map(|t| t.to_string()).join(", ")
+    )
+    .unwrap();
+    json.push_str("  \"chase\": {\n");
+    writeln!(json, "    \"name\": \"parallel_chase\",").unwrap();
+    writeln!(json, "    \"atoms\": {},", chase.atoms).unwrap();
+    writeln!(json, "    \"instances\": {},", chase.instances).unwrap();
+    json.push_str("    \"legs\": [\n");
+    for (li, l) in chase.legs.iter().enumerate() {
+        writeln!(
+            json,
+            "      {{\"threads\": {}, \"median_ns\": {}, \"scaling\": {:.2}}}{}",
+            l.threads,
+            l.median_ns,
+            l.scaling,
+            if li + 1 == chase.legs.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("    ]\n  },\n");
     json.push_str("  \"workloads\": [\n");
     for (wi, o) in outcomes.iter().enumerate() {
         writeln!(json, "    {{").unwrap();

@@ -11,27 +11,20 @@ fn repo_root() -> PathBuf {
 ///
 /// * With `WFDL_BENCH_JSON` set, writes exactly there — the explicit
 ///   override used by tooling.
-/// * Otherwise writes `default_name` into the current directory (cargo
-///   runs bench executables from `crates/bench/`) **and** mirrors it to
-///   the repository root, so the perf trajectory of every `BENCH_*.json`
-///   is trackable from the top level without digging into crate
-///   directories.
+/// * Otherwise writes `default_name` at the **repository root**, the one
+///   canonical location: the perf trajectory of every `BENCH_*.json` is
+///   trackable from the top level, and there is no second copy under
+///   `crates/bench/` to drift out of sync.
 ///
 /// Write failures are reported on stderr but never panic: a read-only
 /// checkout must not turn a measurement run into a crash.
 pub fn write_bench_json(default_name: &str, json: &str) {
-    let mut targets: Vec<PathBuf> = Vec::new();
-    match std::env::var("WFDL_BENCH_JSON") {
-        Ok(path) => targets.push(PathBuf::from(path)),
-        Err(_) => {
-            targets.push(PathBuf::from(default_name));
-            targets.push(repo_root().join(default_name));
-        }
-    }
-    for path in targets {
-        match std::fs::write(&path, json) {
-            Ok(()) => println!("bench: wrote {}", path.display()),
-            Err(e) => eprintln!("bench: cannot write {}: {e}", path.display()),
-        }
+    let path = match std::env::var("WFDL_BENCH_JSON") {
+        Ok(path) => PathBuf::from(path),
+        Err(_) => repo_root().join(default_name),
+    };
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("bench: wrote {}", path.display()),
+        Err(e) => eprintln!("bench: cannot write {}: {e}", path.display()),
     }
 }

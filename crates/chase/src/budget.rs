@@ -16,6 +16,11 @@ pub struct ChaseBudget {
     pub max_atoms: usize,
     /// Hard cap on the number of distinct rule instances in the segment.
     pub max_instances: usize,
+    /// Worker threads for the saturation match phase: `1` = serial,
+    /// `0` = auto (`available_parallelism`, with small frontiers staying
+    /// serial). The produced segment is bit-identical for every value —
+    /// see the "Sharded saturation" section of `crates/chase/src/README.md`.
+    pub threads: usize,
 }
 
 impl ChaseBudget {
@@ -25,6 +30,7 @@ impl ChaseBudget {
             max_depth,
             max_atoms: usize::MAX,
             max_instances: usize::MAX,
+            threads: 1,
         }
     }
 
@@ -35,6 +41,7 @@ impl ChaseBudget {
             max_depth: u32::MAX,
             max_atoms: usize::MAX,
             max_instances: usize::MAX,
+            threads: 1,
         }
     }
 
@@ -49,6 +56,13 @@ impl ChaseBudget {
         self.max_instances = n;
         self
     }
+
+    /// Returns a copy with a different match-phase thread count
+    /// (`0` = auto). Saturation output is bit-identical for every value.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
 }
 
 impl Default for ChaseBudget {
@@ -59,6 +73,7 @@ impl Default for ChaseBudget {
             max_depth: 16,
             max_atoms: 1_000_000,
             max_instances: 4_000_000,
+            threads: 1,
         }
     }
 }
@@ -76,8 +91,11 @@ mod tests {
         assert_eq!(u.max_depth, u32::MAX);
         let c = ChaseBudget::default()
             .with_max_atoms(10)
-            .with_max_instances(20);
+            .with_max_instances(20)
+            .with_threads(4);
         assert_eq!(c.max_atoms, 10);
         assert_eq!(c.max_instances, 20);
+        assert_eq!(c.threads, 4);
+        assert_eq!(b.threads, 1, "constructors default to serial");
     }
 }

@@ -56,6 +56,7 @@
 use crate::budget::ChaseBudget;
 use crate::instance::{InstanceId, RuleInstance, SegAtomId};
 use std::collections::VecDeque;
+use std::time::Instant;
 use wfdl_core::{
     match_atom, subst::instantiate_atom_into, AtomId, Binding, BitSet, SkolemProgram, TermId,
     Universe,
@@ -64,6 +65,38 @@ use wfdl_storage::{Database, GroundProgram, GroundRule};
 
 /// Sentinel for "no entry" in the flat index arrays.
 const NONE: u32 = u32::MAX;
+
+/// Smallest frontier shard worth handing to a worker thread: below this the
+/// guard-match work cannot amortize a spawn, so the round runs serial.
+const MIN_SHARD_ATOMS: usize = 64;
+
+/// Upper bound on match-phase workers (matches the WFS scheduler's cap).
+const MAX_CHASE_THREADS: usize = 256;
+
+/// Per-build counters for the sharded saturation loop, exposed as
+/// [`ChaseSegment::stats`] and printed by `wfdl run --stats`.
+///
+/// Timings cover the two halves of each round: the (possibly parallel)
+/// read-only match phase and the serial interning merge. The produced
+/// segment is bit-identical for every `threads` value, so these counters
+/// are diagnostics only — nothing downstream may depend on them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Resolved match-phase workers (`1` = fully serial build).
+    pub threads: usize,
+    /// Saturation rounds (frontier batches) executed.
+    pub rounds: u64,
+    /// Rounds whose frontier was large enough to shard across workers.
+    pub parallel_rounds: u64,
+    /// Total match shards dispatched across all rounds.
+    pub shards: u64,
+    /// Total atoms expanded through the frontier.
+    pub frontier_atoms: u64,
+    /// Nanoseconds spent in the match phase (wall clock, all rounds).
+    pub match_ns: u64,
+    /// Nanoseconds spent in the serial merge phase (all rounds).
+    pub merge_ns: u64,
+}
 
 /// Per-atom metadata within a segment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,6 +163,9 @@ pub struct ChaseSegment {
     /// the ones discovered by the resume, the basis for incremental
     /// grounding ([`ChaseSegment::to_ground_program_from`]).
     inherited_instances: usize,
+    /// Counters for the saturation run that produced this segment (for a
+    /// resumed segment: the resume run only).
+    stats: ChaseStats,
     /// Saturation state retained for [`ChaseSegment::resume_with`].
     resume: ResumeState,
 }
@@ -378,6 +414,13 @@ impl ChaseSegment {
     /// The budget the segment was built with.
     pub fn budget(&self) -> ChaseBudget {
         self.budget
+    }
+
+    /// Counters for the saturation run that produced this segment. For a
+    /// resumed segment these cover the resume run only — the inherited
+    /// bulk did its work in the previous build.
+    pub fn stats(&self) -> ChaseStats {
+        self.stats
     }
 
     /// Largest atom depth materialized.
@@ -698,15 +741,98 @@ struct Builder<'a> {
     expand_queue: VecDeque<u32>,
     relax_queue: VecDeque<u32>,
 
+    /// Resolved match-phase worker count (from `budget.threads`).
+    threads: usize,
+    /// Current round's expansion frontier, in expand-queue (= discovery)
+    /// order; reused across rounds.
+    frontier: Vec<u32>,
+    /// Per-worker match staging areas, reused across rounds.
+    shards: Vec<MatchShard>,
+    stats: ChaseStats,
+
     // --- reusable scratch buffers (zero steady-state allocation) ---
-    scratch_binding: Binding,
-    scratch_total: Vec<TermId>,
     scratch_args: Vec<TermId>,
     scratch_pos: Vec<AtomId>,
     scratch_neg: Vec<AtomId>,
     scratch_missing: Vec<AtomId>,
 
     caps_hit: bool,
+}
+
+/// Per-worker staging area for the match phase: every guard match found in
+/// the worker's frontier shard, with the total substitution it bound,
+/// appended in shard-local frontier order. Matching is read-only on the
+/// universe, so shards fill concurrently; concatenated in shard index
+/// order they reproduce the serial match sequence exactly, which is what
+/// makes the merge — and therefore all interning — order-canonical.
+struct MatchShard {
+    /// `(frontier atom, rule, offset, len)`; the span indexes `totals`.
+    results: Vec<(u32, u32, u32, u32)>,
+    /// Pooled total substitutions for this shard's matches.
+    totals: Vec<TermId>,
+    binding: Binding,
+    scratch_total: Vec<TermId>,
+}
+
+impl MatchShard {
+    fn new() -> Self {
+        MatchShard {
+            results: Vec::new(),
+            totals: Vec::new(),
+            binding: Binding::new(0),
+            scratch_total: Vec::new(),
+        }
+    }
+}
+
+/// Resolves a requested thread count: `0` = auto (one worker per
+/// available core), anything else taken literally, clamped to the cap.
+fn resolve_chase_threads(requested: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    t.clamp(1, MAX_CHASE_THREADS)
+}
+
+/// Matches every rule guarded by each chunk atom's predicate against the
+/// atom, staging results into `shard`. Pure with respect to `universe`
+/// (guard matching binds variables against an already-interned atom and
+/// interns nothing), so any partition of the frontier yields the same
+/// concatenated result sequence.
+fn match_chunk(
+    universe: &Universe,
+    program: &SkolemProgram,
+    rules_by_guard_pred: &[Vec<u32>],
+    atoms: &[SegmentAtom],
+    chunk: &[u32],
+    shard: &mut MatchShard,
+) {
+    shard.results.clear();
+    shard.totals.clear();
+    for &ai in chunk {
+        let atom = atoms[ai as usize].atom;
+        let pred = universe.atoms.pred(atom).index();
+        // The frontier gate only admits atoms with at least one rule.
+        for &ri in &rules_by_guard_pred[pred] {
+            let rule = &program.rules[ri as usize];
+            shard.binding.reset(rule.num_vars());
+            if !match_atom(universe, rule.guard_atom(), atom, &mut shard.binding) {
+                continue;
+            }
+            let off = shard.totals.len() as u32;
+            shard
+                .binding
+                .write_total(rule.num_vars(), &mut shard.scratch_total);
+            shard.totals.extend_from_slice(&shard.scratch_total);
+            shard
+                .results
+                .push((ai, ri, off, shard.scratch_total.len() as u32));
+        }
+    }
 }
 
 impl<'a> Builder<'a> {
@@ -751,8 +877,13 @@ impl<'a> Builder<'a> {
             pend_neg: Vec::new(),
             expand_queue: VecDeque::new(),
             relax_queue: VecDeque::new(),
-            scratch_binding: Binding::new(0),
-            scratch_total: Vec::new(),
+            threads: resolve_chase_threads(budget.threads),
+            frontier: Vec::new(),
+            shards: Vec::new(),
+            stats: ChaseStats {
+                threads: resolve_chase_threads(budget.threads),
+                ..ChaseStats::default()
+            },
             scratch_args: Vec::new(),
             scratch_pos: Vec::new(),
             scratch_neg: Vec::new(),
@@ -841,17 +972,132 @@ impl<'a> Builder<'a> {
         })
     }
 
-    /// The saturation work loop.
+    /// The saturation work loop: rounds of *relax to fixpoint → collect
+    /// the expansion frontier → match (sharded) → merge (serial)*.
+    ///
+    /// The frontier is consumed in expand-queue order; sharding only
+    /// partitions that order contiguously and matching is read-only, so
+    /// the merge applies the exact result sequence a serial sweep would
+    /// produce — `SegAtomId` assignment, depth/level minima, instance
+    /// order, cap behavior and even universe interning order are
+    /// bit-identical for every thread count.
     fn drain(&mut self) {
-        while !self.expand_queue.is_empty() || !self.relax_queue.is_empty() {
-            if let Some(ai) = self.relax_queue.pop_front() {
+        loop {
+            while let Some(ai) = self.relax_queue.pop_front() {
                 self.relax(ai);
+            }
+            self.collect_frontier();
+            if self.frontier.is_empty() {
+                // Nothing passed the gates; relaxation cannot have run
+                // since the queue was drained above, so saturation is done.
+                break;
+            }
+            self.stats.rounds += 1;
+            self.stats.frontier_atoms += self.frontier.len() as u64;
+
+            let match_start = Instant::now();
+            let shards_used = self.match_frontier();
+            self.stats.match_ns += match_start.elapsed().as_nanos() as u64;
+            self.stats.shards += shards_used as u64;
+            if shards_used > 1 {
+                self.stats.parallel_rounds += 1;
+            }
+
+            let merge_start = Instant::now();
+            for k in 0..shards_used {
+                let results = std::mem::take(&mut self.shards[k].results);
+                let totals = std::mem::take(&mut self.shards[k].totals);
+                for &(ai, ri, off, len) in &results {
+                    self.apply_match(ai, ri, &totals[off as usize..(off + len) as usize]);
+                }
+                self.shards[k].results = results;
+                self.shards[k].totals = totals;
+            }
+            self.stats.merge_ns += merge_start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Drains the expand queue through the expansion gates into
+    /// `frontier`, marking collected atoms expanded. Gate order matches
+    /// the historical per-atom expansion exactly: rule-less and
+    /// depth-gated atoms stay **unmarked** so `blocked_by_depth` and the
+    /// resume path still see them.
+    fn collect_frontier(&mut self) {
+        self.frontier.clear();
+        while let Some(ai) = self.expand_queue.pop_front() {
+            let SegmentAtom { atom, depth, .. } = self.atoms[ai as usize];
+            let pred = self.universe.atoms.pred(atom).index();
+            match self.rules_by_guard_pred.get(pred) {
+                Some(rules) if !rules.is_empty() => {}
+                _ => continue,
+            }
+            if depth >= self.budget.max_depth {
+                // Could have children beyond the budgeted depth;
+                // `blocked_by_depth` reads the truncation off the final
+                // minima, and a later relaxation re-queues the atom.
                 continue;
             }
-            if let Some(ai) = self.expand_queue.pop_front() {
-                self.expand(ai);
+            if self.expanded[ai as usize] {
+                // Re-queued by relaxation after its rules already
+                // instantiated — nothing new can fire.
+                continue;
             }
+            self.expanded[ai as usize] = true;
+            self.frontier.push(ai);
         }
+    }
+
+    /// Runs the match phase over the current frontier — sharded across
+    /// worker threads when the frontier is large enough to amortize the
+    /// spawns — and returns the number of shards filled. Shards cover
+    /// contiguous frontier chunks in index order.
+    fn match_frontier(&mut self) -> usize {
+        let n = self.frontier.len();
+        let want = if self.threads > 1 && n >= 2 * MIN_SHARD_ATOMS {
+            self.threads.min(n / MIN_SHARD_ATOMS)
+        } else {
+            1
+        };
+        if self.shards.len() < want {
+            self.shards.resize_with(want, MatchShard::new);
+        }
+        let universe: &Universe = self.universe;
+        let program = self.program;
+        let rules_by_guard_pred = &self.rules_by_guard_pred;
+        let atoms = &self.atoms;
+        if want == 1 {
+            match_chunk(
+                universe,
+                program,
+                rules_by_guard_pred,
+                atoms,
+                &self.frontier,
+                &mut self.shards[0],
+            );
+            return 1;
+        }
+        let chunk_size = n.div_ceil(want);
+        let chunks: Vec<&[u32]> = self.frontier.chunks(chunk_size).collect();
+        let used = chunks.len();
+        std::thread::scope(|s| {
+            let mut pairs = self.shards[..used].iter_mut().zip(chunks);
+            let (first_shard, first_chunk) = pairs.next().expect("frontier is non-empty");
+            for (shard, chunk) in pairs {
+                s.spawn(move || {
+                    match_chunk(universe, program, rules_by_guard_pred, atoms, chunk, shard)
+                });
+            }
+            // The spawning thread takes the first shard itself.
+            match_chunk(
+                universe,
+                program,
+                rules_by_guard_pred,
+                atoms,
+                first_chunk,
+                first_shard,
+            );
+        });
+        used
     }
 
     /// Registers a database fact: a brand-new atom enters at depth and
@@ -978,6 +1224,7 @@ impl<'a> Builder<'a> {
             pending_at_end,
             budget: self.budget,
             inherited_instances: self.old.map_or(0, |o| o.num_instances()),
+            stats: self.stats,
             resume: ResumeState {
                 expanded: self.expanded,
                 pending: self.pending,
@@ -1067,92 +1314,55 @@ impl<'a> Builder<'a> {
         self.body_tail[s as usize] = e;
     }
 
-    /// Tries every rule whose guard predicate matches this atom.
-    fn expand(&mut self, ai: u32) {
-        let SegmentAtom { atom, depth, .. } = self.atoms[ai as usize];
-        let pred = self.universe.atoms.pred(atom).index();
-        let num_rules = match self.rules_by_guard_pred.get(pred) {
-            Some(rules) if !rules.is_empty() => rules.len(),
-            _ => return,
-        };
-        if depth >= self.budget.max_depth {
-            // This atom could have children beyond the budgeted depth;
-            // `blocked_by_depth` reads the truncation off the final minima.
-            return;
-        }
-        if self.expanded[ai as usize] {
-            // Re-queued by relaxation after its rules already instantiated
-            // (instances are per (rule, atom), so nothing new can fire).
-            return;
-        }
-        self.expanded[ai as usize] = true;
+    /// Applies one guard match from the staging shards: instantiates rule
+    /// `ri`'s body and head under the total substitution, then fires the
+    /// instance or parks it on its missing side atoms. This is the serial
+    /// half of expansion — it interns new atoms and skolem terms, which
+    /// is exactly why it must run in canonical (frontier) order.
+    fn apply_match(&mut self, ai: u32, ri: u32, total: &[TermId]) {
         let program = self.program;
-        for k in 0..num_rules {
-            let ri = self.rules_by_guard_pred[pred][k];
-            let rule = &program.rules[ri as usize];
-            self.scratch_binding.reset(rule.num_vars());
-            if !match_atom(
-                self.universe,
-                rule.guard_atom(),
-                atom,
-                &mut self.scratch_binding,
-            ) {
-                continue;
-            }
-            self.scratch_binding
-                .write_total(rule.num_vars(), &mut self.scratch_total);
-            self.scratch_pos.clear();
-            for a in &rule.body_pos {
-                let id = instantiate_atom_into(
-                    self.universe,
-                    a,
-                    &self.scratch_total,
-                    &mut self.scratch_args,
-                );
-                self.scratch_pos.push(id);
-            }
-            self.scratch_neg.clear();
-            for a in &rule.body_neg {
-                let id = instantiate_atom_into(
-                    self.universe,
-                    a,
-                    &self.scratch_total,
-                    &mut self.scratch_args,
-                );
-                self.scratch_neg.push(id);
-            }
-            let head = rule.instantiate_head(self.universe, &self.scratch_total);
+        let rule = &program.rules[ri as usize];
+        self.scratch_pos.clear();
+        for a in &rule.body_pos {
+            let id = instantiate_atom_into(self.universe, a, total, &mut self.scratch_args);
+            self.scratch_pos.push(id);
+        }
+        self.scratch_neg.clear();
+        for a in &rule.body_neg {
+            let id = instantiate_atom_into(self.universe, a, total, &mut self.scratch_args);
+            self.scratch_neg.push(id);
+        }
+        let head = rule.instantiate_head(self.universe, total);
 
-            self.scratch_missing.clear();
-            for i in 0..self.scratch_pos.len() {
-                let a = self.scratch_pos[i];
-                if self.lookup_seg(a).is_none() {
-                    self.scratch_missing.push(a);
-                }
+        self.scratch_missing.clear();
+        for i in 0..self.scratch_pos.len() {
+            let a = self.scratch_pos[i];
+            if self.lookup_seg(a).is_none() {
+                self.scratch_missing.push(a);
             }
-            self.scratch_missing.sort_unstable();
-            self.scratch_missing.dedup();
-            if self.scratch_missing.is_empty() {
-                self.fire(ri, ai, head);
-            } else {
-                let pidx = self.pending.len() as u32;
-                let pend = Pending {
-                    src_rule: ri,
-                    guard: ai,
-                    head,
-                    pos_off: self.pend_pos.len() as u32,
-                    pos_len: self.scratch_pos.len() as u32,
-                    neg_off: self.pend_neg.len() as u32,
-                    neg_len: self.scratch_neg.len() as u32,
-                    missing: self.scratch_missing.len() as u32,
-                };
-                self.pend_pos.extend_from_slice(&self.scratch_pos);
-                self.pend_neg.extend_from_slice(&self.scratch_neg);
-                self.pending.push(pend);
-                for i in 0..self.scratch_missing.len() {
-                    let m = self.scratch_missing[i];
-                    self.watch_push(m.index(), pidx);
-                }
+        }
+        self.scratch_missing.sort_unstable();
+        self.scratch_missing.dedup();
+        if self.scratch_missing.is_empty() {
+            self.fire(ri, ai, head);
+        } else {
+            let pidx = self.pending.len() as u32;
+            let pend = Pending {
+                src_rule: ri,
+                guard: ai,
+                head,
+                pos_off: self.pend_pos.len() as u32,
+                pos_len: self.scratch_pos.len() as u32,
+                neg_off: self.pend_neg.len() as u32,
+                neg_len: self.scratch_neg.len() as u32,
+                missing: self.scratch_missing.len() as u32,
+            };
+            self.pend_pos.extend_from_slice(&self.scratch_pos);
+            self.pend_neg.extend_from_slice(&self.scratch_neg);
+            self.pending.push(pend);
+            for i in 0..self.scratch_missing.len() {
+                let m = self.scratch_missing[i];
+                self.watch_push(m.index(), pidx);
             }
         }
     }
@@ -1448,6 +1658,92 @@ mod tests {
         assert!(seg.complete);
         assert_eq!(seg.pending_at_end, 1);
         assert_eq!(seg.num_instances(), 0);
+    }
+
+    /// A discovery-order-sensitive digest: segment atoms in `SegAtomId`
+    /// order with metadata, instances in `InstanceId` order with raw body
+    /// spans. Any divergence in interning or merge order shows up here.
+    fn ordered_digest(u: &Universe, seg: &ChaseSegment) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for sa in seg.atoms() {
+            writeln!(
+                out,
+                "{} d{} l{}",
+                u.display_atom(sa.atom),
+                sa.depth,
+                sa.level
+            )
+            .unwrap();
+        }
+        for iid in seg.instance_ids() {
+            let pos: Vec<String> = seg
+                .pos_seg(iid)
+                .iter()
+                .map(|&s| s.index().to_string())
+                .collect();
+            let neg: Vec<String> = seg
+                .neg_atoms(iid)
+                .iter()
+                .map(|&a| u.display_atom(a).to_string())
+                .collect();
+            writeln!(
+                out,
+                "r{} g{} h{} [{}] [{}]",
+                seg.src_rule(iid),
+                seg.guard_seg(iid).index(),
+                seg.head_seg(iid).index(),
+                pos.join(","),
+                neg.join(",")
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "complete={} pending={}",
+            seg.complete, seg.pending_at_end
+        )
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn thread_count_does_not_change_segment_identity() {
+        // Fresh universe per thread count (interning order is part of the
+        // claim), compared through a discovery-order-sensitive digest.
+        let serial = {
+            let mut u = Universe::new();
+            let (db, prog) = example4(&mut u);
+            let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(4));
+            ordered_digest(&u, &seg)
+        };
+        for threads in [2usize, 4, 8] {
+            let mut u = Universe::new();
+            let (db, prog) = example4(&mut u);
+            let budget = ChaseBudget::depth(4).with_threads(threads);
+            let seg = ChaseSegment::build(&mut u, &db, &prog, budget);
+            assert_eq!(seg.stats().threads, threads);
+            assert_eq!(
+                ordered_digest(&u, &seg),
+                serial,
+                "sharded saturation diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_count_rounds_and_frontier() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(3));
+        let s = seg.stats();
+        assert_eq!(s.threads, 1);
+        assert!(s.rounds > 0);
+        assert_eq!(s.parallel_rounds, 0, "serial build never shards");
+        assert_eq!(s.shards, s.rounds, "one shard per serial round");
+        // Every expanded atom crossed the frontier exactly once.
+        assert!(s.frontier_atoms as usize <= seg.atoms().len());
+        assert!(s.frontier_atoms > 0);
     }
 
     #[test]

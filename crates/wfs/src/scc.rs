@@ -28,12 +28,16 @@
 //!
 //! Components on the same topological wavefront of the condensation are
 //! independent, so [`ModularEngine::with_threads`] evaluates them
-//! concurrently: a dependency-counting work queue over the component DAG,
-//! executed by `std::thread::scope` workers against the shared read-only
-//! [`GroundProgram`]. Each worker publishes a component's verdicts into
-//! per-atom slots before decrementing its dependents' counters
-//! (release/acquire), so every component still observes exactly the lower
-//! verdicts the serial engine would have substituted. Because a
+//! concurrently: the component DAG is packed into a chunk plan — one
+//! scheduler task per **chunk** of same-wavefront components, sized by
+//! cumulative rule count — and a dependency-counting work queue over the
+//! chunk DAG is executed by `std::thread::scope` workers against the
+//! shared read-only [`GroundProgram`]. A worker evaluates a chunk's
+//! components in ascending emission-ordinal order and publishes each
+//! component's verdicts into per-atom slots before decrementing dependent
+//! chunks' counters (release/acquire), so every component still observes
+//! exactly the lower verdicts the serial engine would have substituted.
+//! Because a
 //! component's verdicts and its decision stage depend only on the
 //! condensation (stage = emission ordinal + 1), the merged model is
 //! **bit-identical to the serial engine regardless of thread count or
@@ -92,15 +96,20 @@ pub struct ModularStats {
     /// Components on the widest wavefront — the peak parallelism the
     /// condensation offers. `0` on the serial path.
     pub max_wavefront: usize,
-    /// Components that went through the shared work queue (parallel runs):
-    /// wavefront roots plus components whose completion unblocked more
-    /// than one dependent.
-    pub queued_components: usize,
-    /// Components executed directly by the worker that made them ready,
-    /// without a queue round-trip (parallel runs). Chains of singleton
-    /// components — including memo-reused ones — run back-to-back this
-    /// way.
-    pub inline_components: usize,
+    /// Scheduler tasks of the parallel run: same-wavefront components are
+    /// packed into chunks by cumulative rule count (see `plan_chunks`), and
+    /// the work queue hands out whole chunks. `0` on the serial path,
+    /// which schedules nothing.
+    pub chunks: usize,
+    /// Chunks that went through the shared work queue (parallel runs):
+    /// wavefront roots plus chunks whose completion unblocked more than
+    /// one dependent chunk.
+    pub queued_chunks: usize,
+    /// Chunks executed directly by the worker that made them ready,
+    /// without a queue round-trip (parallel runs). Chains of
+    /// single-dependent chunks — including ones full of memo-reused
+    /// components — run back-to-back this way.
+    pub inline_chunks: usize,
 }
 
 /// The condensation and per-component **input fingerprints** of one
@@ -217,6 +226,11 @@ struct EvalCtx<'a> {
     truth: &'a TruthSlots,
     fingerprints: &'a [AtomicU64],
     prev: Option<PrevSolve<'a>>,
+    /// Test-only fault injection: evaluating this component panics, so
+    /// scheduler tests can prove a panic inside a chunk propagates out of
+    /// `solve` instead of deadlocking the other workers.
+    #[cfg(test)]
+    panic_component: Option<u32>,
 }
 
 /// What one component's evaluation contributed, merged into
@@ -233,12 +247,27 @@ pub struct ModularEngine<'a> {
     /// users), `0` = auto, `n` = exactly `n` workers (capped at the
     /// component count).
     threads: usize,
+    #[cfg(test)]
+    panic_component: Option<u32>,
 }
 
 impl<'a> ModularEngine<'a> {
     /// Prepares the engine for a ground program (serial evaluation).
     pub fn new(prog: &'a GroundProgram) -> Self {
-        ModularEngine { prog, threads: 1 }
+        ModularEngine {
+            prog,
+            threads: 1,
+            #[cfg(test)]
+            panic_component: None,
+        }
+    }
+
+    /// Makes evaluation of component `ord` panic, to exercise the
+    /// scheduler's unwind path.
+    #[cfg(test)]
+    fn with_panic_component(mut self, ord: u32) -> Self {
+        self.panic_component = Some(ord);
+        self
     }
 
     /// Selects the worker count for [`ModularEngine::solve`]: `1` forces
@@ -330,6 +359,8 @@ impl<'a> ModularEngine<'a> {
             truth: &truth,
             fingerprints: &fingerprints,
             prev,
+            #[cfg(test)]
+            panic_component: self.panic_component,
         };
 
         let threads = self.resolve_threads(num_components);
@@ -407,6 +438,10 @@ fn merge_outcome(stats: &mut ModularStats, out: &CompOutcome, comp_len: usize) {
 /// the component's slot. Free of `&mut` engine state — safe to call from
 /// any worker as long as the scheduler ordered it after its dependencies.
 fn process_component(ctx: &EvalCtx<'_>, ord: u32, scratch: &mut Scratch) -> CompOutcome {
+    #[cfg(test)]
+    if ctx.panic_component == Some(ord) {
+        panic!("injected panic while evaluating component {ord}");
+    }
     let prog = ctx.prog;
     let comp_of = &ctx.cond.comp_of;
     let comp = ctx.cond.component(ord as usize);
@@ -745,12 +780,14 @@ fn try_reuse(
 // ======================================================================
 
 /// The condensation's component-level DAG: deduplicated dependency edges
-/// in CSR form (`successors(d)` = components that depend on `d`), the
-/// in-degree of every component, and the topological wavefront profile.
+/// in CSR form (`successors(d)` = components that depend on `d`) and the
+/// topological wavefront profile. Scheduling itself happens one level up,
+/// on the [`ChunkPlan`] derived from this graph.
 struct CompGraph {
     succ_off: Vec<u32>,
     succ: Vec<u32>,
-    indegree: Vec<u32>,
+    /// Wavefront level per component (longest dependency path below it).
+    level: Vec<u32>,
     /// Number of wavefronts (levels); the critical path in components.
     levels: usize,
     /// Components on the widest wavefront.
@@ -796,7 +833,6 @@ fn for_each_dep(
 fn comp_graph(prog: &GroundProgram, cond: &Condensation) -> CompGraph {
     let ncomp = cond.num_components();
     let mut succ_count = vec![0u32; ncomp];
-    let mut indegree = vec![0u32; ncomp];
     let mut level = vec![0u32; ncomp];
     const UNSEEN: u32 = u32::MAX;
     let mut stamp = vec![UNSEEN; ncomp];
@@ -805,15 +841,12 @@ fn comp_graph(prog: &GroundProgram, cond: &Condensation) -> CompGraph {
     // then a counting-sort of that (much smaller) list by dependency.
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for c in 0..ncomp as u32 {
-        let mut deg = 0u32;
         let mut lvl = 0u32;
         for_each_dep(prog, cond, c, &mut stamp, |d| {
-            deg += 1;
             succ_count[d as usize] += 1;
             lvl = lvl.max(level[d as usize] + 1);
             edges.push((d, c));
         });
-        indegree[c as usize] = deg;
         level[c as usize] = lvl;
     }
 
@@ -839,31 +872,198 @@ fn comp_graph(prog: &GroundProgram, cond: &Condensation) -> CompGraph {
     CompGraph {
         succ_off,
         succ,
-        indegree,
+        level,
         levels,
         max_width: width.into_iter().max().unwrap_or(0),
     }
 }
 
-/// Shared scheduler state of one parallel solve.
+/// Floor of the chunk-size target, in cumulative rules: below this, task
+/// handoff overhead (an atomic per dependency edge plus an occasional
+/// queue crossing) is comparable to the evaluation itself, so small
+/// wavefronts collapse into a single task.
+const CHUNK_RULES_MIN: usize = 2_048;
+
+/// Ceiling of the chunk-size target: past this, bigger chunks stop
+/// amortizing anything and only make the tail of a wavefront lumpier.
+const CHUNK_RULES_MAX: usize = 8_192;
+
+/// The unit of parallel scheduling: one task per **chunk** of components.
+///
+/// Components on the same wavefront level are mutually independent, so any
+/// contiguous run of them (in emission-ordinal order) can be evaluated by
+/// one worker without internal synchronization. `plan_chunks` packs each
+/// level into chunks of roughly `level_rules / (4·threads)` cumulative
+/// rules, clamped to [`CHUNK_RULES_MIN`]..=[`CHUNK_RULES_MAX`] — dependency
+/// counting then runs over per-chunk atomics instead of per-component
+/// ones, which is what makes fine-grained condensations (tens of thousands
+/// of singleton components) scale instead of drowning in queue traffic.
+///
+/// Chunks never span levels and are numbered level by level, so chunk ids
+/// are a topological order of the chunk DAG and every dependency edge
+/// points from a smaller id to a larger one.
+struct ChunkPlan {
+    /// Component ordinals, concatenated per chunk; ascending within each
+    /// chunk, grouped by wavefront level across chunks.
+    comps: Vec<u32>,
+    /// CSR offsets into `comps`, `num_chunks() + 1` entries.
+    off: Vec<u32>,
+    /// Deduplicated chunk-level dependency edges, successor CSR.
+    succ_off: Vec<u32>,
+    succ: Vec<u32>,
+    /// Distinct predecessor chunks per chunk — the scheduler's initial
+    /// dependency counters.
+    indegree: Vec<u32>,
+}
+
+impl ChunkPlan {
+    fn num_chunks(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    fn chunk(&self, k: u32) -> &[u32] {
+        let k = k as usize;
+        &self.comps[self.off[k] as usize..self.off[k + 1] as usize]
+    }
+
+    fn successors(&self, k: u32) -> &[u32] {
+        let k = k as usize;
+        &self.succ[self.succ_off[k] as usize..self.succ_off[k + 1] as usize]
+    }
+}
+
+/// Packs the condensation into scheduler chunks (see [`ChunkPlan`]).
+///
+/// A component weighs its rule count plus one, so rule-free components
+/// (pure facts, isolated atoms) still fill chunks instead of producing
+/// unboundedly long ones. The per-level target divides the level across
+/// `4·threads` chunks — enough slack for load balancing without reverting
+/// to per-component granularity — and the clamp keeps tasks coarse on
+/// levels too small to be worth splitting at all.
+fn plan_chunks(
+    prog: &GroundProgram,
+    cond: &Condensation,
+    graph: &CompGraph,
+    threads: usize,
+) -> ChunkPlan {
+    let ncomp = cond.num_components();
+    let weight = |c: u32| -> usize {
+        cond.component(c as usize)
+            .iter()
+            .map(|&a| prog.rules_with_head_local(a).len())
+            .sum::<usize>()
+            + 1
+    };
+
+    // Counting sort by level: stable, so ordinals stay ascending inside
+    // each level — the order the serial path would visit them in.
+    let nlevels = graph.levels;
+    let mut level_off = vec![0u32; nlevels + 1];
+    for &l in &graph.level {
+        level_off[l as usize + 1] += 1;
+    }
+    for l in 0..nlevels {
+        level_off[l + 1] += level_off[l];
+    }
+    let mut by_level = vec![0u32; ncomp];
+    let mut fill = level_off.clone();
+    for c in 0..ncomp as u32 {
+        let l = graph.level[c as usize] as usize;
+        by_level[fill[l] as usize] = c;
+        fill[l] += 1;
+    }
+
+    let mut comps = Vec::with_capacity(ncomp);
+    let mut off: Vec<u32> = vec![0];
+    let mut chunk_of = vec![0u32; ncomp];
+    for l in 0..nlevels {
+        let lvl = &by_level[level_off[l] as usize..level_off[l + 1] as usize];
+        let level_rules: usize = lvl.iter().map(|&c| weight(c)).sum();
+        let target = (level_rules / (4 * threads).max(1)).clamp(CHUNK_RULES_MIN, CHUNK_RULES_MAX);
+        let mut acc = 0usize;
+        for &c in lvl {
+            if acc >= target {
+                off.push(comps.len() as u32);
+                acc = 0;
+            }
+            chunk_of[c as usize] = off.len() as u32 - 1;
+            comps.push(c);
+            acc += weight(c);
+        }
+        // Chunks never span levels: close the level's trailing chunk.
+        if comps.len() as u32 > *off.last().unwrap() {
+            off.push(comps.len() as u32);
+        }
+    }
+    let nchunks = off.len() - 1;
+
+    // Project the deduped component edges onto chunks. Levels order chunk
+    // ids topologically, so every surviving edge satisfies `kd < kc`;
+    // sort-dedup collapses the many component edges that land on the same
+    // chunk pair.
+    let mut edges: Vec<u64> = Vec::new();
+    for d in 0..ncomp as u32 {
+        let kd = chunk_of[d as usize] as u64;
+        for &c in graph.successors(d) {
+            let kc = chunk_of[c as usize] as u64;
+            if kd != kc {
+                edges.push((kd << 32) | kc);
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut succ_count = vec![0u32; nchunks];
+    let mut indegree = vec![0u32; nchunks];
+    for &e in &edges {
+        succ_count[(e >> 32) as usize] += 1;
+        indegree[(e & 0xffff_ffff) as usize] += 1;
+    }
+    let mut succ_off = Vec::with_capacity(nchunks + 1);
+    let mut acc = 0u32;
+    succ_off.push(0);
+    for &n in &succ_count {
+        acc += n;
+        succ_off.push(acc);
+    }
+    let mut succ = vec![0u32; acc as usize];
+    let mut fill: Vec<u32> = succ_off[..nchunks].to_vec();
+    for &e in &edges {
+        let kd = (e >> 32) as usize;
+        succ[fill[kd] as usize] = (e & 0xffff_ffff) as u32;
+        fill[kd] += 1;
+    }
+
+    ChunkPlan {
+        comps,
+        off,
+        succ_off,
+        succ,
+        indegree,
+    }
+}
+
+/// Shared scheduler state of one parallel solve. All ids are **chunk**
+/// ids into the run's [`ChunkPlan`].
 struct Scheduler<'a> {
-    graph: &'a CompGraph,
-    /// Ready components that no worker has claimed inline. Order is
+    plan: &'a ChunkPlan,
+    /// Ready chunks that no worker has claimed inline. Order is
     /// irrelevant for the result (verdicts land in per-component slots).
     queue: Mutex<Vec<u32>>,
     ready: Condvar,
-    /// Components not yet evaluated; `0` wakes and terminates everyone.
+    /// Chunks not yet evaluated; `0` wakes and terminates everyone.
     remaining: AtomicUsize,
-    /// Live dependency counters, seeded from `graph.indegree`.
+    /// Live dependency counters, seeded from `plan.indegree`.
     indegree: Vec<AtomicU32>,
     queued: AtomicUsize,
     /// Set by [`AbortOnPanic`] when a worker unwinds: tells everyone
-    /// else to stop waiting for components that will never complete.
+    /// else to stop waiting for chunks that will never complete.
     aborted: AtomicBool,
 }
 
 impl Scheduler<'_> {
-    /// Shares a batch of ready components with the other workers — one
+    /// Shares a batch of ready chunks with the other workers — one
     /// lock acquisition regardless of batch size.
     fn push_batch(&self, items: &[u32]) {
         if items.is_empty() {
@@ -881,9 +1081,9 @@ impl Scheduler<'_> {
     }
 
     /// Blocks until work is ready or everything is done. Returns one
-    /// component and moves a fair share of the remaining ready work into
-    /// the caller's private `backlog`, so tiny-component cascades don't
-    /// take the lock once per component.
+    /// chunk and moves a fair share of the remaining ready work into
+    /// the caller's private `backlog`, so small-chunk cascades don't
+    /// take the lock once per chunk.
     fn pop_batch(&self, threads: usize, backlog: &mut Vec<u32>) -> Option<u32> {
         let mut q = self.queue.lock().unwrap();
         loop {
@@ -931,25 +1131,30 @@ struct PartialStats {
 }
 
 /// Evaluates all components with `threads` scoped workers over a
-/// dependency-counting topological wavefront queue. Verdict publication
-/// order: a worker's relaxed truth stores happen-before any dependent's
-/// reads because every edge is released by `fetch_sub(AcqRel)` on the
-/// dependent's counter (and queue handoffs add a mutex in between).
+/// dependency-counting topological wavefront queue of **chunks** (see
+/// [`ChunkPlan`]). A worker that claims a chunk evaluates its components
+/// in ascending ordinal order — they share a wavefront level, so none
+/// depends on another. Verdict publication order: a worker's relaxed
+/// truth stores happen-before any dependent's reads because every chunk
+/// edge is released by `fetch_sub(AcqRel)` on the dependent's counter
+/// (and queue handoffs add a mutex in between), and a chunk edge exists
+/// wherever a component edge crosses chunks.
 fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
     let graph = comp_graph(ctx.prog, ctx.cond);
-    let ncomp = ctx.cond.num_components();
+    let plan = plan_chunks(ctx.prog, ctx.cond, &graph, threads);
+    let nchunks = plan.num_chunks();
     let sched = Scheduler {
-        graph: &graph,
+        plan: &plan,
         queue: Mutex::new(Vec::new()),
         ready: Condvar::new(),
-        remaining: AtomicUsize::new(ncomp),
-        indegree: graph.indegree.iter().map(|&d| AtomicU32::new(d)).collect(),
+        remaining: AtomicUsize::new(nchunks),
+        indegree: plan.indegree.iter().map(|&d| AtomicU32::new(d)).collect(),
         queued: AtomicUsize::new(0),
         aborted: AtomicBool::new(false),
     };
     // Seed the wavefront roots in one batch.
-    let roots: Vec<u32> = (0..ncomp as u32)
-        .filter(|&c| graph.indegree[c as usize] == 0)
+    let roots: Vec<u32> = (0..nchunks as u32)
+        .filter(|&k| plan.indegree[k as usize] == 0)
         .collect();
     sched.push_batch(&roots);
 
@@ -960,36 +1165,37 @@ fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
                 let _abort_guard = AbortOnPanic(&sched);
                 let mut scratch = Scratch::new(ctx.prog.num_rules());
                 let mut local = PartialStats::default();
-                // Components this worker may run without touching the
-                // shared queue: one chained dependent per processed
-                // component plus the fair share `pop_batch` handed over.
+                // Chunks this worker may run without touching the shared
+                // queue: one chained dependent per finished chunk plus
+                // the fair share `pop_batch` handed over.
                 let mut backlog: Vec<u32> = Vec::new();
                 let mut share: Vec<u32> = Vec::new();
                 loop {
-                    let ord = match backlog.pop() {
-                        Some(o) => o,
+                    let k = match backlog.pop() {
+                        Some(k) => k,
                         None => match sched.pop_batch(threads, &mut backlog) {
-                            Some(o) => o,
+                            Some(k) => k,
                             None => break,
                         },
                     };
-                    let out = process_component(ctx, ord, &mut scratch);
-                    if out.reused {
-                        local.reused += 1;
+                    for &ord in sched.plan.chunk(k) {
+                        let out = process_component(ctx, ord, &mut scratch);
+                        if out.reused {
+                            local.reused += 1;
+                        }
+                        if out.definite {
+                            local.definite += 1;
+                        } else {
+                            local.recursive += 1;
+                            local.atoms_in_recursive += ctx.cond.component(ord as usize).len();
+                        }
                     }
-                    if out.definite {
-                        local.definite += 1;
-                    } else {
-                        local.recursive += 1;
-                        local.atoms_in_recursive += ctx.cond.component(ord as usize).len();
-                    }
-                    // Publish: release this component's out-edges. The
-                    // first dependent that becomes ready is chained
-                    // inline; the rest go to the shared queue in one
-                    // batch.
+                    // Publish: release this chunk's out-edges. The first
+                    // dependent that becomes ready is chained inline; the
+                    // rest go to the shared queue in one batch.
                     share.clear();
                     let mut chained = false;
-                    for &succ in sched.graph.successors(ord) {
+                    for &succ in sched.plan.successors(k) {
                         if sched.indegree[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                             if chained {
                                 share.push(succ);
@@ -1002,8 +1208,8 @@ fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
                     }
                     sched.push_batch(&share);
                     if sched.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        // Last component: wake every idle worker so the
-                        // scope can join.
+                        // Last chunk: wake every idle worker so the scope
+                        // can join.
                         let _q = sched.queue.lock().unwrap();
                         sched.ready.notify_all();
                     }
@@ -1023,8 +1229,9 @@ fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
     stats.recursive_components = totals.recursive;
     stats.atoms_in_recursive = totals.atoms_in_recursive;
     stats.components_reused = totals.reused;
-    stats.inline_components = totals.inline_run;
-    stats.queued_components = sched.queued.load(Ordering::Relaxed);
+    stats.chunks = nchunks;
+    stats.inline_chunks = totals.inline_run;
+    stats.queued_chunks = sched.queued.load(Ordering::Relaxed);
     stats.wavefronts = graph.levels;
     stats.max_wavefront = graph.max_width;
 }
@@ -1262,11 +1469,30 @@ mod tests {
         // a0's component has two dependents (a1, a2) — the duplicated
         // body occurrence of a0 in a1's rule must not double the edge.
         assert_eq!(g.successors(ord(0)).len(), 2);
-        assert_eq!(g.indegree[ord(1) as usize], 1);
-        assert_eq!(g.indegree[ord(3) as usize], 2);
         // Wavefronts: {a0}, {a1, a2}, {a3}.
         assert_eq!(g.levels, 3);
         assert_eq!(g.max_width, 2);
+        assert_eq!(g.level[ord(0) as usize], 0);
+        assert_eq!(g.level[ord(1) as usize], 1);
+        assert_eq!(g.level[ord(2) as usize], 1);
+        assert_eq!(g.level[ord(3) as usize], 2);
+
+        // The chunk plan over this tiny graph: every level is far below
+        // the chunk-size floor, so each wavefront becomes exactly one
+        // chunk and the chunk DAG is the 3-node chain of the levels.
+        let plan = plan_chunks(&p, &cond, &g, 4);
+        assert_eq!(plan.num_chunks(), 3);
+        assert_eq!(plan.chunk(0), &[ord(0)]);
+        assert_eq!(plan.chunk(2), &[ord(3)]);
+        let mut mid = plan.chunk(1).to_vec();
+        mid.sort_unstable();
+        let mut expect = vec![ord(1), ord(2)];
+        expect.sort_unstable();
+        assert_eq!(mid, expect);
+        assert_eq!(plan.indegree, vec![0, 1, 1]);
+        assert_eq!(plan.successors(0), &[1]);
+        assert_eq!(plan.successors(1), &[2]);
+        assert_eq!(plan.successors(2), &[] as &[u32]);
     }
 
     #[test]
@@ -1444,9 +1670,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_counters_cover_every_component() {
-        // A two-level diamond fanout: every component is either seeded
-        // into the queue or chained inline, and together they cover all.
+    fn parallel_counters_cover_every_chunk() {
+        // A two-level diamond fanout: every scheduler chunk is either
+        // seeded into the queue or chained inline, and together they
+        // cover the whole plan.
         let mut b = GroundProgramBuilder::new();
         b.add_fact(a(0));
         for i in 1..64 {
@@ -1457,18 +1684,110 @@ mod tests {
         let res = ModularEngine::new(&p).with_threads(4).solve();
         let stats = res.stats.unwrap();
         assert_eq!(stats.threads, 4.min(stats.components));
+        assert!(
+            stats.chunks >= 1 && stats.chunks <= stats.components,
+            "{stats:?}"
+        );
         assert_eq!(
-            stats.queued_components + stats.inline_components,
-            stats.components,
+            stats.queued_chunks + stats.inline_chunks,
+            stats.chunks,
             "{stats:?}"
         );
         assert!(stats.wavefronts >= 3, "{stats:?}");
         assert!(stats.max_wavefront >= 63, "{stats:?}");
-        // Serial runs never build the component DAG.
+        // Serial runs never build the component DAG or a chunk plan.
         let serial = ModularEngine::new(&p).solve().stats.unwrap();
         assert_eq!(serial.threads, 1);
         assert_eq!(serial.wavefronts, 0);
-        assert_eq!(serial.queued_components + serial.inline_components, 0);
+        assert_eq!(serial.chunks, 0);
+        assert_eq!(serial.queued_chunks + serial.inline_chunks, 0);
+    }
+
+    #[test]
+    fn single_component_program_schedules_one_chunk() {
+        // One draw cycle = one component: `resolve_threads` clamps every
+        // requested worker count to 1, so the run stays on the serial
+        // path (no plan at all) and still agrees with itself.
+        let mut b = GroundProgramBuilder::new();
+        b.add_rule(GroundRule::new(a(0), vec![], vec![a(1)]));
+        b.add_rule(GroundRule::new(a(1), vec![], vec![a(0)]));
+        let p = b.finish();
+        for threads in [1usize, 2, 4, 8] {
+            let res = ModularEngine::new(&p).with_threads(threads).solve();
+            assert_eq!(res.value(a(0)), Truth::Unknown);
+            assert_eq!(res.value(a(1)), Truth::Unknown);
+            let stats = res.stats.unwrap();
+            assert_eq!(stats.threads, 1, "{stats:?}");
+            assert_eq!(stats.chunks, 0, "serial path plans nothing");
+        }
+
+        // Two independent components on one wavefront level do exercise
+        // the scheduler — as a plan of exactly one chunk, which must run
+        // once and terminate at every worker count.
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        b.add_fact(a(1));
+        let p = b.finish();
+        let serial = ModularEngine::new(&p).solve();
+        for threads in [2usize, 4, 8] {
+            let res = ModularEngine::new(&p).with_threads(threads).solve();
+            for &atom in p.atoms() {
+                assert_eq!(res.value(atom), serial.value(atom));
+                assert_eq!(res.stage_of(atom), serial.stage_of(atom));
+            }
+            let stats = res.stats.unwrap();
+            assert_eq!(stats.chunks, 1, "{stats:?}");
+            assert_eq!(stats.queued_chunks + stats.inline_chunks, 1, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn widest_wavefront_fitting_one_chunk_stays_one_chunk() {
+        // A broad fanout whose total rule weight stays below the
+        // chunk-size floor: every wavefront level must collapse into a
+        // single chunk, so the chunk count equals the wavefront count.
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        for i in 1..200 {
+            b.add_rule(GroundRule::new(a(i), vec![a(0)], vec![]));
+        }
+        let p = b.finish();
+        // 4 threads × 200 rules: level_rules / (4·threads) is far below
+        // CHUNK_RULES_MIN, so the clamp makes one chunk per level.
+        let res = ModularEngine::new(&p).with_threads(4).solve();
+        let stats = res.stats.unwrap();
+        assert_eq!(stats.wavefronts, 2, "{stats:?}");
+        assert_eq!(stats.max_wavefront, 199, "{stats:?}");
+        assert_eq!(stats.chunks, 2, "{stats:?}");
+        let serial = ModularEngine::new(&p).solve();
+        for &atom in p.atoms() {
+            assert_eq!(res.value(atom), serial.value(atom));
+        }
+    }
+
+    #[test]
+    fn panic_inside_a_chunk_propagates_without_deadlock() {
+        // A panic while evaluating one component of a chunk must unwind
+        // out of `solve` (via the scope join) rather than leave sibling
+        // workers asleep on the condvar — at every worker count,
+        // including the serial path.
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        for i in 1..64 {
+            b.add_rule(GroundRule::new(a(i), vec![a(0)], vec![]));
+            b.add_rule(GroundRule::new(a(64 + i), vec![a(i)], vec![]));
+        }
+        let p = b.finish();
+        let victim = condensation(&p).num_components() as u32 / 2;
+        for threads in [1usize, 2, 4, 8] {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ModularEngine::new(&p)
+                    .with_threads(threads)
+                    .with_panic_component(victim)
+                    .solve()
+            }));
+            assert!(outcome.is_err(), "panic swallowed at {threads} threads");
+        }
     }
 
     #[test]

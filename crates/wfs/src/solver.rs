@@ -37,12 +37,14 @@ pub struct WfsOptions {
     pub budget: ChaseBudget,
     /// Engine selection.
     pub engine: EngineKind,
-    /// Worker threads for [`EngineKind::Modular`]: `0` (the default)
-    /// decides automatically — `std::thread::available_parallelism` for
-    /// large ground programs, serial for small ones; `1` forces the serial
-    /// path; any other `n` spawns exactly `n` workers. The model is
-    /// bit-identical for every setting (see [`crate::scc`]); the global
-    /// engines ignore this field.
+    /// Worker threads for the chase match phase and for
+    /// [`EngineKind::Modular`]: `0` (the default) decides automatically —
+    /// `std::thread::available_parallelism` for large workloads, serial
+    /// for small ones; `1` forces the serial path; any other `n` spawns
+    /// exactly `n` workers. The model is bit-identical for every setting
+    /// (see [`crate::scc`] and the chase crate's "Sharded saturation"
+    /// docs); the global engines ignore this field for evaluation but the
+    /// chase still shards.
     pub threads: usize,
 }
 
@@ -220,7 +222,11 @@ pub fn solve(
     program: &SkolemProgram,
     options: WfsOptions,
 ) -> WellFoundedModel {
-    let segment = ChaseSegment::build(universe, db, program, options.budget);
+    // The thread knob rides into the chase on the budget; saturation is
+    // bit-identical for every value, so options equality (and therefore
+    // the façade's cache/resume decisions) stays on the user's fields.
+    let budget = options.budget.with_threads(options.threads);
+    let segment = ChaseSegment::build(universe, db, program, budget);
     finish_model(segment, options, None)
 }
 

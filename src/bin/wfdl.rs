@@ -9,9 +9,11 @@
 //! wfdl check program.dl            # parse + validate only
 //! ```
 //!
-//! `--threads N` sets the modular engine's worker count (`0` = auto-detect
-//! from the machine, `1` = serial; the default is auto). The computed
-//! model is bit-identical for every setting.
+//! `--threads N` sets the worker count for both parallel phases — the
+//! sharded chase match and the modular engine's chunked component
+//! scheduler (`0` = auto-detect from the machine, `1` = serial; the
+//! default is auto). The computed model is bit-identical for every
+//! setting.
 //!
 //! The program file may contain facts, guarded NTGDs (head-only variables
 //! are existential), rules with explicit Skolem terms, negative constraints
@@ -68,7 +70,8 @@ struct Options {
     file: String,
     depth: Option<u32>,
     engine: EngineKind,
-    /// Worker threads for the modular engine (`0` = auto, `1` = serial).
+    /// Worker threads for the chase match and the modular engine
+    /// (`0` = auto, `1` = serial).
     threads: Option<usize>,
     show_model: bool,
     show_hidden: bool,
@@ -304,6 +307,18 @@ fn run(opts: Options, kb: KnowledgeBase) -> ExitCode {
             model.model().stages(),
             model.exact()
         );
+        let cs = model.model().segment.stats();
+        outln!(
+            "% chase: {} threads, {} rounds ({} sharded, {} shards total), \
+             {} frontier atoms, match {:.1}ms, merge {:.1}ms",
+            cs.threads,
+            cs.rounds,
+            cs.parallel_rounds,
+            cs.shards,
+            cs.frontier_atoms,
+            cs.match_ns as f64 / 1e6,
+            cs.merge_ns as f64 / 1e6
+        );
         outln!("% truth: {t} true, {f} false, {u} unknown");
         if let Some(s) = model.model().component_stats() {
             outln!(
@@ -318,12 +333,13 @@ fn run(opts: Options, kb: KnowledgeBase) -> ExitCode {
             if s.threads > 1 {
                 outln!(
                     "% parallel: {} threads, {} wavefronts (widest {}), \
-                     {} components queued, {} chained inline",
+                     {} chunks ({} queued, {} chained inline)",
                     s.threads,
                     s.wavefronts,
                     s.max_wavefront,
-                    s.queued_components,
-                    s.inline_components
+                    s.chunks,
+                    s.queued_chunks,
+                    s.inline_chunks
                 );
             }
         }

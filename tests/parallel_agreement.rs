@@ -1,7 +1,11 @@
 //! Parallel determinism: the modular engine at 2/4/8 worker threads must
 //! be **bit-identical** to the serial engine — truth values, decision
 //! stages, stage count, fingerprint memos and the semantic (scheduling-
-//! independent) statistics — on every workload shape we can seed:
+//! independent) statistics. `WfsOptions::threads` now also shards the
+//! chase match phase, so the full-pipeline comparisons additionally pin
+//! the **segment** itself: atom ids in `SegAtomId` order with their
+//! depths and levels, the rule-instance list, and the extracted ground
+//! program must not move under any worker count. Covered shapes:
 //!
 //! * random ground normal programs (proptest, dense negation);
 //! * win–move graphs with genuine draw cycles (recursive components);
@@ -71,10 +75,49 @@ fn assert_solve_bit_identical(
     context: &str,
 ) {
     let serial = solve(u, db, sigma, options.with_threads(1));
+    assert_eq!(serial.segment.stats().threads, 1, "{context}");
     for &t in &THREADS {
         let par = solve(u, db, sigma, options.with_threads(t));
         assert_eq!(par.exact, serial.exact, "{context}");
         assert_eq!(par.counts(), serial.counts(), "{context}: {t} threads");
+
+        // The chase ran with `t` match workers and must have produced the
+        // exact same segment: same atoms in the same `SegAtomId` order
+        // (so raw ids align), same depths/levels, same instances, same
+        // ground program.
+        assert_eq!(par.segment.stats().threads, t, "{context}");
+        assert_eq!(
+            par.segment.atoms().len(),
+            serial.segment.atoms().len(),
+            "{context}: {t} threads"
+        );
+        for (pa, sa) in par.segment.atoms().iter().zip(serial.segment.atoms()) {
+            assert_eq!(
+                (pa.atom, pa.depth, pa.level),
+                (sa.atom, sa.depth, sa.level),
+                "{context}: {t} threads, segment atom order"
+            );
+        }
+        let iids: Vec<_> = serial.segment.instance_ids().collect();
+        assert_eq!(
+            par.segment.instance_ids().count(),
+            iids.len(),
+            "{context}: {t} threads"
+        );
+        for iid in iids {
+            let (pi, si) = (par.segment.instance(iid), serial.segment.instance(iid));
+            assert_eq!(
+                (pi.src_rule, pi.guard_atom, pi.head, &pi.pos, &pi.neg),
+                (si.src_rule, si.guard_atom, si.head, &si.pos, &si.neg),
+                "{context}: {t} threads, instance {iid:?}"
+            );
+        }
+        let (pg, sg) = (
+            par.segment.to_ground_program(),
+            serial.segment.to_ground_program(),
+        );
+        assert_eq!(pg.num_atoms(), sg.num_atoms(), "{context}: {t} threads");
+        assert_eq!(pg.num_rules(), sg.num_rules(), "{context}: {t} threads");
         for sa in serial.segment.atoms() {
             assert_eq!(
                 par.value(sa.atom),
@@ -280,6 +323,10 @@ fn parallel_incremental_resolve_matches_serial_scratch() {
                 "independent chain seeds must be reused"
             );
             assert_eq!(stats.threads, t, "requested workers are honored");
+            // `resume_with` inherits the budget, threads included: the
+            // delta chase ran sharded too, and the segment still lines up
+            // with the from-scratch serial reference below.
+            assert_eq!(inc.segment.stats().threads, t, "chase resume threads");
 
             assert_eq!(
                 inc.segment.atoms().len(),

@@ -346,6 +346,7 @@ fn compare(baseline_dir: &Path, current_dir: &Path, tolerance: f64, min_abs_ns: 
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut skipped_shape = 0usize;
     for file in files {
         let name = file.file_name().unwrap().to_string_lossy().into_owned();
         let current_path = current_dir.join(&name);
@@ -364,6 +365,10 @@ fn compare(baseline_dir: &Path, current_dir: &Path, tolerance: f64, min_abs_ns: 
             }
         };
         println!("== {name} ==");
+        skipped_shape += base
+            .keys()
+            .filter(|p| is_time_metric(p) && is_machine_shape_dependent(p))
+            .count();
         for (path, &b) in base
             .iter()
             .filter(|(p, _)| is_time_metric(p) && !is_machine_shape_dependent(p))
@@ -395,6 +400,10 @@ fn compare(baseline_dir: &Path, current_dir: &Path, tolerance: f64, min_abs_ns: 
          (tolerance {:.0}%, floor {})",
         tolerance * 100.0,
         fmt_ns(min_abs_ns)
+    );
+    println!(
+        "bench-gate: skipped {skipped_shape} machine-shape-dependent metric(s) \
+         (threadsN legs, N != 1 — asserted via assert-scaling instead)"
     );
     if regressions > 0 {
         eprintln!(
