@@ -115,7 +115,8 @@ fn run_engine_leg(samples: usize) -> EngineLeg {
 
         let start = Instant::now();
         let (inc_model, stats) =
-            wfdatalog::wfs::solve_resumed(&mut u, &prev, &sigma, delta.atoms(), options);
+            wfdatalog::wfs::solve_resumed(&mut u, &prev, &sigma, delta.atoms(), options)
+                .expect("resumable");
         inc_ns.push(start.elapsed().as_nanos() as u64);
         assert!(stats.incremental);
         assert!(

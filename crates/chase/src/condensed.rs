@@ -56,10 +56,12 @@
 use crate::budget::ChaseBudget;
 use crate::instance::{InstanceId, RuleInstance, SegAtomId};
 use std::collections::VecDeque;
+use std::fmt;
 use std::time::Instant;
+use wfdl_core::budget::FaultSite;
 use wfdl_core::{
-    match_atom, subst::instantiate_atom_into, AtomId, Binding, BitSet, SkolemProgram, TermId,
-    Universe,
+    match_atom, subst::instantiate_atom_into, AtomId, Binding, BitSet, SkolemProgram, SolveBudget,
+    TermId, TruncationReason, Universe,
 };
 use wfdl_storage::{Database, GroundProgram, GroundRule};
 
@@ -84,10 +86,18 @@ const MAX_CHASE_THREADS: usize = 256;
 pub struct ChaseStats {
     /// Resolved match-phase workers (`1` = fully serial build).
     pub threads: usize,
+    /// Peak shards actually used in any single round — the *effective*
+    /// thread count. Stays `1` when every frontier was below the sharding
+    /// threshold, however many workers were budgeted.
+    pub effective_threads: usize,
     /// Saturation rounds (frontier batches) executed.
     pub rounds: u64,
     /// Rounds whose frontier was large enough to shard across workers.
     pub parallel_rounds: u64,
+    /// Rounds that ran serial *despite* a multi-worker budget because the
+    /// frontier was below the sharding threshold (the small-frontier
+    /// serial fallback). Always `0` for a serial budget.
+    pub small_frontier_serial_rounds: u64,
     /// Total match shards dispatched across all rounds.
     pub shards: u64,
     /// Total atoms expanded through the frontier.
@@ -173,7 +183,9 @@ pub struct ChaseSegment {
 /// Saturation state that `finish` would otherwise discard, retained so
 /// [`ChaseSegment::resume_with`] can continue exactly where the build
 /// stopped: parked instances with their watch lists, the per-atom
-/// expansion bits, and the budget-truncation flags.
+/// expansion bits, the uncollected expansion queue (non-empty only when a
+/// runtime budget stopped the build mid-saturation), and the structured
+/// truncation reason.
 #[derive(Clone, Debug)]
 struct ResumeState {
     expanded: Vec<bool>,
@@ -184,18 +196,59 @@ struct ResumeState {
     watch_tail: Vec<u32>,
     watch_next: Vec<u32>,
     watch_pend: Vec<u32>,
-    caps_hit: bool,
+    expand_queue: Vec<u32>,
+    truncation: Option<TruncationReason>,
 }
 
+/// Error returned by [`ChaseSegment::resume_with`] when a segment cannot
+/// be resumed: cap-truncated saturation is discovery-order dependent, so
+/// continuing it could diverge from a fresh build. Callers should re-chase
+/// from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeError {
+    /// Why the original build was truncated.
+    pub reason: TruncationReason,
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "segment was truncated by the {}; re-chase from scratch",
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
 impl ChaseSegment {
-    /// Saturates the chase of `D ∪ Σf` within `budget`.
+    /// Saturates the chase of `D ∪ Σf` within `budget`, with no runtime
+    /// resource limits.
     pub fn build(
         universe: &mut Universe,
         db: &Database,
         program: &SkolemProgram,
         budget: ChaseBudget,
     ) -> ChaseSegment {
-        Builder::new(universe, program, budget).run(db)
+        Self::build_budgeted(universe, db, program, budget, &SolveBudget::unlimited())
+    }
+
+    /// Saturates the chase of `D ∪ Σf` within `budget`, polling `solve`
+    /// (deadline / cancellation / memory budget) at every round boundary.
+    /// A trip stops saturation at a clean boundary: the produced segment
+    /// is truncated ([`ChaseSegment::truncation`] reports why) but fully
+    /// coherent and **resumable** — a later
+    /// [`ChaseSegment::resume_with`] continues exactly where this build
+    /// stopped.
+    pub fn build_budgeted(
+        universe: &mut Universe,
+        db: &Database,
+        program: &SkolemProgram,
+        budget: ChaseBudget,
+        solve: &SolveBudget,
+    ) -> ChaseSegment {
+        Builder::new(universe, program, budget, solve.clone()).run(db)
     }
 
     /// All segment atoms with metadata, in discovery order. Facts are the
@@ -222,9 +275,26 @@ impl ChaseSegment {
     /// original saturation must not have been truncated by the atom or
     /// instance caps (cap truncation is discovery-order dependent, so a
     /// resumed run could diverge from a fresh one). Depth truncation is
-    /// fine — the depth gate is a per-atom property of the final minima.
+    /// fine — the depth gate is a per-atom property of the final minima —
+    /// and so are runtime budget trips (deadline / cancellation / memory),
+    /// which stop at a round boundary with the full saturation state
+    /// retained.
     pub fn can_resume(&self) -> bool {
-        !self.resume.caps_hit
+        !matches!(
+            self.resume.truncation,
+            Some(TruncationReason::AtomCap | TruncationReason::InstanceCap)
+        )
+    }
+
+    /// Why saturation stopped short, if it did: the recorded budget or cap
+    /// trip, or [`TruncationReason::DepthCap`] when only the depth bound
+    /// blocked further expansion. `None` iff [`ChaseSegment::complete`].
+    pub fn truncation(&self) -> Option<TruncationReason> {
+        if self.complete {
+            None
+        } else {
+            self.resume.truncation.or(Some(TruncationReason::DepthCap))
+        }
     }
 
     /// Continues saturation after `new_facts` join the database, reusing
@@ -243,20 +313,39 @@ impl ChaseSegment {
     /// was previously derived at positive depth is relaxed to depth and
     /// level 0 and the improvement propagated to its consequences.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the segment was cap-truncated (`!can_resume()`).
+    /// Returns [`ResumeError`] (instead of resuming) if the segment was
+    /// cap-truncated (`!can_resume()`); the caller should re-chase from
+    /// scratch.
     pub fn resume_with(
         &self,
         universe: &mut Universe,
         program: &SkolemProgram,
         new_facts: &[AtomId],
-    ) -> ChaseSegment {
-        assert!(
-            self.can_resume(),
-            "segment was cap-truncated; re-chase from scratch"
-        );
-        Builder::from_segment(universe, program, self).run_delta(new_facts)
+    ) -> Result<ChaseSegment, ResumeError> {
+        self.resume_budgeted(universe, program, new_facts, &SolveBudget::unlimited())
+    }
+
+    /// [`ChaseSegment::resume_with`] with runtime resource limits, polled
+    /// at every round boundary of the resumed saturation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResumeError`] if the segment was cap-truncated.
+    pub fn resume_budgeted(
+        &self,
+        universe: &mut Universe,
+        program: &SkolemProgram,
+        new_facts: &[AtomId],
+        solve: &SolveBudget,
+    ) -> Result<ChaseSegment, ResumeError> {
+        if !self.can_resume() {
+            return Err(ResumeError {
+                reason: self.resume.truncation.unwrap_or(TruncationReason::AtomCap),
+            });
+        }
+        Ok(Builder::from_segment(universe, program, self, solve.clone()).run_delta(new_facts))
     }
 
     /// Number of discovered rule instances.
@@ -694,6 +783,9 @@ struct Builder<'a> {
     universe: &'a mut Universe,
     program: &'a SkolemProgram,
     budget: ChaseBudget,
+    /// Runtime limits (deadline / cancellation / memory), polled at round
+    /// boundaries. Unlimited budgets cost one branch per round.
+    solve: SolveBudget,
     /// Rule indexes per guard predicate (flat, [`wfdl_core::PredId`]-indexed).
     rules_by_guard_pred: Vec<Vec<u32>>,
 
@@ -756,7 +848,8 @@ struct Builder<'a> {
     scratch_neg: Vec<AtomId>,
     scratch_missing: Vec<AtomId>,
 
-    caps_hit: bool,
+    /// First structural cap or runtime budget trip observed, if any.
+    truncation: Option<TruncationReason>,
 }
 
 /// Per-worker staging area for the match phase: every guard match found in
@@ -836,7 +929,12 @@ fn match_chunk(
 }
 
 impl<'a> Builder<'a> {
-    fn new(universe: &'a mut Universe, program: &'a SkolemProgram, budget: ChaseBudget) -> Self {
+    fn new(
+        universe: &'a mut Universe,
+        program: &'a SkolemProgram,
+        budget: ChaseBudget,
+        solve: SolveBudget,
+    ) -> Self {
         let mut rules_by_guard_pred: Vec<Vec<u32>> = Vec::new();
         for (i, rule) in program.rules.iter().enumerate() {
             let p = rule.guard_atom().pred.index();
@@ -850,6 +948,7 @@ impl<'a> Builder<'a> {
             universe,
             program,
             budget,
+            solve,
             rules_by_guard_pred,
             old: None,
             atoms: Vec::new(),
@@ -882,13 +981,14 @@ impl<'a> Builder<'a> {
             shards: Vec::new(),
             stats: ChaseStats {
                 threads: resolve_chase_threads(budget.threads),
+                effective_threads: 1,
                 ..ChaseStats::default()
             },
             scratch_args: Vec::new(),
             scratch_pos: Vec::new(),
             scratch_neg: Vec::new(),
             scratch_missing: Vec::new(),
-            caps_hit: false,
+            truncation: None,
         }
     }
 
@@ -898,8 +998,9 @@ impl<'a> Builder<'a> {
         universe: &'a mut Universe,
         program: &'a SkolemProgram,
         old: &'a ChaseSegment,
+        solve: SolveBudget,
     ) -> Self {
-        let mut b = Builder::new(universe, program, old.budget);
+        let mut b = Builder::new(universe, program, old.budget, solve);
         b.atoms = old.atoms.clone();
         b.seg_of = old.seg_of.clone();
         b.fact_seg = old.fact_seg.clone();
@@ -922,7 +1023,14 @@ impl<'a> Builder<'a> {
         b.watch_tail = r.watch_tail.clone();
         b.watch_next = r.watch_next.clone();
         b.watch_pend = r.watch_pend.clone();
-        b.caps_hit = r.caps_hit;
+        // Uncollected expansion work from a budget-tripped build: restoring
+        // the queue makes the resume continue exactly where the tripped run
+        // stopped. A cleanly quiesced build always leaves it empty.
+        b.expand_queue = r.expand_queue.iter().copied().collect();
+        // A previous run's budget trip belongs to that run — the resume
+        // polls its own budget. Cap truncation never reaches this point
+        // (`resume_budgeted` refuses those segments).
+        b.truncation = None;
         // Intrusive body lists start empty for old atoms: relaxation over
         // old instances walks `old`'s finalized CSR; only instances fired
         // during the resume append entries here.
@@ -938,18 +1046,24 @@ impl<'a> Builder<'a> {
         }
         self.drain();
         let pending_at_end = self.pending.iter().filter(|p| p.missing > 0).count();
-        let complete = !self.caps_hit && !self.blocked_by_depth();
+        let complete = self.truncation.is_none() && !self.blocked_by_depth();
         self.finish(pending_at_end, complete)
     }
 
     /// Continues a resumed build with the delta facts.
     fn run_delta(mut self, new_facts: &[AtomId]) -> ChaseSegment {
+        // Resume-boundary fault injection: trip kinds stop the resumed
+        // saturation at its first round boundary (delta facts registered
+        // and relaxed, expansions deferred to the next resume).
+        if let Some(r) = self.solve.fire_fault(FaultSite::ResumeBoundary) {
+            self.trip(r);
+        }
         for &fact in new_facts {
             self.add_fact(fact);
         }
         self.drain();
         let pending_at_end = self.pending.iter().filter(|p| p.missing > 0).count();
-        let complete = !self.caps_hit && !self.blocked_by_depth();
+        let complete = self.truncation.is_none() && !self.blocked_by_depth();
         self.finish(pending_at_end, complete)
     }
 
@@ -982,9 +1096,18 @@ impl<'a> Builder<'a> {
     /// order, cap behavior and even universe interning order are
     /// bit-identical for every thread count.
     fn drain(&mut self) {
+        let budgeted = !self.solve.is_unlimited();
         loop {
             while let Some(ai) = self.relax_queue.pop_front() {
                 self.relax(ai);
+            }
+            // Round boundary: relaxation is at fixpoint and every merge has
+            // been applied, so stopping here leaves the saturation state
+            // fully coherent (the uncollected expand queue is retained for
+            // resume). Only runtime budget trips stop the loop; the
+            // structural caps keep their historical peter-out semantics.
+            if budgeted && self.trip_at_round_boundary() {
+                break;
             }
             self.collect_frontier();
             if self.frontier.is_empty() {
@@ -999,8 +1122,11 @@ impl<'a> Builder<'a> {
             let shards_used = self.match_frontier();
             self.stats.match_ns += match_start.elapsed().as_nanos() as u64;
             self.stats.shards += shards_used as u64;
+            self.stats.effective_threads = self.stats.effective_threads.max(shards_used);
             if shards_used > 1 {
                 self.stats.parallel_rounds += 1;
+            } else if self.threads > 1 {
+                self.stats.small_frontier_serial_rounds += 1;
             }
 
             let merge_start = Instant::now();
@@ -1014,7 +1140,87 @@ impl<'a> Builder<'a> {
                 self.shards[k].totals = totals;
             }
             self.stats.merge_ns += merge_start.elapsed().as_nanos() as u64;
+
+            // Merge-phase fault injection (after the round's merge has been
+            // applied, so trip kinds still stop at a coherent boundary).
+            if budgeted {
+                if let Some(r) = self
+                    .solve
+                    .fire_fault(FaultSite::ChaseMerge(self.stats.rounds))
+                {
+                    while let Some(ai) = self.relax_queue.pop_front() {
+                        self.relax(ai);
+                    }
+                    self.trip(r);
+                    break;
+                }
+            }
         }
+    }
+
+    /// Polls the fault plan and the runtime budget at a round boundary;
+    /// records the first trip and reports whether saturation must stop.
+    fn trip_at_round_boundary(&mut self) -> bool {
+        if self
+            .truncation
+            .is_some_and(TruncationReason::is_budget_trip)
+        {
+            // Tripped before the loop (resume-boundary fault injection).
+            return true;
+        }
+        if let Some(r) = self
+            .solve
+            .fire_fault(FaultSite::ChaseRound(self.stats.rounds))
+        {
+            self.trip(r);
+            return true;
+        }
+        let mem = if self.solve.wants_mem() {
+            self.mem_bytes()
+        } else {
+            0
+        };
+        if let Some(r) = self.solve.check(mem) {
+            self.trip(r);
+            return true;
+        }
+        false
+    }
+
+    /// Records the first truncation reason; later trips never overwrite it.
+    fn trip(&mut self, reason: TruncationReason) {
+        if self.truncation.is_none() {
+            self.truncation = Some(reason);
+        }
+    }
+
+    /// Estimate of the builder's pool footprint in bytes — capacities of
+    /// the major flat arrays, O(1) to compute. This is what the memory
+    /// budget is accounted against.
+    fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let u32s = self.seg_of.capacity()
+            + self.inst_src_rule.capacity()
+            + self.inst_guard.capacity()
+            + self.inst_head.capacity()
+            + self.pos_off.capacity()
+            + self.pos_seg.capacity()
+            + self.neg_off.capacity()
+            + self.neg_atoms.capacity()
+            + self.pend_pos.capacity()
+            + self.pend_neg.capacity()
+            + self.watch_head.capacity()
+            + self.watch_tail.capacity()
+            + self.watch_next.capacity()
+            + self.watch_pend.capacity()
+            + self.body_head.capacity()
+            + self.body_tail.capacity()
+            + self.body_next.capacity()
+            + self.body_inst.capacity();
+        self.atoms.capacity() * size_of::<SegmentAtom>()
+            + self.pending.capacity() * size_of::<Pending>()
+            + u32s * size_of::<u32>()
+            + self.expanded.capacity()
     }
 
     /// Drains the expand queue through the expansion gates into
@@ -1234,7 +1440,8 @@ impl<'a> Builder<'a> {
                 watch_tail: self.watch_tail,
                 watch_next: self.watch_next,
                 watch_pend: self.watch_pend,
-                caps_hit: self.caps_hit,
+                expand_queue: self.expand_queue.into_iter().collect(),
+                truncation: self.truncation,
             },
         }
     }
@@ -1388,14 +1595,14 @@ impl<'a> Builder<'a> {
     /// can recurse into nested fires.
     fn fire(&mut self, src_rule: u32, guard: u32, head: AtomId) {
         if self.inst_src_rule.len() >= self.budget.max_instances {
-            self.caps_hit = true;
+            self.trip(TruncationReason::InstanceCap);
             return;
         }
         let head_seg = self.lookup_seg(head);
         if head_seg.is_none() && self.atoms.len() >= self.budget.max_atoms {
             // The head would exceed the atom cap; drop the instance whole
             // so every recorded instance's head is a segment atom.
-            self.caps_hit = true;
+            self.trip(TruncationReason::AtomCap);
             return;
         }
 
@@ -1738,6 +1945,11 @@ mod tests {
         let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(3));
         let s = seg.stats();
         assert_eq!(s.threads, 1);
+        assert_eq!(s.effective_threads, 1);
+        assert_eq!(
+            s.small_frontier_serial_rounds, 0,
+            "a serial budget is not a fallback"
+        );
         assert!(s.rounds > 0);
         assert_eq!(s.parallel_rounds, 0, "serial build never shards");
         assert_eq!(s.shards, s.rounds, "one shard per serial round");
@@ -1821,7 +2033,9 @@ mod tests {
         let rcd = u.atom(r, vec![c, c, d]).unwrap();
         let pcc = u.atom(p, vec![c, c]).unwrap();
 
-        let resumed = base.resume_with(&mut u, &prog, &[rcd, pcc]);
+        let resumed = base
+            .resume_with(&mut u, &prog, &[rcd, pcc])
+            .expect("resumable");
 
         let mut union_db = db.clone();
         union_db.insert(&u, rcd).unwrap();
@@ -1870,7 +2084,7 @@ mod tests {
         assert_eq!(base.meta(qc).unwrap().depth, 1);
         assert_eq!(base.meta(rc).unwrap().depth, 2);
 
-        let resumed = base.resume_with(&mut u, &sk, &[qc]);
+        let resumed = base.resume_with(&mut u, &sk, &[qc]).expect("resumable");
         assert_eq!(resumed.meta(qc).unwrap().depth, 0);
         assert_eq!(resumed.meta(qc).unwrap().level, 0);
         assert_eq!(resumed.meta(rc).unwrap().depth, 1);
@@ -1911,7 +2125,7 @@ mod tests {
         assert_eq!(base.pending_at_end, 1);
         assert!(!base.contains(donec));
 
-        let resumed = base.resume_with(&mut u, &sk, &[rc]);
+        let resumed = base.resume_with(&mut u, &sk, &[rc]).expect("resumable");
         assert!(resumed.contains(donec), "parked instance fired on resume");
         assert_eq!(resumed.pending_at_end, 0);
         assert!(resumed.complete);
@@ -1957,7 +2171,7 @@ mod tests {
         assert!(!base.complete, "q(c) is gated at depth 1");
         assert!(!base.contains(rc));
 
-        let resumed = base.resume_with(&mut u, &sk, &[qc]);
+        let resumed = base.resume_with(&mut u, &sk, &[qc]).expect("resumable");
         assert!(resumed.contains(rc));
         assert!(resumed.complete, "no atom is gated after the relaxation");
         let mut union_db = db.clone();
@@ -1980,7 +2194,9 @@ mod tests {
         let d = u.constant("d9");
         let rcd = u.atom(r, vec![c, c, d]).unwrap();
         let pcc = u.atom(p, vec![c, c]).unwrap();
-        let resumed = base.resume_with(&mut u, &prog, &[rcd, pcc]);
+        let resumed = base
+            .resume_with(&mut u, &prog, &[rcd, pcc])
+            .expect("resumable");
 
         let scratch = resumed.to_ground_program();
         let extended = resumed.to_ground_program_from(&base_ground);
@@ -2020,6 +2236,108 @@ mod tests {
             ChaseBudget::depth(64).with_max_atoms(10),
         );
         assert!(!seg.can_resume());
+        assert_eq!(seg.truncation(), Some(TruncationReason::AtomCap));
+        let err = seg
+            .resume_with(&mut u, &prog, &[])
+            .expect_err("cap-truncated segments must refuse resume");
+        assert_eq!(err.reason, TruncationReason::AtomCap);
+    }
+
+    #[test]
+    fn depth_truncation_reports_depth_cap() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(3));
+        assert!(!seg.complete);
+        assert_eq!(seg.truncation(), Some(TruncationReason::DepthCap));
+        assert!(seg.can_resume(), "depth truncation stays resumable");
+    }
+
+    #[test]
+    fn expired_deadline_trips_before_first_round() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let solve = SolveBudget::unlimited()
+            .with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let seg = ChaseSegment::build_budgeted(&mut u, &db, &prog, ChaseBudget::depth(4), &solve);
+        assert!(!seg.complete);
+        assert_eq!(seg.truncation(), Some(TruncationReason::Deadline));
+        assert_eq!(seg.stats().rounds, 0, "tripped before any round ran");
+        // Facts are registered even when the deadline trips immediately.
+        assert_eq!(seg.num_facts(), db.facts().len());
+        assert!(seg.can_resume(), "deadline trips stop at a clean boundary");
+    }
+
+    #[test]
+    fn budget_trip_resume_reaches_exactly_the_uninterrupted_segment() {
+        use wfdl_core::budget::{FaultKind, FaultPlan};
+        // Uninterrupted reference.
+        let reference = {
+            let mut u = Universe::new();
+            let (db, prog) = example4(&mut u);
+            let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(4));
+            ordered_digest(&u, &seg)
+        };
+        for round in [0u64, 1, 2] {
+            for kind in [
+                FaultKind::TripDeadline,
+                FaultKind::TripMem,
+                FaultKind::TripCancel,
+            ] {
+                let mut u = Universe::new();
+                let (db, prog) = example4(&mut u);
+                let solve = SolveBudget::unlimited().with_fault(FaultPlan {
+                    site: FaultSite::ChaseRound(round),
+                    kind,
+                });
+                let seg =
+                    ChaseSegment::build_budgeted(&mut u, &db, &prog, ChaseBudget::depth(4), &solve);
+                assert!(!seg.complete, "round {round} {kind:?}");
+                assert!(seg.truncation().unwrap().is_budget_trip());
+                assert!(seg.can_resume());
+                // Resuming with an empty delta continues exactly where the
+                // tripped run stopped — bit-identical to never tripping.
+                let resumed = seg.resume_with(&mut u, &prog, &[]).expect("resumable");
+                assert_eq!(
+                    ordered_digest(&u, &resumed),
+                    reference,
+                    "resume after {kind:?} at round {round} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_phase_trip_keeps_round_coherent() {
+        use wfdl_core::budget::{FaultKind, FaultPlan};
+        let reference = {
+            let mut u = Universe::new();
+            let (db, prog) = example4(&mut u);
+            let seg = ChaseSegment::build(&mut u, &db, &prog, ChaseBudget::depth(4));
+            ordered_digest(&u, &seg)
+        };
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let solve = SolveBudget::unlimited().with_fault(FaultPlan {
+            site: FaultSite::ChaseMerge(1),
+            kind: FaultKind::TripDeadline,
+        });
+        let seg = ChaseSegment::build_budgeted(&mut u, &db, &prog, ChaseBudget::depth(4), &solve);
+        assert!(!seg.complete);
+        assert_eq!(seg.stats().rounds, 1, "stopped right after round 1's merge");
+        let resumed = seg.resume_with(&mut u, &prog, &[]).expect("resumable");
+        assert_eq!(ordered_digest(&u, &resumed), reference);
+    }
+
+    #[test]
+    fn mem_budget_trips_on_tiny_limit() {
+        let mut u = Universe::new();
+        let (db, prog) = example4(&mut u);
+        let solve = SolveBudget::unlimited().with_mem_limit(1);
+        let seg = ChaseSegment::build_budgeted(&mut u, &db, &prog, ChaseBudget::depth(4), &solve);
+        assert!(!seg.complete);
+        assert_eq!(seg.truncation(), Some(TruncationReason::MemBudget));
+        assert!(seg.can_resume());
     }
 
     #[test]

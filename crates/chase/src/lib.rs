@@ -22,7 +22,7 @@ pub mod instance;
 pub mod paper;
 
 pub use budget::ChaseBudget;
-pub use condensed::{ChaseSegment, ChaseStats, SegmentAtom};
+pub use condensed::{ChaseSegment, ChaseStats, ResumeError, SegmentAtom};
 pub use delta::{paper_delta, query_depth_bound};
 pub use explicit::{ExplicitForest, ForestNode};
 pub use instance::{InstanceId, RuleInstance, SegAtomId};

@@ -23,6 +23,7 @@
 
 pub mod atom;
 pub mod bitset;
+pub mod budget;
 pub mod error;
 pub mod factbatch;
 pub mod fxhash;
@@ -41,6 +42,7 @@ pub mod universe;
 
 pub use atom::{AtomId, AtomNode, AtomStore};
 pub use bitset::BitSet;
+pub use budget::{CancelToken, SolveBudget, SolveOutcome, TruncationReason};
 pub use error::{CoreError, Result};
 pub use factbatch::{FactBatch, RelationWriter};
 pub use fxhash::{FxHashMap, FxHashSet};

@@ -164,6 +164,7 @@ impl<'a> ForwardEngine<'a> {
             stages: stage,
             stats: None,
             memo: None,
+            truncation: None,
         }
     }
 

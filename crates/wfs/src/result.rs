@@ -1,7 +1,7 @@
 //! Common output type of the fixpoint engines.
 
 use crate::scc::{ModularMemo, ModularStats};
-use wfdl_core::{AtomId, BitSet, Interp, Truth};
+use wfdl_core::{AtomId, BitSet, Interp, TruncationReason, Truth};
 use wfdl_storage::GroundProgram;
 
 /// Per-atom decision stages as a flat array indexed by [`AtomId`]
@@ -68,6 +68,14 @@ pub struct EngineResult {
     /// SCC-modular engine), the basis for verdict reuse on the next
     /// incremental solve.
     pub memo: Option<ModularMemo>,
+    /// `Some` iff the evaluation was stopped early by a [`SolveBudget`]
+    /// trip. The model is then a sound under-approximation: every decided
+    /// atom carries its final well-founded value (components run in
+    /// dependencies-first order), every unevaluated atom reads `Unknown`,
+    /// and `memo` is `None` so the partial sweep cannot seed verdict reuse.
+    ///
+    /// [`SolveBudget`]: wfdl_core::SolveBudget
+    pub truncation: Option<TruncationReason>,
 }
 
 impl EngineResult {
@@ -96,6 +104,7 @@ impl EngineResult {
             stages,
             stats: None,
             memo: None,
+            truncation: None,
         }
     }
 

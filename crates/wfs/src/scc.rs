@@ -53,8 +53,9 @@ use crate::result::EngineResult;
 use crate::wp::{StepMode, WpEngine};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use wfdl_core::budget::FaultSite;
 use wfdl_core::fxhash::mix64 as mix;
-use wfdl_core::{BitSet, Interp, Truth};
+use wfdl_core::{BitSet, Interp, SolveBudget, TruncationReason, Truth};
 use wfdl_storage::{GroundProgram, GroundRule};
 
 /// Below this much total work (`num_atoms + num_rules`), the automatic
@@ -226,11 +227,16 @@ struct EvalCtx<'a> {
     truth: &'a TruthSlots,
     fingerprints: &'a [AtomicU64],
     prev: Option<PrevSolve<'a>>,
-    /// Test-only fault injection: evaluating this component panics, so
-    /// scheduler tests can prove a panic inside a chunk propagates out of
-    /// `solve` instead of deadlocking the other workers.
-    #[cfg(test)]
-    panic_component: Option<u32>,
+    /// Resource budget of the run. Component-ordinal fault-injection sites
+    /// ([`FaultSite::WfsComponent`]) fire here, so scheduler tests can prove
+    /// a panic inside a chunk propagates out of `solve` instead of
+    /// deadlocking the other workers, and budget trips stop the sweep at a
+    /// component boundary.
+    budget: &'a SolveBudget,
+    /// Fixed estimate of the run's working-set bytes (truth slots,
+    /// fingerprints, condensation arrays), charged against
+    /// [`SolveBudget::mem_limit`].
+    mem_estimate: usize,
 }
 
 /// What one component's evaluation contributed, merged into
@@ -247,8 +253,9 @@ pub struct ModularEngine<'a> {
     /// users), `0` = auto, `n` = exactly `n` workers (capped at the
     /// component count).
     threads: usize,
-    #[cfg(test)]
-    panic_component: Option<u32>,
+    /// Deadline / cancellation / memory budget, checked at component
+    /// boundaries (serial path) and chunk boundaries (parallel path).
+    budget: SolveBudget,
 }
 
 impl<'a> ModularEngine<'a> {
@@ -257,16 +264,18 @@ impl<'a> ModularEngine<'a> {
         ModularEngine {
             prog,
             threads: 1,
-            #[cfg(test)]
-            panic_component: None,
+            budget: SolveBudget::unlimited(),
         }
     }
 
-    /// Makes evaluation of component `ord` panic, to exercise the
-    /// scheduler's unwind path.
-    #[cfg(test)]
-    fn with_panic_component(mut self, ord: u32) -> Self {
-        self.panic_component = Some(ord);
+    /// Attaches a resource budget. On a trip the sweep stops at a component
+    /// (serial) or chunk (parallel) boundary: verdicts already published
+    /// stay, every unevaluated atom reads [`Truth::Unknown`], and
+    /// [`EngineResult::truncation`] records the reason. A truncated result
+    /// carries no memo — its partial verdicts must never seed an
+    /// incremental reuse.
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -352,6 +361,14 @@ impl<'a> ModularEngine<'a> {
         }
         let fingerprints: Vec<AtomicU64> = (0..num_components).map(|_| AtomicU64::new(0)).collect();
 
+        // Working-set estimate for the memory budget: one verdict byte per
+        // atom, one fingerprint word per component, and the condensation's
+        // three u32 arrays. Fixed for the whole run, so it is computed once.
+        let mem_estimate = n
+            + num_components * std::mem::size_of::<u64>()
+            + (cond.comp_of.len() + cond.comp_atoms.len() + cond.comp_off.len())
+                * std::mem::size_of::<u32>();
+
         let ctx = EvalCtx {
             prog,
             cond: &cond,
@@ -359,8 +376,8 @@ impl<'a> ModularEngine<'a> {
             truth: &truth,
             fingerprints: &fingerprints,
             prev,
-            #[cfg(test)]
-            panic_component: self.panic_component,
+            budget: &self.budget,
+            mem_estimate,
         };
 
         let threads = self.resolve_threads(num_components);
@@ -371,16 +388,26 @@ impl<'a> ModularEngine<'a> {
             ..Default::default()
         };
 
+        let mut truncation: Option<TruncationReason> = None;
         if threads == 1 {
             // Serial path: emission order visits dependencies first, so a
-            // plain sweep needs no scheduling state at all.
+            // plain sweep needs no scheduling state at all. An unbudgeted
+            // run pays one branch per component; a budgeted one polls the
+            // clock every `BUDGET_POLL_STRIDE` components.
             let mut scratch = Scratch::new(prog.num_rules());
+            let budgeted = !self.budget.is_unlimited();
             for ord in 0..num_components as u32 {
+                if budgeted {
+                    if let Some(r) = trip_at_component(&ctx, ord) {
+                        truncation = Some(r);
+                        break;
+                    }
+                }
                 let out = process_component(&ctx, ord, &mut scratch);
                 merge_outcome(&mut stats, &out, cond.component(ord as usize).len());
             }
         } else {
-            solve_parallel(&ctx, threads, &mut stats);
+            truncation = solve_parallel(&ctx, threads, &mut stats);
         }
 
         // Assemble the EngineResult over original atom ids. The decision
@@ -404,20 +431,48 @@ impl<'a> ModularEngine<'a> {
                 Truth::Unknown => stats.unknown_atoms += 1,
             }
         }
-        EngineResult {
-            interp,
-            decided_stage,
-            stages: num_components as u32,
-            stats: Some(stats),
-            memo: Some(ModularMemo {
+        // A truncated run publishes no memo: its fingerprints describe only
+        // the components that actually ran, and letting a later incremental
+        // solve copy verdicts from a partial sweep would be unsound.
+        let memo = if truncation.is_some() {
+            None
+        } else {
+            Some(ModularMemo {
                 condensation: cond,
                 fingerprints: fingerprints
                     .into_iter()
                     .map(AtomicU64::into_inner)
                     .collect(),
-            }),
+            })
+        };
+        EngineResult {
+            interp,
+            decided_stage,
+            stages: num_components as u32,
+            stats: Some(stats),
+            memo,
+            truncation,
         }
     }
+}
+
+/// How often the serial sweep polls the wall clock and memory budget, in
+/// components. Fault sites still fire on every ordinal — injection points
+/// must be exact — but `Instant::now` per singleton component would cost
+/// more than evaluating the component.
+const BUDGET_POLL_STRIDE: u32 = 64;
+
+/// Serial-path budget check at the boundary before component `ord`:
+/// fault-injection sites fire first (every ordinal), then the real budget
+/// is polled every [`BUDGET_POLL_STRIDE`] components.
+fn trip_at_component(ctx: &EvalCtx<'_>, ord: u32) -> Option<TruncationReason> {
+    if let Some(r) = ctx.budget.fire_fault(FaultSite::WfsComponent(ord)) {
+        return Some(r);
+    }
+    if ord % BUDGET_POLL_STRIDE == 0 {
+        return ctx.budget.check(ctx.mem_estimate);
+    }
+    None
 }
 
 fn merge_outcome(stats: &mut ModularStats, out: &CompOutcome, comp_len: usize) {
@@ -438,10 +493,6 @@ fn merge_outcome(stats: &mut ModularStats, out: &CompOutcome, comp_len: usize) {
 /// the component's slot. Free of `&mut` engine state — safe to call from
 /// any worker as long as the scheduler ordered it after its dependencies.
 fn process_component(ctx: &EvalCtx<'_>, ord: u32, scratch: &mut Scratch) -> CompOutcome {
-    #[cfg(test)]
-    if ctx.panic_component == Some(ord) {
-        panic!("injected panic while evaluating component {ord}");
-    }
     let prog = ctx.prog;
     let comp_of = &ctx.cond.comp_of;
     let comp = ctx.cond.component(ord as usize);
@@ -1060,9 +1111,33 @@ struct Scheduler<'a> {
     /// Set by [`AbortOnPanic`] when a worker unwinds: tells everyone
     /// else to stop waiting for chunks that will never complete.
     aborted: AtomicBool,
+    /// First budget trip observed by any worker, encoded as
+    /// `TruncationReason as u32 + 1` (`0` = none). A tripped chunk's
+    /// out-edges are never released, so dependents of unevaluated
+    /// components stay unevaluated — every verdict that *was* published is
+    /// exactly the complete run's value.
+    tripped: AtomicU32,
 }
 
 impl Scheduler<'_> {
+    /// Records the first budget trip and wakes every idle worker so the
+    /// scope can join. Later trips lose the race and are dropped — the
+    /// first reason is the one reported, matching the serial sweep.
+    fn trip(&self, reason: TruncationReason) {
+        if self
+            .tripped
+            .compare_exchange(0, reason as u32 + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let _q = self.queue.lock();
+            self.ready.notify_all();
+        }
+    }
+
+    /// The first recorded trip, if any.
+    fn trip_reason(&self) -> Option<TruncationReason> {
+        TruncationReason::from_index(self.tripped.load(Ordering::Acquire))
+    }
     /// Shares a batch of ready chunks with the other workers — one
     /// lock acquisition regardless of batch size.
     fn push_batch(&self, items: &[u32]) {
@@ -1093,7 +1168,10 @@ impl Scheduler<'_> {
                 backlog.extend(q.drain(at..));
                 return Some(ord);
             }
-            if self.remaining.load(Ordering::Acquire) == 0 || self.aborted.load(Ordering::Acquire) {
+            if self.remaining.load(Ordering::Acquire) == 0
+                || self.aborted.load(Ordering::Acquire)
+                || self.tripped.load(Ordering::Acquire) != 0
+            {
                 return None;
             }
             q = self.ready.wait(q).unwrap();
@@ -1139,7 +1217,11 @@ struct PartialStats {
 /// edge is released by `fetch_sub(AcqRel)` on the dependent's counter
 /// (and queue handoffs add a mutex in between), and a chunk edge exists
 /// wherever a component edge crosses chunks.
-fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
+fn solve_parallel(
+    ctx: &EvalCtx<'_>,
+    threads: usize,
+    stats: &mut ModularStats,
+) -> Option<TruncationReason> {
     let graph = comp_graph(ctx.prog, ctx.cond);
     let plan = plan_chunks(ctx.prog, ctx.cond, &graph, threads);
     let nchunks = plan.num_chunks();
@@ -1151,7 +1233,9 @@ fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
         indegree: plan.indegree.iter().map(|&d| AtomicU32::new(d)).collect(),
         queued: AtomicUsize::new(0),
         aborted: AtomicBool::new(false),
+        tripped: AtomicU32::new(0),
     };
+    let budgeted = !ctx.budget.is_unlimited();
     // Seed the wavefront roots in one batch.
     let roots: Vec<u32> = (0..nchunks as u32)
         .filter(|&k| plan.indegree[k as usize] == 0)
@@ -1160,67 +1244,111 @@ fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
 
     let totals: Mutex<PartialStats> = Mutex::new(PartialStats::default());
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                let _abort_guard = AbortOnPanic(&sched);
-                let mut scratch = Scratch::new(ctx.prog.num_rules());
-                let mut local = PartialStats::default();
-                // Chunks this worker may run without touching the shared
-                // queue: one chained dependent per finished chunk plus
-                // the fair share `pop_batch` handed over.
-                let mut backlog: Vec<u32> = Vec::new();
-                let mut share: Vec<u32> = Vec::new();
-                loop {
-                    let k = match backlog.pop() {
-                        Some(k) => k,
-                        None => match sched.pop_batch(threads, &mut backlog) {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let _abort_guard = AbortOnPanic(&sched);
+                    let mut scratch = Scratch::new(ctx.prog.num_rules());
+                    let mut local = PartialStats::default();
+                    // Chunks this worker may run without touching the shared
+                    // queue: one chained dependent per finished chunk plus
+                    // the fair share `pop_batch` handed over.
+                    let mut backlog: Vec<u32> = Vec::new();
+                    let mut share: Vec<u32> = Vec::new();
+                    loop {
+                        let k = match backlog.pop() {
                             Some(k) => k,
-                            None => break,
-                        },
-                    };
-                    for &ord in sched.plan.chunk(k) {
-                        let out = process_component(ctx, ord, &mut scratch);
-                        if out.reused {
-                            local.reused += 1;
-                        }
-                        if out.definite {
-                            local.definite += 1;
-                        } else {
-                            local.recursive += 1;
-                            local.atoms_in_recursive += ctx.cond.component(ord as usize).len();
-                        }
-                    }
-                    // Publish: release this chunk's out-edges. The first
-                    // dependent that becomes ready is chained inline; the
-                    // rest go to the shared queue in one batch.
-                    share.clear();
-                    let mut chained = false;
-                    for &succ in sched.plan.successors(k) {
-                        if sched.indegree[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            if chained {
-                                share.push(succ);
-                            } else {
-                                chained = true;
-                                backlog.push(succ);
-                                local.inline_run += 1;
+                            None => match sched.pop_batch(threads, &mut backlog) {
+                                Some(k) => k,
+                                None => break,
+                            },
+                        };
+                        // Chunk-boundary trip point. A chunk claimed after a
+                        // trip is abandoned unevaluated, and a chunk whose own
+                        // check trips never releases its out-edges — so no
+                        // component ever runs with an unevaluated dependency,
+                        // and every published verdict is final.
+                        if budgeted {
+                            if sched.tripped.load(Ordering::Acquire) != 0 {
+                                break;
+                            }
+                            if let Some(r) = ctx.budget.check(ctx.mem_estimate) {
+                                sched.trip(r);
+                                break;
                             }
                         }
+                        let mut completed = true;
+                        for &ord in sched.plan.chunk(k) {
+                            // Per-ordinal fault site: exact injection points for
+                            // the robustness harness (panic faults unwind through
+                            // `AbortOnPanic`; trip faults stop this chunk before
+                            // its edges are released).
+                            if budgeted {
+                                if let Some(r) = ctx.budget.fire_fault(FaultSite::WfsComponent(ord))
+                                {
+                                    sched.trip(r);
+                                    completed = false;
+                                    break;
+                                }
+                            }
+                            let out = process_component(ctx, ord, &mut scratch);
+                            if out.reused {
+                                local.reused += 1;
+                            }
+                            if out.definite {
+                                local.definite += 1;
+                            } else {
+                                local.recursive += 1;
+                                local.atoms_in_recursive += ctx.cond.component(ord as usize).len();
+                            }
+                        }
+                        if !completed {
+                            break;
+                        }
+                        // Publish: release this chunk's out-edges. The first
+                        // dependent that becomes ready is chained inline; the
+                        // rest go to the shared queue in one batch.
+                        share.clear();
+                        let mut chained = false;
+                        for &succ in sched.plan.successors(k) {
+                            if sched.indegree[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                if chained {
+                                    share.push(succ);
+                                } else {
+                                    chained = true;
+                                    backlog.push(succ);
+                                    local.inline_run += 1;
+                                }
+                            }
+                        }
+                        sched.push_batch(&share);
+                        if sched.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // Last chunk: wake every idle worker so the scope
+                            // can join.
+                            let _q = sched.queue.lock().unwrap();
+                            sched.ready.notify_all();
+                        }
                     }
-                    sched.push_batch(&share);
-                    if sched.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        // Last chunk: wake every idle worker so the scope
-                        // can join.
-                        let _q = sched.queue.lock().unwrap();
-                        sched.ready.notify_all();
-                    }
-                }
-                let mut t = totals.lock().unwrap();
-                t.definite += local.definite;
-                t.recursive += local.recursive;
-                t.atoms_in_recursive += local.atoms_in_recursive;
-                t.reused += local.reused;
-                t.inline_run += local.inline_run;
-            });
+                    let mut t = totals.lock().unwrap();
+                    t.definite += local.definite;
+                    t.recursive += local.recursive;
+                    t.atoms_in_recursive += local.atoms_in_recursive;
+                    t.reused += local.reused;
+                    t.inline_run += local.inline_run;
+                })
+            })
+            .collect();
+        // Join explicitly and rethrow the first worker's own payload —
+        // the scope's generic "a scoped thread panicked" would lose the
+        // original message before `catch_unwind` at the engine boundary.
+        let mut first_panic = None;
+        for w in workers {
+            if let Err(payload) = w.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
 
@@ -1234,6 +1362,7 @@ fn solve_parallel(ctx: &EvalCtx<'_>, threads: usize, stats: &mut ModularStats) {
     stats.queued_chunks = sched.queued.load(Ordering::Relaxed);
     stats.wavefronts = graph.levels;
     stats.max_wavefront = graph.max_width;
+    sched.trip_reason()
 }
 
 /// Tarjan's strongly-connected-components algorithm (iterative) over the
@@ -1779,14 +1908,84 @@ mod tests {
         }
         let p = b.finish();
         let victim = condensation(&p).num_components() as u32 / 2;
+        let plan = wfdl_core::budget::FaultPlan {
+            site: FaultSite::WfsComponent(victim),
+            kind: wfdl_core::budget::FaultKind::Panic,
+        };
         for threads in [1usize, 2, 4, 8] {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 ModularEngine::new(&p)
                     .with_threads(threads)
-                    .with_panic_component(victim)
+                    .with_budget(SolveBudget::unlimited().with_fault(plan))
                     .solve()
             }));
             assert!(outcome.is_err(), "panic swallowed at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn budget_trip_truncates_to_a_sound_under_approximation() {
+        // A trip fault at a mid-sweep component stops evaluation at a
+        // component/chunk boundary: the result reports the reason, carries
+        // no memo, and every decided atom agrees with the complete model
+        // (nothing flips — undecided atoms only degrade to Unknown).
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        for i in 1..64 {
+            b.add_rule(GroundRule::new(a(i), vec![a(0)], vec![]));
+            b.add_rule(GroundRule::new(a(64 + i), vec![a(i)], vec![]));
+        }
+        let p = b.finish();
+        let full = ModularEngine::new(&p).solve();
+        assert_eq!(full.truncation, None);
+        assert!(full.memo.is_some());
+        let victim = condensation(&p).num_components() as u32 / 2;
+        let plan = wfdl_core::budget::FaultPlan {
+            site: FaultSite::WfsComponent(victim),
+            kind: wfdl_core::budget::FaultKind::TripCancel,
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let res = ModularEngine::new(&p)
+                .with_threads(threads)
+                .with_budget(SolveBudget::unlimited().with_fault(plan))
+                .solve();
+            assert_eq!(
+                res.truncation,
+                Some(TruncationReason::Cancelled),
+                "at {threads} threads"
+            );
+            assert!(res.memo.is_none(), "truncated result must drop its memo");
+            let mut undecided = 0usize;
+            for &atom in p.atoms() {
+                match res.value(atom) {
+                    Truth::Unknown => {
+                        undecided += 1;
+                        // Sound under-approximation: only degrades.
+                    }
+                    v => assert_eq!(v, full.value(atom), "decided atom flipped"),
+                }
+            }
+            assert!(
+                undecided > 0,
+                "trip at {victim} should leave atoms undecided"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_budget_yields_fully_unknown_model() {
+        let mut b = GroundProgramBuilder::new();
+        b.add_fact(a(0));
+        b.add_rule(GroundRule::new(a(1), vec![a(0)], vec![]));
+        let p = b.finish();
+        let token = wfdl_core::CancelToken::new();
+        token.cancel();
+        let res = ModularEngine::new(&p)
+            .with_budget(SolveBudget::unlimited().with_cancel(token))
+            .solve();
+        assert_eq!(res.truncation, Some(TruncationReason::Cancelled));
+        for &atom in p.atoms() {
+            assert_eq!(res.value(atom), Truth::Unknown);
         }
     }
 

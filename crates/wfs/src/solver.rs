@@ -6,9 +6,10 @@ use crate::forward::ForwardEngine;
 use crate::result::EngineResult;
 use crate::scc::{ModularEngine, ModularStats};
 use crate::wp::{StepMode, WpEngine};
-use wfdl_chase::{ChaseBudget, ChaseSegment};
+use wfdl_chase::{ChaseBudget, ChaseSegment, ResumeError};
 use wfdl_core::{
-    AtomId, CoreError, PredId, Program, RuleAtom, SkolemProgram, Tgd, Truth, Universe,
+    AtomId, CoreError, Interp, PredId, Program, RuleAtom, SkolemProgram, SolveBudget, SolveOutcome,
+    Tgd, TruncationReason, Truth, Universe,
 };
 use wfdl_storage::{Database, GroundProgram};
 
@@ -96,13 +97,36 @@ pub struct WellFoundedModel {
     pub exact: bool,
     /// The engine that produced the result.
     pub engine: EngineKind,
+    /// `Complete` iff both the chase and the engine ran to their natural
+    /// fixpoints; otherwise the first truncation on the pipeline (chase
+    /// before engine). Note the depth budget counts as a truncation here
+    /// (`DepthCap`) even though the depth-bounded model is the paper's
+    /// sanctioned approximation — `exact` is the flag for that distinction.
+    pub outcome: SolveOutcome,
 }
 
 impl WellFoundedModel {
+    /// True iff the *chase* was stopped by a runtime budget trip
+    /// (deadline / cancellation / memory), in which case atom absence
+    /// proves nothing and the model degrades to the sound positive-closure
+    /// under-approximation.
+    fn chase_budget_tripped(&self) -> bool {
+        self.segment
+            .truncation()
+            .is_some_and(TruncationReason::is_budget_trip)
+    }
+
     /// Truth value of a ground atom under `WFS(D, Σ)`.
+    ///
+    /// Atoms outside the segment are **false** (no forward proof within the
+    /// materialized part of `F⁺(P)`, exact or depth-justified) — unless the
+    /// chase was stopped by a budget trip, where an unmaterialized atom
+    /// might simply not have been reached yet and reads `Unknown`.
     pub fn value(&self, atom: AtomId) -> Truth {
         if self.segment.contains(atom) {
             self.result.value(atom)
+        } else if self.chase_budget_tripped() {
+            Truth::Unknown
         } else {
             Truth::False
         }
@@ -222,12 +246,26 @@ pub fn solve(
     program: &SkolemProgram,
     options: WfsOptions,
 ) -> WellFoundedModel {
+    solve_budgeted(universe, db, program, options, &SolveBudget::unlimited())
+}
+
+/// [`solve`] under a [`SolveBudget`]: the chase checks the budget at round
+/// boundaries and the modular engine at component/chunk boundaries. On a
+/// trip the returned model reports a truncated [`WellFoundedModel::outcome`]
+/// and degrades soundly (see [`WellFoundedModel::value`]).
+pub fn solve_budgeted(
+    universe: &mut Universe,
+    db: &Database,
+    program: &SkolemProgram,
+    options: WfsOptions,
+    solve_budget: &SolveBudget,
+) -> WellFoundedModel {
     // The thread knob rides into the chase on the budget; saturation is
     // bit-identical for every value, so options equality (and therefore
     // the façade's cache/resume decisions) stays on the user's fields.
     let budget = options.budget.with_threads(options.threads);
-    let segment = ChaseSegment::build(universe, db, program, budget);
-    finish_model(segment, options, None)
+    let segment = ChaseSegment::build_budgeted(universe, db, program, budget, solve_budget);
+    finish_model(segment, options, None, solve_budget)
 }
 
 /// Computes `WFS(D ∪ Δ, Σf)` by **resuming** a previous model's chase
@@ -237,29 +275,70 @@ pub fn solve(
 ///
 /// Preconditions (the façade's `KnowledgeBase` enforces them): `prev` was
 /// solved over the same universe with the same `program` and the same
-/// options, the delta is insert-only (`new_facts` are ground, null-free
-/// and were not database facts before), and
-/// `prev.segment.can_resume()` holds.
+/// options, and the delta is insert-only (`new_facts` are ground, null-free
+/// and were not database facts before).
+///
+/// # Errors
+///
+/// Returns [`ResumeError`] when `prev`'s segment refuses to resume
+/// (cap-truncated: continuation would not equal a from-scratch chase).
+/// Callers fall back to a full re-chase.
 pub fn solve_resumed(
     universe: &mut Universe,
     prev: &WellFoundedModel,
     program: &SkolemProgram,
     new_facts: &[wfdl_core::AtomId],
     options: WfsOptions,
-) -> (WellFoundedModel, SolveStats) {
-    let segment = prev.segment.resume_with(universe, program, new_facts);
-    let model = finish_model(segment, options, Some(prev));
+) -> Result<(WellFoundedModel, SolveStats), ResumeError> {
+    solve_resumed_budgeted(
+        universe,
+        prev,
+        program,
+        new_facts,
+        options,
+        &SolveBudget::unlimited(),
+    )
+}
+
+/// [`solve_resumed`] under a [`SolveBudget`].
+///
+/// # Errors
+///
+/// Returns [`ResumeError`] when `prev`'s segment refuses to resume.
+pub fn solve_resumed_budgeted(
+    universe: &mut Universe,
+    prev: &WellFoundedModel,
+    program: &SkolemProgram,
+    new_facts: &[wfdl_core::AtomId],
+    options: WfsOptions,
+    solve_budget: &SolveBudget,
+) -> Result<(WellFoundedModel, SolveStats), ResumeError> {
+    let segment = prev
+        .segment
+        .resume_budgeted(universe, program, new_facts, solve_budget)?;
+    let model = finish_model(segment, options, Some(prev), solve_budget);
     let stats = stats_of(&model, true);
-    (model, stats)
+    Ok((model, stats))
 }
 
 /// Shared tail of [`solve`] and [`solve_resumed`]: ground the segment and
 /// run the selected engine (with verdict reuse when a previous modular
 /// solve is available).
+///
+/// A chase stopped by a *budget trip* never sees the full engine: over an
+/// arbitrarily interrupted segment, "no deriving instance" proves nothing
+/// (the missing derivations may simply not have been chased yet), so the
+/// well-founded negation-as-failure step would be unsound in both
+/// directions. The model degrades to the **positive closure** — atoms
+/// derivable through negation-free instances from the facts, which are true
+/// in *every* completion of the chase — and everything else reads
+/// `Unknown`. Depth/cap truncations keep the historical depth-approximation
+/// semantics (full engine run, `exact == false`).
 fn finish_model(
     segment: ChaseSegment,
     options: WfsOptions,
     prev: Option<&WellFoundedModel>,
+    solve_budget: &SolveBudget,
 ) -> WellFoundedModel {
     // Resumed solves ground incrementally: the previous program is
     // extended with the delta's atoms/facts/instances instead of
@@ -268,22 +347,125 @@ fn finish_model(
         Some(p) => segment.to_ground_program_from(&p.ground),
         None => segment.to_ground_program(),
     };
-    let result = match options.engine {
-        EngineKind::Modular => ModularEngine::new(&ground)
-            .with_threads(options.threads)
-            .solve_incremental(prev.map(|p| (&p.ground, &p.result))),
-        EngineKind::Wp => WpEngine::new(&ground).solve(StepMode::Accelerated),
-        EngineKind::WpLiteral => WpEngine::new(&ground).solve(StepMode::Literal),
-        EngineKind::Alternating => AlternatingEngine::new(&ground).solve(),
-        EngineKind::Forward => ForwardEngine::new(&segment).solve(),
+    let chase_trunc = segment.truncation();
+    let result = if chase_trunc.is_some_and(TruncationReason::is_budget_trip) {
+        positive_closure_result(&ground)
+    } else {
+        match options.engine {
+            EngineKind::Modular => ModularEngine::new(&ground)
+                .with_threads(options.threads)
+                .with_budget(solve_budget.clone())
+                .solve_incremental(prev.map(|p| (&p.ground, &p.result))),
+            // The global engines have no internal trip points: under a
+            // budget they either start (and run to completion) or refuse at
+            // the door.
+            EngineKind::Wp | EngineKind::WpLiteral | EngineKind::Alternating
+                if solve_budget.check(0).is_some() =>
+            {
+                let mut r = positive_closure_result(&ground);
+                r.truncation = solve_budget.check(0);
+                r
+            }
+            EngineKind::Wp => WpEngine::new(&ground).solve(StepMode::Accelerated),
+            EngineKind::WpLiteral => WpEngine::new(&ground).solve(StepMode::Literal),
+            EngineKind::Alternating => AlternatingEngine::new(&ground).solve(),
+            EngineKind::Forward => ForwardEngine::new(&segment).solve(),
+        }
     };
     let exact = segment.complete;
+    let outcome = match chase_trunc
+        .filter(|r| r.is_budget_trip())
+        .or(result.truncation)
+    {
+        Some(r) => SolveOutcome::Truncated(r),
+        None => {
+            if exact {
+                SolveOutcome::Complete
+            } else {
+                SolveOutcome::Truncated(chase_trunc.unwrap_or(TruncationReason::DepthCap))
+            }
+        }
+    };
     WellFoundedModel {
         segment,
         ground,
         result,
         exact,
         engine: options.engine,
+        outcome,
+    }
+}
+
+/// Least fixpoint of the **negation-free** ground instances from the facts:
+/// the atoms certainly true in every extension of a budget-interrupted
+/// chase. Everything else is left `Unknown` — the sound degraded model.
+fn positive_closure_result(ground: &GroundProgram) -> EngineResult {
+    let n = ground.num_atoms();
+    let mut tru = vec![false; n];
+    let mut queue: Vec<u32> = Vec::new();
+    for &f in ground.facts_local() {
+        if !std::mem::replace(&mut tru[f as usize], true) {
+            queue.push(f);
+        }
+    }
+    // Countdown of undecided positive-body literals per negation-free rule;
+    // a rule fires when it reaches zero. Rules with negative literals never
+    // fire here by construction.
+    let nrules = ground.num_rules();
+    let mut missing: Vec<u32> = Vec::with_capacity(nrules);
+    for r in 0..nrules {
+        if ground.neg_local(r).is_empty() {
+            missing.push(ground.pos_local(r).len() as u32);
+        } else {
+            missing.push(u32::MAX);
+        }
+    }
+    // Empty-body rules fire immediately.
+    for (r, m) in missing.iter().enumerate() {
+        if *m == 0 {
+            let h = ground.head_local(r);
+            if !std::mem::replace(&mut tru[h as usize], true) {
+                queue.push(h);
+            }
+        }
+    }
+    while let Some(a) = queue.pop() {
+        for &rid in ground.rules_with_pos_local(a) {
+            let r = rid.index();
+            if missing[r] == u32::MAX {
+                continue;
+            }
+            // Duplicate body literals are each their own countdown slot, so
+            // one decrement per (rule, occurrence) pair keeps the count
+            // exact as long as each atom enters the queue once.
+            let dups = ground.pos_local(r).iter().filter(|&&b| b == a).count() as u32;
+            missing[r] = missing[r].saturating_sub(dups);
+            if missing[r] == 0 {
+                missing[r] = u32::MAX; // fired
+                let h = ground.head_local(r);
+                if !std::mem::replace(&mut tru[h as usize], true) {
+                    queue.push(h);
+                }
+            }
+        }
+    }
+    let mut interp = Interp::with_capacity(n);
+    let cap = ground.atoms().last().map_or(0, |a| a.index() + 1);
+    let mut decided_stage = crate::result::StageMap::with_capacity(cap);
+    for (local, &t) in tru.iter().enumerate() {
+        if t {
+            let atom = ground.atom_of_local(local as u32);
+            interp.set_true(atom);
+            decided_stage.insert(atom, 1);
+        }
+    }
+    EngineResult {
+        interp,
+        decided_stage,
+        stages: 1,
+        stats: None,
+        memo: None,
+        truncation: None,
     }
 }
 
@@ -311,7 +493,26 @@ pub fn solve_packaged(
     options: WfsOptions,
     violations: &[PredId],
 ) -> SolveOutput {
-    let model = solve(universe, db, program, options);
+    solve_packaged_budgeted(
+        universe,
+        db,
+        program,
+        options,
+        violations,
+        &SolveBudget::unlimited(),
+    )
+}
+
+/// [`solve_packaged`] under a [`SolveBudget`].
+pub fn solve_packaged_budgeted(
+    universe: &mut Universe,
+    db: &Database,
+    program: &SkolemProgram,
+    options: WfsOptions,
+    violations: &[PredId],
+    solve_budget: &SolveBudget,
+) -> SolveOutput {
+    let model = solve_budgeted(universe, db, program, options, solve_budget);
     let constraint_status = constraint_status(universe, &model, violations);
     let stats = stats_of(&model, false);
     SolveOutput {
@@ -323,6 +524,11 @@ pub fn solve_packaged(
 
 /// [`solve_resumed`] plus constraint-status evaluation in one call — the
 /// incremental solve stage after an insert-only delta.
+///
+/// # Errors
+///
+/// Returns [`ResumeError`] when `prev`'s segment refuses to resume; the
+/// caller falls back to a full [`solve_packaged`].
 pub fn solve_packaged_resumed(
     universe: &mut Universe,
     prev: &WellFoundedModel,
@@ -330,14 +536,41 @@ pub fn solve_packaged_resumed(
     new_facts: &[wfdl_core::AtomId],
     options: WfsOptions,
     violations: &[PredId],
-) -> SolveOutput {
-    let (model, stats) = solve_resumed(universe, prev, program, new_facts, options);
+) -> Result<SolveOutput, ResumeError> {
+    solve_packaged_resumed_budgeted(
+        universe,
+        prev,
+        program,
+        new_facts,
+        options,
+        violations,
+        &SolveBudget::unlimited(),
+    )
+}
+
+/// [`solve_packaged_resumed`] under a [`SolveBudget`].
+///
+/// # Errors
+///
+/// Returns [`ResumeError`] when `prev`'s segment refuses to resume.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_packaged_resumed_budgeted(
+    universe: &mut Universe,
+    prev: &WellFoundedModel,
+    program: &SkolemProgram,
+    new_facts: &[wfdl_core::AtomId],
+    options: WfsOptions,
+    violations: &[PredId],
+    solve_budget: &SolveBudget,
+) -> Result<SolveOutput, ResumeError> {
+    let (model, stats) =
+        solve_resumed_budgeted(universe, prev, program, new_facts, options, solve_budget)?;
     let constraint_status = constraint_status(universe, &model, violations);
-    SolveOutput {
+    Ok(SolveOutput {
         model,
         constraint_status,
         stats,
-    }
+    })
 }
 
 /// Computes the **conservative no-UNA approximation** used in the paper's
@@ -365,12 +598,18 @@ pub fn solve_no_una(
         .with_frozen(frozen)
         .solve(StepMode::Accelerated);
     let exact = segment.complete;
+    let outcome = if exact {
+        SolveOutcome::Complete
+    } else {
+        SolveOutcome::Truncated(segment.truncation().unwrap_or(TruncationReason::DepthCap))
+    };
     WellFoundedModel {
         segment,
         ground,
         result,
         exact,
         engine: EngineKind::Wp,
+        outcome,
     }
 }
 

@@ -3,9 +3,11 @@
 //! ```text
 //! wfdl run program.dl   [--facts data.tsv …] [--depth N] [--threads N]
 //!                       [--engine modular|wp|wp-literal|alternating|forward]
+//!                       [--deadline-ms N] [--mem-budget BYTES]
 //!                       [--model] [--hidden] [--forest N] [--stats]
 //! wfdl query program.dl --q '?- win(a).' [--q '?(X) win(X).' …]
 //!                       [--facts data.tsv …] [--depth N] [--threads N] [--engine …]
+//!                       [--deadline-ms N] [--mem-budget BYTES]
 //! wfdl check program.dl            # parse + validate only
 //! ```
 //!
@@ -14,6 +16,13 @@
 //! scheduler (`0` = auto-detect from the machine, `1` = serial; the
 //! default is auto). The computed model is bit-identical for every
 //! setting.
+//!
+//! `--deadline-ms N` bounds the solve's wall-clock time and `--mem-budget
+//! BYTES` its working memory. A tripped solve stops at a clean round /
+//! component boundary and still answers queries as a sound
+//! under-approximation: certain answers stay certain, everything the
+//! truncated solve could not decide reads `unknown`. The truncation is
+//! reported on stderr and as the `% outcome:` line under `--stats`.
 //!
 //! The program file may contain facts, guarded NTGDs (head-only variables
 //! are existential), rules with explicit Skolem terms, negative constraints
@@ -37,7 +46,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 use wfdatalog::chase::ExplicitForest;
-use wfdatalog::{EngineKind, KnowledgeBase, SolvedModel, Truth, WfsOptions};
+use wfdatalog::{EngineKind, KnowledgeBase, SolveBudget, SolvedModel, Truth, WfsOptions};
 
 /// Writes to stdout, treating a closed pipe as a normal end of output:
 /// `wfdl run … | head` must exit 0, not panic (the classic Rust `println!`
@@ -81,17 +90,25 @@ struct Options {
     adhoc_queries: Vec<String>,
     /// Bulk fact files (repeatable `--facts`), loaded via the typed path.
     fact_files: Vec<String>,
+    /// Wall-clock deadline for the solve, in milliseconds.
+    deadline_ms: Option<u64>,
+    /// Memory budget for the solve, in bytes.
+    mem_budget: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: wfdl run <file>   [--facts data.tsv …] [--depth N] [--threads N]\n\
          \x20                     [--engine modular|wp|wp-literal|alternating|forward]\n\
+         \x20                     [--deadline-ms N] [--mem-budget BYTES]\n\
          \x20                     [--model] [--hidden] [--forest N] [--stats]\n\
          \x20      wfdl query <file> --q '?- ….' [--q '?(X) … .' …]\n\
          \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
+         \x20                     [--deadline-ms N] [--mem-budget BYTES]\n\
          \x20      wfdl check <file>\n\
-         \x20      (--threads: 0 = auto, 1 = serial, N = N workers)"
+         \x20      (--threads: 0 = auto, 1 = serial, N = N workers;\n\
+         \x20       a deadline/memory-tripped run reports its truncation on\n\
+         \x20       stderr and answers as a sound under-approximation)"
     );
     std::process::exit(2)
 }
@@ -112,6 +129,8 @@ fn parse_args() -> Options {
         stats: false,
         adhoc_queries: Vec::new(),
         fact_files: Vec::new(),
+        deadline_ms: None,
+        mem_budget: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -149,6 +168,14 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.fact_files.push(v);
             }
+            "--deadline-ms" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.deadline_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--mem-budget" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.mem_budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }
@@ -177,6 +204,8 @@ fn main() -> ExitCode {
                 || opts.forest_depth.is_some()
                 || !opts.adhoc_queries.is_empty()
                 || !opts.fact_files.is_empty()
+                || opts.deadline_ms.is_some()
+                || opts.mem_budget.is_some()
             {
                 eprintln!("wfdl check: takes no flags (it parses and validates only)");
                 usage()
@@ -249,7 +278,29 @@ fn solve(opts: &Options, mut kb: KnowledgeBase) -> std::sync::Arc<SolvedModel> {
     if let Some(t) = opts.threads {
         wfs_options = wfs_options.with_threads(t);
     }
-    kb.solve_with(wfs_options)
+    if opts.deadline_ms.is_some() || opts.mem_budget.is_some() {
+        let mut budget = SolveBudget::unlimited();
+        if let Some(ms) = opts.deadline_ms {
+            budget = budget.with_deadline_in(std::time::Duration::from_millis(ms));
+        }
+        if let Some(bytes) = opts.mem_budget {
+            budget = budget.with_mem_limit(bytes);
+        }
+        kb.set_solve_budget(budget);
+    }
+    let model = match kb.try_solve_with(wfs_options) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("wfdl: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(reason) = model.outcome().truncation() {
+        // Degradation notice goes to stderr: plain stdout stays
+        // byte-identical across runs for the CI thread sweep.
+        eprintln!("wfdl: solve truncated ({reason}); answers are a sound under-approximation");
+    }
+    model
 }
 
 /// Renders the verdict of one prepared query.
@@ -320,6 +371,13 @@ fn run(opts: Options, kb: KnowledgeBase) -> ExitCode {
             cs.merge_ns as f64 / 1e6
         );
         outln!("% truth: {t} true, {f} false, {u} unknown");
+        outln!("% outcome: {}", model.outcome());
+        outln!(
+            "% chase threads: {} requested, {} effective, {} small-frontier serial rounds",
+            cs.threads,
+            cs.effective_threads,
+            cs.small_frontier_serial_rounds
+        );
         if let Some(s) = model.model().component_stats() {
             outln!(
                 "% condensation: {} components ({} definite, {} recursive), \

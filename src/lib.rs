@@ -157,10 +157,10 @@ pub use wfdl_storage as storage;
 pub use wfdl_syntax as syntax;
 pub use wfdl_wfs as wfs;
 
-pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest};
+pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest, ResumeError};
 pub use wfdl_core::{
-    AtomId, FactBatch, Interp, Program, RelationWriter, SkolemProgram, Truth, Universe,
-    UniverseSnapshot,
+    AtomId, CancelToken, FactBatch, Interp, Program, RelationWriter, SkolemProgram, SolveBudget,
+    SolveOutcome, TruncationReason, Truth, Universe, UniverseSnapshot,
 };
 pub use wfdl_query::{AnswerSet, Nbcq, PreparedQuery, TruthSource};
 pub use wfdl_storage::Database;
@@ -179,6 +179,11 @@ pub enum Error {
     Syntax(wfdl_syntax::SyntaxError),
     /// Query construction error.
     Query(wfdl_query::QueryError),
+    /// A worker panicked inside the solve pipeline. The panic was caught at
+    /// the engine boundary ([`KnowledgeBase::try_solve`]); the knowledge
+    /// base remains fully usable and the next solve recomputes from
+    /// scratch — no poisoned state.
+    EnginePanic(String),
 }
 
 impl fmt::Display for Error {
@@ -187,6 +192,7 @@ impl fmt::Display for Error {
             Error::Core(e) => write!(f, "program error: {e}"),
             Error::Syntax(e) => write!(f, "syntax error: {e}"),
             Error::Query(e) => write!(f, "query error: {e}"),
+            Error::EnginePanic(msg) => write!(f, "solve worker panicked: {msg}"),
         }
     }
 }
@@ -244,6 +250,11 @@ pub struct KnowledgeBase {
     /// Configured worker-thread count; `None` = auto (see
     /// [`WfsOptions::threads`]).
     threads: Option<usize>,
+    /// Runtime resource limits for the next solves (deadline, cancel
+    /// token, memory budget). Deliberately *not* part of the cached-model
+    /// key: a budget bounds how much work a solve may do, it does not
+    /// change what the complete model is.
+    solve_budget: SolveBudget,
     /// Artifact of the most recent solve: the cached fast path when
     /// nothing changed, and the resume basis when only facts were added.
     last: Option<(WfsOptions, Arc<SolvedModel>)>,
@@ -274,6 +285,7 @@ impl KnowledgeBase {
             budget: None,
             engine: None,
             threads: None,
+            solve_budget: SolveBudget::unlimited(),
             last: None,
             delta: Vec::new(),
             needs_full: false,
@@ -296,6 +308,7 @@ impl KnowledgeBase {
             budget: None,
             engine: None,
             threads: None,
+            solve_budget: SolveBudget::unlimited(),
             last: None,
             delta: Vec::new(),
             needs_full: false,
@@ -425,6 +438,31 @@ impl KnowledgeBase {
         self
     }
 
+    /// Sets the runtime resource budget (deadline / cancellation / memory)
+    /// for subsequent solves, builder style. See
+    /// [`KnowledgeBase::set_solve_budget`].
+    pub fn with_solve_budget(mut self, budget: SolveBudget) -> Self {
+        self.solve_budget = budget;
+        self
+    }
+
+    /// Replaces the runtime resource budget for subsequent solves.
+    ///
+    /// A tripped solve stops at the next clean boundary and returns a model
+    /// whose [`SolvedModel::outcome`] reports the truncation; the model
+    /// stays queryable as a sound under-approximation. The budget is not
+    /// part of the cached-model key, but a budget-truncated model is never
+    /// served from cache — the next [`KnowledgeBase::solve`] picks the
+    /// chase up from where it stopped (under the then-current budget).
+    pub fn set_solve_budget(&mut self, budget: SolveBudget) {
+        self.solve_budget = budget;
+    }
+
+    /// The currently configured runtime resource budget.
+    pub fn solve_budget(&self) -> &SolveBudget {
+        &self.solve_budget
+    }
+
     /// The options [`KnowledgeBase::solve`] will use: the configured
     /// budget and engine, with unset parts decided **at call time** — the
     /// automatic budget (unbounded chase for programs without
@@ -466,21 +504,71 @@ impl KnowledgeBase {
 
     /// Solves with explicit options (cached and resumed under the same
     /// rules as [`KnowledgeBase::solve`]).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic as a clean panic at this boundary (the
+    /// knowledge base itself is left reusable). Use
+    /// [`KnowledgeBase::try_solve_with`] to get it as an
+    /// [`Error::EnginePanic`] instead.
     pub fn solve_with(&mut self, options: WfsOptions) -> Arc<SolvedModel> {
+        match self.try_solve_with(options) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`KnowledgeBase::solve`] with worker panics caught at the engine
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EnginePanic`] if a solver worker panicked. The knowledge
+    /// base is left coherent and reusable: the partial solve is discarded,
+    /// and the next solve recomputes from scratch.
+    pub fn try_solve(&mut self) -> Result<Arc<SolvedModel>, Error> {
+        self.try_solve_with(self.effective_options())
+    }
+
+    /// [`KnowledgeBase::solve_with`] with worker panics caught at the
+    /// engine boundary (see [`KnowledgeBase::try_solve`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EnginePanic`] if a solver worker panicked.
+    pub fn try_solve_with(&mut self, options: WfsOptions) -> Result<Arc<SolvedModel>, Error> {
+        // A budget-truncated cached model is never served from cache:
+        // re-solving may get further (the deadline moved, the token was
+        // replaced, the limit was raised), and the resume path below
+        // continues its chase from the stopping round even with an empty
+        // delta. Depth/cap truncations are deterministic properties of the
+        // program + options, so re-solving those would change nothing and
+        // they stay cacheable.
+        let cache_servable = |m: &SolvedModel| {
+            !m.model()
+                .outcome
+                .truncation()
+                .is_some_and(|r| r.is_budget_trip())
+        };
         if let Some((cached_options, model)) = &self.last {
             if *cached_options == options
                 && !self.needs_full
                 && self.delta.is_empty()
                 && !self.queries_dirty
+                && cache_servable(model)
             {
-                return Arc::clone(model);
+                return Ok(Arc::clone(model));
             }
         }
         // Queries-only change (no delta, no rule change, same options):
         // the model is provably identical — share it and its indexes, and
         // only re-prepare the source queries against a fresh snapshot.
         if let Some((cached_options, m)) = &self.last {
-            if *cached_options == options && !self.needs_full && self.delta.is_empty() {
+            if *cached_options == options
+                && !self.needs_full
+                && self.delta.is_empty()
+                && cache_servable(m)
+            {
                 let source_queries = self
                     .queries
                     .iter()
@@ -500,7 +588,7 @@ impl KnowledgeBase {
                 });
                 self.last = Some((options, Arc::clone(&model)));
                 self.queries_dirty = false;
-                return model;
+                return Ok(model);
             }
         }
         // Insert-only delta with unchanged options: resume the previous
@@ -520,25 +608,65 @@ impl KnowledgeBase {
         // nulls (a no-op clone unless a previous snapshot still shares it
         // and nothing was ingested since — ingestion already unshared it).
         let universe = Arc::make_mut(&mut self.universe);
-        let output = match &resume_from {
-            Some(prev) => {
-                let delta = std::mem::take(&mut self.delta);
-                wfdl_wfs::solve_packaged_resumed(
-                    universe,
-                    prev.model(),
-                    &self.sigma,
-                    &delta,
-                    options,
-                    &self.violations,
-                )
-            }
-            None => wfdl_wfs::solve_packaged(
+        // The delta is moved out before the catch_unwind boundary so a
+        // panicking solve cannot leave it half-consumed; it is restored on
+        // the error path purely for hygiene (the full recompute the next
+        // solve takes reads the database, which already contains it).
+        let delta = std::mem::take(&mut self.delta);
+        let solve_budget = self.solve_budget.clone();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<wfdl_wfs::SolveOutput, ResumeError> {
+                match &resume_from {
+                    Some(prev) => wfdl_wfs::solve_packaged_resumed_budgeted(
+                        universe,
+                        prev.model(),
+                        &self.sigma,
+                        &delta,
+                        options,
+                        &self.violations,
+                        &solve_budget,
+                    ),
+                    None => Ok(wfdl_wfs::solve_packaged_budgeted(
+                        universe,
+                        &self.database,
+                        &self.sigma,
+                        options,
+                        &self.violations,
+                        &solve_budget,
+                    )),
+                }
+            },
+        ));
+        let output = match attempt {
+            Ok(Ok(output)) => output,
+            // A cap-truncated previous segment refused to resume: fall back
+            // to a full re-chase (same options, same budget). The database
+            // already holds the delta facts.
+            Ok(Err(_refused)) => wfdl_wfs::solve_packaged_budgeted(
                 universe,
                 &self.database,
                 &self.sigma,
                 options,
                 &self.violations,
+                &solve_budget,
             ),
+            Err(panic) => {
+                // Leave the knowledge base coherent: drop the cached model,
+                // restore the delta, and force the next solve to recompute
+                // from scratch. The universe keeps any nulls the partial
+                // chase interned; interning is deterministic, so a re-run
+                // re-derives the same ids and any extras are unreachable
+                // garbage at worst.
+                self.delta = delta;
+                self.last = None;
+                self.needs_full = true;
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                return Err(Error::EnginePanic(msg));
+            }
         };
         // Freeze the universe *after* the chase interned its nulls: the
         // snapshot sees every atom the model mentions. Sharing the Arc is
@@ -564,7 +692,7 @@ impl KnowledgeBase {
         self.delta.clear();
         self.needs_full = false;
         self.queries_dirty = false;
-        model
+        Ok(model)
     }
 
     // ----- read-only accessors ----------------------------------------
@@ -725,6 +853,20 @@ impl SolvedModel {
     /// True iff the chase quiesced within budget, making the model exact.
     pub fn exact(&self) -> bool {
         self.model.exact
+    }
+
+    /// Whether the solve ran to its fixpoint or was truncated (and why):
+    /// depth/cap bounds, a deadline, a cancellation, or a memory budget.
+    pub fn outcome(&self) -> SolveOutcome {
+        self.model.outcome
+    }
+
+    /// True iff query answers from this model are **under-approximate**:
+    /// the solve was truncated, so certain answers remain certain but some
+    /// answers the complete model would return may be missing (they read
+    /// `Unknown` here).
+    pub fn under_approximate(&self) -> bool {
+        !self.model.outcome.is_complete()
     }
 
     /// How this model was produced: whether the solve was incremental and

@@ -316,7 +316,8 @@ fn parallel_incremental_resolve_matches_serial_scratch() {
                 .filter(|f| !base.contains(*f))
                 .collect();
             assert_eq!(new_facts.len(), 4, "two fresh seeds = four facts");
-            let (inc, stats) = solve_resumed(&mut u, &prev, &sigma, &new_facts, options);
+            let (inc, stats) =
+                solve_resumed(&mut u, &prev, &sigma, &new_facts, options).expect("resumable");
             assert!(stats.incremental);
             assert!(
                 stats.components_reused > 0,
@@ -349,7 +350,8 @@ fn parallel_incremental_resolve_matches_serial_scratch() {
                     .filter(|f| !base2.contains(*f))
                     .collect();
                 let (_, s2) =
-                    solve_resumed(&mut u2, &prev2, &sigma2, &facts2, WfsOptions::depth(6));
+                    solve_resumed(&mut u2, &prev2, &sigma2, &facts2, WfsOptions::depth(6))
+                        .expect("resumable");
                 assert_eq!(stats.components_reused, s2.components_reused, "threads {t}");
             }
         }
