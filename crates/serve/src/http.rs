@@ -1,0 +1,393 @@
+//! Minimal HTTP/1.1 request parsing and response writing over blocking
+//! `std::io` streams.
+//!
+//! This is deliberately not a general HTTP implementation: it covers
+//! exactly what the serving tier needs — `GET`/`POST`, `Content-Length`
+//! framed bodies (no chunked transfer), persistent connections with
+//! `Connection: close` opt-out, and `Expect: 100-continue` (curl sends it
+//! for bodies over 1 KiB). Everything else is rejected with a clean 4xx/5xx
+//! instead of being half-understood.
+
+use std::io::{BufRead, Write};
+
+/// Request methods the router distinguishes. Anything else parses fine but
+/// routes to 405.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+    Other,
+}
+
+/// One parsed request: method, request target (path + optional query
+/// string, exactly as sent) and the framed body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: Method,
+    pub path: String,
+    pub body: Vec<u8>,
+    /// The client asked for the connection to close after this exchange
+    /// (`Connection: close`, or an HTTP/1.0 request without keep-alive).
+    pub close: bool,
+}
+
+/// Why a request could not be parsed: the status to answer with and a
+/// human-readable message for the body.
+#[derive(Debug)]
+pub struct HttpError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request.
+    Ok(Request),
+    /// The peer closed (or timed out) before sending a request line — the
+    /// normal end of a keep-alive connection, not an error.
+    Closed,
+    /// A malformed or over-limit request; answer with the error and close.
+    Bad(HttpError),
+}
+
+/// Size limits applied while parsing.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Request line + headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Body (`Content-Length`), in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Reads one request. `writer` is only used to send the interim
+/// `100 Continue` line when the client asked for it.
+pub fn read_request(reader: &mut impl BufRead, writer: &mut impl Write, limits: Limits) -> Parsed {
+    // --- request line -------------------------------------------------
+    let line = match read_head_line(reader, limits.max_head_bytes) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Parsed::Closed,
+        Err(e) => return Parsed::Bad(e),
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method_raw, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Parsed::Bad(HttpError::new(
+                400,
+                format!("malformed request line `{line}`"),
+            ))
+        }
+    };
+    let method = match method_raw {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => Method::Other,
+    };
+    let http10 = version == "HTTP/1.0";
+    if !http10 && version != "HTTP/1.1" {
+        return Parsed::Bad(HttpError::new(
+            505,
+            format!("unsupported version `{version}`"),
+        ));
+    }
+    let path = target.to_owned();
+
+    // --- headers ------------------------------------------------------
+    let mut content_length = 0usize;
+    let mut close = http10;
+    let mut expect_continue = false;
+    let mut head_budget = limits.max_head_bytes;
+    loop {
+        let header = match read_head_line(reader, head_budget) {
+            Ok(Some(h)) => h,
+            Ok(None) => return Parsed::Closed,
+            Err(e) => return Parsed::Bad(e),
+        };
+        if header.is_empty() {
+            break;
+        }
+        head_budget = head_budget.saturating_sub(header.len());
+        let Some((name, value)) = header.split_once(':') else {
+            return Parsed::Bad(HttpError::new(400, format!("malformed header `{header}`")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => {
+                    return Parsed::Bad(HttpError::new(400, "unparsable content-length"));
+                }
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked framing is out of scope; refusing it keeps body
+            // handling unambiguous.
+            return Parsed::Bad(HttpError::new(501, "transfer-encoding is not supported"));
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
+    }
+
+    // --- body ---------------------------------------------------------
+    if content_length > limits.max_body_bytes {
+        return Parsed::Bad(HttpError::new(
+            413,
+            format!(
+                "body of {content_length} bytes exceeds the {} byte limit",
+                limits.max_body_bytes
+            ),
+        ));
+    }
+    if expect_continue && content_length > 0 {
+        let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        let _ = writer.flush();
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = read_exact_body(reader, &mut body) {
+            return Parsed::Bad(HttpError::new(400, format!("truncated body: {e}")));
+        }
+    }
+    Parsed::Ok(Request {
+        method,
+        path,
+        body,
+        close,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated head line with a byte budget.
+/// `Ok(None)` means the stream ended cleanly before any byte of the line.
+fn read_head_line(reader: &mut impl BufRead, budget: usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::new(400, "connection closed mid-header"))
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::new(400, "non-UTF-8 header"));
+                }
+                line.push(byte[0]);
+                if line.len() > budget {
+                    return Err(HttpError::new(431, "request head too large"));
+                }
+            }
+            Err(e) => {
+                return if line.is_empty() {
+                    // Idle keep-alive timeout: a clean end of connection.
+                    Ok(None)
+                } else {
+                    Err(HttpError::new(408, format!("read timed out: {e}")))
+                };
+            }
+        }
+    }
+}
+
+fn read_exact_body(reader: &mut impl BufRead, buf: &mut [u8]) -> std::io::Result<()> {
+    reader.read_exact(buf)
+}
+
+/// An HTTP response: status, content type and body. Construction helpers
+/// cover the two payload kinds the serving tier emits.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response (the `application/json` content type).
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Serializes the response; `close` controls the `Connection` header.
+    pub fn write_to(&self, writer: &mut impl Write, close: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// Reason phrases for the statuses the tier actually sends.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quotes included). The
+/// serving tier has no serde; this is the one escaping primitive every
+/// JSON-emitting endpoint shares.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(input: &[u8]) -> Parsed {
+        let mut reader = std::io::BufReader::new(input);
+        let mut sink = Vec::new();
+        read_request(&mut reader, &mut sink, Limits::default())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let Parsed::Ok(req) = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n") else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn parses_post_with_content_length_and_close() {
+        let Parsed::Ok(req) = parse(
+            b"POST /query HTTP/1.1\r\nContent-Length: 9\r\nConnection: close\r\n\r\n?- p(a).\n",
+        ) else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"?- p(a).\n");
+        assert!(req.close);
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_close() {
+        assert!(matches!(parse(b""), Parsed::Closed));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413() {
+        let mut reader =
+            std::io::BufReader::new(&b"POST /ingest HTTP/1.1\r\nContent-Length: 100\r\n\r\n"[..]);
+        let mut sink = Vec::new();
+        let limits = Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 10,
+        };
+        let Parsed::Bad(e) = read_request(&mut reader, &mut sink, limits) else {
+            panic!("expected a limit rejection");
+        };
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn chunked_transfer_is_refused_not_misread() {
+        let Parsed::Bad(e) =
+            parse(b"POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n")
+        else {
+            panic!("expected a rejection");
+        };
+        assert_eq!(e.status, 501);
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_line() {
+        let mut reader = std::io::BufReader::new(
+            &b"POST /ingest HTTP/1.1\r\nContent-Length: 4\r\nExpect: 100-continue\r\n\r\nm,a\n"[..],
+        );
+        let mut interim = Vec::new();
+        let Parsed::Ok(req) = read_request(&mut reader, &mut interim, Limits::default()) else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.body, b"m,a\n");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn json_escaping_covers_the_control_set() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+}

@@ -1,0 +1,53 @@
+//! Process-wide shutdown signalling (SIGINT / SIGTERM) without a signal
+//! handling crate.
+//!
+//! The workspace builds fully offline with no `libc`, so the handler is
+//! registered through a hand-declared `signal(2)` binding on Unix. The
+//! handler body is async-signal-safe: it only stores into a static atomic.
+//! On non-Unix targets installation is a no-op and shutdown comes from
+//! [`request_shutdown`] (used by tests and embedders on every platform).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once a shutdown was requested by signal or by
+/// [`request_shutdown`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown programmatically (what the signal handler does).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Blocks until a shutdown is requested, polling the flag. Signal
+/// delivery interrupts nothing here — the poll period bounds the latency
+/// between the signal and the caller starting its graceful drain.
+pub fn wait_for_shutdown() {
+    while !shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Installs the SIGINT and SIGTERM handlers (Unix; no-op elsewhere).
+/// Idempotent.
+pub fn install_shutdown_signals() {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" fn on_signal(_signum: i32) {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            /// `signal(2)`; `sighandler_t` is a plain function pointer on
+            /// every Unix this workspace targets.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}

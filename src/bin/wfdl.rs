@@ -9,6 +9,9 @@
 //!                       [--facts data.tsv …] [--depth N] [--threads N] [--engine …]
 //!                       [--deadline-ms N] [--mem-budget BYTES]
 //! wfdl check program.dl            # parse + validate only
+//! wfdl serve program.dl [--addr HOST:PORT] [--workers N]
+//!                       [--facts data.tsv …] [--depth N] [--threads N] [--engine …]
+//!                       [--deadline-ms N]
 //! ```
 //!
 //! `--threads N` sets the worker count for both parallel phases — the
@@ -42,6 +45,13 @@
 //! person,alice
 //! employs,acme,alice
 //! ```
+//!
+//! `serve` loads the program (plus any `--facts` files), solves once, and
+//! serves prepared queries over HTTP until SIGINT/SIGTERM: `GET /healthz`,
+//! `POST /query` (one query per body line), `POST /ingest` (a `--facts`
+//! format batch → incremental re-solve + atomic model hot-swap), `GET
+//! /stats`. `--deadline-ms` bounds each ingest-triggered re-solve; see
+//! `wfdatalog::serve` for the threading and failure semantics.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -94,6 +104,10 @@ struct Options {
     deadline_ms: Option<u64>,
     /// Memory budget for the solve, in bytes.
     mem_budget: Option<usize>,
+    /// Bind address for `wfdl serve` (default `127.0.0.1:8080`).
+    addr: Option<String>,
+    /// HTTP worker threads for `wfdl serve` (default 4).
+    workers: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -106,6 +120,9 @@ fn usage() -> ! {
          \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
          \x20                     [--deadline-ms N] [--mem-budget BYTES]\n\
          \x20      wfdl check <file>\n\
+         \x20      wfdl serve <file> [--addr HOST:PORT] [--workers N]\n\
+         \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
+         \x20                     [--deadline-ms N]\n\
          \x20      (--threads: 0 = auto, 1 = serial, N = N workers;\n\
          \x20       a deadline/memory-tripped run reports its truncation on\n\
          \x20       stderr and answers as a sound under-approximation)"
@@ -131,6 +148,8 @@ fn parse_args() -> Options {
         fact_files: Vec::new(),
         deadline_ms: None,
         mem_budget: None,
+        addr: None,
+        workers: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -176,6 +195,13 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.mem_budget = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--addr" => {
+                opts.addr = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--workers" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.workers = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }
@@ -185,12 +211,35 @@ fn parse_args() -> Options {
 fn main() -> ExitCode {
     let opts = parse_args();
     // Reject flags that the selected subcommand would silently ignore.
+    if opts.command != "serve" && (opts.addr.is_some() || opts.workers.is_some()) {
+        eprintln!(
+            "wfdl {}: --addr/--workers are only valid with `wfdl serve`",
+            opts.command
+        );
+        usage()
+    }
     match opts.command.as_str() {
         "query" => {
             if opts.show_model || opts.show_hidden || opts.stats || opts.forest_depth.is_some() {
                 eprintln!(
                     "wfdl query: --model/--hidden/--stats/--forest are only valid with `wfdl run`"
                 );
+                usage()
+            }
+        }
+        "serve" => {
+            if opts.show_model || opts.show_hidden || opts.stats || opts.forest_depth.is_some() {
+                eprintln!(
+                    "wfdl serve: --model/--hidden/--stats/--forest are only valid with `wfdl run`"
+                );
+                usage()
+            }
+            if !opts.adhoc_queries.is_empty() {
+                eprintln!("wfdl serve: --q is only valid with `wfdl query` (POST /query instead)");
+                usage()
+            }
+            if opts.mem_budget.is_some() {
+                eprintln!("wfdl serve: --mem-budget is not supported (use --deadline-ms)");
                 usage()
             }
         }
@@ -234,16 +283,17 @@ fn main() -> ExitCode {
         }
     };
 
-    // Bulk-load extensional data through the typed, parser-free path.
+    // Bulk-load extensional data through the typed, parser-free path,
+    // streaming straight from the file (same loader as `POST /ingest`).
     for path in &opts.fact_files {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
             Err(e) => {
                 eprintln!("error: cannot read `{path}`: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = kb.insert_tsv(&text) {
+        if let Err(e) = kb.insert_from_reader(std::io::BufReader::new(file)) {
             eprintln!("{path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -263,8 +313,59 @@ fn main() -> ExitCode {
         }
         "run" => run(opts, kb),
         "query" => query(opts, kb),
+        "serve" => serve(opts, kb),
         _ => usage(),
     }
+}
+
+/// `wfdl serve <file>`: solve once, serve HTTP until SIGINT/SIGTERM.
+fn serve(opts: Options, kb: KnowledgeBase) -> ExitCode {
+    // Persist the CLI solve options on the knowledge base so every
+    // ingest-triggered re-solve uses them, not just the initial solve.
+    let mut wfs_options = match opts.depth {
+        Some(d) => WfsOptions::depth(d).with_engine(opts.engine),
+        None => kb.effective_options().with_engine(opts.engine),
+    };
+    if let Some(t) = opts.threads {
+        wfs_options = wfs_options.with_threads(t);
+    }
+    let kb = kb.with_options(wfs_options);
+    let workers = opts.workers.unwrap_or(4).max(1);
+    let serve_options = wfdatalog::serve::ServeOptions {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
+        workers,
+        resolve_deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        ..Default::default()
+    };
+    // Install the handlers before accepting traffic so an early signal
+    // cannot fall through to the default (abrupt) disposition.
+    wfdl_serve::install_shutdown_signals();
+    let server = match wfdatalog::serve::start(kb, serve_options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wfdl serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (epoch, model) = server.pin_model();
+    if let Some(reason) = model.outcome().truncation() {
+        eprintln!(
+            "wfdl serve: initial solve truncated ({reason}); serving a sound under-approximation"
+        );
+    }
+    outln!(
+        "wfdl serve: listening on http://{} ({workers} workers, model epoch {epoch})",
+        server.addr()
+    );
+    outln!("wfdl serve: routes: GET /healthz · POST /query · POST /ingest · GET /stats");
+    wfdl_serve::wait_for_shutdown();
+    eprintln!("wfdl serve: shutdown requested; draining in-flight requests…");
+    server.shutdown();
+    eprintln!("wfdl serve: drained; bye");
+    ExitCode::SUCCESS
 }
 
 /// Solves the knowledge base with the CLI's depth/engine options.

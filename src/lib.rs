@@ -149,6 +149,8 @@
 //! cross-engine agreement test suite); they differ only in how much work
 //! they do to get there.
 
+pub mod serve;
+
 pub use wfdl_chase as chase;
 pub use wfdl_core as core;
 pub use wfdl_ontology as ontology;
@@ -179,6 +181,9 @@ pub enum Error {
     Syntax(wfdl_syntax::SyntaxError),
     /// Query construction error.
     Query(wfdl_query::QueryError),
+    /// An I/O failure while streaming facts ([`fact_batch_from_reader`])
+    /// or binding the serving tier's listener ([`serve`]).
+    Io(std::io::Error),
     /// A worker panicked inside the solve pipeline. The panic was caught at
     /// the engine boundary ([`KnowledgeBase::try_solve`]); the knowledge
     /// base remains fully usable and the next solve recomputes from
@@ -192,6 +197,7 @@ impl fmt::Display for Error {
             Error::Core(e) => write!(f, "program error: {e}"),
             Error::Syntax(e) => write!(f, "syntax error: {e}"),
             Error::Query(e) => write!(f, "query error: {e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::EnginePanic(msg) => write!(f, "solve worker panicked: {msg}"),
         }
     }
@@ -214,6 +220,12 @@ impl From<wfdl_syntax::SyntaxError> for Error {
 impl From<wfdl_query::QueryError> for Error {
     fn from(e: wfdl_query::QueryError) -> Self {
         Error::Query(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
     }
 }
 
@@ -266,6 +278,11 @@ pub struct KnowledgeBase {
     /// Queries appeared since `last`: the cached model must be
     /// re-packaged (its `source_queries` are stale) even with no delta.
     queries_dirty: bool,
+    /// Epoch of the most recently *computed* model (see
+    /// [`SolvedModel::epoch`]): bumped once per solve that actually ran
+    /// the engine (full or incremental). Cache hits and queries-only
+    /// repackagings keep the epoch — the model content is unchanged.
+    epoch: u64,
 }
 
 impl KnowledgeBase {
@@ -290,6 +307,7 @@ impl KnowledgeBase {
             delta: Vec::new(),
             needs_full: false,
             queries_dirty: false,
+            epoch: 0,
         })
     }
 
@@ -313,6 +331,7 @@ impl KnowledgeBase {
             delta: Vec::new(),
             needs_full: false,
             queries_dirty: false,
+            epoch: 0,
         })
     }
 
@@ -404,7 +423,15 @@ impl KnowledgeBase {
     /// Bulk-loads facts from the tab/comma-separated text format (see
     /// [`fact_batch_from_separated`]), returning how many were new.
     pub fn insert_tsv(&mut self, text: &str) -> Result<usize, Error> {
-        let batch = fact_batch_from_separated(Arc::make_mut(&mut self.universe), text)?;
+        self.insert_from_reader(text.as_bytes())
+    }
+
+    /// Streaming twin of [`KnowledgeBase::insert_tsv`]: bulk-loads the
+    /// same format from any [`std::io::BufRead`] (a fact file opened with
+    /// a [`std::io::BufReader`], an HTTP request body, …) without holding
+    /// the whole input in memory. Errors keep their 1-based line numbers.
+    pub fn insert_from_reader(&mut self, reader: impl std::io::BufRead) -> Result<usize, Error> {
+        let batch = fact_batch_from_reader(Arc::make_mut(&mut self.universe), reader)?;
         self.insert(batch)
     }
 
@@ -585,6 +612,9 @@ impl KnowledgeBase {
                     certain_index: Arc::clone(&m.certain_index),
                     possible_index: Arc::clone(&m.possible_index),
                     solve_stats: m.solve_stats,
+                    // Same underlying model → same epoch: the epoch tags
+                    // model *content*, not packaging.
+                    epoch: m.epoch,
                 });
                 self.last = Some((options, Arc::clone(&model)));
                 self.queries_dirty = false;
@@ -679,6 +709,7 @@ impl KnowledgeBase {
             .cloned()
             .map(PreparedQuery::from_query)
             .collect();
+        self.epoch += 1;
         let model = Arc::new(SolvedModel {
             universe: snapshot,
             model: Arc::new(output.model),
@@ -687,6 +718,7 @@ impl KnowledgeBase {
             certain_index: Arc::new(certain_index),
             possible_index: Arc::new(OnceLock::new()),
             solve_stats: output.stats,
+            epoch: self.epoch,
         });
         self.last = Some((options, Arc::clone(&model)));
         self.delta.clear();
@@ -747,6 +779,7 @@ pub struct SolvedModel {
     certain_index: Arc<AtomIndex>,
     possible_index: Arc<OnceLock<AtomIndex>>,
     solve_stats: SolveStats,
+    epoch: u64,
 }
 
 impl SolvedModel {
@@ -875,6 +908,18 @@ impl SolvedModel {
         self.solve_stats
     }
 
+    /// The model's epoch: a monotonically increasing counter over the
+    /// owning [`KnowledgeBase`]'s successful solves, bumped once per solve
+    /// that actually ran the engine (full or incremental). Two
+    /// `SolvedModel`s of the same knowledge base share an epoch iff they
+    /// share the same underlying model content (a cache hit or a
+    /// queries-only repackaging). The serving tier uses this to order
+    /// hot-swap visibility: a request that pinned epoch `e` answers
+    /// exactly as the direct API against the epoch-`e` model.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Truth of each constraint's violation marker, in source order:
     /// `True` = surely violated, `Unknown` = possibly violated,
     /// `False` = safe.
@@ -945,19 +990,38 @@ impl SolvedModel {
 /// employs,acme,alice
 /// ```
 pub fn fact_batch_from_separated(universe: &mut Universe, text: &str) -> Result<FactBatch, Error> {
+    fact_batch_from_reader(universe, text.as_bytes())
+}
+
+/// Streaming variant of [`fact_batch_from_separated`]: parses the same
+/// tab/comma-separated fact format from any [`std::io::BufRead`] without
+/// materializing the input as one string — the path the `wfdl --facts`
+/// file loader and the serving tier's `/ingest` endpoint share. Errors
+/// carry the 1-based line number of the offending line, exactly as the
+/// in-memory variant reports it; I/O failures surface as [`Error::Io`].
+pub fn fact_batch_from_reader(
+    universe: &mut Universe,
+    mut reader: impl std::io::BufRead,
+) -> Result<FactBatch, Error> {
     let mut batch = FactBatch::new();
-    let mut fields: Vec<&str> = Vec::new();
     let mut args: Vec<wfdl_core::TermId> = Vec::new();
+    let mut raw = String::new();
     // Fact files are typically grouped by relation; remembering the last
     // resolved predicate keeps the per-row work to constant interning,
     // matching the `RelationWriter` resolved-once contract.
     let mut current: Option<(String, wfdl_core::PredId, usize)> = None;
-    for (i, raw) in text.lines().enumerate() {
+    let mut line_no: u32 = 0;
+    loop {
+        raw.clear();
+        if reader.read_line(&mut raw)? == 0 {
+            return Ok(batch);
+        }
+        line_no += 1;
         let positioned = |message: String| {
             Error::Syntax(wfdl_syntax::SyntaxError::new(
                 message,
                 wfdl_syntax::Pos {
-                    line: (i + 1) as u32,
+                    line: line_no,
                     col: 1,
                 },
             ))
@@ -967,8 +1031,7 @@ pub fn fact_batch_from_separated(universe: &mut Universe, text: &str) -> Result<
             continue;
         }
         let sep = if line.contains('\t') { '\t' } else { ',' };
-        fields.clear();
-        fields.extend(line.split(sep).map(str::trim));
+        let fields: Vec<&str> = line.split(sep).map(str::trim).collect();
         let pred = fields[0];
         if pred.is_empty() || fields.iter().any(|f| f.is_empty()) {
             return Err(positioned(format!("empty field in fact line `{line}`")));
@@ -991,7 +1054,6 @@ pub fn fact_batch_from_separated(universe: &mut Universe, text: &str) -> Result<
             .push_atom(universe, atom)
             .map_err(|e| positioned(e.to_string()))?;
     }
-    Ok(batch)
 }
 
 #[cfg(test)]

@@ -1,0 +1,248 @@
+//! Integration tests for the HTTP serving tier (`wfdatalog::serve`).
+//!
+//! The load test exercises the tentpole guarantee: N client threads
+//! query over HTTP **while** the writer thread ingests fact batches and
+//! hot-swaps the model, and every response is bit-identical to what the
+//! direct [`SolvedModel`] API renders for the epoch the request pinned.
+//! Epochs are deterministic (one bump per solve that ran the engine), so
+//! a replica knowledge base fed the same batches in the same order
+//! yields the exact expected body for every epoch a client can observe.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wfdatalog::serve::{query_response_body, start, ServeOptions};
+use wfdatalog::KnowledgeBase;
+
+const PROGRAM: &str = "
+    edge(a,b). edge(b,c).
+    edge(X,Y), not win(Y) -> win(X).
+";
+
+/// The query batch every client sends; one query per line, as the
+/// endpoint expects.
+const QUERIES: [&str; 3] = ["?- win(a).", "?- win(b).", "?(X) win(X)."];
+
+/// One-shot HTTP exchange: sends `request`, reads to EOF (the request
+/// asks `Connection: close`), returns `(status, body)`.
+fn exchange(addr: SocketAddr, request: &[u8]) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    conn.write_all(request).expect("send request");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("response has a blank line");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_owned())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    exchange(addr, req.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    exchange(addr, req.as_bytes())
+}
+
+/// Extracts the epoch a response body reports (`{"epoch":N,…`).
+fn body_epoch(body: &str) -> u64 {
+    let rest = body
+        .strip_prefix("{\"epoch\":")
+        .unwrap_or_else(|| panic!("body has no epoch prefix: {body}"));
+    rest.bytes()
+        .take_while(u8::is_ascii_digit)
+        .fold(0u64, |n, d| n * 10 + u64::from(d - b'0'))
+}
+
+/// Fact batches ingested during the churn test. Each adds new edges, so
+/// every ingest actually re-solves and bumps the epoch.
+fn churn_batches() -> Vec<String> {
+    (0..6)
+        .map(|i| format!("edge,m{i},n{i}\nedge,n{i},o{i}\nedge,o{i},m{i}\n"))
+        .collect()
+}
+
+/// Expected `/query` bodies per epoch, computed through the **direct**
+/// API on a replica knowledge base replaying the same ingest history.
+fn expected_bodies(batches: &[String]) -> HashMap<u64, String> {
+    let mut kb = KnowledgeBase::from_source(PROGRAM).expect("replica program");
+    let mut expected = HashMap::new();
+    let model = kb.solve();
+    expected.insert(
+        model.epoch(),
+        query_response_body(&model, &QUERIES).expect("replica render"),
+    );
+    for batch in batches {
+        kb.insert_tsv(batch).expect("replica ingest");
+        let model = kb.solve();
+        expected.insert(
+            model.epoch(),
+            query_response_body(&model, &QUERIES).expect("replica render"),
+        );
+    }
+    expected
+}
+
+/// The tentpole: concurrent clients during ingestion churn, every
+/// response bit-identical to the direct API for its pinned epoch, and a
+/// graceful shutdown that drains cleanly.
+#[test]
+fn concurrent_queries_during_ingest_churn_match_direct_api() {
+    let batches = churn_batches();
+    let expected = Arc::new(expected_bodies(&batches));
+
+    let kb = KnowledgeBase::from_source(PROGRAM).expect("program");
+    let server = start(
+        kb,
+        ServeOptions {
+            workers: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let (first_epoch, first_model) = server.pin_model();
+    assert_eq!(
+        expected[&first_epoch],
+        query_response_body(&first_model, &QUERIES).expect("render"),
+        "replica and served initial models must agree"
+    );
+
+    // N clients hammer /query (mixed with /healthz and /stats) while the
+    // main thread drives ingests through the writer.
+    let stop = Arc::new(AtomicBool::new(false));
+    let responses = Arc::new(AtomicUsize::new(0));
+    let query_body = QUERIES.join("\n");
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let expected = Arc::clone(&expected);
+            let responses = Arc::clone(&responses);
+            let query_body = query_body.clone();
+            std::thread::spawn(move || {
+                let mut rounds = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, body) = post(addr, "/query", &query_body);
+                    assert_eq!(status, 200, "client {c}: {body}");
+                    let epoch = body_epoch(&body);
+                    let want = expected
+                        .get(&epoch)
+                        .unwrap_or_else(|| panic!("client {c}: unexpected epoch {epoch}"));
+                    assert_eq!(&body, want, "client {c}: body diverges at epoch {epoch}");
+                    responses.fetch_add(1, Ordering::Relaxed);
+                    if rounds % 7 == 3 {
+                        let (status, health) = get(addr, "/healthz");
+                        assert_eq!(status, 200, "client {c}: {health}");
+                        assert!(health.contains("\"status\":\"ok\""));
+                    }
+                    rounds += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut last_epoch = first_epoch;
+    for batch in &batches {
+        let (status, body) = post(addr, "/ingest", batch);
+        assert_eq!(status, 200, "ingest: {body}");
+        assert!(body.contains("\"added\":3"), "all 3 facts are new: {body}");
+        assert!(
+            body.contains("\"incremental\":true"),
+            "insert-only delta re-solves incrementally: {body}"
+        );
+        let epoch = server.pin_model().0;
+        assert!(epoch > last_epoch, "each churn batch bumps the epoch");
+        last_epoch = epoch;
+    }
+
+    // Let the clients observe the final model too, then wind down.
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    assert!(
+        responses.load(Ordering::Relaxed) >= 4,
+        "every client answered at least once during churn"
+    );
+
+    // The final published epoch is the replica's final epoch: nothing
+    // was lost or reordered across the writer thread.
+    let (final_epoch, final_model) = server.pin_model();
+    assert_eq!(final_epoch, last_epoch);
+    assert_eq!(
+        expected[&final_epoch],
+        query_response_body(&final_model, &QUERIES).expect("render"),
+    );
+
+    // Graceful shutdown: drains, joins the writer, and stops listening.
+    server.shutdown();
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener is closed after shutdown"
+    );
+}
+
+#[test]
+fn query_errors_report_real_positions() {
+    let kb = KnowledgeBase::from_source(PROGRAM).expect("program");
+    let server = start(kb, ServeOptions::default()).expect("server starts");
+    let addr = server.addr();
+
+    // Second query is malformed: the 400 body names it by index and
+    // carries the parser's own line/column inside the query string.
+    let (status, body) = post(addr, "/query", "?- win(a).\n?- win(\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"query\":2"), "{body}");
+    assert!(body.contains("\"source\":\"?- win(\""), "{body}");
+    assert!(body.contains("\"line\":1"), "{body}");
+    assert!(body.contains("\"col\":8"), "{body}");
+
+    // Malformed ingest lines carry their 1-based line number.
+    let (status, body) = post(addr, "/ingest", "edge,x,y\nedge,,z\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"line\":2"), "{body}");
+
+    // An empty query body is a 400, not a hang or a 200 with nothing.
+    let (status, body) = post(addr, "/query", "\n# just a comment\n");
+    assert_eq!(status, 400, "{body}");
+
+    // Unknown routes and wrong methods answer without closing the server.
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/query");
+    assert_eq!(status, 405);
+
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    for key in [
+        "\"epoch\":",
+        "\"requests\":",
+        "\"query_errors\":",
+        "\"model\":",
+        "\"solve\":",
+        "\"chase\":",
+    ] {
+        assert!(body.contains(key), "stats body missing {key}: {body}");
+    }
+
+    server.shutdown();
+}
