@@ -1,0 +1,177 @@
+//! Pass 4: dead-code and schema lints.
+//!
+//! Works from the EDB predicate set and the queried predicate set:
+//!
+//! * **W003** — a predicate holds facts but no rule body or query ever
+//!   reads it (loaded data is dead weight);
+//! * **W004** — a rule whose positive body mentions a predicate that can
+//!   never be populated (not in the EDB and not derivable by any chain of
+//!   rules from it), so the rule can never fire;
+//! * **W005** — a predicate derived by some rule head but consumed by no
+//!   rule body and no query (the work is thrown away);
+//! * **W006** — a body variable occurring exactly once in its rule
+//!   (often a typo where a join was intended).
+//!
+//! Arity conflicts (E003) cannot survive lowering — the universe rejects
+//! them at intern time — so they are classified from the lowering error in
+//! the `wfdl lint` front end rather than here.
+
+use crate::fragment::rule_render;
+use crate::report::{Code, Diagnostic};
+use wfdl_core::rule::var_name;
+use wfdl_core::{HeadTerm, PredId, SkolemProgram, Universe, Var};
+
+/// Output of the dead-code pass.
+#[derive(Clone, Debug, Default)]
+pub struct DeadCodeReport {
+    /// Rules that can never fire (W004 count).
+    pub unreachable_rules: usize,
+}
+
+/// Runs the pass, appending diagnostics to `diags`.
+pub fn run(
+    universe: &Universe,
+    program: &SkolemProgram,
+    edb_preds: &[PredId],
+    queried_preds: &[PredId],
+    diags: &mut Vec<Diagnostic>,
+) -> DeadCodeReport {
+    let n = universe.num_preds();
+    let mut in_edb = vec![false; n];
+    for &p in edb_preds {
+        in_edb[p.index()] = true;
+    }
+    let mut queried = vec![false; n];
+    for &p in queried_preds {
+        queried[p.index()] = true;
+    }
+    let mut in_body = vec![false; n];
+    let mut in_head = vec![false; n];
+    for rule in &program.rules {
+        in_head[rule.head_pred.index()] = true;
+        for a in rule.body_pos.iter().chain(rule.body_neg.iter()) {
+            in_body[a.pred.index()] = true;
+        }
+    }
+
+    // Populatable predicates: EDB seeds, closed under rules whose positive
+    // body is entirely populatable (negation ignored — sound
+    // over-approximation, so W004 has no false positives).
+    let mut populatable = in_edb.clone();
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            if populatable[rule.head_pred.index()] {
+                continue;
+            }
+            if rule.body_pos.iter().all(|a| populatable[a.pred.index()]) {
+                populatable[rule.head_pred.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // W003 / W005: per-predicate consumption lints.
+    for p in universe.pred_ids() {
+        if universe.pred_info(p).auxiliary {
+            continue;
+        }
+        let i = p.index();
+        let consumed = in_body[i] || queried[i];
+        if consumed {
+            continue;
+        }
+        if in_edb[i] {
+            diags.push(
+                Diagnostic::new(
+                    Code::W003,
+                    format!(
+                        "predicate `{}` holds facts but is never read by any rule \
+                         or query",
+                        universe.pred_name(p)
+                    ),
+                )
+                .with_pred(universe.pred_name(p)),
+            );
+        } else if in_head[i] {
+            diags.push(
+                Diagnostic::new(
+                    Code::W005,
+                    format!(
+                        "predicate `{}` is derived but never consumed by any rule \
+                         body or query",
+                        universe.pred_name(p)
+                    ),
+                )
+                .with_pred(universe.pred_name(p)),
+            );
+        }
+    }
+
+    // W004 / W006: per-rule lints.
+    let mut unreachable_rules = 0;
+    for rule in &program.rules {
+        if let Some(dead) = rule.body_pos.iter().find(|a| !populatable[a.pred.index()]) {
+            unreachable_rules += 1;
+            diags.push(
+                Diagnostic::new(
+                    Code::W004,
+                    format!(
+                        "rule can never fire: positive body predicate `{}` is not in \
+                         the EDB and no rule chain derives it",
+                        universe.pred_name(dead.pred)
+                    ),
+                )
+                .with_span(rule.span())
+                .with_pred(universe.pred_name(rule.head_pred))
+                .with_rule(rule_render(universe, rule)),
+            );
+        }
+
+        let nv = rule.num_vars() as usize;
+        let mut count = vec![0u32; nv];
+        for a in rule.body_pos.iter().chain(rule.body_neg.iter()) {
+            for v in a.vars() {
+                count[v.index()] += 1;
+            }
+        }
+        for t in rule.head_args.iter() {
+            match t {
+                HeadTerm::Const(_) => {}
+                HeadTerm::Var(v) => count[v.index()] += 1,
+                HeadTerm::Skolem(_, args) => {
+                    for v in args.iter() {
+                        count[v.index()] += 1;
+                    }
+                }
+            }
+        }
+        // Variables that occur exactly once (index gaps count 0 and are
+        // skipped). Skolemized heads repeat every universal variable in
+        // their function arguments, so ∃-rules never trip this.
+        let singles: Vec<Var> = (0..nv)
+            .map(|i| Var::new(i as u32))
+            .filter(|v| count[v.index()] == 1)
+            .collect();
+        if !singles.is_empty() {
+            let names: Vec<String> = singles.iter().map(|v| var_name(*v)).collect();
+            diags.push(
+                Diagnostic::new(
+                    Code::W006,
+                    format!(
+                        "body variable(s) {} occur exactly once (typo, or join \
+                         intended?)",
+                        names.join(", ")
+                    ),
+                )
+                .with_span(rule.span())
+                .with_pred(universe.pred_name(rule.head_pred))
+                .with_rule(rule_render(universe, rule)),
+            );
+        }
+    }
+    DeadCodeReport { unreachable_rules }
+}

@@ -1,0 +1,277 @@
+//! Pass 2: fragment classification (guardedness and wardedness).
+//!
+//! Computes the *affected positions* of the program — the positions where
+//! labelled nulls can appear, seeded by existential (Skolem-producing) head
+//! positions and closed under propagation through rule bodies — then, per
+//! rule, the *harmful* and *dangerous* variables of Warded Datalog±
+//! (Vadalog): a variable is harmful when every positive-body occurrence
+//! sits at an affected position, dangerous when it is harmful and
+//! propagates into the head. A rule is *warded* when all its dangerous
+//! variables share one body atom (the ward) that overlaps other body atoms
+//! only in harmless variables; it is *guarded* (the paper's fragment) when
+//! one body atom carries every universal variable. Each rule with dangerous
+//! variables yields a [`Code::W007`] info naming them and the ward.
+
+use crate::report::{Code, Diagnostic};
+use wfdl_core::rule::{render_atom, var_name};
+use wfdl_core::{HeadTerm, PredId, SkolemProgram, SkolemRule, Universe, Var};
+
+/// Program-level syntactic class, ordered from most to least restrictive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FragmentClass {
+    /// No existential quantification at all (plain normal Datalog).
+    Datalog,
+    /// Every rule has a guard atom covering all universal variables.
+    Guarded,
+    /// Every rule is warded (dangerous variables confined to a ward).
+    Warded,
+    /// At least one rule is neither guarded nor warded.
+    Outside,
+}
+
+impl FragmentClass {
+    /// Lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FragmentClass::Datalog => "datalog",
+            FragmentClass::Guarded => "guarded",
+            FragmentClass::Warded => "warded",
+            FragmentClass::Outside => "outside",
+        }
+    }
+}
+
+/// Dense position index: one slot per (predicate, argument) pair.
+struct Positions {
+    base: Vec<usize>,
+    affected: Vec<bool>,
+}
+
+impl Positions {
+    fn new(universe: &Universe) -> Positions {
+        let mut base = Vec::with_capacity(universe.num_preds() + 1);
+        let mut total = 0;
+        for p in universe.pred_ids() {
+            base.push(total);
+            total += universe.pred_arity(p);
+        }
+        base.push(total);
+        Positions {
+            base,
+            affected: vec![false; total],
+        }
+    }
+
+    fn idx(&self, pred: PredId, arg: usize) -> usize {
+        self.base[pred.index()] + arg
+    }
+
+    fn is_affected(&self, pred: PredId, arg: usize) -> bool {
+        self.affected[self.idx(pred, arg)]
+    }
+}
+
+/// Per-rule variable facts relative to the affected-position fixpoint.
+struct RuleVars {
+    /// Harmful: every positive-body occurrence at an affected position.
+    harmful: Vec<Var>,
+    /// Dangerous: harmful and occurring in the head.
+    dangerous: Vec<Var>,
+}
+
+fn head_vars(rule: &SkolemRule) -> Vec<Var> {
+    let mut vs = Vec::new();
+    for t in rule.head_args.iter() {
+        match t {
+            HeadTerm::Const(_) => {}
+            HeadTerm::Var(v) => vs.push(*v),
+            HeadTerm::Skolem(_, args) => vs.extend(args.iter().copied()),
+        }
+    }
+    vs
+}
+
+fn rule_vars(rule: &SkolemRule, pos: &Positions) -> RuleVars {
+    let nv = rule.num_vars() as usize;
+    let mut occurs = vec![false; nv];
+    let mut unaffected_occ = vec![false; nv];
+    for a in &rule.body_pos {
+        for (i, t) in a.args.iter().enumerate() {
+            if let wfdl_core::RTerm::Var(v) = t {
+                occurs[v.index()] = true;
+                if !pos.is_affected(a.pred, i) {
+                    unaffected_occ[v.index()] = true;
+                }
+            }
+        }
+    }
+    let harmful: Vec<Var> = (0..nv)
+        .map(|i| Var::new(i as u32))
+        .filter(|v| occurs[v.index()] && !unaffected_occ[v.index()])
+        .collect();
+    let hv = head_vars(rule);
+    let dangerous: Vec<Var> = harmful.iter().copied().filter(|v| hv.contains(v)).collect();
+    RuleVars { harmful, dangerous }
+}
+
+/// Computes the affected-position fixpoint.
+fn affected_positions(universe: &Universe, program: &SkolemProgram) -> Positions {
+    let mut pos = Positions::new(universe);
+    // Seed: Skolem-producing head positions.
+    for rule in &program.rules {
+        for (j, t) in rule.head_args.iter().enumerate() {
+            if matches!(t, HeadTerm::Skolem(..)) {
+                let i = pos.idx(rule.head_pred, j);
+                pos.affected[i] = true;
+            }
+        }
+    }
+    // Propagate: a harmful variable carries nulls into its head positions.
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            let rv = rule_vars(rule, &pos);
+            for (j, t) in rule.head_args.iter().enumerate() {
+                if let HeadTerm::Var(v) = t {
+                    if rv.harmful.contains(v) {
+                        let i = pos.idx(rule.head_pred, j);
+                        if !pos.affected[i] {
+                            pos.affected[i] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    pos
+}
+
+/// Output of the fragment pass.
+#[derive(Clone, Debug)]
+pub struct FragmentReport {
+    /// The program-level class.
+    pub class: FragmentClass,
+    /// Number of rules with at least one dangerous variable.
+    pub rules_with_dangerous_vars: usize,
+}
+
+fn atom_vars(a: &wfdl_core::RuleAtom) -> Vec<Var> {
+    a.vars().collect()
+}
+
+/// True iff some positive body atom contains every universal variable.
+fn is_guarded(rule: &SkolemRule) -> bool {
+    let mut all: Vec<Var> = Vec::new();
+    for a in rule.body_pos.iter().chain(rule.body_neg.iter()) {
+        for v in a.vars() {
+            if !all.contains(&v) {
+                all.push(v);
+            }
+        }
+    }
+    rule.body_pos
+        .iter()
+        .any(|a| all.iter().all(|v| atom_vars(a).contains(v)))
+}
+
+/// Finds a ward: a positive body atom containing all dangerous variables
+/// and sharing only harmless variables with the other body atoms.
+fn find_ward<'r>(rule: &'r SkolemRule, rv: &RuleVars) -> Option<&'r wfdl_core::RuleAtom> {
+    rule.body_pos.iter().find(|w| {
+        let wv = atom_vars(w);
+        if !rv.dangerous.iter().all(|v| wv.contains(v)) {
+            return false;
+        }
+        rule.body_pos
+            .iter()
+            .chain(rule.body_neg.iter())
+            .filter(|a| !std::ptr::eq(*a, *w))
+            .all(|a| {
+                atom_vars(a)
+                    .iter()
+                    .all(|v| !wv.contains(v) || !rv.harmful.contains(v))
+            })
+    })
+}
+
+/// Runs the pass, appending W007 infos to `diags`.
+pub fn run(
+    universe: &Universe,
+    program: &SkolemProgram,
+    diags: &mut Vec<Diagnostic>,
+) -> FragmentReport {
+    let pos = affected_positions(universe, program);
+    let mut class = FragmentClass::Datalog;
+    let mut rules_with_dangerous_vars = 0;
+    for rule in &program.rules {
+        let has_existential = rule
+            .head_args
+            .iter()
+            .any(|t| matches!(t, HeadTerm::Skolem(..)));
+        let rv = rule_vars(rule, &pos);
+        let rule_class = if !has_existential && rv.dangerous.is_empty() {
+            FragmentClass::Datalog
+        } else if is_guarded(rule) {
+            FragmentClass::Guarded
+        } else if find_ward(rule, &rv).is_some() {
+            FragmentClass::Warded
+        } else {
+            FragmentClass::Outside
+        };
+        class = class.max(rule_class);
+        if !rv.dangerous.is_empty() {
+            rules_with_dangerous_vars += 1;
+            let vars: Vec<String> = rv.dangerous.iter().map(|v| var_name(*v)).collect();
+            let ward = match find_ward(rule, &rv) {
+                Some(w) => render_atom(universe, w),
+                None if is_guarded(rule) => {
+                    "none (guard shares harmful variables with other atoms)".to_owned()
+                }
+                None => "none (rule outside the warded fragment)".to_owned(),
+            };
+            diags.push(
+                Diagnostic::new(
+                    Code::W007,
+                    format!(
+                        "dangerous variable(s) {} may carry nulls into the head; \
+                         ward: {ward}",
+                        vars.join(", ")
+                    ),
+                )
+                .with_span(rule.span())
+                .with_pred(universe.pred_name(rule.head_pred))
+                .with_rule(rule_render(universe, rule)),
+            );
+        }
+    }
+    FragmentReport {
+        class,
+        rules_with_dangerous_vars,
+    }
+}
+
+/// Renders a skolemized rule compactly for diagnostics.
+pub fn rule_render(universe: &Universe, rule: &SkolemRule) -> String {
+    if let Some(l) = &rule.label {
+        return l.to_string();
+    }
+    let mut s = String::new();
+    for (i, a) in rule.body_pos.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&render_atom(universe, a));
+    }
+    for a in &rule.body_neg {
+        s.push_str(", not ");
+        s.push_str(&render_atom(universe, a));
+    }
+    s.push_str(" -> ");
+    s.push_str(universe.pred_name(rule.head_pred));
+    s.push_str("(…)");
+    s
+}

@@ -1,0 +1,247 @@
+//! Predicate dependency graph and strongly connected components.
+//!
+//! Nodes are predicates (dense [`PredId`]s); an edge `h → b` records that a
+//! rule with head `h` reads `b` in its body, with negative polarity when the
+//! body literal is negated. The SCC decomposition drives the stratification
+//! report; it is deliberately independent of the engine's ground-level SCC
+//! machinery in `wfdl-wfs` so the analyzer stays a leaf crate over
+//! `wfdl-core` only.
+
+use wfdl_core::{PredId, SkolemProgram};
+
+/// One dependency edge `from → to` (head reads body).
+#[derive(Clone, Copy, Debug)]
+pub struct DepEdge {
+    /// Head predicate of the contributing rule.
+    pub from: PredId,
+    /// Body predicate read by the rule.
+    pub to: PredId,
+    /// True when the body literal is negated.
+    pub negated: bool,
+    /// Index of the contributing rule in the program.
+    pub rule: usize,
+}
+
+/// Predicate dependency graph over a skolemized program.
+#[derive(Debug)]
+pub struct PredGraph {
+    num_preds: usize,
+    /// All edges, in rule order (deterministic).
+    pub edges: Vec<DepEdge>,
+    /// Adjacency: for each predicate, indices into `edges` of its
+    /// out-edges (`from == pred`).
+    adj: Vec<Vec<usize>>,
+}
+
+impl PredGraph {
+    /// Builds the dependency graph of `program` over `num_preds` predicates.
+    pub fn build(num_preds: usize, program: &SkolemProgram) -> PredGraph {
+        let mut edges = Vec::new();
+        let mut adj = vec![Vec::new(); num_preds];
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let h = rule.head_pred;
+            for a in &rule.body_pos {
+                adj[h.index()].push(edges.len());
+                edges.push(DepEdge {
+                    from: h,
+                    to: a.pred,
+                    negated: false,
+                    rule: ri,
+                });
+            }
+            for a in &rule.body_neg {
+                adj[h.index()].push(edges.len());
+                edges.push(DepEdge {
+                    from: h,
+                    to: a.pred,
+                    negated: true,
+                    rule: ri,
+                });
+            }
+        }
+        PredGraph {
+            num_preds,
+            edges,
+            adj,
+        }
+    }
+
+    /// Number of predicate nodes.
+    pub fn num_preds(&self) -> usize {
+        self.num_preds
+    }
+
+    /// Out-edges of `p` (indices into [`PredGraph::edges`]).
+    pub fn out_edges(&self, p: PredId) -> &[usize] {
+        &self.adj[p.index()]
+    }
+
+    /// Strongly connected components (iterative Tarjan). Returns the
+    /// component id of each predicate; ids are dense and deterministic for
+    /// a given program.
+    pub fn sccs(&self) -> Vec<u32> {
+        let n = self.num_preds;
+        const UNSET: u32 = u32::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp = vec![UNSET; n];
+        let mut next_index = 0u32;
+        let mut next_comp = 0u32;
+        // Explicit DFS frames: (node, next out-edge offset).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != UNSET {
+                continue;
+            }
+            frames.push((start as u32, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start as u32);
+            on_stack[start] = true;
+
+            while let Some(&(v, ei)) = frames.last() {
+                let v = v as usize;
+                if ei < self.adj[v].len() {
+                    if let Some(frame) = frames.last_mut() {
+                        frame.1 += 1;
+                    }
+                    let e = self.adj[v][ei];
+                    let w = self.edges[e].to.index();
+                    if index[w] == UNSET {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        frames.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        let p = p as usize;
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        while let Some(w) = stack.pop() {
+                            let w = w as usize;
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// Shortest path `from ⇝ to` restricted to one component (BFS over
+    /// edges whose endpoints share `comp[..] == cid`). Returns the node
+    /// sequence including both endpoints, or `None` if unreachable.
+    pub fn path_within_component(
+        &self,
+        comp: &[u32],
+        cid: u32,
+        from: PredId,
+        to: PredId,
+    ) -> Option<Vec<PredId>> {
+        let n = self.num_preds;
+        let mut prev: Vec<Option<PredId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[from.index()] = true;
+        queue.push_back(from);
+        while let Some(v) = queue.pop_front() {
+            if v == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while let Some(p) = prev[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &e in self.out_edges(v) {
+                let w = self.edges[e].to;
+                if comp[w.index()] == cid && !seen[w.index()] {
+                    seen[w.index()] = true;
+                    prev[w.index()] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdl_core::{HeadTerm, RTerm, RuleAtom, SkolemRule, Universe, Var};
+
+    fn v(i: u32) -> RTerm {
+        RTerm::Var(Var::new(i))
+    }
+
+    fn rule(u: &Universe, head: PredId, pos: &[PredId], neg: &[PredId]) -> SkolemRule {
+        // All atoms unary over the same variable: guard trivially holds.
+        let mk = |p: &PredId| RuleAtom::new(*p, vec![v(0)]);
+        SkolemRule::new(
+            u,
+            pos.iter().map(mk).collect(),
+            neg.iter().map(mk).collect(),
+            head,
+            vec![HeadTerm::Var(Var::new(0))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scc_groups_mutual_recursion() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let e = u.pred("e", 1).unwrap();
+        let prog = SkolemProgram {
+            rules: vec![
+                rule(&u, p, &[q], &[]),
+                rule(&u, q, &[p], &[]),
+                rule(&u, p, &[e], &[]),
+            ],
+        };
+        let g = PredGraph::build(u.num_preds(), &prog);
+        let comp = g.sccs();
+        assert_eq!(comp[p.index()], comp[q.index()]);
+        assert_ne!(comp[p.index()], comp[e.index()]);
+    }
+
+    #[test]
+    fn path_within_component_finds_cycle_back() {
+        let mut u = Universe::new();
+        let p = u.pred("p", 1).unwrap();
+        let q = u.pred("q", 1).unwrap();
+        let r = u.pred("r", 1).unwrap();
+        let prog = SkolemProgram {
+            rules: vec![
+                rule(&u, p, &[q], &[]),
+                rule(&u, q, &[r], &[]),
+                rule(&u, r, &[p], &[]),
+            ],
+        };
+        let g = PredGraph::build(u.num_preds(), &prog);
+        let comp = g.sccs();
+        let cid = comp[p.index()];
+        let path = g.path_within_component(&comp, cid, q, p).unwrap();
+        assert_eq!(path, vec![q, r, p]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Pass 1: negation/stratification report.
+//!
+//! Classifies each SCC of the predicate dependency graph by how the WFS
+//! engine will solve it — `definite` (no recursion), `stratified`
+//! (recursion, but negation never crosses back into the component) or
+//! `recursive` (recursion through negation: the alternating-fixpoint path,
+//! answers may come back `undefined`). Each `recursive` component yields a
+//! [`Code::W001`] diagnostic carrying a concrete witness cycle.
+
+use crate::graph::PredGraph;
+use crate::report::{Code, Diagnostic};
+use wfdl_core::{PredId, SkolemProgram, Universe};
+
+/// How the engine will treat one dependency component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentClass {
+    /// No internal edges: one evaluation, no fixpoint needed.
+    Definite,
+    /// Internal edges, all positive: a stratified fixpoint, still
+    /// two-valued.
+    Stratified,
+    /// An internal negative edge: recursion through negation.
+    Recursive,
+}
+
+impl ComponentClass {
+    /// Lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ComponentClass::Definite => "definite",
+            ComponentClass::Stratified => "stratified",
+            ComponentClass::Recursive => "recursive",
+        }
+    }
+}
+
+/// One SCC of the predicate dependency graph.
+#[derive(Clone, Debug)]
+pub struct ComponentInfo {
+    /// Display names of the member predicates, in predicate-id order.
+    pub preds: Vec<String>,
+    /// Engine-path classification.
+    pub class: ComponentClass,
+}
+
+/// Output of the stratification pass.
+#[derive(Clone, Debug, Default)]
+pub struct StratReport {
+    /// Components mentioning at least one non-auxiliary predicate that
+    /// occurs in the program, ordered by smallest member predicate id.
+    pub components: Vec<ComponentInfo>,
+    /// True iff no component is [`ComponentClass::Recursive`].
+    pub stratified: bool,
+}
+
+/// Runs the pass, appending one W001 per recursive-through-negation
+/// component to `diags`.
+pub fn run(
+    universe: &Universe,
+    program: &SkolemProgram,
+    graph: &PredGraph,
+    comp: &[u32],
+    diags: &mut Vec<Diagnostic>,
+) -> StratReport {
+    let num_comps = comp.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut members: Vec<Vec<PredId>> = vec![Vec::new(); num_comps];
+    let mut mentioned = vec![false; graph.num_preds()];
+    for e in &graph.edges {
+        mentioned[e.from.index()] = true;
+        mentioned[e.to.index()] = true;
+    }
+    for p in (0..graph.num_preds()).map(PredId::from_index) {
+        members[comp[p.index()] as usize].push(p);
+    }
+
+    // Internal negative edge per component (first in rule order), and
+    // whether the component has any internal edge at all.
+    let mut has_internal = vec![false; num_comps];
+    let mut neg_edge: Vec<Option<usize>> = vec![None; num_comps];
+    for (ei, e) in graph.edges.iter().enumerate() {
+        let cf = comp[e.from.index()];
+        if cf == comp[e.to.index()] {
+            let c = cf as usize;
+            has_internal[c] = true;
+            if e.negated && neg_edge[c].is_none() {
+                neg_edge[c] = Some(ei);
+            }
+        }
+    }
+
+    let mut infos: Vec<(PredId, ComponentInfo)> = Vec::new();
+    let mut stratified = true;
+    for c in 0..num_comps {
+        let ps = &members[c];
+        if !ps
+            .iter()
+            .any(|p| mentioned[p.index()] && !universe.pred_info(*p).auxiliary)
+        {
+            continue;
+        }
+        let class = if let Some(ei) = neg_edge[c] {
+            stratified = false;
+            let e = graph.edges[ei];
+            // Witness: the negative edge h -not-> b closed by a path b ⇝ h
+            // inside the component.
+            let cycle = witness_cycle(universe, graph, comp, c as u32, e.from, e.to);
+            let rule = &program.rules[e.rule];
+            diags.push(
+                Diagnostic::new(
+                    Code::W001,
+                    format!(
+                        "recursion through negation: {cycle}; this component is solved \
+                         by the alternating fixpoint and its atoms may be undefined"
+                    ),
+                )
+                .with_span(rule.span())
+                .with_pred(universe.pred_name(e.from)),
+            );
+            ComponentClass::Recursive
+        } else if has_internal[c] {
+            ComponentClass::Stratified
+        } else {
+            ComponentClass::Definite
+        };
+        let min_pred = ps.iter().copied().min().unwrap_or(PredId::from_index(0));
+        infos.push((
+            min_pred,
+            ComponentInfo {
+                preds: ps
+                    .iter()
+                    .map(|p| universe.pred_name(*p).to_owned())
+                    .collect(),
+                class,
+            },
+        ));
+    }
+    infos.sort_by_key(|(p, _)| p.index());
+    StratReport {
+        components: infos.into_iter().map(|(_, i)| i).collect(),
+        stratified,
+    }
+}
+
+/// Renders `h -not-> b -> … -> h` for the negative edge `(h, b)`.
+fn witness_cycle(
+    universe: &Universe,
+    graph: &PredGraph,
+    comp: &[u32],
+    cid: u32,
+    h: PredId,
+    b: PredId,
+) -> String {
+    let mut s = format!("{} -not-> {}", universe.pred_name(h), universe.pred_name(b));
+    if let Some(path) = graph.path_within_component(comp, cid, b, h) {
+        for p in path.iter().skip(1) {
+            s.push_str(" -> ");
+            s.push_str(universe.pred_name(*p));
+        }
+    }
+    s
+}

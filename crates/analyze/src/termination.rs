@@ -1,0 +1,275 @@
+//! Pass 3: chase-termination risk via weak acyclicity.
+//!
+//! Builds the Fagin-style position dependency graph: nodes are (predicate,
+//! argument) positions; a rule with body variable `v` at position `u`
+//! contributes a *regular* edge `u → w` for every head position `w` where
+//! `v` reappears, and a *special* edge `u → w` for every head position `w`
+//! holding a Skolem term with `v` among its arguments. A cycle through a
+//! special edge means the program is not weakly acyclic: the chase can
+//! generate fresh nulls forever and is only stopped by the depth/atom
+//! budgets ([`Code::W002`]). The witness names the position cycle and the
+//! contributing rule chain.
+//!
+//! Weak acyclicity is a sound over-approximation: every flagged program
+//! *can* diverge on some database, but a particular database may still
+//! saturate early.
+
+use crate::report::{Code, Diagnostic};
+use wfdl_core::{HeadTerm, PredId, RTerm, SkolemProgram, Universe, Var};
+
+/// One edge of the position graph.
+#[derive(Clone, Copy, Debug)]
+struct PosEdge {
+    from: usize,
+    to: usize,
+    special: bool,
+    rule: usize,
+}
+
+struct PosGraph {
+    base: Vec<usize>,
+    total: usize,
+    edges: Vec<PosEdge>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl PosGraph {
+    fn idx(&self, pred: PredId, arg: usize) -> usize {
+        self.base[pred.index()] + arg
+    }
+
+    fn describe(&self, universe: &Universe, i: usize) -> String {
+        // Invert the dense index; positions per predicate are contiguous.
+        let p = match self.base.binary_search(&i) {
+            Ok(k) => k,
+            Err(k) => k - 1,
+        };
+        let arg = i - self.base[p];
+        format!("{}[{}]", universe.pred_name(PredId::from_index(p)), arg)
+    }
+}
+
+fn build(universe: &Universe, program: &SkolemProgram) -> PosGraph {
+    let mut base = Vec::with_capacity(universe.num_preds() + 1);
+    let mut total = 0;
+    for p in universe.pred_ids() {
+        base.push(total);
+        total += universe.pred_arity(p);
+    }
+    base.push(total);
+    let mut g = PosGraph {
+        base,
+        total,
+        edges: Vec::new(),
+        adj: vec![Vec::new(); total],
+    };
+    for (ri, rule) in program.rules.iter().enumerate() {
+        // Body positions of each variable (positive body only, as in the
+        // standard weak-acyclicity definition).
+        let nv = rule.num_vars() as usize;
+        let mut var_pos: Vec<Vec<usize>> = vec![Vec::new(); nv];
+        for a in &rule.body_pos {
+            for (i, t) in a.args.iter().enumerate() {
+                if let RTerm::Var(v) = t {
+                    var_pos[v.index()].push(g.idx(a.pred, i));
+                }
+            }
+        }
+        let add = |g: &mut PosGraph, from: usize, to: usize, special: bool| {
+            g.adj[from].push(g.edges.len());
+            g.edges.push(PosEdge {
+                from,
+                to,
+                special,
+                rule: ri,
+            });
+        };
+        for (j, t) in rule.head_args.iter().enumerate() {
+            let to = g.idx(rule.head_pred, j);
+            match t {
+                HeadTerm::Const(_) => {}
+                HeadTerm::Var(v) => {
+                    for &from in &var_pos[v.index()] {
+                        add(&mut g, from, to, false);
+                    }
+                }
+                HeadTerm::Skolem(_, args) => {
+                    let mut seen: Vec<Var> = Vec::new();
+                    for v in args.iter() {
+                        if seen.contains(v) {
+                            continue;
+                        }
+                        seen.push(*v);
+                        for &from in &var_pos[v.index()] {
+                            add(&mut g, from, to, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// SCC ids of the position graph (iterative Tarjan, same shape as
+/// [`crate::graph::PredGraph::sccs`]).
+fn sccs(g: &PosGraph) -> Vec<u32> {
+    let n = g.total;
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp = vec![UNSET; n];
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start as u32, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start as u32);
+        on_stack[start] = true;
+        while let Some(&(v, ei)) = frames.last() {
+            let v = v as usize;
+            if ei < g.adj[v].len() {
+                if let Some(frame) = frames.last_mut() {
+                    frame.1 += 1;
+                }
+                let w = g.edges[g.adj[v][ei]].to;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    low[p as usize] = low[p as usize].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        let w = w as usize;
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Shortest path `from ⇝ to` within one position-graph component,
+/// returning the traversed edge indices.
+fn path_edges(g: &PosGraph, comp: &[u32], cid: u32, from: usize, to: usize) -> Option<Vec<usize>> {
+    let mut prev: Vec<Option<usize>> = vec![None; g.total]; // edge into node
+    let mut seen = vec![false; g.total];
+    let mut queue = std::collections::VecDeque::new();
+    seen[from] = true;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            let mut edges = Vec::new();
+            let mut cur = to;
+            while let Some(e) = prev[cur] {
+                edges.push(e);
+                cur = g.edges[e].from;
+            }
+            edges.reverse();
+            return Some(edges);
+        }
+        for &e in &g.adj[v] {
+            let w = g.edges[e].to;
+            if comp[w] == cid && !seen[w] {
+                seen[w] = true;
+                prev[w] = Some(e);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Output of the termination pass.
+#[derive(Clone, Debug)]
+pub struct TerminationReport {
+    /// True iff the program is weakly acyclic (chase terminates on every
+    /// database).
+    pub weakly_acyclic: bool,
+}
+
+/// Runs the pass, appending one W002 per offending rule to `diags`.
+pub fn run(
+    universe: &Universe,
+    program: &SkolemProgram,
+    diags: &mut Vec<Diagnostic>,
+) -> TerminationReport {
+    let g = build(universe, program);
+    let comp = sccs(&g);
+    let mut flagged_rules: Vec<usize> = Vec::new();
+    for e in &g.edges {
+        if !e.special || comp[e.from] != comp[e.to] {
+            continue;
+        }
+        if flagged_rules.contains(&e.rule) {
+            continue;
+        }
+        flagged_rules.push(e.rule);
+        // Witness: the special edge closed into a cycle back to its source.
+        let back = if e.from == e.to {
+            Vec::new()
+        } else {
+            path_edges(&g, &comp, comp[e.from], e.to, e.from).unwrap_or_default()
+        };
+        let mut cycle = format!(
+            "{} ~∃~> {}",
+            g.describe(universe, e.from),
+            g.describe(universe, e.to)
+        );
+        let mut rules: Vec<usize> = vec![e.rule];
+        for &be in &back {
+            let b = g.edges[be];
+            cycle.push_str(if b.special { " ~∃~> " } else { " -> " });
+            cycle.push_str(&g.describe(universe, b.to));
+            if !rules.contains(&b.rule) {
+                rules.push(b.rule);
+            }
+        }
+        let rule = &program.rules[e.rule];
+        let chain: Vec<String> = rules
+            .iter()
+            .map(|&ri| crate::fragment::rule_render(universe, &program.rules[ri]))
+            .collect();
+        diags.push(
+            Diagnostic::new(
+                Code::W002,
+                format!(
+                    "not weakly acyclic: existential position cycle {cycle}; the chase \
+                     may generate nulls indefinitely and stop only at the depth/atom \
+                     budget (rule chain: {})",
+                    chain.join(" ; ")
+                ),
+            )
+            .with_span(rule.span())
+            .with_pred(universe.pred_name(rule.head_pred))
+            .with_rule(crate::fragment::rule_render(universe, rule)),
+        );
+    }
+    TerminationReport {
+        weakly_acyclic: flagged_rules.is_empty(),
+    }
+}

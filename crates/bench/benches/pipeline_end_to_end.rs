@@ -17,9 +17,13 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+use wfdl_analyze::{analyze, AnalysisInput};
 use wfdl_chase::{ChaseBudget, ChaseSegment};
 use wfdl_core::Universe;
-use wfdl_gen::{employment_ontology, random_ontology, EmploymentConfig, OntologyConfig};
+use wfdl_gen::{
+    employment_ontology, fanout_database, fanout_sigma, random_ontology, EmploymentConfig,
+    FanoutConfig, OntologyConfig,
+};
 use wfdl_ontology::Ontology;
 use wfdl_wfs::ModularEngine;
 
@@ -169,9 +173,84 @@ fn collect(
     out
 }
 
-fn report(outcomes: &[Outcome], samples: usize) {
+/// Measures what `wfdl lint` would add to the compile phase on the widest
+/// generated workload: build the fanout-8192 program + database (the
+/// compile-side work the analyzer rides on), then run the analyzer over
+/// the same lowered program. The analyzer is O(program) — four rules here
+/// — so its share must stay far under the 5% acceptance ceiling no matter
+/// how many facts the workload carries.
+fn lint_overhead(samples: usize) -> String {
+    let mut compile: Vec<u64> = Vec::with_capacity(samples);
+    let mut lint: Vec<u64> = Vec::with_capacity(samples);
+    let cfg = FanoutConfig {
+        groups: 8192,
+        recursive_fraction: 0.25,
+        seed: 2013,
+    };
+    for i in 0..=samples {
+        let mut u = Universe::new();
+        let ((sigma, db), compile_ns) = time(|| {
+            let sigma = fanout_sigma(&mut u);
+            let db = fanout_database(&mut u, &cfg);
+            (sigma, db)
+        });
+        // The analyzer path as `KnowledgeBase::analyze` runs it: collect
+        // the EDB predicate set from the fact store, then analyze.
+        let (report, lint_ns) = time(|| {
+            let mut seen = vec![false; u.num_preds()];
+            let mut edb_preds = Vec::new();
+            for &f in db.facts() {
+                let p = u.atoms.pred(f);
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    edb_preds.push(p);
+                }
+            }
+            analyze(&AnalysisInput {
+                universe: &u,
+                program: &sigma,
+                edb_preds: &edb_preds,
+                queried_preds: &[],
+            })
+        });
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.severity != wfdl_analyze::Severity::Error),
+            "fanout workload must lint clean"
+        );
+        // Iteration 0 is the untimed warm-up.
+        if i > 0 {
+            compile.push(compile_ns);
+            lint.push(lint_ns);
+        }
+    }
+    let med = |v: &mut Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let compile_med = med(&mut compile);
+    let lint_med = med(&mut lint);
+    let pct = lint_med as f64 * 100.0 / compile_med.max(1) as f64;
+    println!(
+        "pipeline_end_to_end/lint_overhead/fanout8192: compile median {}, lint median {} ({pct:.2}% overhead, {samples} samples)",
+        fmt_ns(compile_med),
+        fmt_ns(lint_med),
+    );
+    assert!(
+        pct < 5.0,
+        "lint overhead {pct:.2}% breaches the 5% compile-phase ceiling"
+    );
+    format!(
+        "  \"lint_overhead\": {{\"workload\": \"fanout8192\", \"compile_ns\": {compile_med}, \"lint_ns\": {lint_med}, \"overhead_pct\": {pct:.2}}},\n"
+    )
+}
+
+fn report(outcomes: &[Outcome], samples: usize, lint_json: &str) {
     let mut json = String::from("{\n");
     writeln!(json, "  \"samples\": {samples},").unwrap();
+    json.push_str(lint_json);
     json.push_str("  \"workloads\": [\n");
     for (wi, o) in outcomes.iter().enumerate() {
         println!(
@@ -253,5 +332,6 @@ fn main() {
         }),
     ];
 
-    report(&outcomes, samples);
+    let lint_json = lint_overhead(samples);
+    report(&outcomes, samples, &lint_json);
 }

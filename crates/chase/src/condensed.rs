@@ -1287,7 +1287,9 @@ impl<'a> Builder<'a> {
         let used = chunks.len();
         std::thread::scope(|s| {
             let mut pairs = self.shards[..used].iter_mut().zip(chunks);
-            let (first_shard, first_chunk) = pairs.next().expect("frontier is non-empty");
+            let Some((first_shard, first_chunk)) = pairs.next() else {
+                return; // unreachable: an empty frontier took the early exit
+            };
             for (shard, chunk) in pairs {
                 s.spawn(move || {
                     match_chunk(universe, program, rules_by_guard_pred, atoms, chunk, shard)
@@ -1373,9 +1375,9 @@ impl<'a> Builder<'a> {
         let head_occ_off = prefix_sum(&head_counts);
         let body_occ_off = prefix_sum(&body_counts);
         let zero = InstanceId::from_index(0);
-        let mut guard_occ = vec![zero; *guard_occ_off.last().unwrap() as usize];
-        let mut head_occ = vec![zero; *head_occ_off.last().unwrap() as usize];
-        let mut body_occ = vec![zero; *body_occ_off.last().unwrap() as usize];
+        let mut guard_occ = vec![zero; guard_occ_off[n] as usize];
+        let mut head_occ = vec![zero; head_occ_off[n] as usize];
+        let mut body_occ = vec![zero; body_occ_off[n] as usize];
         let mut guard_fill: Vec<u32> = guard_occ_off[..n].to_vec();
         let mut head_fill: Vec<u32> = head_occ_off[..n].to_vec();
         let mut body_fill: Vec<u32> = body_occ_off[..n].to_vec();

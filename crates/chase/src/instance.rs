@@ -16,7 +16,7 @@ impl InstanceId {
     /// Rebuilds from a dense index.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        InstanceId(u32::try_from(i).expect("instance id overflow"))
+        InstanceId(wfdl_core::dense_u32(i, "instance id"))
     }
 }
 
@@ -40,7 +40,7 @@ impl SegAtomId {
     /// Rebuilds from a dense index.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        SegAtomId(u32::try_from(i).expect("segment atom id overflow"))
+        SegAtomId(wfdl_core::dense_u32(i, "segment atom id"))
     }
 }
 

@@ -1,6 +1,11 @@
 //! The paper's running example (Examples 4, 6 and 9), packaged for reuse by
 //! tests, examples and benchmarks across the workspace.
 
+// Fixture module: every rule/atom below is a hard-coded, statically valid
+// construction from the paper, so the fallible builder APIs cannot fail —
+// a panic here means the fixture itself was edited into invalidity.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdl_core::{Program, RTerm, RuleAtom, SkolemProgram, Tgd, Universe, Var};
 use wfdl_storage::Database;
 

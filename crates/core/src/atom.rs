@@ -25,7 +25,7 @@ impl AtomId {
     /// Rebuilds an `AtomId` from a dense index.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        AtomId(u32::try_from(i).expect("atom id overflow"))
+        AtomId(crate::dense_u32(i, "atom id"))
     }
 }
 
@@ -134,7 +134,7 @@ impl AtomStore {
     }
 
     fn insert_new(&mut self, node: AtomNode) -> AtomId {
-        let id = AtomId(u32::try_from(self.nodes.len()).expect("atom store overflow"));
+        let id = AtomId(crate::dense_u32(self.nodes.len(), "atom store"));
         self.nodes.push(node.clone());
         self.map.insert(node, id);
         id

@@ -44,6 +44,8 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // `chunks_exact(8)` guarantees the slice length.
+            #[allow(clippy::expect_used)]
             self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();

@@ -48,7 +48,7 @@ pub use factbatch::{FactBatch, RelationWriter};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interp::Interp;
 pub use program::Program;
-pub use rule::{Constraint, RTerm, RuleAtom, Tgd, Var};
+pub use rule::{Constraint, RTerm, RuleAtom, Span, Tgd, Var};
 pub use schema::{PredId, PredInfo, SchemaStats};
 pub use skolem::{HeadTerm, SkolemProgram, SkolemRule};
 pub use snapshot::UniverseSnapshot;
@@ -57,3 +57,20 @@ pub use symbol::{Symbol, SymbolTable};
 pub use term::{SkolemId, TermId, TermNode, TermStore};
 pub use truth::Truth;
 pub use universe::Universe;
+
+/// Narrows a dense arena index to the `u32` id space shared by every
+/// interned id type ([`TermId`], [`AtomId`], [`PredId`], …).
+///
+/// # Panics
+///
+/// Panics past `u32::MAX` entries — the documented arena capacity
+/// ceiling. Hitting it means the workload outgrew the 4-byte id layout,
+/// not a recoverable condition.
+#[inline]
+#[must_use]
+pub fn dense_u32(i: usize, what: &str) -> u32 {
+    match u32::try_from(i) {
+        Ok(v) => v,
+        Err(_) => panic!("{what} overflow: index {i} exceeds the u32 id space"),
+    }
+}

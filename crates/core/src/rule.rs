@@ -39,6 +39,23 @@ impl fmt::Debug for Var {
     }
 }
 
+/// A source location (1-based line and column) carried by rules lowered
+/// from surface syntax, so diagnostics can point back into the `.dl` file.
+/// Rules built programmatically have no span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A term position inside a rule: a constant or a variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RTerm {
@@ -109,6 +126,7 @@ pub struct Tgd {
     num_vars: u32,
     universal: BitSet,
     existential: Vec<Var>,
+    span: Option<Span>,
 }
 
 impl Tgd {
@@ -141,8 +159,7 @@ impl Tgd {
 
         let render = || render_rule(universe, &body_pos, &body_neg, &head);
 
-        if !neg_vars.is_subset(&pos_vars) {
-            let v = neg_vars.iter().find(|i| !pos_vars.contains(*i)).unwrap();
+        if let Some(v) = neg_vars.iter().find(|i| !pos_vars.contains(*i)) {
             return Err(CoreError::UnsafeRule {
                 rule: render(),
                 detail: format!(
@@ -194,6 +211,7 @@ impl Tgd {
             num_vars,
             universal,
             existential,
+            span: None,
         })
     }
 
@@ -201,6 +219,18 @@ impl Tgd {
     pub fn with_label(mut self, label: impl Into<Box<str>>) -> Self {
         self.label = Some(label.into());
         self
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Source span of the rule, when it was lowered from surface syntax.
+    #[inline]
+    pub fn span(&self) -> Option<Span> {
+        self.span
     }
 
     /// Index (into `body_pos`) of the guard atom.
@@ -263,6 +293,7 @@ pub struct Constraint {
     /// Optional label for diagnostics.
     pub label: Option<Box<str>>,
     guard: usize,
+    span: Option<Span>,
 }
 
 impl Constraint {
@@ -313,7 +344,20 @@ impl Constraint {
             body_neg,
             label: None,
             guard,
+            span: None,
         })
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Source span of the constraint, when lowered from surface syntax.
+    #[inline]
+    pub fn span(&self) -> Option<Span> {
+        self.span
     }
 
     /// Index (into `body_pos`) of the guard atom.

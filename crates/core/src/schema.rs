@@ -17,7 +17,7 @@ impl PredId {
     /// Rebuilds a `PredId` from a dense index.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        PredId(u32::try_from(i).expect("pred id overflow"))
+        PredId(crate::dense_u32(i, "pred id"))
     }
 }
 

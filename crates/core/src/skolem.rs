@@ -14,7 +14,7 @@
 
 use crate::bitset::BitSet;
 use crate::error::{CoreError, Result};
-use crate::rule::{render_atom, RTerm, RuleAtom, Tgd, Var};
+use crate::rule::{render_atom, RTerm, RuleAtom, Span, Tgd, Var};
 use crate::schema::PredId;
 use crate::term::{SkolemId, TermId};
 use crate::universe::Universe;
@@ -50,6 +50,7 @@ pub struct SkolemRule {
     pub label: Option<Box<str>>,
     guard: usize,
     num_vars: u32,
+    span: Option<Span>,
 }
 
 impl SkolemRule {
@@ -145,6 +146,7 @@ impl SkolemRule {
             label: None,
             guard,
             num_vars,
+            span: None,
         })
     }
 
@@ -152,6 +154,18 @@ impl SkolemRule {
     pub fn with_label(mut self, label: impl Into<Box<str>>) -> Self {
         self.label = Some(label.into());
         self
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Source span of the rule, when it was lowered from surface syntax.
+    #[inline]
+    pub fn span(&self) -> Option<Span> {
+        self.span
     }
 
     /// Index (into `body_pos`) of the guard atom.
@@ -179,6 +193,9 @@ impl SkolemRule {
 
     /// Instantiates the head under a total binding of the rule's variables,
     /// interning any Skolem terms it produces.
+    // Skolem arities are fixed when the rule is skolemized, so the
+    // interning call cannot see an arity mismatch.
+    #[allow(clippy::expect_used)]
     pub fn instantiate_head(
         &self,
         universe: &mut Universe,
@@ -282,6 +299,7 @@ pub fn skolemize_tgd(universe: &mut Universe, tgd: &Tgd) -> Result<SkolemRule> {
         head_args,
     )?;
     rule.label = tgd.label.clone();
+    rule.span = tgd.span();
     Ok(rule)
 }
 
@@ -292,6 +310,9 @@ fn fresh_skolem(universe: &mut Universe, base: &str, arity: usize) -> SkolemId {
         n += 1;
         name = format!("{base}#{n}");
     }
+    // The loop above stopped at the first unregistered name, so the
+    // registration cannot collide.
+    #[allow(clippy::expect_used)]
     universe
         .skolem_fn(&name, arity)
         .expect("name was just checked to be fresh")

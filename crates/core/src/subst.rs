@@ -68,6 +68,13 @@ impl Binding {
 
     /// Allocation-free variant of [`Binding::to_total`]: writes the dense
     /// binding into `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable in `0..n` is unbound — callers invoke this
+    /// only after a successful guard match, which binds every universal
+    /// variable by construction.
+    #[allow(clippy::expect_used)]
     pub fn write_total(&self, n: u32, out: &mut Vec<TermId>) {
         out.clear();
         out.extend(

@@ -48,7 +48,7 @@ impl SymbolTable {
         if let Some(&sym) = self.map.get(name) {
             return sym;
         }
-        let sym = Symbol(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        let sym = Symbol(crate::dense_u32(self.names.len(), "symbol table"));
         self.names.push(name.into());
         self.map.insert(name.into(), sym);
         sym

@@ -26,7 +26,7 @@ impl TermId {
     /// Rebuilds a `TermId` from a dense index (inverse of [`TermId::index`]).
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        TermId(u32::try_from(i).expect("term id overflow"))
+        TermId(crate::dense_u32(i, "term id"))
     }
 }
 
@@ -48,7 +48,7 @@ impl SkolemId {
     }
 
     pub(crate) fn from_index(i: usize) -> Self {
-        SkolemId(u32::try_from(i).expect("skolem id overflow"))
+        SkolemId(crate::dense_u32(i, "skolem id"))
     }
 }
 
@@ -117,7 +117,7 @@ impl TermStore {
                     .unwrap_or(0)
             }
         };
-        let id = TermId(u32::try_from(self.nodes.len()).expect("term store overflow"));
+        let id = TermId(crate::dense_u32(self.nodes.len(), "term store"));
         self.nodes.push(node.clone());
         self.depth.push(depth);
         self.map.insert(node, id);

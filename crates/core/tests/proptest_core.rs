@@ -1,6 +1,10 @@
 //! Property-based tests for the core data structures: bitsets, interners,
 //! bindings and interpretations.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use std::collections::HashSet;
 use wfdl_core::{AtomId, Binding, BitSet, Interp, SymbolTable, Truth, Universe};

@@ -194,7 +194,11 @@ fn match_query_atom(
     true
 }
 
-#[allow(clippy::too_many_arguments)]
+// The two `expect`s below hold by query safety, validated at
+// construction: every variable of a negated atom and every answer
+// variable occurs in some positive atom, and all positive atoms are
+// matched before this leaf runs.
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
 fn search<S: TruthSource>(
     universe: &Universe,
     model: &S,

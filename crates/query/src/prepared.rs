@@ -204,6 +204,37 @@ impl PreparedQuery {
         self.shape.is_some()
     }
 
+    /// Names in the retained shape that do not resolve against `universe`,
+    /// rendered as `` "predicate `p`" `` / `` "constant `c`" `` strings in
+    /// source order, deduplicated. Empty for fully-resolved queries. This
+    /// is the payload for the short-circuit warning the CLI and serve tier
+    /// attach when a query is answered definitely-empty (or with a negated
+    /// literal dropped) because of an unknown name.
+    pub fn unresolved_symbols(&self, universe: &Universe) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let Some(shape) = &self.shape else {
+            return out;
+        };
+        let mut push = |s: String| {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        };
+        for atom in &shape.atoms {
+            if universe.lookup_pred(&atom.pred).is_none() {
+                push(format!("predicate `{}`", atom.pred));
+            }
+            for t in &atom.args {
+                if let ShapeTerm::Const(c) = t {
+                    if universe.lookup_constant(c).is_none() {
+                        push(format!("constant `{c}`"));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// The lowered query, unless preparation short-circuited.
     pub fn query(&self) -> Option<&Nbcq> {
         self.query.as_ref()
@@ -367,6 +398,53 @@ mod tests {
         assert_eq!(rebound.query().unwrap().neg.len(), 1, "literal restored");
         assert!(!rebound.needs_rebind());
         let _ = pc;
+    }
+
+    #[test]
+    fn unresolved_symbols_name_the_missing_parts() {
+        let mut u = Universe::new();
+        u.pred("p", 2).unwrap();
+        u.constant("c");
+        // ?- p(d, X), ghost(d). — `d` and `ghost` are unknown.
+        let shape = Arc::new(QueryShape {
+            atoms: vec![
+                ShapeAtom {
+                    negated: false,
+                    pred: "p".into(),
+                    args: vec![ShapeTerm::Const("d".into()), ShapeTerm::Var(QVar::new(0))],
+                },
+                ShapeAtom {
+                    negated: false,
+                    pred: "ghost".into(),
+                    args: vec![ShapeTerm::Const("d".into())],
+                },
+            ],
+            answer_vars: vec![QVar::new(0)],
+        });
+        let q = PreparedQuery::resolve(&u, Arc::clone(&shape)).unwrap();
+        assert!(q.is_definitely_empty());
+        assert_eq!(
+            q.unresolved_symbols(&u),
+            vec!["constant `d`".to_owned(), "predicate `ghost`".to_owned()],
+            "source order, deduplicated"
+        );
+        // Fully-resolved queries report nothing.
+        let ok = Arc::new(QueryShape {
+            atoms: vec![ShapeAtom {
+                negated: false,
+                pred: "p".into(),
+                args: vec![ShapeTerm::Const("c".into()), ShapeTerm::Var(QVar::new(0))],
+            }],
+            answer_vars: vec![QVar::new(0)],
+        });
+        let ok = PreparedQuery::resolve(&u, ok).unwrap();
+        assert!(ok.unresolved_symbols(&u).is_empty());
+        // After the universe learns the names, the same shape resolves
+        // clean on rebind.
+        u.pred("ghost", 1).unwrap();
+        u.constant("d");
+        let rebound = q.rebind(&u).unwrap();
+        assert!(rebound.unresolved_symbols(&u).is_empty());
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! search must agree with a naive brute-force evaluator that enumerates
 //! every assignment over the active domain.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use wfdl_core::{AtomId, Interp, TermId, Truth, Universe};
 use wfdl_query::{answers, holds, InterpSource, Nbcq, QTerm, QVar, QueryAtom, TruthSource};

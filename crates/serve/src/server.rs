@@ -122,16 +122,14 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("wfdl-serve-worker-{i}"))
                     .spawn(move || worker_loop(rx, app, stop, limits, read_timeout))
-                    .expect("spawn worker thread")
             })
-            .collect();
+            .collect::<std::io::Result<_>>()?;
 
         let accept = {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("wfdl-serve-accept".to_owned())
-                .spawn(move || accept_loop(listener, tx, stop))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(listener, tx, stop))?
         };
 
         Ok(Server {
@@ -362,6 +360,63 @@ mod tests {
             assert_eq!(got, body);
         }
         server.shutdown();
+    }
+
+    /// Lockstep interleaving check for the bounded accept queue: the
+    /// producer side models [`accept_loop`]'s backpressure discipline
+    /// (try_send, hold the item on `Full`, retry later) over the same
+    /// `sync_channel` type the server uses; the consumer side models a
+    /// worker's handoff. Channel operations are atomic, so every
+    /// thread-level execution is one of these serializations. Invariants:
+    /// nothing is lost or duplicated, delivery is FIFO, and `Full` is
+    /// only ever reported when the queue really holds `CAP` items.
+    #[test]
+    fn bounded_accept_queue_interleavings_are_lossless_and_fifo() {
+        const ITEMS: u32 = 3;
+        const CAP: usize = 2;
+        const STEPS: u32 = 8; // enough turns to finish in every schedule
+        for mask in 0u32..(1 << STEPS) {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(CAP);
+            let mut next = 0u32; // producer's pending item
+            let mut in_queue = 0usize; // model of the queue occupancy
+            let mut got: Vec<u32> = Vec::new();
+            for i in 0..STEPS {
+                let producer_turn = mask & (1 << i) != 0;
+                if producer_turn {
+                    if next < ITEMS {
+                        match tx.try_send(next) {
+                            Ok(()) => {
+                                next += 1;
+                                in_queue += 1;
+                            }
+                            Err(TrySendError::Full(back)) => {
+                                // accept_loop keeps the connection and
+                                // retries; the item must come back intact
+                                // and Full must mean full.
+                                assert_eq!(back, next, "schedule {mask:08b}");
+                                assert_eq!(in_queue, CAP, "schedule {mask:08b}");
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                unreachable!("receiver alive")
+                            }
+                        }
+                    }
+                } else if let Ok(v) = rx.try_recv() {
+                    in_queue -= 1;
+                    got.push(v);
+                }
+            }
+            // Drain what the schedule left queued (shutdown path: workers
+            // finish everything accepted before exiting).
+            while let Ok(v) = rx.try_recv() {
+                got.push(v);
+            }
+            assert_eq!(
+                got,
+                (0..next).collect::<Vec<_>>(),
+                "FIFO, no loss, no duplication (schedule {mask:08b})"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl GroundRuleId {
     /// Rebuilds from a dense index.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        GroundRuleId(u32::try_from(i).expect("ground rule id overflow"))
+        GroundRuleId(wfdl_core::dense_u32(i, "ground rule id"))
     }
 }
 
@@ -210,6 +210,9 @@ impl GroundProgram {
     fn from_parts(rules: Vec<GroundRule>, facts: Vec<AtomId>, mut atoms: Vec<AtomId>) -> Self {
         atoms.sort_unstable();
         atoms.dedup();
+        // Callers pass an atom list collected from these same rules and
+        // facts, so the search cannot miss.
+        #[allow(clippy::expect_used)]
         let local =
             |a: AtomId| -> u32 { atoms.binary_search(&a).expect("atom in universe") as u32 };
 
@@ -336,6 +339,9 @@ impl GroundProgram {
             }
         }
         let remap = |l: u32| l + shift[l as usize];
+        // `atoms` was just rebuilt as the union of old and delta atom
+        // sets, so every mentioned atom is present.
+        #[allow(clippy::expect_used)]
         let local =
             |a: AtomId| -> u32 { atoms.binary_search(&a).expect("atom is mentioned") as u32 };
 
@@ -459,9 +465,9 @@ impl GroundProgram {
         let pos_occ_off = prefix_sum(&pos_counts);
         let neg_occ_off = prefix_sum(&neg_counts);
         let zero = GroundRuleId::from_index(0);
-        let mut head_occ = vec![zero; *head_occ_off.last().unwrap() as usize];
-        let mut pos_occ = vec![zero; *pos_occ_off.last().unwrap() as usize];
-        let mut neg_occ = vec![zero; *neg_occ_off.last().unwrap() as usize];
+        let mut head_occ = vec![zero; head_occ_off[n] as usize];
+        let mut pos_occ = vec![zero; pos_occ_off[n] as usize];
+        let mut neg_occ = vec![zero; neg_occ_off[n] as usize];
         let mut head_fill: Vec<u32> = head_occ_off[..n].to_vec();
         let mut pos_fill: Vec<u32> = pos_occ_off[..n].to_vec();
         let mut neg_fill: Vec<u32> = neg_occ_off[..n].to_vec();

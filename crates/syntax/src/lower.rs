@@ -9,7 +9,8 @@
 use crate::ast::*;
 use crate::error::{Result, SyntaxError};
 use wfdl_core::{
-    Constraint, HeadTerm, Program, RTerm, RuleAtom, SkolemProgram, SkolemRule, Tgd, Universe, Var,
+    Constraint, HeadTerm, Program, RTerm, RuleAtom, SkolemProgram, SkolemRule, Span, Tgd, Universe,
+    Var,
 };
 use wfdl_query::{
     Nbcq, PreparedQuery, QTerm, QVar, QueryAtom, QueryError, QueryShape, ShapeAtom, ShapeTerm,
@@ -133,6 +134,10 @@ fn head_has_functions(head: &[AstAtom]) -> bool {
 }
 
 fn lower_rule(universe: &mut Universe, rule: &AstRule, out: &mut Lowered) -> Result<()> {
+    let span = Span {
+        line: rule.pos.line,
+        col: rule.pos.col,
+    };
     let mut vt = VarTable::default();
     let mut body_pos = Vec::new();
     let mut body_neg = Vec::new();
@@ -148,7 +153,7 @@ fn lower_rule(universe: &mut Universe, rule: &AstRule, out: &mut Lowered) -> Res
     if rule.head.is_empty() {
         let c = Constraint::new(universe, body_pos, body_neg)
             .map_err(|e| SyntaxError::new(e.to_string(), rule.pos))?;
-        out.program.push_constraint(c);
+        out.program.push_constraint(c.with_span(span));
         return Ok(());
     }
 
@@ -160,7 +165,7 @@ fn lower_rule(universe: &mut Universe, rule: &AstRule, out: &mut Lowered) -> Res
             ));
         }
         let rule_lowered = lower_functional_head(universe, &mut vt, rule, body_pos, body_neg)?;
-        out.functional.push(rule_lowered);
+        out.functional.push(rule_lowered.with_span(span));
         return Ok(());
     }
 
@@ -170,7 +175,7 @@ fn lower_rule(universe: &mut Universe, rule: &AstRule, out: &mut Lowered) -> Res
     }
     let tgd = Tgd::new(universe, body_pos, body_neg, head)
         .map_err(|e| SyntaxError::new(e.to_string(), rule.pos))?;
-    out.program.push(tgd);
+    out.program.push(tgd.with_span(span));
     Ok(())
 }
 

@@ -153,13 +153,14 @@ impl Parser {
                 } else {
                     self.expect(Tok::Period, "`.` or `->`")?;
                     // A fact: exactly one positive ground-looking literal.
-                    if body.len() != 1 || body[0].negated {
-                        return Err(SyntaxError::new(
+                    let mut literals = body.into_iter();
+                    match (literals.next(), literals.next()) {
+                        (Some(only), None) if !only.negated => Ok(Statement::Fact(only.atom)),
+                        _ => Err(SyntaxError::new(
                             "a fact must be a single positive atom",
                             pos,
-                        ));
+                        )),
                     }
-                    Ok(Statement::Fact(body.into_iter().next().unwrap().atom))
                 }
             }
         }

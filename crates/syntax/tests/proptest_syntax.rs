@@ -2,6 +2,10 @@
 //! panic on arbitrary input, and printing a generated program re-parses to
 //! a fixed point.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use wfdl_core::Universe;
 use wfdl_syntax::{load, print_database, print_program, print_skolem_program};

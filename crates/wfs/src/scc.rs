@@ -52,7 +52,7 @@
 use crate::result::EngineResult;
 use crate::wp::{StepMode, WpEngine};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use wfdl_core::budget::FaultSite;
 use wfdl_core::fxhash::mix64 as mix;
 use wfdl_core::{BitSet, Interp, SolveBudget, TruncationReason, Truth};
@@ -1042,7 +1042,7 @@ fn plan_chunks(
             acc += weight(c);
         }
         // Chunks never span levels: close the level's trailing chunk.
-        if comps.len() as u32 > *off.last().unwrap() {
+        if comps.len() as u32 > off.last().copied().unwrap_or(0) {
             off.push(comps.len() as u32);
         }
     }
@@ -1144,7 +1144,10 @@ impl Scheduler<'_> {
         if items.is_empty() {
             return;
         }
-        let mut q = self.queue.lock().unwrap();
+        // Poisoning here means another worker panicked; that panic is
+        // re-raised at join, so recovering the queue data is safe (it is
+        // discarded with the scope). Same for every lock below.
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         q.extend_from_slice(items);
         drop(q);
         self.queued.fetch_add(items.len(), Ordering::Relaxed);
@@ -1160,7 +1163,7 @@ impl Scheduler<'_> {
     /// the caller's private `backlog`, so small-chunk cascades don't
     /// take the lock once per chunk.
     fn pop_batch(&self, threads: usize, backlog: &mut Vec<u32>) -> Option<u32> {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(ord) = q.pop() {
                 let extra = (q.len() / threads).min(64);
@@ -1174,7 +1177,7 @@ impl Scheduler<'_> {
             {
                 return None;
             }
-            q = self.ready.wait(q).unwrap();
+            q = self.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -1325,11 +1328,11 @@ fn solve_parallel(
                         if sched.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             // Last chunk: wake every idle worker so the scope
                             // can join.
-                            let _q = sched.queue.lock().unwrap();
+                            let _q = sched.queue.lock().unwrap_or_else(PoisonError::into_inner);
                             sched.ready.notify_all();
                         }
                     }
-                    let mut t = totals.lock().unwrap();
+                    let mut t = totals.lock().unwrap_or_else(PoisonError::into_inner);
                     t.definite += local.definite;
                     t.recursive += local.recursive;
                     t.atoms_in_recursive += local.atoms_in_recursive;
@@ -1352,7 +1355,7 @@ fn solve_parallel(
         }
     });
 
-    let totals = totals.into_inner().unwrap();
+    let totals = totals.into_inner().unwrap_or_else(PoisonError::into_inner);
     stats.definite_components = totals.definite;
     stats.recursive_components = totals.recursive;
     stats.atoms_in_recursive = totals.atoms_in_recursive;
@@ -1479,6 +1482,9 @@ pub fn condensation(prog: &GroundProgram) -> Condensation {
                 if low[v as usize] == index[v as usize] {
                     let ordinal = (comp_off.len() - 1) as u32;
                     loop {
+                        // Tarjan invariant: `v` stays on the stack
+                        // until its own SCC is emitted right here.
+                        #[allow(clippy::expect_used)]
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack.remove(w as usize);
                         comp_of[w as usize] = ordinal;

@@ -632,12 +632,16 @@ pub fn lower_with_constraints(
         };
         let bot = universe.aux_pred(&base, 0);
         violation_preds.push(bot);
-        combined.tgds.push(Tgd::new(
+        let mut tgd = Tgd::new(
             universe,
             c.body_pos.clone(),
             c.body_neg.clone(),
             vec![RuleAtom::new(bot, Vec::new())],
-        )?);
+        )?;
+        if let Some(span) = c.span() {
+            tgd = tgd.with_span(span);
+        }
+        combined.tgds.push(tgd);
     }
     let skolemized = combined.skolemize(universe)?;
     Ok((skolemized, violation_preds))
@@ -653,6 +657,9 @@ pub fn constraint_status(
     violation_preds
         .iter()
         .map(|&p| {
+            // Constraint lowering registers every violation pred as
+            // nullary, so the empty-args interning cannot fail.
+            #[allow(clippy::expect_used)]
             let atom = universe.atom(p, Vec::new()).expect("nullary");
             model.value(atom)
         })

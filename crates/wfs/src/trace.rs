@@ -64,11 +64,12 @@ impl StageTrace {
             if out.last().map(|l| l.0) != Some(e.stage) {
                 out.push((e.stage, 0, 0));
             }
-            let last = out.last_mut().expect("just pushed");
-            if e.value.is_true() {
-                last.1 += 1;
-            } else {
-                last.2 += 1;
+            if let Some(last) = out.last_mut() {
+                if e.value.is_true() {
+                    last.1 += 1;
+                } else {
+                    last.2 += 1;
+                }
             }
         }
         out

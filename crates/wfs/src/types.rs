@@ -65,6 +65,8 @@ pub fn atom_type(
         let mut idx = vec![0usize; arity];
         loop {
             let args: Vec<TermId> = idx.iter().map(|&i| dom[i]).collect();
+            // The odometer emits exactly `arity` terms per tuple.
+            #[allow(clippy::expect_used)]
             let ground = universe.atom(pred, args).expect("arity respected");
             literals.push((ground, value_in(seg, interp, ground)));
             // Advance the odometer.

@@ -16,6 +16,10 @@
 //! cargo run --example access_policy
 //! ```
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::{KnowledgeBase, Truth};
 
 fn main() -> Result<(), wfdatalog::Error> {

@@ -10,6 +10,10 @@
 //! cargo run --example employment
 //! ```
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::ontology::{example2_abox, example2_tbox, Ontology};
 use wfdatalog::{ChaseBudget, KnowledgeBase, Truth, Universe, WfsOptions};
 

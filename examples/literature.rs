@@ -6,6 +6,10 @@
 //! cargo run --example literature
 //! ```
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::ontology::example1;
 use wfdatalog::KnowledgeBase;
 

@@ -7,6 +7,10 @@
 //! cargo run --example paper_example4
 //! ```
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::chase::{paper::example4, ChaseBudget, ChaseSegment, ExplicitForest};
 use wfdatalog::wfs::{wcheck, ForwardEngine};
 use wfdatalog::Universe;

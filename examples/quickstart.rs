@@ -7,6 +7,10 @@
 //! cargo run --example quickstart
 //! ```
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::{FactBatch, KnowledgeBase};
 
 fn main() -> Result<(), wfdatalog::Error> {

@@ -8,6 +8,10 @@
 //! cargo run --example win_move [nodes]
 //! ```
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::wfs::{solve, WfsOptions};
 use wfdatalog::{Truth, Universe};
 use wfdl_gen::{winmove_database, winmove_sigma, WinMoveConfig};

@@ -9,6 +9,7 @@
 //!                       [--facts data.tsv …] [--depth N] [--threads N] [--engine …]
 //!                       [--deadline-ms N] [--mem-budget BYTES]
 //! wfdl check program.dl            # parse + validate only
+//! wfdl lint  program.dl [--facts data.tsv …] [--format text|json] [--deny warn]
 //! wfdl serve program.dl [--addr HOST:PORT] [--workers N]
 //!                       [--facts data.tsv …] [--depth N] [--threads N] [--engine …]
 //!                       [--deadline-ms N]
@@ -45,6 +46,17 @@
 //! person,alice
 //! employs,acme,alice
 //! ```
+//!
+//! `lint` runs the static analyzer (`wfdatalog::analysis`) over the lowered
+//! program **without solving**: stratification and recursion-through-negation
+//! witnesses, fragment classification (datalog / guarded / warded / outside),
+//! chase-termination risk (weak acyclicity), and dead-code/schema lints.
+//! Diagnostics carry stable `E…`/`W…` codes and real source spans;
+//! `--format json` emits the machine-readable report (one JSON object per
+//! line, stable field order). Exit code is 0 for a clean or warning-only
+//! report, 1 when any error is present (or any warning under `--deny warn`),
+//! 2 for usage errors. `--facts` files participate so EDB-dependent lints
+//! (unused predicate, unreachable rule) see the real data.
 //!
 //! `serve` loads the program (plus any `--facts` files), solves once, and
 //! serves prepared queries over HTTP until SIGINT/SIGTERM: `GET /healthz`,
@@ -108,6 +120,10 @@ struct Options {
     addr: Option<String>,
     /// HTTP worker threads for `wfdl serve` (default 4).
     workers: Option<usize>,
+    /// Output format for `wfdl lint` (`text` or `json`).
+    format: Option<String>,
+    /// `wfdl lint --deny warn`: treat warnings as errors for the exit code.
+    deny_warn: bool,
 }
 
 fn usage() -> ! {
@@ -120,6 +136,7 @@ fn usage() -> ! {
          \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
          \x20                     [--deadline-ms N] [--mem-budget BYTES]\n\
          \x20      wfdl check <file>\n\
+         \x20      wfdl lint <file>  [--facts data.tsv …] [--format text|json] [--deny warn]\n\
          \x20      wfdl serve <file> [--addr HOST:PORT] [--workers N]\n\
          \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
          \x20                     [--deadline-ms N]\n\
@@ -150,6 +167,8 @@ fn parse_args() -> Options {
         mem_budget: None,
         addr: None,
         workers: None,
+        format: None,
+        deny_warn: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -202,6 +221,22 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.workers = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--format" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                if v != "text" && v != "json" {
+                    eprintln!("wfdl: --format takes `text` or `json`, got `{v}`");
+                    usage()
+                }
+                opts.format = Some(v);
+            }
+            "--deny" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                if v != "warn" {
+                    eprintln!("wfdl: --deny takes `warn`, got `{v}`");
+                    usage()
+                }
+                opts.deny_warn = true;
+            }
             _ => usage(),
         }
     }
@@ -214,6 +249,13 @@ fn main() -> ExitCode {
     if opts.command != "serve" && (opts.addr.is_some() || opts.workers.is_some()) {
         eprintln!(
             "wfdl {}: --addr/--workers are only valid with `wfdl serve`",
+            opts.command
+        );
+        usage()
+    }
+    if opts.command != "lint" && (opts.format.is_some() || opts.deny_warn) {
+        eprintln!(
+            "wfdl {}: --format/--deny are only valid with `wfdl lint`",
             opts.command
         );
         usage()
@@ -240,6 +282,22 @@ fn main() -> ExitCode {
             }
             if opts.mem_budget.is_some() {
                 eprintln!("wfdl serve: --mem-budget is not supported (use --deadline-ms)");
+                usage()
+            }
+        }
+        "lint" => {
+            if opts.depth.is_some()
+                || opts.threads.is_some()
+                || opts.engine != EngineKind::Modular
+                || opts.show_model
+                || opts.show_hidden
+                || opts.stats
+                || opts.forest_depth.is_some()
+                || !opts.adhoc_queries.is_empty()
+                || opts.deadline_ms.is_some()
+                || opts.mem_budget.is_some()
+            {
+                eprintln!("wfdl lint: takes only --facts, --format and --deny (it never solves)");
                 usage()
             }
         }
@@ -274,6 +332,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // `lint` owns its compile path: lowering failures become classified
+    // E-code diagnostics instead of a bare stderr line.
+    if opts.command == "lint" {
+        return lint(&opts, &source);
+    }
 
     let mut kb = match KnowledgeBase::from_source(&source) {
         Ok(kb) => kb,
@@ -318,6 +382,109 @@ fn main() -> ExitCode {
     }
 }
 
+/// Classifies a compile/ingest failure into a stable lint error code:
+/// guard violations are `E002`, arity conflicts `E003`, everything else
+/// (tokenizer/parser/IO) `E001`.
+fn classify_error(message: &str) -> wfdatalog::analysis::Code {
+    use wfdatalog::analysis::Code;
+    if message.contains("guard") {
+        Code::E002
+    } else if message.contains("arity") {
+        Code::E003
+    } else {
+        Code::E001
+    }
+}
+
+/// Renders a lint report that consists of a single error diagnostic (the
+/// program failed to compile, so no analysis ran). Mirrors
+/// [`wfdatalog::AnalysisReport::to_json`]'s field order with
+/// `"class":"unknown"` — the analyzer never saw a lowered program.
+fn render_error_report(file: &str, d: &wfdatalog::Diagnostic, json: bool) -> String {
+    use wfdatalog::analysis::report::{diagnostic_json, json_escape};
+    if json {
+        format!(
+            "{{\"file\":\"{}\",\"class\":\"unknown\",\"stratified\":false,\
+             \"weakly_acyclic\":false,\"rules\":0,\
+             \"summary\":{{\"errors\":1,\"warnings\":0,\"infos\":0}},\
+             \"components\":[],\"diagnostics\":[{}]}}\n",
+            json_escape(file),
+            diagnostic_json(d)
+        )
+    } else {
+        format!(
+            "{}\n{file}: class=unknown · 1 error(s), 0 warning(s), 0 info(s)\n",
+            d.render_text(file)
+        )
+    }
+}
+
+/// `wfdl lint <file>`: compile (never solve), run the static analyzer,
+/// report diagnostics. Exit 0 clean/warnings, 1 on errors (or warnings
+/// under `--deny warn`).
+fn lint(opts: &Options, source: &str) -> ExitCode {
+    use wfdatalog::analysis::Code;
+    use wfdatalog::Error;
+    let json = opts.format.as_deref() == Some("json");
+    // One closure for every compile-path failure: classify, render, exit 1.
+    let fail = |path: &str, err: &Error| -> ExitCode {
+        let (message, span) = match err {
+            Error::Syntax(se) => (
+                se.message.clone(),
+                Some(wfdatalog::core::Span {
+                    line: se.pos.line,
+                    col: se.pos.col,
+                }),
+            ),
+            other => (other.to_string(), None),
+        };
+        let code = classify_error(&message);
+        let mut d = wfdatalog::Diagnostic::new(code, message);
+        if let Some(span) = span {
+            d = d.with_span(Some(span));
+        }
+        outp!("{}", render_error_report(path, &d, json));
+        ExitCode::FAILURE
+    };
+
+    let mut kb = match KnowledgeBase::from_source(source) {
+        Ok(kb) => kb,
+        Err(e) => return fail(&opts.file, &e),
+    };
+    for path in &opts.fact_files {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = kb.insert_from_reader(std::io::BufReader::new(file)) {
+            return fail(path, &e);
+        }
+    }
+
+    let report = kb.analyze();
+    if json {
+        outln!("{}", report.to_json(&opts.file));
+    } else {
+        outp!("{}", report.render_text(&opts.file));
+    }
+    let errors = report.errors() > 0;
+    debug_assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.code, Code::E001 | Code::E002 | Code::E003)),
+        "analyzer passes emit warnings/infos only; E-codes come from the compile path"
+    );
+    if errors || (opts.deny_warn && report.warnings() > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `wfdl serve <file>`: solve once, serve HTTP until SIGINT/SIGTERM.
 fn serve(opts: Options, kb: KnowledgeBase) -> ExitCode {
     // Persist the CLI solve options on the knowledge base so every
@@ -338,6 +505,7 @@ fn serve(opts: Options, kb: KnowledgeBase) -> ExitCode {
             .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
         workers,
         resolve_deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        program_name: opts.file.clone(),
         ..Default::default()
     };
     // Install the handlers before accepting traffic so an early signal
@@ -360,7 +528,9 @@ fn serve(opts: Options, kb: KnowledgeBase) -> ExitCode {
         "wfdl serve: listening on http://{} ({workers} workers, model epoch {epoch})",
         server.addr()
     );
-    outln!("wfdl serve: routes: GET /healthz · POST /query · POST /ingest · GET /stats");
+    outln!(
+        "wfdl serve: routes: GET /healthz · POST /query · POST /ingest · GET /lint · GET /stats"
+    );
     wfdl_serve::wait_for_shutdown();
     eprintln!("wfdl serve: shutdown requested; draining in-flight requests…");
     server.shutdown();
@@ -441,12 +611,48 @@ fn query(opts: Options, kb: KnowledgeBase) -> ExitCode {
         }
     }
     for (i, q) in prepared.iter().enumerate() {
+        // A query mentioning a name the reasoning session never interned is
+        // answered by short-circuit (see `wfdatalog::query::prepared`).
+        // That verdict is correct but easy to misread as "solved and
+        // empty", so name the unresolved symbols on stderr — stdout stays
+        // byte-identical for the CI thread sweep.
+        let missing = q.unresolved_symbols(model.universe());
+        if !missing.is_empty() {
+            eprintln!(
+                "wfdl query: warning: query {} mentions unknown {}; positive literals can \
+                 never match (definitely empty), negated ones are dropped",
+                i + 1,
+                missing.join(", ")
+            );
+        }
         answer_query(&model, &format!("query {}", i + 1), q);
     }
     ExitCode::SUCCESS
 }
 
-fn run(opts: Options, kb: KnowledgeBase) -> ExitCode {
+fn run(opts: Options, mut kb: KnowledgeBase) -> ExitCode {
+    if opts.stats {
+        // Pre-solve lint summary (`%`-prefixed: exempt from the CI
+        // thread-sweep byte comparison, like every other stats line).
+        let report = kb.analyze();
+        outln!(
+            "% lint: class={} stratified={} weakly_acyclic={} · \
+             {} error(s), {} warning(s), {} info(s)",
+            report.class.as_str(),
+            report.predicts_stratified(),
+            report.weakly_acyclic,
+            report.errors(),
+            report.warnings(),
+            report.infos()
+        );
+        for d in report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= wfdatalog::Severity::Warning)
+        {
+            outln!("% lint: {}", d.render_text(&opts.file));
+        }
+    }
     let model = solve(&opts, kb);
     let universe = model.universe();
 

@@ -151,6 +151,7 @@
 
 pub mod serve;
 
+pub use wfdl_analyze as analysis;
 pub use wfdl_chase as chase;
 pub use wfdl_core as core;
 pub use wfdl_ontology as ontology;
@@ -159,6 +160,7 @@ pub use wfdl_storage as storage;
 pub use wfdl_syntax as syntax;
 pub use wfdl_wfs as wfs;
 
+pub use wfdl_analyze::{AnalysisReport, Diagnostic, FragmentClass, Severity};
 pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest, ResumeError};
 pub use wfdl_core::{
     AtomId, CancelToken, FactBatch, Interp, Program, RelationWriter, SkolemProgram, SolveBudget,
@@ -283,6 +285,11 @@ pub struct KnowledgeBase {
     /// the engine (full or incremental). Cache hits and queries-only
     /// repackagings keep the epoch — the model content is unchanged.
     epoch: u64,
+    /// Cached static-analysis report (see [`KnowledgeBase::analyze`]),
+    /// invalidated by any mutation that can change its inputs: new rules
+    /// or queries, and fact churn (the EDB predicate set feeds the
+    /// dead-code pass).
+    analysis: Option<Arc<AnalysisReport>>,
 }
 
 impl KnowledgeBase {
@@ -308,6 +315,7 @@ impl KnowledgeBase {
             needs_full: false,
             queries_dirty: false,
             epoch: 0,
+            analysis: None,
         })
     }
 
@@ -332,6 +340,7 @@ impl KnowledgeBase {
             needs_full: false,
             queries_dirty: false,
             epoch: 0,
+            analysis: None,
         })
     }
 
@@ -344,6 +353,7 @@ impl KnowledgeBase {
     pub fn add_source(&mut self, src: &str) -> Result<(), Error> {
         let universe = Arc::make_mut(&mut self.universe);
         let lowered = wfdl_syntax::load(universe, src)?;
+        self.analysis = None;
         let has_rules = !lowered.program.tgds.is_empty()
             || !lowered.program.constraints.is_empty()
             || !lowered.functional.is_empty();
@@ -403,6 +413,9 @@ impl KnowledgeBase {
                 added += 1;
             }
         }
+        if added > 0 {
+            self.analysis = None;
+        }
         Ok(added)
     }
 
@@ -413,6 +426,7 @@ impl KnowledgeBase {
         let removed = self.database.retract_batch(&self.universe, batch.atoms());
         if removed > 0 {
             self.needs_full = true;
+            self.analysis = None;
             // Inserted-this-epoch facts that were retracted again must not
             // linger in the delta (hygiene; the full solve ignores it).
             self.delta.retain(|a| self.database.contains(*a));
@@ -753,6 +767,51 @@ impl KnowledgeBase {
     /// Queries that appeared in the sources, in order.
     pub fn queries(&self) -> &[Nbcq] {
         &self.queries
+    }
+
+    /// Runs the static analyzer over the compiled program (stratification,
+    /// fragment classification, chase-termination risk, dead-code lints —
+    /// see [`wfdl_analyze`]) and caches the report alongside the solve
+    /// cache. The cache is invalidated by [`KnowledgeBase::add_source`],
+    /// [`KnowledgeBase::insert`] and [`KnowledgeBase::retract`]: rule and
+    /// query changes alter the analyzed program, and fact churn alters the
+    /// EDB predicate set feeding the dead-code pass.
+    pub fn analyze(&mut self) -> Arc<AnalysisReport> {
+        if let Some(report) = &self.analysis {
+            return Arc::clone(report);
+        }
+        let mut edb_seen = vec![false; self.universe.num_preds()];
+        let mut edb_preds = Vec::new();
+        for &f in self.database.facts() {
+            let p = self.universe.atoms.pred(f);
+            if !edb_seen[p.index()] {
+                edb_seen[p.index()] = true;
+                edb_preds.push(p);
+            }
+        }
+        let mut queried = Vec::new();
+        for q in &self.queries {
+            for a in q.pos.iter().chain(q.neg.iter()) {
+                if !queried.contains(&a.pred) {
+                    queried.push(a.pred);
+                }
+            }
+        }
+        // The solver reports every constraint's violation status, so the
+        // violation predicates count as consumed.
+        for &p in &self.violations {
+            if !queried.contains(&p) {
+                queried.push(p);
+            }
+        }
+        let report = Arc::new(wfdl_analyze::analyze(&wfdl_analyze::AnalysisInput {
+            universe: &self.universe,
+            program: &self.sigma,
+            edb_preds: &edb_preds,
+            queried_preds: &queried,
+        }));
+        self.analysis = Some(Arc::clone(&report));
+        report
     }
 }
 

@@ -12,6 +12,7 @@
 //! | `GET /healthz`  | liveness + the currently published model epoch |
 //! | `POST /query`   | one query per body line → prepared evaluation against **one** pinned snapshot; malformed queries answer 400 with their real source positions |
 //! | `POST /ingest`  | TSV/CSV fact batch (the `--facts` format) → typed insert + incremental re-solve on the writer thread → atomic hot-swap |
+//! | `GET /lint`     | the static-analysis report for the served program (`wfdatalog::analysis` JSON), recomputed with the model on every ingest — EDB changes flip the data-dependent lints |
 //! | `GET /stats`    | solve/modular/chase statistics, model shape, epoch, request counters |
 //!
 //! ## Threading model
@@ -36,7 +37,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -65,6 +66,9 @@ pub struct ServeOptions {
     /// Bound of the ingest queue between HTTP workers and the writer
     /// thread.
     pub ingest_queue: usize,
+    /// Program name used as the `"file"` anchor in the `/lint` report
+    /// (purely cosmetic; `wfdl serve` passes the program path).
+    pub program_name: String,
 }
 
 impl Default for ServeOptions {
@@ -76,6 +80,7 @@ impl Default for ServeOptions {
             max_body_bytes: 64 * 1024 * 1024,
             read_timeout: Duration::from_secs(5),
             ingest_queue: 16,
+            program_name: "<program>".to_owned(),
         }
     }
 }
@@ -88,6 +93,7 @@ struct Counters {
     query_errors: AtomicU64,
     ingest: AtomicU64,
     ingest_errors: AtomicU64,
+    lint: AtomicU64,
     stats: AtomicU64,
     other: AtomicU64,
 }
@@ -102,6 +108,10 @@ struct IngestJob {
 /// The wfdl application: routes requests against the published model.
 struct WfdlApp {
     slot: EpochSlot<SolvedModel>,
+    /// Pre-rendered `/lint` JSON, republished by the writer thread next to
+    /// every model swap (the EDB participates in the data-dependent lints,
+    /// so an ingest can change the report). Readers only clone an `Arc`.
+    lint: EpochSlot<String>,
     /// Ingest entry: `None` once shutdown began (ingests answer 503).
     writer: Mutex<Option<SyncSender<IngestJob>>>,
     writer_join: Mutex<Option<JoinHandle<()>>>,
@@ -135,11 +145,16 @@ impl App for WfdlApp {
                 }
                 resp
             }
+            (Method::Get, "/lint") => {
+                self.counters.lint.fetch_add(1, Ordering::Relaxed);
+                let (_epoch, report) = self.lint.load();
+                Response::json(200, report.as_ref().clone())
+            }
             (Method::Get, "/stats") => {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
                 Response::json(200, self.stats_body())
             }
-            (_, "/healthz" | "/query" | "/ingest" | "/stats") => {
+            (_, "/healthz" | "/query" | "/ingest" | "/lint" | "/stats") => {
                 self.counters.other.fetch_add(1, Ordering::Relaxed);
                 Response::text(405, "method not allowed for this route\n")
             }
@@ -147,7 +162,7 @@ impl App for WfdlApp {
                 self.counters.other.fetch_add(1, Ordering::Relaxed);
                 Response::text(
                     404,
-                    "no such route (have: /healthz /query /ingest /stats)\n",
+                    "no such route (have: /healthz /query /ingest /lint /stats)\n",
                 )
             }
         }
@@ -225,13 +240,15 @@ impl WfdlApp {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!(
             "{{\"epoch\":{epoch},\"uptime_ms\":{},\"requests\":{{\"healthz\":{},\"query\":{},\
-             \"query_errors\":{},\"ingest\":{},\"ingest_errors\":{},\"stats\":{},\"other\":{}}}",
+             \"query_errors\":{},\"ingest\":{},\"ingest_errors\":{},\"lint\":{},\"stats\":{},\
+             \"other\":{}}}",
             self.started.elapsed().as_millis(),
             self.counters.healthz.load(Ordering::Relaxed),
             self.counters.query.load(Ordering::Relaxed),
             self.counters.query_errors.load(Ordering::Relaxed),
             self.counters.ingest.load(Ordering::Relaxed),
             self.counters.ingest_errors.load(Ordering::Relaxed),
+            self.counters.lint.load(Ordering::Relaxed),
             self.counters.stats.load(Ordering::Relaxed),
             self.counters.other.load(Ordering::Relaxed),
         ));
@@ -335,6 +352,21 @@ pub fn query_response_body(model: &SolvedModel, queries: &[&str]) -> Result<Stri
             }
             out.push(']');
         }
+        // A short-circuited verdict (unknown predicate/constant) is easy to
+        // misread as "solved and empty": name the unresolved symbols. The
+        // field is present only when non-empty, so fully-resolved queries
+        // keep their exact historical shape.
+        let missing = q.unresolved_symbols(model.universe());
+        if !missing.is_empty() {
+            out.push_str(",\"warnings\":[");
+            for (j, m) in missing.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, &format!("unknown {m}"));
+            }
+            out.push(']');
+        }
         out.push('}');
     }
     out.push_str("]}");
@@ -359,9 +391,10 @@ fn writer_loop(
     rx: Receiver<IngestJob>,
     slot: Arc<WfdlApp>,
     resolve_deadline: Option<Duration>,
+    program_name: String,
 ) {
     while let Ok(job) = rx.recv() {
-        let response = apply_ingest(&mut kb, &slot.slot, &job.body, resolve_deadline);
+        let response = apply_ingest(&mut kb, &slot, &job.body, resolve_deadline, &program_name);
         // A dropped reply just means the requesting worker gave up; the
         // ingest itself is already committed and published.
         let _ = job.reply.send(response);
@@ -371,9 +404,10 @@ fn writer_loop(
 /// One ingest: parse → typed insert → (incremental) re-solve → publish.
 fn apply_ingest(
     kb: &mut KnowledgeBase,
-    slot: &EpochSlot<SolvedModel>,
+    app: &WfdlApp,
     body: &[u8],
     resolve_deadline: Option<Duration>,
+    program_name: &str,
 ) -> Response {
     let batch = match crate::fact_batch_from_reader(kb.universe_mut(), body) {
         Ok(batch) => batch,
@@ -396,7 +430,12 @@ fn apply_ingest(
     }
     match kb.try_solve() {
         Ok(model) => {
-            slot.publish(model.epoch(), Arc::clone(&model));
+            // Publish the model first, then the matching lint report: a
+            // reader racing the swap sees a coherent model either way, and
+            // `/lint` carries the epoch it was computed at.
+            app.slot.publish(model.epoch(), Arc::clone(&model));
+            let lint = kb.analyze().to_json(program_name);
+            app.lint.publish(model.epoch(), Arc::new(lint));
             let ss = model.solve_stats();
             let mut out = String::new();
             out.push_str(&format!(
@@ -459,13 +498,15 @@ impl RunningServer {
 /// # Errors
 ///
 /// [`Error::EnginePanic`] if the initial solve panicked, [`Error::Io`] if
-/// the listener could not bind.
+/// the listener could not bind or a service thread could not spawn.
 pub fn start(mut kb: KnowledgeBase, options: ServeOptions) -> Result<RunningServer, Error> {
     if let Some(d) = options.resolve_deadline {
         kb.set_solve_budget(SolveBudget::unlimited().with_deadline_in(d));
     }
     let model = kb.try_solve()?;
+    let lint = kb.analyze().to_json(&options.program_name);
     let app = Arc::new(WfdlApp {
+        lint: EpochSlot::new(model.epoch(), Arc::new(lint)),
         slot: EpochSlot::new(model.epoch(), model),
         writer: Mutex::new(None),
         writer_join: Mutex::new(None),
@@ -473,16 +514,20 @@ pub fn start(mut kb: KnowledgeBase, options: ServeOptions) -> Result<RunningServ
         started: Instant::now(),
     });
     let (tx, rx) = std::sync::mpsc::sync_channel(options.ingest_queue.max(1));
-    *app.writer.lock().expect("fresh mutex") = Some(tx);
+    // These two mutexes were created a few lines up and have never left
+    // this thread: poisoning is impossible, but recover instead of unwrap.
+    *app.writer.lock().unwrap_or_else(PoisonError::into_inner) = Some(tx);
     let writer_join = {
         let app = Arc::clone(&app);
         let deadline = options.resolve_deadline;
+        let name = options.program_name.clone();
         std::thread::Builder::new()
             .name("wfdl-serve-writer".to_owned())
-            .spawn(move || writer_loop(kb, rx, app, deadline))
-            .expect("spawn writer thread")
+            .spawn(move || writer_loop(kb, rx, app, deadline, name))?
     };
-    *app.writer_join.lock().expect("fresh mutex") = Some(writer_join);
+    *app.writer_join
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(writer_join);
     let server = Server::start(
         ServerConfig {
             addr: options.addr.clone(),

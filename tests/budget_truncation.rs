@@ -4,6 +4,10 @@
 //! panic — whose model is a sound under-approximation of the unbudgeted
 //! solve. A generous budget must change nothing at all.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeSet;
 use std::time::Duration;
 use wfdatalog::{CancelToken, KnowledgeBase, SolveBudget, SolvedModel, TruncationReason};

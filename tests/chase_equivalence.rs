@@ -2,6 +2,10 @@
 //! forest: same labels, same minimal depths, same minimal derivation
 //! levels, and every explicit edge realizes a condensed rule instance.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::chase::{ChaseBudget, ChaseSegment, ExplicitForest};
 use wfdatalog::Universe;
 use wfdl_gen::{random_database, random_program, RandomConfig, RandomDbConfig};

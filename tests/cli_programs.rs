@@ -1,6 +1,10 @@
 //! The sample programs shipped in `programs/` keep their advertised
 //! behaviour (these are the same files the `wfdl` CLI demonstrates).
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::{KnowledgeBase, Truth, WfsOptions};
 
 fn load_program(name: &str) -> KnowledgeBase {

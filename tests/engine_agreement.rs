@@ -2,6 +2,10 @@
 //! semantics degenerates correctly on the positive and stratified
 //! fragments.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use wfdatalog::storage::{GroundProgram, GroundProgramBuilder, GroundRule};
 use wfdatalog::wfs::{

@@ -14,6 +14,10 @@
 //! * in both cases the `KnowledgeBase` stays reusable: clearing the budget
 //!   and re-solving is **bit-identical** to a fresh, uninterrupted solve.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::{KnowledgeBase, SolveBudget, SolvedModel, TruncationReason, WfsOptions};
 use wfdl_core::budget::{FaultKind, FaultPlan, FaultSite};
 

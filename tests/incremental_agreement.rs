@@ -9,6 +9,10 @@
 //! (closing draw cycles) and touch components recursive through negation —
 //! exactly the cases where verdict reuse must *not* fire stale.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use wfdatalog::{FactBatch, KnowledgeBase, SolvedModel, Truth};
 

@@ -1,6 +1,10 @@
 //! End-to-end DL-Lite reasoning at scale: the employment ontology of
 //! Example 2 with many persons, plus disjointness constraints.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::ontology::{Basic, ConceptInclusion, ConceptLiteral, Ontology, Rhs, Role};
 use wfdatalog::{KnowledgeBase, Truth, WfsOptions};
 use wfdl_gen::{employment_ontology, EmploymentConfig};

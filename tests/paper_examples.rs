@@ -1,5 +1,9 @@
 //! Golden tests: every worked example in the paper, end to end.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::chase::{paper, ChaseBudget, ChaseSegment, ExplicitForest};
 use wfdatalog::ontology::{example1, example2_abox, example2_tbox, Ontology};
 use wfdatalog::wfs::{solve, solver::solve_no_una, EngineKind, WfsOptions};

@@ -17,6 +17,10 @@
 //!   dirty-component evaluation, against a from-scratch serial solve of
 //!   the union.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use wfdatalog::storage::{GroundProgram, GroundProgramBuilder, GroundRule};
 use wfdatalog::wfs::{solve, solve_resumed, EngineKind, ModularEngine, WfsOptions};

@@ -1,5 +1,9 @@
 //! Surface-syntax robustness: round trips and failure injection.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::syntax::{self, load};
 use wfdatalog::{KnowledgeBase, Universe};
 

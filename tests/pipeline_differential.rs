@@ -2,6 +2,10 @@
 //! directly must produce the same model as its printed text re-parsed
 //! through the surface syntax and solved again — across engines.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::syntax::{print_database, print_skolem_program};
 use wfdatalog::wfs::{solve, EngineKind, WfsOptions};
 use wfdatalog::{KnowledgeBase, Universe};

@@ -1,6 +1,10 @@
 //! NBCQ semantics over the paper's running example: certain answers,
 //! null handling, and three-valued satisfaction.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::chase::paper::example4;
 use wfdatalog::query::{answers, holds, holds3, Nbcq, QTerm, QVar, QueryAtom};
 use wfdatalog::wfs::{solve, WellFoundedModel, WfsOptions};

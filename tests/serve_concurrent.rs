@@ -4,6 +4,10 @@
 //! can answer prepared queries from any number of threads through `&self`
 //! and agree bit-for-bit with single-threaded evaluation.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use wfdatalog::{AnswerSet, KnowledgeBase, PreparedQuery, SolvedModel, Truth};
 

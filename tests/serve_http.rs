@@ -8,6 +8,10 @@
 //! a replica knowledge base fed the same batches in the same order
 //! yields the exact expected body for every epoch a client can observe.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -237,12 +241,85 @@ fn query_errors_report_real_positions() {
         "\"epoch\":",
         "\"requests\":",
         "\"query_errors\":",
+        "\"lint\":",
         "\"model\":",
         "\"solve\":",
         "\"chase\":",
     ] {
         assert!(body.contains(key), "stats body missing {key}: {body}");
     }
+
+    server.shutdown();
+}
+
+#[test]
+fn lint_route_serves_the_analysis_and_tracks_ingests() {
+    let kb = KnowledgeBase::from_source(PROGRAM).expect("program");
+    let options = ServeOptions {
+        program_name: "churn.dl".to_owned(),
+        ..ServeOptions::default()
+    };
+    let server = start(kb, options).expect("server starts");
+    let addr = server.addr();
+
+    // The initial report: the program is recursive through negation
+    // (win/edge), so W001 must be present, anchored at the served name.
+    let (status, body) = get(addr, "/lint");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("{\"file\":\"churn.dl\""), "{body}");
+    assert!(body.contains("\"code\":\"W001\""), "{body}");
+    assert!(body.contains("\"stratified\":false"), "{body}");
+
+    // The report matches what the embedded analyzer renders for the same
+    // knowledge base + EDB, byte for byte.
+    let mut replica = KnowledgeBase::from_source(PROGRAM).expect("replica");
+    assert_eq!(body, replica.analyze().to_json("churn.dl"));
+
+    // Ingesting facts for a brand-new predicate changes the EDB-dependent
+    // lints: `orphan` holds facts but nothing reads it → W003 appears.
+    let (status, resp) = post(addr, "/ingest", "orphan,x\n");
+    assert_eq!(status, 200, "{resp}");
+    let (status, body) = get(addr, "/lint");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"code\":\"W003\""), "{body}");
+    assert!(body.contains("orphan"), "{body}");
+
+    // Wrong method on the route answers 405, not 404.
+    let (status, _) = post(addr, "/lint", "");
+    assert_eq!(status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn short_circuited_queries_carry_warnings_naming_the_unknown_symbol() {
+    let kb = KnowledgeBase::from_source(PROGRAM).expect("program");
+    let server = start(kb, ServeOptions::default()).expect("server starts");
+    let addr = server.addr();
+
+    // `zebra` was never interned: the verdict short-circuits to false and
+    // the result says why.
+    let (status, body) = post(addr, "/query", "?- win(zebra).\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"truth\":\"false\""), "{body}");
+    assert!(
+        body.contains("\"warnings\":[\"unknown constant `zebra`\"]"),
+        "{body}"
+    );
+
+    // Unknown predicate, non-boolean: empty answers + warning.
+    let (status, body) = post(addr, "/query", "?(X) ghost(X).\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"answers\":[]"), "{body}");
+    assert!(
+        body.contains("\"warnings\":[\"unknown predicate `ghost`\"]"),
+        "{body}"
+    );
+
+    // Fully-resolved queries keep the exact historical shape: no field.
+    let (status, body) = post(addr, "/query", "?- win(a).\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"warnings\""), "{body}");
 
     server.shutdown();
 }

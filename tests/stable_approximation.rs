@@ -2,6 +2,10 @@
 //! WFS *approximates the answer set semantics*. Verified by brute force on
 //! random small ground programs.
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use wfdatalog::storage::{GroundProgram, GroundProgramBuilder, GroundRule};
 use wfdatalog::wfs::{stable_models, StepMode, WpEngine};

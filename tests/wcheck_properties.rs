@@ -1,6 +1,10 @@
 //! WCHECK properties: demand-driven membership agrees with the global
 //! fixpoint, and certificates verify (and only genuine ones do).
 
+// Test/example code: panicking on a broken invariant IS the failure
+// signal (see clippy.toml; helper fns here are outside #[test] scope).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfdatalog::wfs::{solve, wcheck, WfsOptions};
 use wfdatalog::Universe;
 use wfdl_gen::{random_database, random_program, RandomConfig, RandomDbConfig};
