@@ -27,11 +27,13 @@ pub mod deadcode;
 pub mod fragment;
 pub mod graph;
 pub mod report;
+pub mod slice;
 pub mod stratify;
 pub mod termination;
 
 pub use fragment::FragmentClass;
 pub use report::{Code, Diagnostic, Severity};
+pub use slice::ProgramSlice;
 pub use stratify::{ComponentClass, ComponentInfo, StratReport};
 
 use report::{diagnostic_json, json_escape};

@@ -251,6 +251,30 @@ impl ChaseSegment {
         Builder::new(universe, program, budget, solve.clone()).run(db)
     }
 
+    /// [`ChaseSegment::build_budgeted`] restricted to the predicates of
+    /// `mask` (indexed by [`wfdl_core::PredId`], `true` = in slice):
+    /// only facts over in-mask predicates are seeded and only rules with
+    /// in-mask heads fire. `mask` must be **relevance-closed** — every
+    /// body predicate (positive or negative) of every rule whose head is
+    /// in the mask must itself be in the mask — which is exactly what
+    /// `wfdl-analyze`'s `ProgramSlice` computes. Under that closure the
+    /// restricted saturation derives the same atoms, at the same
+    /// depth/level minima, as the full chase restricted to those
+    /// predicates, so downstream verdicts over in-mask atoms agree
+    /// bit-for-bit with the full solve.
+    pub fn build_restricted_budgeted(
+        universe: &mut Universe,
+        db: &Database,
+        program: &SkolemProgram,
+        budget: ChaseBudget,
+        solve: &SolveBudget,
+        mask: &[bool],
+    ) -> ChaseSegment {
+        let mut b = Builder::new(universe, program, budget, solve.clone());
+        b.restrict_to(mask);
+        b.run(db)
+    }
+
     /// All segment atoms with metadata, in discovery order. Facts are the
     /// first entries for fresh builds; resumed builds interleave delta
     /// facts, so iterate [`ChaseSegment::fact_segs`] to find them.
@@ -788,6 +812,11 @@ struct Builder<'a> {
     solve: SolveBudget,
     /// Rule indexes per guard predicate (flat, [`wfdl_core::PredId`]-indexed).
     rules_by_guard_pred: Vec<Vec<u32>>,
+    /// Predicate restriction for goal-directed builds: when set, only
+    /// facts whose predicate is in the mask are seeded, and only rules
+    /// whose head predicate is in the mask fire (the mask's relevance
+    /// closure guarantees those rules read in-mask bodies only).
+    restrict: Option<&'a [bool]>,
 
     /// The segment being resumed, if any: depth/level relaxation over its
     /// instances walks the finalized body-occurrence CSR instead of the
@@ -950,6 +979,7 @@ impl<'a> Builder<'a> {
             budget,
             solve,
             rules_by_guard_pred,
+            restrict: None,
             old: None,
             atoms: Vec::new(),
             seg_of,
@@ -1040,8 +1070,32 @@ impl<'a> Builder<'a> {
         b
     }
 
+    /// Restricts this (fresh) builder to the predicates of `mask`:
+    /// rules with out-of-mask heads never fire, out-of-mask facts are
+    /// never seeded. The caller must pass a relevance-closed mask (every
+    /// body predicate of every in-mask-headed rule is itself in-mask) —
+    /// `wfdl-analyze`'s `ProgramSlice` computes exactly that — so the
+    /// restricted saturation derives the same atoms at the same depths
+    /// as the full chase would over the mask's predicates.
+    fn restrict_to(&mut self, mask: &'a [bool]) {
+        let program = self.program;
+        for rules in &mut self.rules_by_guard_pred {
+            rules.retain(|&ri| {
+                let head = program.rules[ri as usize].head_pred.index();
+                mask.get(head).copied().unwrap_or(false)
+            });
+        }
+        self.restrict = Some(mask);
+    }
+
     fn run(mut self, db: &Database) -> ChaseSegment {
         for &fact in db.facts() {
+            if let Some(mask) = self.restrict {
+                let pred = self.universe.atoms.pred(fact);
+                if !mask.get(pred.index()).copied().unwrap_or(false) {
+                    continue;
+                }
+            }
             self.add_fact(fact);
         }
         self.drain();

@@ -240,6 +240,23 @@ impl PreparedQuery {
         self.query.as_ref()
     }
 
+    /// The distinct predicates the query reads (positive **and** negated
+    /// literals), sorted by dense id. Empty when preparation
+    /// short-circuited on an unknown name — such a query already has its
+    /// definite verdict and needs no solving at all. This is the goal set
+    /// for goal-directed (sliced) solving: the slice must preserve the
+    /// well-founded verdicts of every predicate returned here.
+    pub fn goal_preds(&self) -> Vec<wfdl_core::PredId> {
+        let Some(q) = &self.query else {
+            return Vec::new();
+        };
+        let mut preds: Vec<wfdl_core::PredId> =
+            q.pos.iter().chain(q.neg.iter()).map(|a| a.pred).collect();
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+
     /// True iff preparation already proved there are no answers.
     pub fn is_definitely_empty(&self) -> bool {
         self.query.is_none()

@@ -228,6 +228,16 @@ pub struct SolveStats {
     /// Worker threads the engine ran with (`1` = serial; always `1` for
     /// the global engines, which have no parallel path).
     pub threads: usize,
+    /// True iff the solve was restricted to a query-relevant program
+    /// slice ([`solve_sliced_packaged_budgeted`]).
+    pub sliced: bool,
+    /// Predicate-level dependency components intersecting the slice.
+    /// `0` for unsliced solves; filled in by the caller that computed the
+    /// slice (the façade's `solve_for`).
+    pub slice_components: usize,
+    /// Total predicate-level dependency components of the full program,
+    /// on the same basis. `0` for unsliced solves.
+    pub total_components: usize,
 }
 
 /// Reads the observable solve statistics out of a finished model.
@@ -236,6 +246,7 @@ fn stats_of(model: &WellFoundedModel, incremental: bool) -> SolveStats {
         incremental,
         components_reused: model.result.stats.map_or(0, |s| s.components_reused),
         threads: model.result.stats.map_or(1, |s| s.threads.max(1)),
+        ..SolveStats::default()
     }
 }
 
@@ -340,10 +351,28 @@ fn finish_model(
     prev: Option<&WellFoundedModel>,
     solve_budget: &SolveBudget,
 ) -> WellFoundedModel {
+    finish_model_with(segment, options, prev, prev, solve_budget)
+}
+
+/// [`finish_model`] with the two roles of a previous model split:
+/// `ground_prev` drives *incremental grounding* (only valid when
+/// `segment` resumed that model's chase), `memo_prev` drives
+/// *per-component verdict reuse* in the modular engine (valid for any
+/// previous modular solve over the same universe — the fingerprint check
+/// rejects components whose inputs differ). The sliced solve path
+/// grounds its restricted segment from scratch but still composes with
+/// the full solve's memo.
+fn finish_model_with(
+    segment: ChaseSegment,
+    options: WfsOptions,
+    ground_prev: Option<&WellFoundedModel>,
+    memo_prev: Option<&WellFoundedModel>,
+    solve_budget: &SolveBudget,
+) -> WellFoundedModel {
     // Resumed solves ground incrementally: the previous program is
     // extended with the delta's atoms/facts/instances instead of
     // re-translating the inherited bulk.
-    let ground = match prev {
+    let ground = match ground_prev {
         Some(p) => segment.to_ground_program_from(&p.ground),
         None => segment.to_ground_program(),
     };
@@ -355,7 +384,7 @@ fn finish_model(
             EngineKind::Modular => ModularEngine::new(&ground)
                 .with_threads(options.threads)
                 .with_budget(solve_budget.clone())
-                .solve_incremental(prev.map(|p| (&p.ground, &p.result))),
+                .solve_incremental(memo_prev.map(|p| (&p.ground, &p.result))),
             // The global engines have no internal trip points: under a
             // budget they either start (and run to completion) or refuse at
             // the door.
@@ -522,6 +551,68 @@ pub fn solve_packaged_budgeted(
     }
 }
 
+/// Goal-directed solve: [`solve_packaged_budgeted`] restricted to a
+/// **relevance-closed** predicate slice (`pred_mask`, indexed by
+/// [`PredId`]), as computed by `wfdl-analyze`'s `ProgramSlice` from a
+/// query's goal predicates.
+///
+/// The chase seeds only in-slice facts and fires only rules with
+/// in-slice heads; the modular engine then runs on the restricted ground
+/// program. Because the mask is relevance-closed (it follows both
+/// positive and negative dependency edges), every in-slice atom gets the
+/// **same verdict the full solve would assign** — with the same
+/// `options.budget`, derivation depths coincide, so even
+/// depth-truncation semantics match bit-for-bit.
+///
+/// `memo_prev` optionally composes with an earlier **modular** solve
+/// over the same universe (typically the last full solve): components of
+/// the sliced ground program whose input fingerprints and atom sets
+/// coincide with a previous component reuse its verdicts instead of
+/// re-solving.
+///
+/// Two sliced-model caveats the caller must enforce (the façade's
+/// `SolvedModel` slice guard does):
+///
+/// * atoms over **out-of-slice** predicates were never chased — the
+///   model's `value()` reads them `False`, which is only meaningful for
+///   in-slice atoms. Queries must be checked against the mask.
+/// * constraints are not goal-directed: a violation predicate outside
+///   the slice reports [`Truth::Unknown`] (its rules never fired, so
+///   neither verdict would be sound).
+///
+/// `stats.sliced` is set; the component-count fields are left `0` for
+/// the slice-computing caller to fill.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_sliced_packaged_budgeted(
+    universe: &mut Universe,
+    db: &Database,
+    program: &SkolemProgram,
+    options: WfsOptions,
+    violations: &[PredId],
+    solve_budget: &SolveBudget,
+    pred_mask: &[bool],
+    memo_prev: Option<&WellFoundedModel>,
+) -> SolveOutput {
+    let budget = options.budget.with_threads(options.threads);
+    let segment = ChaseSegment::build_restricted_budgeted(
+        universe,
+        db,
+        program,
+        budget,
+        solve_budget,
+        pred_mask,
+    );
+    let model = finish_model_with(segment, options, None, memo_prev, solve_budget);
+    let constraint_status = constraint_status_sliced(universe, &model, violations, pred_mask);
+    let mut stats = stats_of(&model, false);
+    stats.sliced = true;
+    SolveOutput {
+        model,
+        constraint_status,
+        stats,
+    }
+}
+
 /// [`solve_resumed`] plus constraint-status evaluation in one call — the
 /// incremental solve stage after an insert-only delta.
 ///
@@ -657,6 +748,33 @@ pub fn constraint_status(
     violation_preds
         .iter()
         .map(|&p| {
+            // Constraint lowering registers every violation pred as
+            // nullary, so the empty-args interning cannot fail.
+            #[allow(clippy::expect_used)]
+            let atom = universe.atom(p, Vec::new()).expect("nullary");
+            model.value(atom)
+        })
+        .collect()
+}
+
+/// [`constraint_status`] for a slice-restricted model: a constraint
+/// whose violation predicate is **outside** the slice was not solved —
+/// its rules never fired — so it reports [`Truth::Unknown`] (reading the
+/// model would yield a spurious `False`). Violation predicates are
+/// nullary markers no rule body reads, so in practice every constraint
+/// is `Unknown` under a sliced solve unless its marker was named a goal.
+pub fn constraint_status_sliced(
+    universe: &mut Universe,
+    model: &WellFoundedModel,
+    violation_preds: &[PredId],
+    pred_mask: &[bool],
+) -> Vec<Truth> {
+    violation_preds
+        .iter()
+        .map(|&p| {
+            if !pred_mask.get(p.index()).copied().unwrap_or(false) {
+                return Truth::Unknown;
+            }
             // Constraint lowering registers every violation pred as
             // nullary, so the empty-args interning cannot fail.
             #[allow(clippy::expect_used)]

@@ -7,7 +7,7 @@
 //!                       [--model] [--hidden] [--forest N] [--stats]
 //! wfdl query program.dl --q '?- win(a).' [--q '?(X) win(X).' …]
 //!                       [--facts data.tsv …] [--depth N] [--threads N] [--engine …]
-//!                       [--deadline-ms N] [--mem-budget BYTES]
+//!                       [--deadline-ms N] [--mem-budget BYTES] [--sliced] [--stats]
 //! wfdl check program.dl            # parse + validate only
 //! wfdl lint  program.dl [--facts data.tsv …] [--format text|json] [--deny warn]
 //! wfdl serve program.dl [--addr HOST:PORT] [--workers N]
@@ -33,7 +33,13 @@
 //! (`-> false`) and queries (`?- …` / `?(X) …`). `run` answers the file's
 //! own queries against the computed model; `query` solves once and answers
 //! ad-hoc queries given with `--q` (repeatable) without editing the file,
-//! via prepared queries against the frozen model.
+//! via prepared queries against the frozen model. `query --sliced` solves
+//! **goal-directedly**: each query gets a model restricted to its
+//! relevance-closed program slice (`KnowledgeBase::solve_for`) — same
+//! answers, a fraction of the work when the query touches a small cone of
+//! the program. `query --stats` prints `% solve:` / `% slice:` lines.
+//!
+//! The full flag/exit-code reference lives in `docs/CLI.md`.
 //!
 //! `--facts <file>` (repeatable) bulk-loads extensional data through the
 //! typed, parser-free ingestion path. The format is one fact per line —
@@ -124,6 +130,9 @@ struct Options {
     format: Option<String>,
     /// `wfdl lint --deny warn`: treat warnings as errors for the exit code.
     deny_warn: bool,
+    /// `wfdl query --sliced`: goal-directed solve per query
+    /// ([`KnowledgeBase::solve_for`]).
+    sliced: bool,
 }
 
 fn usage() -> ! {
@@ -134,15 +143,18 @@ fn usage() -> ! {
          \x20                     [--model] [--hidden] [--forest N] [--stats]\n\
          \x20      wfdl query <file> --q '?- ….' [--q '?(X) … .' …]\n\
          \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
-         \x20                     [--deadline-ms N] [--mem-budget BYTES]\n\
+         \x20                     [--deadline-ms N] [--mem-budget BYTES] [--sliced] [--stats]\n\
          \x20      wfdl check <file>\n\
          \x20      wfdl lint <file>  [--facts data.tsv …] [--format text|json] [--deny warn]\n\
          \x20      wfdl serve <file> [--addr HOST:PORT] [--workers N]\n\
          \x20                     [--facts data.tsv …] [--depth N] [--threads N] [--engine …]\n\
          \x20                     [--deadline-ms N]\n\
          \x20      (--threads: 0 = auto, 1 = serial, N = N workers;\n\
+         \x20       --sliced: goal-directed solve per query — identical answers,\n\
+         \x20       only the query-relevant program slice is solved;\n\
          \x20       a deadline/memory-tripped run reports its truncation on\n\
-         \x20       stderr and answers as a sound under-approximation)"
+         \x20       stderr and answers as a sound under-approximation;\n\
+         \x20       full reference: docs/CLI.md)"
     );
     std::process::exit(2)
 }
@@ -169,6 +181,7 @@ fn parse_args() -> Options {
         workers: None,
         format: None,
         deny_warn: false,
+        sliced: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -194,6 +207,7 @@ fn parse_args() -> Options {
             "--model" => opts.show_model = true,
             "--hidden" => opts.show_hidden = true,
             "--stats" => opts.stats = true,
+            "--sliced" => opts.sliced = true,
             "--forest" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.forest_depth = Some(v.parse().unwrap_or_else(|_| usage()));
@@ -260,12 +274,17 @@ fn main() -> ExitCode {
         );
         usage()
     }
+    if opts.command != "query" && opts.sliced {
+        eprintln!(
+            "wfdl {}: --sliced is only valid with `wfdl query`",
+            opts.command
+        );
+        usage()
+    }
     match opts.command.as_str() {
         "query" => {
-            if opts.show_model || opts.show_hidden || opts.stats || opts.forest_depth.is_some() {
-                eprintln!(
-                    "wfdl query: --model/--hidden/--stats/--forest are only valid with `wfdl run`"
-                );
+            if opts.show_model || opts.show_hidden || opts.forest_depth.is_some() {
+                eprintln!("wfdl query: --model/--hidden/--forest are only valid with `wfdl run`");
                 usage()
             }
         }
@@ -591,12 +610,35 @@ fn answer_query(model: &SolvedModel, label: &str, q: &wfdatalog::PreparedQuery) 
     }
 }
 
+/// Warns on stderr when a query short-circuited on unknown names.
+///
+/// A query mentioning a name the reasoning session never interned is
+/// answered by short-circuit (see `wfdatalog::query::prepared`). That
+/// verdict is correct but easy to misread as "solved and empty", so name
+/// the unresolved symbols on stderr — stdout stays byte-identical for the
+/// CI thread sweep.
+fn warn_unresolved(model: &SolvedModel, index: usize, q: &wfdatalog::PreparedQuery) {
+    let missing = q.unresolved_symbols(model.universe());
+    if !missing.is_empty() {
+        eprintln!(
+            "wfdl query: warning: query {} mentions unknown {}; positive literals can \
+             never match (definitely empty), negated ones are dropped",
+            index + 1,
+            missing.join(", ")
+        );
+    }
+}
+
 /// `wfdl query <file> --q '…' [--q '…']`: solve once, answer ad-hoc
-/// queries against the frozen model.
+/// queries against the frozen model. With `--sliced`, solve
+/// goal-directedly per query instead ([`query_sliced`]).
 fn query(opts: Options, kb: KnowledgeBase) -> ExitCode {
     if opts.adhoc_queries.is_empty() {
         eprintln!("wfdl query: at least one --q '…' is required");
         usage()
+    }
+    if opts.sliced {
+        return query_sliced(opts, kb);
     }
     let model = solve(&opts, kb);
     // Prepare everything first so malformed queries fail before output.
@@ -610,22 +652,75 @@ fn query(opts: Options, kb: KnowledgeBase) -> ExitCode {
             }
         }
     }
+    if opts.stats {
+        let s = model.solve_stats();
+        outln!(
+            "% solve: incremental={}, components_reused={}",
+            s.incremental,
+            s.components_reused
+        );
+    }
     for (i, q) in prepared.iter().enumerate() {
-        // A query mentioning a name the reasoning session never interned is
-        // answered by short-circuit (see `wfdatalog::query::prepared`).
-        // That verdict is correct but easy to misread as "solved and
-        // empty", so name the unresolved symbols on stderr — stdout stays
-        // byte-identical for the CI thread sweep.
-        let missing = q.unresolved_symbols(model.universe());
-        if !missing.is_empty() {
-            eprintln!(
-                "wfdl query: warning: query {} mentions unknown {}; positive literals can \
-                 never match (definitely empty), negated ones are dropped",
-                i + 1,
-                missing.join(", ")
+        warn_unresolved(&model, i, q);
+        answer_query(&model, &format!("query {}", i + 1), q);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `wfdl query --sliced`: each query gets its own goal-directed solve
+/// over the query-relevant program slice ([`KnowledgeBase::solve_for`]).
+/// Answers are bit-identical to the full solve's; `--stats` reports the
+/// slice shape per query as a `% slice:` line.
+fn query_sliced(opts: Options, mut kb: KnowledgeBase) -> ExitCode {
+    // Mirror `solve`'s option handling, persisted on the knowledge base
+    // so every per-query sliced solve uses it.
+    let mut wfs_options = match opts.depth {
+        Some(d) => WfsOptions::depth(d).with_engine(opts.engine),
+        None => kb.effective_options().with_engine(opts.engine),
+    };
+    if let Some(t) = opts.threads {
+        wfs_options = wfs_options.with_threads(t);
+    }
+    kb = kb.with_options(wfs_options);
+    if opts.deadline_ms.is_some() || opts.mem_budget.is_some() {
+        let mut budget = SolveBudget::unlimited();
+        if let Some(ms) = opts.deadline_ms {
+            budget = budget.with_deadline_in(std::time::Duration::from_millis(ms));
+        }
+        if let Some(bytes) = opts.mem_budget {
+            budget = budget.with_mem_limit(bytes);
+        }
+        kb.set_solve_budget(budget);
+    }
+    for (i, src) in opts.adhoc_queries.iter().enumerate() {
+        let model = match kb.solve_for(src) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("query `{src}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(reason) = model.outcome().truncation() {
+            eprintln!("wfdl: solve truncated ({reason}); answers are a sound under-approximation");
+        }
+        let q = match model.prepare_sliced(src) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("query `{src}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if opts.stats {
+            let s = model.solve_stats();
+            outln!(
+                "% slice: {}/{} components, components_reused={}",
+                s.slice_components,
+                s.total_components,
+                s.components_reused
             );
         }
-        answer_query(&model, &format!("query {}", i + 1), q);
+        warn_unresolved(&model, i, &q);
+        answer_query(&model, &format!("query {}", i + 1), &q);
     }
     ExitCode::SUCCESS
 }
@@ -679,6 +774,12 @@ fn run(opts: Options, mut kb: KnowledgeBase) -> ExitCode {
         );
         outln!("% truth: {t} true, {f} false, {u} unknown");
         outln!("% outcome: {}", model.outcome());
+        let ss = model.solve_stats();
+        outln!(
+            "% solve: incremental={}, components_reused={}",
+            ss.incremental,
+            ss.components_reused
+        );
         outln!(
             "% chase threads: {} requested, {} effective, {} small-frontier serial rounds",
             cs.threads,

@@ -102,6 +102,18 @@
 //! assert!(!model.ask("?- p(brand_new_constant).").unwrap());
 //! ```
 //!
+//! ## Goal-directed solving
+//!
+//! When a query touches only a small cone of a wide program,
+//! [`KnowledgeBase::solve_for`] solves just the query's **relevance
+//! slice** (backward predicate reachability over the dependency graph,
+//! positive and negative edges alike) instead of the whole program —
+//! same answers, bit-identical verdicts over in-slice predicates, a
+//! fraction of the work. The resulting model guards its boundary
+//! ([`SolvedModel::prepare_sliced`], [`Error::OutOfSlice`]) and composes
+//! with the incremental memo. On the CLI: `wfdl query --sliced`; over
+//! HTTP: `POST /query?mode=sliced`.
+//!
 //! ## Crate map
 //!
 //! * [`wfdl_core`] — terms, atoms, rules, programs, interpretations, and
@@ -148,6 +160,10 @@
 //! All engines compute the same three-valued model (enforced by the
 //! cross-engine agreement test suite); they differ only in how much work
 //! they do to get there.
+//!
+//! The repo-level `ARCHITECTURE.md` is the full handbook: crate graph,
+//! data flow of one solve, determinism/parallelism invariants, and the
+//! budget/degradation contract.
 
 pub mod serve;
 
@@ -160,7 +176,7 @@ pub use wfdl_storage as storage;
 pub use wfdl_syntax as syntax;
 pub use wfdl_wfs as wfs;
 
-pub use wfdl_analyze::{AnalysisReport, Diagnostic, FragmentClass, Severity};
+pub use wfdl_analyze::{AnalysisReport, Diagnostic, FragmentClass, ProgramSlice, Severity};
 pub use wfdl_chase::{ChaseBudget, ChaseSegment, ExplicitForest, ResumeError};
 pub use wfdl_core::{
     AtomId, CancelToken, FactBatch, Interp, Program, RelationWriter, SkolemProgram, SolveBudget,
@@ -191,6 +207,13 @@ pub enum Error {
     /// base remains fully usable and the next solve recomputes from
     /// scratch — no poisoned state.
     EnginePanic(String),
+    /// A query against a goal-directed (sliced) model mentions predicates
+    /// outside the slice ([`KnowledgeBase::solve_for`],
+    /// [`SolvedModel::prepare_sliced`]). The sliced model never chased
+    /// those predicates, so it has no sound verdict for them; re-run
+    /// `solve_for` with the new query, or query a full [`SolvedModel`].
+    /// The payload names the offending predicates.
+    OutOfSlice(String),
 }
 
 impl fmt::Display for Error {
@@ -201,6 +224,11 @@ impl fmt::Display for Error {
             Error::Query(e) => write!(f, "query error: {e}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::EnginePanic(msg) => write!(f, "solve worker panicked: {msg}"),
+            Error::OutOfSlice(preds) => write!(
+                f,
+                "query mentions predicates outside the model's slice: {preds} \
+                 (re-run `solve_for` with this query, or query a full model)"
+            ),
         }
     }
 }
@@ -290,6 +318,23 @@ pub struct KnowledgeBase {
     /// or queries, and fact churn (the EDB predicate set feeds the
     /// dead-code pass).
     analysis: Option<Arc<AnalysisReport>>,
+    /// Monotone mutation counter: bumped by every operation that can
+    /// change the model (fact insert/retract, new rules). The sliced-solve
+    /// cache keys on it — comparing generations is the only staleness
+    /// check [`KnowledgeBase::solve_for`] needs, independent of how the
+    /// full-solve cache consumed `delta`/`needs_full` in between.
+    generation: u64,
+    /// Artifact of the most recent [`KnowledgeBase::solve_for`]: served
+    /// again while options, goal set and generation all match.
+    sliced_last: Option<SlicedCache>,
+}
+
+/// Cache entry for [`KnowledgeBase::solve_for`].
+struct SlicedCache {
+    options: WfsOptions,
+    goals: Vec<wfdl_core::PredId>,
+    generation: u64,
+    model: Arc<SolvedModel>,
 }
 
 impl KnowledgeBase {
@@ -316,6 +361,8 @@ impl KnowledgeBase {
             queries_dirty: false,
             epoch: 0,
             analysis: None,
+            generation: 0,
+            sliced_last: None,
         })
     }
 
@@ -341,6 +388,8 @@ impl KnowledgeBase {
             queries_dirty: false,
             epoch: 0,
             analysis: None,
+            generation: 0,
+            sliced_last: None,
         })
     }
 
@@ -363,10 +412,12 @@ impl KnowledgeBase {
             self.sigma.rules.extend(lowered.functional.iter().cloned());
             self.violations.extend(violations);
             self.needs_full = true;
+            self.generation += 1;
         }
         for &f in lowered.database.facts() {
             if self.database.insert_unchecked(&self.universe, f) {
                 self.delta.push(f);
+                self.generation += 1;
             }
         }
         if !lowered.queries.is_empty() {
@@ -415,6 +466,7 @@ impl KnowledgeBase {
         }
         if added > 0 {
             self.analysis = None;
+            self.generation += 1;
         }
         Ok(added)
     }
@@ -427,6 +479,7 @@ impl KnowledgeBase {
         if removed > 0 {
             self.needs_full = true;
             self.analysis = None;
+            self.generation += 1;
             // Inserted-this-epoch facts that were retracted again must not
             // linger in the delta (hygiene; the full solve ignores it).
             self.delta.retain(|a| self.database.contains(*a));
@@ -436,6 +489,14 @@ impl KnowledgeBase {
 
     /// Bulk-loads facts from the tab/comma-separated text format (see
     /// [`fact_batch_from_separated`]), returning how many were new.
+    ///
+    /// ```
+    /// # use wfdatalog::KnowledgeBase;
+    /// let mut kb = KnowledgeBase::from_source("edge(X,Y) -> reach(Y).").unwrap();
+    /// let added = kb.insert_tsv("# comma or tab separated\nedge,a,b\nedge,b,c\n").unwrap();
+    /// assert_eq!(added, 2);
+    /// assert!(kb.solve().ask("?- reach(c).").unwrap());
+    /// ```
     pub fn insert_tsv(&mut self, text: &str) -> Result<usize, Error> {
         self.insert_from_reader(text.as_bytes())
     }
@@ -629,6 +690,7 @@ impl KnowledgeBase {
                     // Same underlying model → same epoch: the epoch tags
                     // model *content*, not packaging.
                     epoch: m.epoch,
+                    slice: None,
                 });
                 self.last = Some((options, Arc::clone(&model)));
                 self.queries_dirty = false;
@@ -733,11 +795,135 @@ impl KnowledgeBase {
             possible_index: Arc::new(OnceLock::new()),
             solve_stats: output.stats,
             epoch: self.epoch,
+            slice: None,
         });
         self.last = Some((options, Arc::clone(&model)));
         self.delta.clear();
         self.needs_full = false;
         self.queries_dirty = false;
+        Ok(model)
+    }
+
+    /// Goal-directed solve: computes the query-relevant **program slice**
+    /// (the relevance closure of the query's predicates over the
+    /// dependency graph, following positive *and* negative edges) and
+    /// solves only that subprogram — chase, grounding and engine all
+    /// restricted to the slice.
+    ///
+    /// The returned model answers any query whose predicates lie inside
+    /// the slice **bit-identically** to a full [`KnowledgeBase::solve`]
+    /// (same options, same budget semantics); queries that stray outside
+    /// the slice are rejected with [`Error::OutOfSlice`] by the model's
+    /// [`SolvedModel::prepare`]/[`SolvedModel::prepare_sliced`] guard
+    /// rather than silently answered `false`. Constraints are *not*
+    /// goal-directed: a constraint whose violation predicate falls outside
+    /// the slice reports [`Truth::Unknown`].
+    ///
+    /// The solve composes with the per-component fingerprint memo: when a
+    /// full solve under the same options is cached, sliced components
+    /// whose inputs did not change reuse its verdicts
+    /// ([`SolveStats::components_reused`]). Slice shape is reported in
+    /// [`SolveStats::slice_components`] / [`SolveStats::total_components`].
+    /// The knowledge base's own solve state (cached model, pending delta,
+    /// resume segment) is left untouched — the sliced solve runs on a
+    /// cloned universe — and the sliced artifact is itself cached until
+    /// the options, the goal set, or the data change.
+    ///
+    /// ```
+    /// use wfdatalog::{Error, KnowledgeBase};
+    /// let mut kb = KnowledgeBase::from_source(r#"
+    ///     src(a). src(X), not excl(X) -> out(X).
+    ///     pick(b). pick(X), not flop(X) -> flip(X).
+    ///     pick(X), not flip(X) -> flop(X).
+    /// "#).unwrap();
+    /// let model = kb.solve_for("?- out(a).").unwrap();
+    /// let stats = model.solve_stats();
+    /// assert!(stats.sliced && stats.slice_components < stats.total_components);
+    /// assert!(model.ask("?- out(a).").unwrap());
+    /// // The flip/flop cone was never solved; querying it is an error,
+    /// // not a silent `false`:
+    /// assert!(matches!(model.prepare("?- flip(b)."), Err(Error::OutOfSlice(_))));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Syntax`] if `query_src` is not a valid query.
+    pub fn solve_for(&mut self, query_src: &str) -> Result<Arc<SolvedModel>, Error> {
+        let options = self.effective_options();
+        // Resolve the query against the current universe (read-only:
+        // query preparation looks names up, never interns).
+        let prepared = wfdl_syntax::prepare_query(&self.universe, query_src)?;
+        let goals = prepared.goal_preds();
+        if let Some(c) = &self.sliced_last {
+            let cache_servable = !c
+                .model
+                .model()
+                .outcome
+                .truncation()
+                .is_some_and(|r| r.is_budget_trip());
+            if c.options == options
+                && c.generation == self.generation
+                && c.goals == goals
+                && cache_servable
+            {
+                return Ok(Arc::clone(&c.model));
+            }
+        }
+        let slice = ProgramSlice::compute(self.universe.num_preds(), &self.sigma, &goals);
+        // Memo compose: offer the last full solve's per-component verdicts
+        // under the same options. The engine's fingerprint + atom-set
+        // check rejects stale components on its own, so a pending delta
+        // only makes the memo less effective, never unsound.
+        let memo_prev = match &self.last {
+            Some((last_options, model)) if *last_options == options => Some(model.model()),
+            _ => None,
+        };
+        // The sliced chase interns its nulls into a *clone* of the
+        // universe: the knowledge base's own state (delta, resume segment,
+        // cached full model) stays untouched.
+        let mut universe = (*self.universe).clone();
+        let mut output = wfdl_wfs::solve_sliced_packaged_budgeted(
+            &mut universe,
+            &self.database,
+            &self.sigma,
+            options,
+            &self.violations,
+            &self.solve_budget,
+            &slice.pred_mask,
+            memo_prev,
+        );
+        output.stats.slice_components = slice.components_in_slice;
+        output.stats.total_components = slice.components_total;
+        let truncated = output
+            .model
+            .outcome
+            .truncation()
+            .is_some_and(|r| r.is_budget_trip());
+        let snapshot = UniverseSnapshot::from_arc(Arc::new(universe));
+        let certain_index = AtomIndex::build(&snapshot, TruthSource::certain_atoms(&output.model));
+        let model = Arc::new(SolvedModel {
+            universe: snapshot,
+            model: Arc::new(output.model),
+            constraint_status: output.constraint_status,
+            source_queries: Vec::new(),
+            certain_index: Arc::new(certain_index),
+            possible_index: Arc::new(OnceLock::new()),
+            solve_stats: output.stats,
+            // Sliced models are views of the same data the last full-solve
+            // epoch would see; they never advance the epoch counter.
+            epoch: self.epoch,
+            slice: Some(slice.pred_mask),
+        });
+        // A budget-truncated sliced model is served once but never cached:
+        // re-solving under a moved deadline may get further.
+        if !truncated {
+            self.sliced_last = Some(SlicedCache {
+                options,
+                goals,
+                generation: self.generation,
+                model: Arc::clone(&model),
+            });
+        }
         Ok(model)
     }
 
@@ -839,6 +1025,11 @@ pub struct SolvedModel {
     possible_index: Arc<OnceLock<AtomIndex>>,
     solve_stats: SolveStats,
     epoch: u64,
+    /// `Some(pred_mask)` for goal-directed models
+    /// ([`KnowledgeBase::solve_for`]): the relevance-closed predicate
+    /// slice this model was solved under. Queries are checked against it
+    /// at preparation time — see [`SolvedModel::prepare_sliced`].
+    slice: Option<Vec<bool>>,
 }
 
 impl SolvedModel {
@@ -848,8 +1039,88 @@ impl SolvedModel {
     /// repeated evaluation. Unknown constants or predicates in the query
     /// short-circuit to a definite verdict instead of erroring (see
     /// [`PreparedQuery`]).
+    ///
+    /// On a goal-directed model ([`KnowledgeBase::solve_for`]) the query
+    /// is additionally checked against the model's slice — see
+    /// [`SolvedModel::prepare_sliced`].
+    ///
+    /// ```
+    /// # use wfdatalog::KnowledgeBase;
+    /// let mut kb = KnowledgeBase::from_source(
+    ///     "edge(a,b). edge(b,c). edge(X,Y), not win(Y) -> win(X).").unwrap();
+    /// let model = kb.solve();
+    /// // Prepare once, evaluate many times — no parsing per ask.
+    /// let q = model.prepare("?- win(X), not win(b).").unwrap();
+    /// assert!(!model.ask_prepared(&q)); // the only winner IS b
+    /// let wins = model.prepare("?(X) win(X).").unwrap();
+    /// assert_eq!(model.answers_prepared(&wins).len(), 1);
+    /// ```
     pub fn prepare(&self, query_src: &str) -> Result<PreparedQuery, Error> {
-        Ok(wfdl_syntax::prepare_query(&self.universe, query_src)?)
+        let query = wfdl_syntax::prepare_query(&self.universe, query_src)?;
+        self.check_slice(&query)?;
+        Ok(query)
+    }
+
+    /// [`SolvedModel::prepare`] with the slice contract spelled out: on a
+    /// goal-directed model, every resolved predicate of the query must lie
+    /// **inside the slice** the model was solved for, because out-of-slice
+    /// atoms were never chased and would silently read `false`.
+    ///
+    /// Both entry points enforce the check (so a sliced model can never
+    /// silently mis-answer a prepared query); this name exists to make the
+    /// sliced serving path explicit at call sites. Queries that
+    /// short-circuit on an unknown name pass the check — their definite
+    /// verdict is slice-independent. Evaluating a [`PreparedQuery`]
+    /// prepared against a *different* model bypasses the guard; keep
+    /// prepared queries with the model that prepared them.
+    ///
+    /// ```
+    /// # use wfdatalog::{Error, KnowledgeBase};
+    /// # let mut kb = KnowledgeBase::from_source(
+    /// #     "p(a). p(X) -> q(X). r(X), not q(X) -> s(X).").unwrap();
+    /// let model = kb.solve_for("?- q(a).").unwrap();
+    /// let q = model.prepare_sliced("?- q(X), p(X).").unwrap();
+    /// assert!(model.ask_prepared(&q));
+    /// // `s` is outside the q-slice: rejected, not silently false.
+    /// assert!(matches!(model.prepare_sliced("?- s(a)."), Err(Error::OutOfSlice(_))));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`Error::OutOfSlice`] naming the offending predicates, or any
+    /// [`SolvedModel::prepare`] error.
+    pub fn prepare_sliced(&self, query_src: &str) -> Result<PreparedQuery, Error> {
+        self.prepare(query_src)
+    }
+
+    /// True iff this model was produced by a goal-directed solve
+    /// ([`KnowledgeBase::solve_for`]) and therefore only answers queries
+    /// within its slice.
+    pub fn is_sliced(&self) -> bool {
+        self.slice.is_some()
+    }
+
+    /// Rejects queries that read predicates outside a sliced model's
+    /// relevance closure. No-op on full models and on short-circuited
+    /// queries (their verdict is already definite and slice-independent).
+    fn check_slice(&self, query: &PreparedQuery) -> Result<(), Error> {
+        let (Some(mask), Some(q)) = (&self.slice, query.query()) else {
+            return Ok(());
+        };
+        let mut missing: Vec<&str> = Vec::new();
+        for atom in q.pos.iter().chain(q.neg.iter()) {
+            if !mask.get(atom.pred.index()).copied().unwrap_or(false) {
+                let name = self.universe.pred_name(atom.pred);
+                if !missing.contains(&name) {
+                    missing.push(name);
+                }
+            }
+        }
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::OutOfSlice(missing.join(", ")))
+        }
     }
 
     /// Re-resolves a query prepared against an **older** model of the same
@@ -860,9 +1131,27 @@ impl SolvedModel {
     /// short-circuited on a then-unknown predicate or constant re-run
     /// name resolution from their retained shape (a lookup remap — no
     /// parser involved). Errors only if a previously-unknown predicate
-    /// has since been declared with a conflicting arity.
+    /// has since been declared with a conflicting arity. On a sliced model
+    /// the rebound query is checked against the slice, exactly as
+    /// [`SolvedModel::prepare`] checks fresh ones.
+    ///
+    /// ```
+    /// # use wfdatalog::KnowledgeBase;
+    /// let mut kb = KnowledgeBase::from_source(
+    ///     "edge(a,b). edge(X,Y), not win(Y) -> win(X).").unwrap();
+    /// let old = kb.solve();
+    /// let q = old.prepare("?- win(zeta).").unwrap(); // zeta: unknown, false
+    /// assert!(!old.ask_prepared(&q));
+    /// kb.insert_tsv("edge,b,zeta\n").unwrap();
+    /// let new = kb.solve();
+    /// // Rebinding picks up the now-interned constant; zeta loses.
+    /// assert!(!new.ask_prepared(&new.rebind(&q).unwrap()));
+    /// assert!(new.ask("?- win(b).").unwrap());
+    /// ```
     pub fn rebind(&self, query: &PreparedQuery) -> Result<PreparedQuery, Error> {
-        Ok(query.rebind(&self.universe)?)
+        let rebound = query.rebind(&self.universe)?;
+        self.check_slice(&rebound)?;
+        Ok(rebound)
     }
 
     /// Parses and evaluates a Boolean query (e.g. `"?- p(X), not q(X)."`).

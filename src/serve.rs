@@ -10,7 +10,7 @@
 //! | Route           | Meaning |
 //! |-----------------|---------|
 //! | `GET /healthz`  | liveness + the currently published model epoch |
-//! | `POST /query`   | one query per body line → prepared evaluation against **one** pinned snapshot; malformed queries answer 400 with their real source positions |
+//! | `POST /query`   | one query per body line → prepared evaluation against **one** pinned snapshot; malformed queries answer 400 with their real source positions. `POST /query?mode=sliced` solves goal-directedly instead (below) |
 //! | `POST /ingest`  | TSV/CSV fact batch (the `--facts` format) → typed insert + incremental re-solve on the writer thread → atomic hot-swap |
 //! | `GET /lint`     | the static-analysis report for the served program (`wfdatalog::analysis` JSON), recomputed with the model on every ingest — EDB changes flip the data-dependent lints |
 //! | `GET /stats`    | solve/modular/chase statistics, model shape, epoch, request counters |
@@ -34,6 +34,26 @@
 //! sound under-approximation whose outcome the `/ingest` response and
 //! `/stats` report — and the next ingest resumes the chase from where it
 //! stopped.
+//!
+//! ## `mode=sliced`
+//!
+//! `POST /query?mode=sliced` answers each body line from a goal-directed
+//! solve over the query-relevant program slice
+//! ([`KnowledgeBase::solve_for`]) instead of the published full model —
+//! bit-identical answers, a fraction of the work for narrow queries
+//! against a large program. Sliced solves need the `KnowledgeBase`, so
+//! they run on the **writer thread**, serialized behind any queued
+//! ingests (per-query results are cached there; a repeated sliced query
+//! with unchanged data is answered from that cache). The response shape
+//! is identical to the plain `/query` response, with the answering solve's
+//! slice stats appended per result. Plain `/query` traffic is unaffected —
+//! it never touches the writer.
+//!
+//! ## `/stats` schema
+//!
+//! See `crates/serve/src/README.md` for the field-by-field schema of the
+//! `/stats` JSON document (`epoch`, `uptime_ms`, `requests`, `model`,
+//! `solve`, `modular`, `chase`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -98,11 +118,21 @@ struct Counters {
     other: AtomicU64,
 }
 
-/// One queued ingestion: the raw fact-batch body and the channel the
-/// writer acknowledges on once the new model is published.
-struct IngestJob {
-    body: Vec<u8>,
-    reply: SyncSender<Response>,
+/// One unit of work for the writer thread, which owns the
+/// [`KnowledgeBase`]: a fact ingestion, or a goal-directed query batch
+/// (`POST /query?mode=sliced` — sliced solves need `&mut KnowledgeBase`,
+/// so they serialize with ingests instead of racing them).
+enum WriterJob {
+    /// Raw fact-batch body; acknowledged once the new model is published.
+    Ingest {
+        body: Vec<u8>,
+        reply: SyncSender<Response>,
+    },
+    /// Query sources for a goal-directed (sliced) evaluation.
+    SlicedQuery {
+        queries: Vec<String>,
+        reply: SyncSender<Response>,
+    },
 }
 
 /// The wfdl application: routes requests against the published model.
@@ -112,8 +142,9 @@ struct WfdlApp {
     /// every model swap (the EDB participates in the data-dependent lints,
     /// so an ingest can change the report). Readers only clone an `Arc`.
     lint: EpochSlot<String>,
-    /// Ingest entry: `None` once shutdown began (ingests answer 503).
-    writer: Mutex<Option<SyncSender<IngestJob>>>,
+    /// Writer entry (ingests + sliced queries): `None` once shutdown began
+    /// (both answer 503).
+    writer: Mutex<Option<SyncSender<WriterJob>>>,
     writer_join: Mutex<Option<JoinHandle<()>>>,
     counters: Counters,
     started: Instant,
@@ -131,7 +162,17 @@ impl App for WfdlApp {
             }
             (Method::Post, "/query") => {
                 self.counters.query.fetch_add(1, Ordering::Relaxed);
-                let resp = self.query(&req.body);
+                let resp = match req.path.split('?').nth(1) {
+                    None | Some("") | Some("mode=full") => self.query(&req.body),
+                    Some("mode=sliced") => self.sliced_query(&req.body),
+                    Some(other) => Response::json(
+                        400,
+                        error_body(
+                            &format!("unknown query option `{other}` (try `mode=sliced`)"),
+                            None,
+                        ),
+                    ),
+                };
                 if resp.status != 200 {
                     self.counters.query_errors.fetch_add(1, Ordering::Relaxed);
                 }
@@ -179,23 +220,36 @@ impl App for WfdlApp {
     }
 }
 
+/// Splits a `/query` body into trimmed, non-comment query lines, or the
+/// 400 response when the body is unusable.
+fn parse_query_lines(body: &[u8]) -> Result<Vec<&str>, Response> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Err(Response::json(
+            400,
+            error_body("request body is not UTF-8", None),
+        ));
+    };
+    let queries: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'))
+        .collect();
+    if queries.is_empty() {
+        return Err(Response::json(
+            400,
+            error_body("no queries in request body (one query per line)", None),
+        ));
+    }
+    Ok(queries)
+}
+
 impl WfdlApp {
     /// `POST /query`: evaluate every body line against one pinned model.
     fn query(&self, body: &[u8]) -> Response {
-        let Ok(text) = std::str::from_utf8(body) else {
-            return Response::json(400, error_body("request body is not UTF-8", None));
+        let queries = match parse_query_lines(body) {
+            Ok(q) => q,
+            Err(resp) => return resp,
         };
-        let queries: Vec<&str> = text
-            .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'))
-            .collect();
-        if queries.is_empty() {
-            return Response::json(
-                400,
-                error_body("no queries in request body (one query per line)", None),
-            );
-        }
         // Pin exactly one snapshot for the whole request: every query in
         // the batch answers against the same epoch, however many swaps
         // land mid-request.
@@ -206,9 +260,28 @@ impl WfdlApp {
         }
     }
 
+    /// `POST /query?mode=sliced`: goal-directed solve per query on the
+    /// writer thread (serialized behind queued ingests — a sliced answer
+    /// always reflects every ingest acknowledged before it).
+    fn sliced_query(&self, body: &[u8]) -> Response {
+        let queries = match parse_query_lines(body) {
+            Ok(q) => q,
+            Err(resp) => return resp,
+        };
+        let queries: Vec<String> = queries.into_iter().map(str::to_owned).collect();
+        self.dispatch_to_writer(|reply| WriterJob::SlicedQuery { queries, reply })
+    }
+
     /// `POST /ingest`: hand the batch to the writer thread and relay its
     /// acknowledgement.
     fn ingest(&self, body: &[u8]) -> Response {
+        let body = body.to_vec();
+        self.dispatch_to_writer(|reply| WriterJob::Ingest { body, reply })
+    }
+
+    /// Queues one job on the writer thread and relays its reply; answers
+    /// 503 once shutdown closed the queue.
+    fn dispatch_to_writer(&self, job: impl FnOnce(SyncSender<Response>) -> WriterJob) -> Response {
         let sender = match self.writer.lock() {
             Ok(guard) => guard.clone(),
             Err(_) => None,
@@ -217,16 +290,12 @@ impl WfdlApp {
             return Response::json(503, error_body("server is shutting down", None));
         };
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
-        let job = IngestJob {
-            body: body.to_vec(),
-            reply: reply_tx,
-        };
-        if sender.send(job).is_err() {
+        if sender.send(job(reply_tx)).is_err() {
             return Response::json(503, error_body("server is shutting down", None));
         }
         match reply_rx.recv() {
             Ok(response) => response,
-            Err(_) => Response::json(500, error_body("writer thread died mid-ingest", None)),
+            Err(_) => Response::json(500, error_body("writer thread died mid-request", None)),
         }
     }
 
@@ -261,13 +330,17 @@ impl WfdlApp {
         ));
         push_json_str(&mut out, &model.outcome().to_string());
         out.push_str(&format!(
-            "}},\"solve\":{{\"incremental\":{},\"components_reused\":{},\"threads\":{}}}",
-            ss.incremental, ss.components_reused, ss.threads,
+            "}},\"solve\":{{\"incremental\":{},\"components_reused\":{},\"threads\":{},\
+             \"sliced\":{}}}",
+            ss.incremental, ss.components_reused, ss.threads, ss.sliced,
         ));
         if let Some(ms) = model.model().component_stats() {
+            // `components_reused` deliberately matches the `solve` object's
+            // key (and the CLI's `% solve:` line): one name for the
+            // memo-reuse counter everywhere.
             out.push_str(&format!(
                 ",\"modular\":{{\"components\":{},\"definite\":{},\"recursive\":{},\
-                 \"largest\":{},\"reused\":{},\"threads\":{},\"chunks\":{}}}",
+                 \"largest\":{},\"components_reused\":{},\"threads\":{},\"chunks\":{}}}",
                 ms.components,
                 ms.definite_components,
                 ms.recursive_components,
@@ -309,18 +382,7 @@ pub fn query_response_body(model: &SolvedModel, queries: &[&str]) -> Result<Stri
     for (i, src) in queries.iter().enumerate() {
         match model.prepare(src) {
             Ok(q) => prepared.push(q),
-            Err(e) => {
-                let mut out = String::new();
-                out.push_str(&format!("{{\"error\":{{\"query\":{},\"source\":", i + 1));
-                push_json_str(&mut out, src);
-                out.push_str(",\"message\":");
-                push_json_str(&mut out, &e.to_string());
-                if let Error::Syntax(se) = &e {
-                    out.push_str(&format!(",\"line\":{},\"col\":{}", se.pos.line, se.pos.col));
-                }
-                out.push_str("}}");
-                return Err(out);
-            }
+            Err(e) => return Err(prepare_error_body(i, src, &e)),
         }
     }
     let mut out = String::with_capacity(64 + 48 * queries.len());
@@ -329,48 +391,121 @@ pub fn query_response_body(model: &SolvedModel, queries: &[&str]) -> Result<Stri
         if i > 0 {
             out.push(',');
         }
-        out.push_str("{\"query\":");
-        push_json_str(&mut out, src);
-        if q.is_boolean() {
-            out.push_str(",\"truth\":");
-            push_json_str(&mut out, &model.ask3_prepared(q).to_string());
-        } else {
-            out.push_str(",\"answers\":[");
-            let answers = model.answers_prepared(q);
-            for (j, tuple) in answers.tuples().iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push('[');
-                for (k, &term) in tuple.iter().enumerate() {
-                    if k > 0 {
-                        out.push(',');
-                    }
-                    push_json_str(&mut out, &model.universe().display_term(term).to_string());
-                }
-                out.push(']');
-            }
-            out.push(']');
-        }
-        // A short-circuited verdict (unknown predicate/constant) is easy to
-        // misread as "solved and empty": name the unresolved symbols. The
-        // field is present only when non-empty, so fully-resolved queries
-        // keep their exact historical shape.
-        let missing = q.unresolved_symbols(model.universe());
-        if !missing.is_empty() {
-            out.push_str(",\"warnings\":[");
-            for (j, m) in missing.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                push_json_str(&mut out, &format!("unknown {m}"));
-            }
-            out.push(']');
-        }
+        out.push('{');
+        push_query_result(&mut out, model, src, q);
         out.push('}');
     }
     out.push_str("]}");
     Ok(out)
+}
+
+/// Goal-directed twin of [`query_response_body`]: answers each query from
+/// its own sliced solve ([`KnowledgeBase::solve_for`]) instead of a
+/// published full model. Same response shape, plus a per-result
+/// `"slice"` object with the answering solve's slice stats. Runs on the
+/// serving tier's writer thread (it needs `&mut KnowledgeBase`); public
+/// for the same bit-for-bit test contract as [`query_response_body`].
+///
+/// `Ok` is the 200 body; `Err` is the 400 body for the first query that
+/// fails to parse or solve, in [`query_response_body`]'s error shape.
+pub fn sliced_query_response_body(
+    kb: &mut KnowledgeBase,
+    queries: &[&str],
+) -> Result<String, String> {
+    // Solve + prepare everything first: a batch with any malformed query
+    // answers 400 as a whole, exactly like the full-model path.
+    let mut solved = Vec::with_capacity(queries.len());
+    for (i, src) in queries.iter().enumerate() {
+        let model = kb
+            .solve_for(src)
+            .map_err(|e| prepare_error_body(i, src, &e))?;
+        let q = model
+            .prepare_sliced(src)
+            .map_err(|e| prepare_error_body(i, src, &e))?;
+        solved.push((model, q));
+    }
+    let epoch = solved.first().map_or(0, |(m, _)| m.epoch());
+    let mut out = String::with_capacity(64 + 64 * queries.len());
+    out.push_str(&format!("{{\"epoch\":{epoch},\"results\":["));
+    for (i, (src, (model, q))) in queries.iter().zip(&solved).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_query_result(&mut out, model, src, q);
+        let s = model.solve_stats();
+        out.push_str(&format!(
+            ",\"slice\":{{\"slice_components\":{},\"total_components\":{},\
+             \"components_reused\":{}}}",
+            s.slice_components, s.total_components, s.components_reused
+        ));
+        out.push('}');
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// The 400 error body for a query that failed to prepare (or, sliced, to
+/// solve): 1-based index, source text, message and — for syntax errors —
+/// the real line/column within the query string.
+fn prepare_error_body(index: usize, src: &str, e: &Error) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"error\":{{\"query\":{},\"source\":",
+        index + 1
+    ));
+    push_json_str(&mut out, src);
+    out.push_str(",\"message\":");
+    push_json_str(&mut out, &e.to_string());
+    if let Error::Syntax(se) = e {
+        out.push_str(&format!(",\"line\":{},\"col\":{}", se.pos.line, se.pos.col));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders one query's result fields (`"query":…`, `"truth"`/`"answers"`,
+/// optional `"warnings"`) into `out`, **without** the enclosing braces —
+/// the caller owns the object so it can append mode-specific fields.
+fn push_query_result(out: &mut String, model: &SolvedModel, src: &str, q: &crate::PreparedQuery) {
+    out.push_str("\"query\":");
+    push_json_str(out, src);
+    if q.is_boolean() {
+        out.push_str(",\"truth\":");
+        push_json_str(out, &model.ask3_prepared(q).to_string());
+    } else {
+        out.push_str(",\"answers\":[");
+        let answers = model.answers_prepared(q);
+        for (j, tuple) in answers.tuples().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (k, &term) in tuple.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                push_json_str(out, &model.universe().display_term(term).to_string());
+            }
+            out.push(']');
+        }
+        out.push(']');
+    }
+    // A short-circuited verdict (unknown predicate/constant) is easy to
+    // misread as "solved and empty": name the unresolved symbols. The
+    // field is present only when non-empty, so fully-resolved queries
+    // keep their exact historical shape.
+    let missing = q.unresolved_symbols(model.universe());
+    if !missing.is_empty() {
+        out.push_str(",\"warnings\":[");
+        for (j, m) in missing.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_json_str(out, &format!("unknown {m}"));
+        }
+        out.push(']');
+    }
 }
 
 /// A `{"error":{...}}` body with an optional source line number.
@@ -385,19 +520,37 @@ fn error_body(message: &str, line: Option<u32>) -> String {
 }
 
 /// The writer thread: owns the [`KnowledgeBase`], serializes every
-/// mutation, and is the only code that publishes into the slot.
+/// mutation (and every sliced query, which needs `&mut` access), and is
+/// the only code that publishes into the slot.
 fn writer_loop(
     mut kb: KnowledgeBase,
-    rx: Receiver<IngestJob>,
+    rx: Receiver<WriterJob>,
     slot: Arc<WfdlApp>,
     resolve_deadline: Option<Duration>,
     program_name: String,
 ) {
     while let Ok(job) = rx.recv() {
-        let response = apply_ingest(&mut kb, &slot, &job.body, resolve_deadline, &program_name);
-        // A dropped reply just means the requesting worker gave up; the
-        // ingest itself is already committed and published.
-        let _ = job.reply.send(response);
+        match job {
+            WriterJob::Ingest { body, reply } => {
+                let response = apply_ingest(&mut kb, &slot, &body, resolve_deadline, &program_name);
+                // A dropped reply just means the requesting worker gave up;
+                // the ingest itself is already committed and published.
+                let _ = reply.send(response);
+            }
+            WriterJob::SlicedQuery { queries, reply } => {
+                // Each sliced solve gets the same fresh deadline window an
+                // ingest-triggered re-solve would.
+                if let Some(d) = resolve_deadline {
+                    kb.set_solve_budget(SolveBudget::unlimited().with_deadline_in(d));
+                }
+                let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+                let response = match sliced_query_response_body(&mut kb, &refs) {
+                    Ok(body) => Response::json(200, body),
+                    Err(body) => Response::json(400, body),
+                };
+                let _ = reply.send(response);
+            }
+        }
     }
 }
 

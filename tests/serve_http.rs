@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use wfdatalog::serve::{query_response_body, start, ServeOptions};
+use wfdatalog::serve::{query_response_body, sliced_query_response_body, start, ServeOptions};
 use wfdatalog::KnowledgeBase;
 
 const PROGRAM: &str = "
@@ -320,6 +320,62 @@ fn short_circuited_queries_carry_warnings_naming_the_unknown_symbol() {
     let (status, body) = post(addr, "/query", "?- win(a).\n");
     assert_eq!(status, 200, "{body}");
     assert!(!body.contains("\"warnings\""), "{body}");
+
+    server.shutdown();
+}
+
+/// Two independent rule cones: sliced queries on one must never be
+/// forced to evaluate the other.
+const TWO_CONE_PROGRAM: &str = "
+    edge(a,b). edge(b,c). pick(z).
+    edge(X,Y), not win(Y) -> win(X).
+    pick(X), not flop(X) -> flip(X).
+    pick(X), not flip(X) -> flop(X).
+";
+
+#[test]
+fn sliced_query_mode_matches_direct_api_and_tracks_ingests() {
+    let kb = KnowledgeBase::from_source(TWO_CONE_PROGRAM).expect("program");
+    let server = start(kb, ServeOptions::default()).expect("server starts");
+    let addr = server.addr();
+
+    // Sliced responses are bit-identical to the direct API on a replica.
+    let sliced_queries = "?- win(b).\n?(X) win(X).\n";
+    let (status, body) = post(addr, "/query?mode=sliced", sliced_queries);
+    assert_eq!(status, 200, "{body}");
+    let mut replica = KnowledgeBase::from_source(TWO_CONE_PROGRAM).expect("replica");
+    replica.solve(); // the server full-solves at startup; mirror that
+    let expected = sliced_query_response_body(&mut replica, &["?- win(b).", "?(X) win(X)."])
+        .expect("replica render");
+    assert_eq!(body, expected);
+    // Every sliced result carries its slice stats, and the slice is a
+    // proper subset of the program (the flip/flop cone stayed out).
+    assert!(body.contains("\"slice\":{\"slice_components\":"), "{body}");
+
+    // The verdicts themselves agree with full mode for in-slice queries.
+    let (status, full_body) = post(addr, "/query?mode=full", sliced_queries);
+    assert_eq!(status, 200, "{full_body}");
+    assert!(body.contains("\"truth\":\"true\""), "{body}");
+    assert!(full_body.contains("\"truth\":\"true\""), "{full_body}");
+
+    // An unknown mode is a 400 naming the option, not a silent fallback.
+    let (status, err) = post(addr, "/query?mode=eager", "?- win(a).\n");
+    assert_eq!(status, 400, "{err}");
+    assert!(err.contains("mode=sliced"), "{err}");
+
+    // Sliced queries observe ingested facts: the writer thread serializes
+    // the sliced solve behind the ingest, so the new edge is visible.
+    let (status, resp) = post(addr, "/ingest", "edge,c,d\n");
+    assert_eq!(status, 200, "{resp}");
+    let (status, body) = post(addr, "/query?mode=sliced", "?- win(c).\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"truth\":\"true\""), "{body}");
+
+    // Out-of-slice is impossible by construction (the slice is computed
+    // from the request's own goals), but a parse error in any line fails
+    // the whole batch with a 400 — same contract as full mode.
+    let (status, err) = post(addr, "/query?mode=sliced", "?- win(a).\n?- win(.\n");
+    assert_eq!(status, 400, "{err}");
 
     server.shutdown();
 }

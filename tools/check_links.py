@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the documentation handbook.
+
+Scans ARCHITECTURE.md, everything under docs/, every crate README
+(crates/*/src/README.md and crates/*/README.md), and the vendor README
+for markdown links `[text](target)`. External links (http/https/mailto)
+are skipped; every other target must resolve — after stripping a
+`#anchor` suffix — to an existing file or directory relative to the
+file containing the link. Exit code 1 lists every broken link.
+
+Run from the repository root: `python3 tools/check_links.py`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# `[text](target)` — good enough for the hand-written markdown in this
+# repo; inline code spans are masked out first so `vec![..](..)`-style
+# Rust snippets are not misread as links.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def doc_files():
+    files = [ROOT / "ARCHITECTURE.md"]
+    files += sorted((ROOT / "docs").rglob("*.md"))
+    files += sorted(ROOT.glob("crates/*/README.md"))
+    files += sorted(ROOT.glob("crates/*/src/README.md"))
+    files += sorted(ROOT.glob("crates/vendor/README.md"))
+    return [f for f in files if f.is_file()]
+
+
+def links_in(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(CODE_SPAN.sub("", line)):
+            yield lineno, match.group(1)
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    files = doc_files()
+    if not files:
+        print("check_links: no documentation files found", file=sys.stderr)
+        return 1
+    for f in files:
+        for lineno, target in links_in(f):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (f.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{f.relative_to(ROOT)}:{lineno}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"check_links: {len(files)} files, {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
